@@ -1,0 +1,73 @@
+"""Ablation — accelerator design space: AAP core count and PE-array geometry.
+
+Sweeps the number of AAP cores and the PE-array size, reporting modelled
+training throughput, resource usage, whether the design still fits the Alveo
+U50, power, and energy efficiency.  This regenerates the trade-off behind
+the paper's choice of 2 cores × 16×16 PEs at 164 MHz.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accelerator import AcceleratorConfig, PowerModel, ResourceModel, TimingModel
+from repro.core import format_table
+
+ACTOR_SHAPES = [(17, 400), (400, 300), (300, 6)]
+CRITIC_SHAPES = [(23, 400), (400, 300), (300, 1)]
+BATCH = 512
+
+
+def _design_row(config: AcceleratorConfig) -> dict:
+    timing = TimingModel(config)
+    resources = ResourceModel(config)
+    power = PowerModel(config)
+    ips = timing.accelerator_ips(ACTOR_SHAPES, CRITIC_SHAPES, BATCH)
+    utilization = timing.hardware_utilization(ACTOR_SHAPES, CRITIC_SHAPES, BATCH)
+    watts = power.average_watts(utilization)
+    total = resources.total()
+    return {
+        "Cores": config.num_cores,
+        "Array": f"{config.geometry.rows}x{config.geometry.cols}",
+        "PEs": config.pe_count,
+        "IPS": round(ips, 1),
+        "Utilization (%)": round(100 * utilization, 1),
+        "DSP": total.dsp,
+        "LUT (k)": round(total.lut / 1e3, 1),
+        "Fits U50": resources.fits_device(),
+        "Power (W)": round(watts, 1),
+        "IPS/W": round(ips / watts, 1),
+    }
+
+
+def test_ablation_core_count(benchmark, save_report):
+    configs = [AcceleratorConfig(num_cores=cores) for cores in (1, 2, 4, 8)]
+    rows = benchmark(lambda: [_design_row(config) for config in configs])
+    save_report("ablation_cores", format_table(rows, title="Ablation — AAP core count (batch 512)"))
+
+    ips_series = [row["IPS"] for row in rows]
+    assert ips_series == sorted(ips_series)
+    # The paper's 2-core design fits the U50; the largest configurations do not.
+    assert rows[1]["Fits U50"]
+    assert not rows[3]["Fits U50"]
+    # Energy efficiency keeps improving only while the extra cores stay busy.
+    assert rows[1]["IPS/W"] > rows[0]["IPS/W"] * 1.2
+
+
+def test_ablation_array_geometry(benchmark, save_report):
+    geometries = ((8, 8), (16, 16), (32, 32))
+    configs = [AcceleratorConfig().with_geometry(*geometry) for geometry in geometries]
+    rows = benchmark(lambda: [_design_row(config) for config in configs])
+    save_report(
+        "ablation_array_geometry",
+        format_table(rows, title="Ablation — PE-array geometry (2 cores, batch 512)"),
+    )
+
+    # Bigger arrays help, but with diminishing returns once the layer tiles
+    # no longer fill the array (the paper's layers are 400/300 wide).
+    assert rows[1]["IPS"] > rows[0]["IPS"] * 1.5
+    assert rows[2]["IPS"] > rows[1]["IPS"]
+    assert rows[2]["IPS"] / rows[1]["IPS"] < rows[1]["IPS"] / rows[0]["IPS"]
+    # The 16x16 design is the largest of the three that still fits the U50.
+    assert rows[0]["Fits U50"] and rows[1]["Fits U50"]
+    assert not rows[2]["Fits U50"]

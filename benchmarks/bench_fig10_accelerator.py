@@ -1,0 +1,96 @@
+"""Fig. 10 — accelerator-only throughput and energy efficiency vs the GPU.
+
+Regenerates (a) the IPS of the FIXAR FPGA accelerator and the Titan RTX
+baseline as the batch size grows, and (b) the energy efficiency (IPS/W) of
+both.  The paper's observations: the FIXAR accelerator stays high
+(≈53.8 kIPS) for all batch sizes thanks to its adaptive parallelism, the
+GPU's throughput grows with the batch size as its utilization improves, and
+FIXAR ends up ≈15.4× more energy efficient (2638 IPS/W vs the GPU).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import format_table
+from repro.envs import make
+from repro.platform import (
+    PAPER_BATCH_SIZES,
+    CpuGpuPlatform,
+    FixarPlatform,
+    WorkloadSpec,
+)
+
+PAPER_ACCELERATOR_IPS = 53_826.8
+PAPER_EFFICIENCY = 2_638.0
+PAPER_EFFICIENCY_GAIN = 15.4
+PAPER_UTILIZATION = 0.924
+
+
+@pytest.fixture(scope="module")
+def platform() -> FixarPlatform:
+    return FixarPlatform(WorkloadSpec.from_environment(make("HalfCheetah")))
+
+
+@pytest.fixture(scope="module")
+def baseline() -> CpuGpuPlatform:
+    return CpuGpuPlatform()
+
+
+def test_fig10_accelerator_throughput_and_efficiency(benchmark, platform, baseline, save_report):
+    benchmark(platform.accelerator_ips, 256)
+
+    rows = []
+    for batch in PAPER_BATCH_SIZES:
+        fixar_ips = platform.accelerator_ips(batch)
+        gpu_ips = baseline.gpu.ips(batch)
+        rows.append(
+            {
+                "Batch": batch,
+                "FIXAR accel (IPS)": round(fixar_ips, 1),
+                "GPU (IPS)": round(gpu_ips, 1),
+                "Speedup": round(fixar_ips / gpu_ips, 2),
+                "FIXAR (IPS/W)": round(platform.accelerator_ips_per_watt(batch), 1),
+                "GPU (IPS/W)": round(baseline.gpu.ips_per_watt(batch), 1),
+                "FIXAR util (%)": round(100 * platform.accelerator_utilization(batch), 1),
+            }
+        )
+    mean_fixar_ips = float(np.mean([row["FIXAR accel (IPS)"] for row in rows]))
+    mean_efficiency = float(np.mean([row["FIXAR (IPS/W)"] for row in rows]))
+    mean_gpu_efficiency = float(np.mean([row["GPU (IPS/W)"] for row in rows]))
+    summary = [
+        {"Metric": "FIXAR accelerator IPS", "Paper": PAPER_ACCELERATOR_IPS, "Measured": round(mean_fixar_ips, 1)},
+        {"Metric": "FIXAR energy efficiency (IPS/W)", "Paper": PAPER_EFFICIENCY, "Measured": round(mean_efficiency, 1)},
+        {
+            "Metric": "Efficiency gain vs GPU",
+            "Paper": PAPER_EFFICIENCY_GAIN,
+            "Measured": round(mean_efficiency / mean_gpu_efficiency, 1),
+        },
+        {
+            "Metric": "Hardware utilization (%)",
+            "Paper": 100 * PAPER_UTILIZATION,
+            "Measured": round(100 * platform.accelerator_utilization(512), 1),
+        },
+    ]
+    report = "\n\n".join(
+        [
+            format_table(rows, title="Fig. 10 — accelerator throughput and energy efficiency"),
+            format_table(summary, title="Paper vs measured summary"),
+        ]
+    )
+    save_report("fig10_accelerator", report)
+
+    fixar_series = [row["FIXAR accel (IPS)"] for row in rows]
+    gpu_series = [row["GPU (IPS)"] for row in rows]
+    # FIXAR stays high and roughly flat across batch sizes; the GPU grows.
+    assert min(fixar_series) > 0.8 * max(fixar_series)
+    assert gpu_series == sorted(gpu_series)
+    assert gpu_series[-1] > 3 * gpu_series[0]
+    # Absolute levels land near the paper's numbers.
+    assert mean_fixar_ips == pytest.approx(PAPER_ACCELERATOR_IPS, rel=0.25)
+    assert mean_efficiency == pytest.approx(PAPER_EFFICIENCY, rel=0.25)
+    # FIXAR is roughly an order of magnitude more energy efficient.
+    assert mean_efficiency / mean_gpu_efficiency > 8.0
+    # Utilization stays high at large batch sizes (paper: 92.4%).
+    assert platform.accelerator_utilization(512) > 0.9

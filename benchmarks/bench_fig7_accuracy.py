@@ -1,0 +1,136 @@
+"""Fig. 7 — algorithm accuracy of fixed-point training on HalfCheetah.
+
+Regenerates the paper's learning-curve comparison at reduced scale: the same
+DDPG agent is trained under 32-bit floating point, 32-bit fixed point,
+16-bit fixed point from scratch, and FIXAR's dynamic dual fixed point.  The
+expected shape matches the paper: the three full-precision-start regimes all
+reach a similar reward level, the dynamic regime keeps training after its
+precision switch, and the 16-bit-from-scratch regime fails to learn.
+
+The timed kernel is one DDPG update (the work the accelerator performs every
+timestep) under each regime; the learning curves themselves are produced
+once per session in a fixture.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import format_curve, format_table
+from repro.envs import make
+from repro.nn import REGIMES, make_numerics
+from repro.rl import (
+    DDPGAgent,
+    DDPGConfig,
+    QATController,
+    QATSchedule,
+    ReplayBuffer,
+    TrainingConfig,
+    train,
+)
+
+#: Reduced-scale training budget (the paper uses 1,000,000 timesteps).
+TIMESTEPS = 2_500
+HIDDEN_SIZES = (48, 32)
+EPISODE_STEPS = 200
+
+
+def _train_regime(regime: str, seed: int = 0):
+    env = make("HalfCheetah", seed=seed, max_episode_steps=EPISODE_STEPS)
+    eval_env = make("HalfCheetah", seed=seed + 1, max_episode_steps=EPISODE_STEPS)
+    numerics = make_numerics(regime)
+    agent = DDPGAgent(
+        env.state_dim,
+        env.action_dim,
+        DDPGConfig(hidden_sizes=HIDDEN_SIZES, actor_learning_rate=1e-3, critic_learning_rate=1e-3),
+        numerics=numerics,
+        rng=np.random.default_rng(seed),
+    )
+    controller = None
+    if regime == "fixar-dynamic":
+        controller = QATController(numerics, QATSchedule(16, quantization_delay=TIMESTEPS // 2))
+    config = TrainingConfig(
+        total_timesteps=TIMESTEPS,
+        warmup_timesteps=300,
+        batch_size=64,
+        buffer_capacity=20_000,
+        evaluation_interval=TIMESTEPS // 5,
+        evaluation_episodes=3,
+        exploration_noise=0.2,
+        seed=seed,
+    )
+    return train(env, agent, config, eval_env=eval_env, qat_controller=controller, label=regime)
+
+
+@pytest.fixture(scope="module")
+def regime_curves():
+    """Learning curves for all four numeric regimes (computed once)."""
+    return {regime: _train_regime(regime) for regime in REGIMES}
+
+
+def test_fig7_accuracy_curves(benchmark, regime_curves, save_report):
+    # Timed kernel: one evaluation rollout (the measurement behind every
+    # point of the Fig. 7 curves).
+    from repro.rl import evaluate_policy
+
+    eval_env = make("HalfCheetah", seed=123, max_episode_steps=EPISODE_STEPS)
+    probe_agent = DDPGAgent(
+        eval_env.state_dim,
+        eval_env.action_dim,
+        DDPGConfig(hidden_sizes=HIDDEN_SIZES),
+        rng=np.random.default_rng(0),
+    )
+    benchmark(evaluate_policy, eval_env, probe_agent, 1)
+
+    lines = ["Fig. 7 — total reward during training (reduced scale, HalfCheetah)"]
+    for regime, result in regime_curves.items():
+        lines.append(
+            "  " + format_curve(result.curve.timesteps, result.curve.returns, label=f"{regime:14s}")
+        )
+        if result.qat_event is not None:
+            lines.append(f"    precision switch at t={result.qat_event.timestep}")
+    summary_rows = [
+        {
+            "Regime": regime,
+            "Final return": round(result.curve.final_return, 1),
+            "Best return": round(result.curve.best_return(), 1),
+            "Trains?": result.curve.final_return > 100.0,
+        }
+        for regime, result in regime_curves.items()
+    ]
+    lines.append("")
+    lines.append(format_table(summary_rows, title="Converged reward by numeric regime"))
+    save_report("fig7_accuracy", "\n".join(lines))
+
+    final = {regime: result.curve.final_return for regime, result in regime_curves.items()}
+    # Paper shape: float32 ≈ fixed32 ≈ fixar-dynamic saturate at a similar
+    # level; fixed16 from scratch fails to train.
+    assert final["float32"] > 100.0
+    assert final["fixed32"] > 0.5 * final["float32"]
+    assert final["fixar-dynamic"] > 0.5 * final["float32"]
+    assert final["fixed16"] < 0.25 * final["fixar-dynamic"]
+    # The dynamic regime really did switch to 16-bit activations mid-run.
+    assert regime_curves["fixar-dynamic"].qat_event is not None
+
+
+@pytest.mark.parametrize("regime", REGIMES)
+def test_fig7_update_kernel(benchmark, regime):
+    """Time one DDPG update (the per-timestep training work) per regime."""
+    rng = np.random.default_rng(0)
+    numerics = make_numerics(regime)
+    agent = DDPGAgent(
+        17,
+        6,
+        DDPGConfig(hidden_sizes=HIDDEN_SIZES),
+        numerics=numerics,
+        rng=rng,
+    )
+    buffer = ReplayBuffer(4_096, 17, 6, seed=0)
+    for _ in range(512):
+        buffer.add(
+            rng.normal(size=17), rng.uniform(-1, 1, 6), rng.normal(), rng.normal(size=17), False
+        )
+    batch = buffer.sample(64)
+    metrics = benchmark(agent.update, batch)
+    assert np.isfinite(metrics.critic_loss)

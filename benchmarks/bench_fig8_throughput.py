@@ -1,0 +1,80 @@
+"""Fig. 8 — FIXAR platform training throughput vs the CPU-GPU platform.
+
+Regenerates the batch-size sweep (64–512) for the three benchmarks,
+reporting platform-level IPS for FIXAR and the CPU-GPU baseline and the
+resulting speedups.  The paper observes FIXAR is 1.8–4.8× faster, with the
+advantage shrinking at large batch sizes as the GPU's utilization improves.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import format_table
+from repro.envs import BENCHMARK_SUITE, make
+from repro.platform import (
+    PAPER_BATCH_SIZES,
+    CpuGpuPlatform,
+    FixarPlatform,
+    WorkloadSpec,
+)
+
+#: Paper headline: average platform throughput and speedup over CPU-GPU.
+PAPER_PLATFORM_IPS = 25_293.3
+PAPER_SPEEDUP_RANGE = (1.8, 4.8)
+
+
+@pytest.fixture(scope="module")
+def sweep_rows():
+    baseline = CpuGpuPlatform()
+    rows = []
+    for benchmark_name in BENCHMARK_SUITE:
+        env = make(benchmark_name)
+        platform = FixarPlatform(WorkloadSpec.from_environment(env))
+        for batch in PAPER_BATCH_SIZES:
+            fixar_ips = platform.platform_ips(batch)
+            gpu_ips = baseline.ips(benchmark_name, batch)
+            rows.append(
+                {
+                    "Benchmark": benchmark_name,
+                    "Batch": batch,
+                    "FIXAR platform (IPS)": round(fixar_ips, 1),
+                    "CPU-GPU platform (IPS)": round(gpu_ips, 1),
+                    "Speedup": round(fixar_ips / gpu_ips, 2),
+                }
+            )
+    return rows
+
+
+def test_fig8_platform_throughput(benchmark, sweep_rows, save_report):
+    env = make("HalfCheetah")
+    platform = FixarPlatform(WorkloadSpec.from_environment(env))
+    benchmark(platform.sweep_platform_ips, PAPER_BATCH_SIZES)
+
+    fixar_values = [row["FIXAR platform (IPS)"] for row in sweep_rows]
+    speedups = [row["Speedup"] for row in sweep_rows]
+    mean_ips = sum(fixar_values) / len(fixar_values)
+    summary = [
+        {"Metric": "Mean FIXAR platform IPS", "Paper": PAPER_PLATFORM_IPS, "Measured": round(mean_ips, 1)},
+        {"Metric": "Min speedup", "Paper": PAPER_SPEEDUP_RANGE[0], "Measured": min(speedups)},
+        {"Metric": "Max speedup", "Paper": PAPER_SPEEDUP_RANGE[1], "Measured": max(speedups)},
+    ]
+    report = "\n\n".join(
+        [
+            format_table(sweep_rows, title="Fig. 8 — platform training throughput (IPS)"),
+            format_table(summary, title="Paper vs measured summary"),
+        ]
+    )
+    save_report("fig8_throughput", report)
+
+    # Shape assertions: FIXAR always wins, the advantage shrinks with batch
+    # size, and the average lands in the paper's ballpark.
+    assert all(row["Speedup"] > 1.5 for row in sweep_rows)
+    for benchmark_name in BENCHMARK_SUITE:
+        per_bench = [row for row in sweep_rows if row["Benchmark"] == benchmark_name]
+        assert per_bench[0]["Speedup"] > per_bench[-1]["Speedup"]
+        ips_series = [row["FIXAR platform (IPS)"] for row in per_bench]
+        assert ips_series == sorted(ips_series)
+    assert mean_ips == pytest.approx(PAPER_PLATFORM_IPS, rel=0.35)
+    assert min(speedups) == pytest.approx(PAPER_SPEEDUP_RANGE[0], abs=0.5)
+    assert max(speedups) == pytest.approx(PAPER_SPEEDUP_RANGE[1], abs=1.0)

@@ -1,0 +1,72 @@
+"""Fig. 9 — execution-time breakdown of a single FIXAR platform timestep.
+
+Regenerates (a) the per-component time of one timestep (host CPU running the
+environment, Xilinx run-time / PCIe, FPGA accelerator) for every batch size,
+and (b) the per-component ratio, showing the bottleneck shifting from the
+CPU to the FPGA as the batch grows — the paper's observations are that the
+CPU time is roughly constant around 2 ms, the runtime grows only marginally,
+and the FPGA time is linear in the batch size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import format_table
+from repro.envs import make
+from repro.platform import PAPER_BATCH_SIZES, FixarPlatform, WorkloadSpec
+
+
+@pytest.fixture(scope="module")
+def platform() -> FixarPlatform:
+    return FixarPlatform(WorkloadSpec.from_environment(make("HalfCheetah")))
+
+
+def test_fig9_execution_time_breakdown(benchmark, platform, save_report):
+    benchmark(platform.timestep_breakdown, 256)
+
+    time_rows = []
+    ratio_rows = []
+    for batch in PAPER_BATCH_SIZES:
+        breakdown = platform.timestep_breakdown(batch)
+        ratios = platform.timestep_ratio(batch)
+        time_rows.append(
+            {
+                "Batch": batch,
+                "CPU env (ms)": round(breakdown["cpu_environment"] * 1e3, 2),
+                "Runtime (ms)": round(breakdown["runtime"] * 1e3, 2),
+                "FPGA (ms)": round(breakdown["fpga"] * 1e3, 2),
+                "Total (ms)": round(sum(breakdown.values()) * 1e3, 2),
+            }
+        )
+        ratio_rows.append(
+            {
+                "Batch": batch,
+                "CPU env (%)": round(100 * ratios["cpu_environment"], 1),
+                "Runtime (%)": round(100 * ratios["runtime"], 1),
+                "FPGA (%)": round(100 * ratios["fpga"], 1),
+            }
+        )
+    report = "\n\n".join(
+        [
+            format_table(time_rows, title="Fig. 9a — execution time of one timestep"),
+            format_table(ratio_rows, title="Fig. 9b — execution time ratio"),
+        ]
+    )
+    save_report("fig9_breakdown", report)
+
+    # Paper observations, as shape assertions.
+    cpu_times = [row["CPU env (ms)"] for row in time_rows]
+    runtime_times = [row["Runtime (ms)"] for row in time_rows]
+    fpga_times = [row["FPGA (ms)"] for row in time_rows]
+    # CPU time roughly constant around 2 ms.
+    assert all(1.5 <= value <= 3.0 for value in cpu_times)
+    assert max(cpu_times) < 1.5 * min(cpu_times)
+    # Runtime grows only marginally when the batch doubles.
+    assert runtime_times[-1] < 2.0 * runtime_times[0]
+    # FPGA time roughly linear in the batch size.
+    assert 4.0 < fpga_times[-1] / fpga_times[0] < 10.0
+    # The bottleneck shifts from the CPU to the FPGA as the batch grows.
+    assert ratio_rows[0]["CPU env (%)"] > ratio_rows[-1]["CPU env (%)"]
+    assert ratio_rows[-1]["FPGA (%)"] > 50.0
+    assert ratio_rows[-1]["FPGA (%)"] > ratio_rows[0]["FPGA (%)"]

@@ -1,0 +1,76 @@
+"""Headline numbers — the abstract's end-to-end claims.
+
+Aggregates the platform and accelerator models over the three benchmarks and
+the paper's batch sweep into the abstract's headline metrics:
+
+* 25,293.3 IPS platform training throughput (2.7× the CPU-GPU platform);
+* 53,826.8 IPS accelerator throughput (5.5× the GPU);
+* 2,638.0 IPS/W accelerator energy efficiency (15.4× the GPU).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import FixarConfig, FixarSystem, format_table
+from repro.envs import BENCHMARK_SUITE
+from repro.platform import PAPER_BATCH_SIZES
+
+PAPER_HEADLINE = {
+    "platform_ips": 25_293.3,
+    "platform_speedup_vs_cpu_gpu": 2.7,
+    "accelerator_ips": 53_826.8,
+    "accelerator_speedup_vs_gpu": 5.5,
+    "accelerator_ips_per_watt": 2_638.0,
+    "efficiency_gain_vs_gpu": 15.4,
+}
+
+
+@pytest.fixture(scope="module")
+def per_benchmark_summaries():
+    summaries = {}
+    for benchmark_name in BENCHMARK_SUITE:
+        # The paper's full-size workload: 400/300 hidden units per network.
+        system = FixarSystem(FixarConfig(benchmark=benchmark_name))
+        summaries[benchmark_name] = system.headline_summary(PAPER_BATCH_SIZES)
+    return summaries
+
+
+def test_headline_summary(benchmark, per_benchmark_summaries, save_report):
+    system = FixarSystem(FixarConfig(benchmark="HalfCheetah"))
+    benchmark(system.headline_summary, PAPER_BATCH_SIZES)
+
+    aggregated = {
+        key: float(np.mean([summary[key] for summary in per_benchmark_summaries.values()]))
+        for key in PAPER_HEADLINE
+    }
+    rows = [
+        {
+            "Metric": key,
+            "Paper": PAPER_HEADLINE[key],
+            "Measured (mean over benchmarks)": round(value, 1),
+        }
+        for key, value in aggregated.items()
+    ]
+    per_bench_rows = [
+        dict({"Benchmark": name}, **{key: round(value, 1) for key, value in summary.items()})
+        for name, summary in per_benchmark_summaries.items()
+    ]
+    report = "\n\n".join(
+        [
+            format_table(rows, title="Headline metrics — paper vs measured"),
+            format_table(per_bench_rows, title="Per-benchmark summaries"),
+        ]
+    )
+    save_report("headline", report)
+
+    # The headline claims hold in shape: who wins and by roughly what factor.
+    assert aggregated["platform_speedup_vs_cpu_gpu"] > 1.8
+    assert aggregated["accelerator_speedup_vs_gpu"] > 3.0
+    assert aggregated["efficiency_gain_vs_gpu"] > 8.0
+    assert aggregated["platform_ips"] == pytest.approx(PAPER_HEADLINE["platform_ips"], rel=0.35)
+    assert aggregated["accelerator_ips"] == pytest.approx(PAPER_HEADLINE["accelerator_ips"], rel=0.35)
+    assert aggregated["accelerator_ips_per_watt"] == pytest.approx(
+        PAPER_HEADLINE["accelerator_ips_per_watt"], rel=0.35
+    )

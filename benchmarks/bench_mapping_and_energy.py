@@ -1,0 +1,68 @@
+"""Supplementary reports: layer mapping on the AAP cores and campaign energy.
+
+Not a table/figure of the paper, but directly derived from its models:
+
+* the per-layer tile mapping of the DDPG workload on the AAP cores
+  (Section V-B's dataflow made concrete), and
+* the projected time and energy to run the paper's full one-million-timestep
+  training campaign on the FIXAR platform vs the CPU-GPU baseline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accelerator import memory_footprint_report, workload_mapping_report
+from repro.core import format_table
+from repro.envs import make
+from repro.platform import (
+    CpuGpuPlatform,
+    FixarPlatform,
+    WorkloadSpec,
+    estimate_training_campaign,
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return WorkloadSpec.from_environment(make("HalfCheetah"))
+
+
+def test_layer_mapping_report(benchmark, workload, save_report):
+    rows = benchmark(
+        workload_mapping_report, workload.actor_shapes, workload.critic_shapes, 256
+    )
+    footprint = memory_footprint_report(workload.actor_shapes, workload.critic_shapes)
+    footprint_rows = [{"Quantity": key, "Value": value} for key, value in footprint.items()]
+    report = "\n\n".join(
+        [
+            format_table(rows, title="Layer mapping on the AAP cores (batch 256, full precision)"),
+            format_table(footprint_rows, title="On-chip memory footprint", precision=3),
+        ]
+    )
+    save_report("mapping_report", report)
+
+    assert len(rows) == 6
+    assert footprint["fits_weight_memory"]
+    # The 400x300 hidden layers dominate both networks' cycle counts.
+    actor_rows = [row for row in rows if row["Network"] == "actor"]
+    assert actor_rows[1]["FP cycles"] == max(row["FP cycles"] for row in actor_rows)
+
+
+def test_training_campaign_energy(benchmark, workload, save_report):
+    platform = FixarPlatform(workload)
+    baseline = CpuGpuPlatform()
+    estimates = benchmark(
+        estimate_training_campaign, platform, baseline, 1_000_000, 64
+    )
+    rows = [estimate.as_dict() for estimate in estimates.values()]
+    save_report(
+        "campaign_energy",
+        format_table(rows, title="Projected 1M-timestep training campaign (batch 64)"),
+    )
+
+    fixar, cpu_gpu = estimates["fixar"], estimates["cpu_gpu"]
+    assert fixar.seconds < cpu_gpu.seconds
+    assert fixar.total_energy_joules < cpu_gpu.total_energy_joules
+    # End-to-end campaign speedup mirrors the Fig. 8 platform speedup range.
+    assert 1.5 < cpu_gpu.seconds / fixar.seconds < 6.0

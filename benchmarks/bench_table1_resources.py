@@ -1,0 +1,83 @@
+"""Table I — FPGA resource usage of the FIXAR accelerator on the Alveo U50.
+
+Regenerates the per-component LUT/FF/BRAM/URAM/DSP accounting from the
+analytical resource model and compares the totals and device-utilization
+percentages against the paper's reported values.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accelerator import AcceleratorConfig, ResourceModel
+from repro.core import format_table
+
+#: Paper Table I totals and utilization percentages.
+PAPER_TOTALS = {"LUT": 508_100, "FF": 408_800, "BRAM": 774, "URAM": 128, "DSP": 2302}
+PAPER_UTILIZATION = {"LUT": 58.4, "FF": 23.5, "BRAM": 57.6, "URAM": 20.0, "DSP": 38.8}
+
+
+@pytest.fixture(scope="module")
+def resource_model() -> ResourceModel:
+    return ResourceModel(AcceleratorConfig())
+
+
+def test_table1_resource_usage(benchmark, resource_model, save_report):
+    rows = benchmark(resource_model.table)
+
+    total_row = rows[-2]
+    util_row = rows[-1]
+    comparison = []
+    for resource, paper_value in PAPER_TOTALS.items():
+        comparison.append(
+            {
+                "Resource": resource,
+                "Paper total": paper_value,
+                "Model total": total_row[resource],
+                "Paper util (%)": PAPER_UTILIZATION[resource],
+                "Model util (%)": util_row[resource],
+            }
+        )
+
+    report = "\n\n".join(
+        [
+            format_table(rows, title="Table I — FPGA resource usage (modelled, Alveo U50)"),
+            format_table(comparison, title="Paper vs model totals"),
+        ]
+    )
+    save_report("table1_resources", report)
+
+    # The modelled totals track the paper's report closely.
+    for resource, paper_value in PAPER_TOTALS.items():
+        assert total_row[resource] == pytest.approx(paper_value, rel=0.02)
+    for resource, paper_value in PAPER_UTILIZATION.items():
+        assert util_row[resource] == pytest.approx(paper_value, abs=1.0)
+    assert resource_model.fits_device()
+
+
+def test_table1_scaling_with_array_size(benchmark, save_report):
+    """Supplementary: how the resource budget scales with the PE count."""
+
+    def sweep():
+        rows = []
+        for cores in (1, 2, 4):
+            model = ResourceModel(AcceleratorConfig(num_cores=cores))
+            total = model.total()
+            rows.append(
+                {
+                    "AAP cores": cores,
+                    "PEs": AcceleratorConfig(num_cores=cores).pe_count,
+                    "LUT": total.lut,
+                    "DSP": total.dsp,
+                    "BRAM": total.bram,
+                    "Fits U50": model.fits_device(),
+                }
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    save_report(
+        "table1_scaling", format_table(rows, title="Resource scaling with AAP core count")
+    )
+    assert rows[1]["DSP"] > rows[0]["DSP"]
+    assert rows[0]["Fits U50"] and rows[1]["Fits U50"]

@@ -1,0 +1,61 @@
+"""Table II — comparison with previous FPGA DRL accelerators.
+
+Regenerates the comparison against FA3C (ASPLOS'19) and the FCCM'20 PPO
+accelerator using the FIXAR numbers produced by this repository's
+accelerator model: peak IPS over the batch sweep, DSP count from the
+resource model, and energy efficiency from the power model.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accelerator import AcceleratorConfig, ResourceModel
+from repro.core import comparison_table, fixar_entry, format_table
+from repro.platform import PAPER_BATCH_SIZES, FixarPlatform, WorkloadSpec
+
+#: Paper-reported normalized peak performance (IPS) per design.
+PAPER_NORMALIZED = {
+    "FA3C (ASPLOS'19)": 12_849.1,
+    "PPO accelerator (FCCM'20)": 6_823.2,
+    "FIXAR": 38_779.8,
+}
+
+
+@pytest.fixture(scope="module")
+def modelled_fixar_entry():
+    platform = FixarPlatform(WorkloadSpec("HalfCheetah", 17, 6))
+    peak = max(platform.accelerator_ips(batch) for batch in PAPER_BATCH_SIZES)
+    efficiency = platform.accelerator_ips_per_watt(512)
+    dsp = ResourceModel(AcceleratorConfig()).total().dsp
+    return fixar_entry(peak_ips=peak, energy_efficiency=efficiency, dsp_count=dsp)
+
+
+def test_table2_comparison(benchmark, modelled_fixar_entry, save_report):
+    rows = benchmark(comparison_table, modelled_fixar_entry)
+    report_rows = []
+    for row in rows:
+        report_rows.append(
+            dict(row, **{"Paper normalized (IPS)": PAPER_NORMALIZED[row["Design"]]})
+        )
+    save_report(
+        "table2_comparison",
+        format_table(report_rows, title="Table II — comparison with previous works"),
+    )
+
+    normalized = {row["Design"]: row["Normalized Peak Perf. (IPS)"] for row in rows}
+    # Shape: FIXAR has the best normalized peak performance and the best
+    # energy efficiency, as in the paper.
+    assert normalized["FIXAR"] == max(normalized.values())
+    assert normalized["FA3C (ASPLOS'19)"] == pytest.approx(12_849.1, rel=0.01)
+    assert normalized["PPO accelerator (FCCM'20)"] == pytest.approx(6_823.2, rel=0.01)
+    efficiencies = {
+        row["Design"]: row["Energy Efficiency (IPS/W)"]
+        for row in rows
+        if row["Energy Efficiency (IPS/W)"] is not None
+    }
+    assert max(efficiencies, key=efficiencies.get) == "FIXAR"
+    # FIXAR uses fewer DSPs than both prior designs.
+    dsps = {row["Design"]: row["DSP"] for row in rows}
+    assert dsps["FIXAR"] < dsps["FA3C (ASPLOS'19)"]
+    assert dsps["FIXAR"] < dsps["PPO accelerator (FCCM'20)"]

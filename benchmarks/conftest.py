@@ -1,0 +1,36 @@
+"""Shared fixtures and report plumbing for the benchmark harness.
+
+Every ``bench_*`` module regenerates one of the paper's tables or figures:
+it prints the rows/series to stdout (visible with ``pytest -s``) and also
+writes them to ``benchmarks/reports/<name>.txt`` so the artefacts survive
+output capturing.  The ``benchmark`` fixture from pytest-benchmark times a
+representative kernel of each experiment.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+REPORTS_DIR = Path(__file__).parent / "reports"
+
+
+@pytest.fixture(scope="session")
+def reports_dir() -> Path:
+    """Directory collecting the regenerated tables/figures as text files."""
+    REPORTS_DIR.mkdir(parents=True, exist_ok=True)
+    return REPORTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_report(reports_dir):
+    """Callable ``save_report(name, text)``: print and persist one report."""
+
+    def _save(name: str, text: str) -> Path:
+        path = reports_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{'=' * 78}\n{text}\n{'=' * 78}\n[report saved to {path}]")
+        return path
+
+    return _save

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Fig. 7 at reduced scale: training accuracy under four numeric regimes.
+
+Trains the same DDPG agent on the HalfCheetah benchmark under the paper's
+four numeric regimes — 32-bit floating point, 32-bit fixed point, 16-bit
+fixed point from scratch, and FIXAR's dynamic dual fixed point — and prints
+the learning curves.  The expected shape matches the paper: the three
+full-precision-start regimes all learn, 16-bit-from-scratch fails, and the
+dynamic regime keeps its accuracy after the precision switch.
+
+Run:
+    python examples/accuracy_study.py [--timesteps 4000]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.core import format_curve, format_table
+from repro.envs import make
+from repro.nn import REGIMES, make_numerics
+from repro.rl import (
+    DDPGAgent,
+    DDPGConfig,
+    QATController,
+    QATSchedule,
+    TrainingConfig,
+    compare_curves,
+    train,
+)
+
+
+def train_regime(regime: str, timesteps: int, seed: int = 0):
+    """Train one regime and return its TrainingResult."""
+    env = make("HalfCheetah", seed=seed, max_episode_steps=200)
+    eval_env = make("HalfCheetah", seed=seed + 1, max_episode_steps=200)
+    numerics = make_numerics(regime)
+    agent = DDPGAgent(
+        env.state_dim,
+        env.action_dim,
+        DDPGConfig(hidden_sizes=(64, 48), actor_learning_rate=1e-3, critic_learning_rate=1e-3),
+        numerics=numerics,
+        rng=np.random.default_rng(seed),
+    )
+    qat_controller = None
+    if regime == "fixar-dynamic":
+        qat_controller = QATController(
+            numerics, QATSchedule(num_bits=16, quantization_delay=timesteps // 2)
+        )
+    config = TrainingConfig(
+        total_timesteps=timesteps,
+        warmup_timesteps=min(500, timesteps // 5),
+        batch_size=64,
+        buffer_capacity=max(timesteps, 10_000),
+        evaluation_interval=max(500, timesteps // 8),
+        evaluation_episodes=5,
+        exploration_noise=0.2,
+        seed=seed,
+    )
+    return train(env, agent, config, eval_env=eval_env, qat_controller=qat_controller, label=regime)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--timesteps", type=int, default=4_000,
+                        help="training timesteps per regime (paper: 1,000,000)")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    print("=== Fig. 7 (reduced scale): algorithm accuracy on HalfCheetah ===")
+    results = {}
+    for regime in REGIMES:
+        print(f"training regime {regime!r} for {args.timesteps} timesteps ...")
+        results[regime] = train_regime(regime, args.timesteps, args.seed)
+
+    print()
+    print("Learning curves (timestep:average return over 5 evaluation rollouts):")
+    for regime, result in results.items():
+        print(" ", format_curve(result.curve.timesteps, result.curve.returns, label=f"{regime:14s}"))
+        if result.qat_event is not None:
+            print(f"    ^ precision switch at t={result.qat_event.timestep}")
+
+    print()
+    summaries = compare_curves([result.curve for result in results.values()])
+    print(format_table(summaries, title="Converged performance by regime (best first):"))
+
+    dynamic = results["fixar-dynamic"].curve.final_return
+    fixed16 = results["fixed16"].curve.final_return
+    print()
+    print(f"FIXAR dynamic fixed point final return : {dynamic:8.1f}")
+    print(f"16-bit fixed point from scratch        : {fixed16:8.1f}   (fails to train, as in the paper)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Co-simulation trace and the TD3 extension.
+
+Two extensions of the base reproduction in one scenario:
+
+1. **Trace-driven co-simulation** — instead of asking the analytic models
+   "how fast would a timestep be", an actual reduced-scale QAT training run
+   is executed and every timestep is priced with the platform timing models
+   (host environment, PCIe runtime, FPGA accelerator, including the effect
+   of the precision switch).  The same trace is priced on the CPU-GPU
+   baseline, giving an end-to-end simulated speedup for a *real* run.
+2. **TD3** — the DDPG variant the paper cites (twin critics, target policy
+   smoothing, delayed policy updates), trained under the same dynamic
+   fixed-point regime and checkpointed to disk.
+
+Run:
+    python examples/cosimulation_and_td3.py [--timesteps 2000]
+"""
+
+from __future__ import annotations
+
+import argparse
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import FixarSystem, format_curve, smoke_test_config
+from repro.envs import SwimmerEnv
+from repro.nn import DynamicFixedPointNumerics
+from repro.rl import (
+    QATController,
+    QATSchedule,
+    TD3Agent,
+    TD3Config,
+    TrainingConfig,
+    load_agent_into,
+    save_agent,
+    train,
+)
+
+
+def run_cosimulation(timesteps: int) -> None:
+    print("--- Part 1: trace-driven co-simulation (DDPG + QAT on HalfCheetah) ---")
+    config = smoke_test_config(
+        "HalfCheetah", total_timesteps=timesteps, batch_size=64, hidden_sizes=(64, 48)
+    )
+    system = FixarSystem(config)
+    result = system.cosimulate()
+
+    print(f"timesteps simulated        : {result.timesteps}")
+    print(f"training updates           : {result.training_updates}")
+    print(f"precision switch at        : t={result.precision_switch_timestep}")
+    print(f"simulated platform time    : {result.simulated_seconds:.3f} s "
+          f"(wall clock {result.wall_clock_seconds:.1f} s)")
+    for component, seconds in result.component_seconds.items():
+        share = 100.0 * seconds / result.simulated_seconds
+        print(f"  {component:16s} {seconds:8.3f} s  ({share:4.1f}%)")
+    print(f"simulated platform IPS     : {result.platform_ips:10.1f}")
+    print(f"CPU-GPU baseline IPS       : {result.baseline_ips:10.1f}")
+    print(f"end-to-end speedup         : {result.speedup_vs_baseline:10.2f}x")
+    if result.episode_returns:
+        print(f"last episode return        : {result.episode_returns[-1]:10.1f}")
+    print()
+
+
+def run_td3(timesteps: int, seed: int = 3) -> None:
+    print("--- Part 2: TD3 (twin critics, delayed policy updates) on Swimmer ---")
+    env = SwimmerEnv(seed=seed, max_episode_steps=200)
+    eval_env = SwimmerEnv(seed=seed + 1, max_episode_steps=200)
+    numerics = DynamicFixedPointNumerics()
+    agent = TD3Agent(
+        env.state_dim,
+        env.action_dim,
+        TD3Config(hidden_sizes=(48, 32), actor_learning_rate=1e-3, critic_learning_rate=1e-3),
+        numerics=numerics,
+        rng=np.random.default_rng(seed),
+    )
+    controller = QATController(numerics, QATSchedule(16, quantization_delay=timesteps // 2))
+    config = TrainingConfig(
+        total_timesteps=timesteps,
+        warmup_timesteps=min(300, timesteps // 5),
+        batch_size=64,
+        buffer_capacity=max(timesteps, 10_000),
+        evaluation_interval=max(500, timesteps // 4),
+        evaluation_episodes=3,
+        exploration_noise=0.1,
+        seed=seed,
+    )
+    result = train(env, agent, config, eval_env=eval_env, qat_controller=controller, label="td3-qat")
+    print(format_curve(result.curve.timesteps, result.curve.returns, label="TD3 reward curve"))
+    print(f"critic networks: 2x {agent.critic_1.layer_shapes}, "
+          f"total parameters {agent.parameter_count():,}")
+
+    checkpoint = Path(tempfile.gettempdir()) / "fixar_td3_swimmer.npz"
+    save_agent(agent, checkpoint)
+    restored = TD3Agent(
+        env.state_dim,
+        env.action_dim,
+        TD3Config(hidden_sizes=(48, 32)),
+        numerics=DynamicFixedPointNumerics(),
+        rng=np.random.default_rng(0),
+    )
+    metadata = load_agent_into(restored, checkpoint)
+    probe = np.zeros(env.state_dim)
+    agreement = np.allclose(agent.act(probe), restored.act(probe))
+    print(f"checkpoint saved to {checkpoint} and restored "
+          f"(half-mode={metadata['qat']['half_mode']}, policies agree: {agreement})")
+    print()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--timesteps", type=int, default=2_000)
+    args = parser.parse_args()
+    run_cosimulation(args.timesteps)
+    run_td3(args.timesteps)
+
+
+if __name__ == "__main__":
+    main()

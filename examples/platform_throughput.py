@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""System-level throughput study: Figs. 8–10 and Table II for all benchmarks.
+
+Sweeps the paper's batch sizes (64–512) over the three MuJoCo-style
+benchmarks and prints, for each: the FIXAR platform IPS vs the CPU-GPU
+platform (Fig. 8), the single-timestep execution-time breakdown and ratio
+(Fig. 9), the accelerator-only throughput and energy efficiency against the
+GPU (Fig. 10), and finally the Table II comparison against prior FPGA DRL
+accelerators.
+
+Run:
+    python examples/platform_throughput.py
+"""
+
+from __future__ import annotations
+
+from repro.core import comparison_table, fixar_entry, format_breakdown, format_series, format_table
+from repro.envs import BENCHMARK_SUITE, make
+from repro.platform import (
+    PAPER_BATCH_SIZES,
+    CpuGpuPlatform,
+    FixarPlatform,
+    WorkloadSpec,
+)
+
+
+def study_benchmark(benchmark: str) -> FixarPlatform:
+    env = make(benchmark)
+    platform = FixarPlatform(WorkloadSpec.from_environment(env))
+    baseline = CpuGpuPlatform()
+
+    print(f"--- {benchmark} (state={env.state_dim}, action={env.action_dim}) ---")
+
+    fixar_ips = platform.sweep_platform_ips(PAPER_BATCH_SIZES)
+    gpu_ips = baseline.sweep_ips(benchmark, PAPER_BATCH_SIZES)
+    speedups = {batch: fixar_ips[batch] / gpu_ips[batch] for batch in PAPER_BATCH_SIZES}
+    print("Fig. 8 — platform training throughput (IPS):")
+    print("  " + format_series(fixar_ips, name="FIXAR  "))
+    print("  " + format_series(gpu_ips, name="CPU-GPU"))
+    print("  " + format_series(speedups, name="speedup", precision=2))
+
+    print("Fig. 9a — execution time of one timestep (ms):")
+    for batch in PAPER_BATCH_SIZES:
+        print(f"  batch {batch:4d}: " + format_breakdown(platform.timestep_breakdown(batch)))
+    print("Fig. 9b — execution time ratio:")
+    for batch in PAPER_BATCH_SIZES:
+        ratios = platform.timestep_ratio(batch)
+        rendered = ", ".join(f"{key}={100 * value:.1f}%" for key, value in ratios.items())
+        print(f"  batch {batch:4d}: {rendered}")
+
+    print("Fig. 10 — accelerator-only throughput and energy efficiency:")
+    accelerator_ips = platform.sweep_accelerator_ips(PAPER_BATCH_SIZES)
+    gpu_only = {batch: baseline.gpu.ips(batch) for batch in PAPER_BATCH_SIZES}
+    print("  " + format_series(accelerator_ips, name="FIXAR accelerator IPS"))
+    print("  " + format_series(gpu_only, name="GPU IPS              "))
+    efficiency = {batch: platform.accelerator_ips_per_watt(batch) for batch in PAPER_BATCH_SIZES}
+    gpu_efficiency = {batch: baseline.gpu.ips_per_watt(batch) for batch in PAPER_BATCH_SIZES}
+    print("  " + format_series(efficiency, name="FIXAR IPS/W          "))
+    print("  " + format_series(gpu_efficiency, name="GPU IPS/W            "))
+    print()
+    return platform
+
+
+def main() -> None:
+    print("=== FIXAR platform throughput study ===\n")
+    platforms = {benchmark: study_benchmark(benchmark) for benchmark in BENCHMARK_SUITE}
+
+    # Table II with the modelled FIXAR peak performance (HalfCheetah workload).
+    halfcheetah = platforms["HalfCheetah"]
+    peak = max(halfcheetah.sweep_accelerator_ips(PAPER_BATCH_SIZES).values())
+    efficiency = halfcheetah.accelerator_ips_per_watt(512)
+    entry = fixar_entry(peak_ips=peak, energy_efficiency=efficiency)
+    print(format_table(comparison_table(entry), title="Table II — comparison with previous works"))
+
+
+if __name__ == "__main__":
+    main()

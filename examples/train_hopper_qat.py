@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Domain scenario: quantization-aware training on the Hopper benchmark.
+
+Hopper is the paper's benchmark with early termination: the agent falls if
+its posture drifts too far, so the learning problem couples forward progress
+with stability.  This example trains a DDPG agent with Algorithm 1's QAT on
+Hopper, reports the reward before and after the precision switch, and then
+offloads the trained actor to the accelerator simulator to compare the
+fixed-point policy's behaviour against the software policy in the live
+environment.
+
+Run:
+    python examples/train_hopper_qat.py [--timesteps 4000]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.accelerator import FixarAccelerator, PrecisionMode
+from repro.core import format_curve
+from repro.envs import HopperEnv
+from repro.nn import DynamicFixedPointNumerics
+from repro.rl import (
+    DDPGAgent,
+    DDPGConfig,
+    QATController,
+    QATSchedule,
+    TrainingConfig,
+    evaluate_policy,
+    train,
+)
+
+
+def rollout_with_accelerator(env: HopperEnv, accelerator: FixarAccelerator, episodes: int = 3) -> float:
+    """Average return when actions come from the accelerator's fixed-point actor."""
+    returns = []
+    for _ in range(episodes):
+        observation = env.reset()
+        total = 0.0
+        done = False
+        while not done:
+            action = np.clip(accelerator.infer("actor", observation), -1.0, 1.0)
+            observation, reward, done, _ = env.step(action)
+            total += reward
+        returns.append(total)
+    return float(np.mean(returns))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--timesteps", type=int, default=4_000)
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+
+    env = HopperEnv(seed=args.seed, max_episode_steps=400)
+    eval_env = HopperEnv(seed=args.seed + 1, max_episode_steps=400)
+    print("=== Hopper with quantization-aware training ===")
+    print(f"state dim {env.state_dim}, action dim {env.action_dim}, fall threshold enabled")
+
+    numerics = DynamicFixedPointNumerics(num_bits=16)
+    agent = DDPGAgent(
+        env.state_dim,
+        env.action_dim,
+        DDPGConfig(hidden_sizes=(64, 48), actor_learning_rate=1e-3, critic_learning_rate=1e-3),
+        numerics=numerics,
+        rng=np.random.default_rng(args.seed),
+    )
+    controller = QATController(numerics, QATSchedule(num_bits=16, quantization_delay=args.timesteps // 2))
+    config = TrainingConfig(
+        total_timesteps=args.timesteps,
+        warmup_timesteps=min(500, args.timesteps // 5),
+        batch_size=64,
+        buffer_capacity=max(args.timesteps, 10_000),
+        evaluation_interval=max(500, args.timesteps // 8),
+        evaluation_episodes=5,
+        exploration_noise=0.15,
+        seed=args.seed,
+    )
+
+    result = train(env, agent, config, eval_env=eval_env, qat_controller=controller, label="hopper-qat")
+    print(format_curve(result.curve.timesteps, result.curve.returns, label="reward curve"))
+    if result.qat_event:
+        event = result.qat_event
+        print(f"precision switch at t={event.timestep}: activation range "
+              f"[{event.activation_min:.2f}, {event.activation_max:.2f}], delta={event.delta:.5f}")
+    print(f"episodes finished: {len(result.episode_returns)}  "
+          f"(falls terminate episodes early; trained agents survive longer)")
+    print()
+
+    # Offload the trained actor to the accelerator and compare in-environment
+    # behaviour of the software and fixed-point half-precision policies.
+    accelerator = FixarAccelerator()
+    accelerator.load_agent(agent)
+    accelerator.set_precision(PrecisionMode.HALF)
+    software_return = evaluate_policy(eval_env, agent, episodes=3)
+    hardware_return = rollout_with_accelerator(eval_env, accelerator, episodes=3)
+    print(f"software policy return (3 episodes)      : {software_return:8.1f}")
+    print(f"accelerator fixed-point policy return    : {hardware_return:8.1f}")
+    print(f"accelerator IPS at batch 64 (half prec.) : {accelerator.ips(64):8.0f}")
+
+
+if __name__ == "__main__":
+    main()

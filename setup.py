@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The offline environment used for this reproduction has no ``wheel`` package,
+so PEP 660 editable installs (which build a wheel) fail.  This shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` fall back to the
+legacy ``setup.py develop`` path; all project metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

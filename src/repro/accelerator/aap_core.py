@@ -1,0 +1,131 @@
+"""Adaptive array processing (AAP) core.
+
+One AAP core is a 16×16 array of configurable PEs fed by an activation line
+buffer, with column accumulators at the bottom.  This module provides a
+functional model of a core executing a matrix-vector multiplication (MVM)
+under the column-wise decomposition dataflow:
+
+* :meth:`AAPCore.run_mvm` computes the MVM on raw fixed-point codes with
+  vectorised integer arithmetic (exactly equal to the tile-by-tile hardware
+  order, because integer addition is associative);
+* :meth:`AAPCore.run_mvm_tiled` walks the 16×16 tiles explicitly through the
+  single-PE model — it is much slower and exists to prove the vectorised
+  path is bit-exact;
+* :meth:`AAPCore.run_batch_mvm` streams a block of activation vectors
+  through the core (the intra-batch training mapping).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..fixedpoint import FxpArray
+from .accumulator import ColumnAccumulator
+from .dataflow import ArrayGeometry
+from .line_buffer import ActivationLineBuffer
+from .pe import PrecisionMode, ProcessingElement
+
+__all__ = ["AAPCore"]
+
+
+class AAPCore:
+    """Functional model of one adaptive array processing core."""
+
+    def __init__(self, geometry: Optional[ArrayGeometry] = None, core_id: int = 0):
+        self.geometry = geometry or ArrayGeometry()
+        self.core_id = core_id
+        self.line_buffer = ActivationLineBuffer()
+        self.mode = PrecisionMode.FULL
+        self.mvm_count = 0
+        self.mac_count = 0
+
+    # ------------------------------------------------------------------ #
+    # Configuration
+    # ------------------------------------------------------------------ #
+    def set_mode(self, mode: PrecisionMode) -> None:
+        """Reconfigure every PE's datapath."""
+        self.mode = mode
+
+    # ------------------------------------------------------------------ #
+    # Vectorised functional execution
+    # ------------------------------------------------------------------ #
+    def run_mvm(self, weight: FxpArray, activation: FxpArray) -> np.ndarray:
+        """MVM of a (P, Q) weight matrix with a (Q,) activation vector.
+
+        Returns the raw accumulator values (fraction bits are the sum of the
+        operand fraction bits); the caller re-quantizes and applies the
+        non-linearity, mirroring the accumulator → activation-unit path.
+        """
+        matrix = weight.raw
+        vector = activation.raw
+        if matrix.ndim != 2 or vector.ndim != 1:
+            raise ValueError(
+                f"expected a 2-D weight and 1-D activation, got {matrix.shape} and {vector.shape}"
+            )
+        if matrix.shape[1] != vector.size:
+            raise ValueError(
+                f"weight has {matrix.shape[1]} columns but activation has {vector.size} elements"
+            )
+        self.mvm_count += 1
+        self.mac_count += int(matrix.size)
+        return matrix @ vector
+
+    def run_batch_mvm(self, weight: FxpArray, activations: FxpArray) -> np.ndarray:
+        """MVMs for a block of activation vectors (rows of ``activations``)."""
+        matrix = weight.raw
+        block = activations.raw
+        if block.ndim != 2:
+            raise ValueError(f"expected a 2-D activation block, got shape {block.shape}")
+        if matrix.shape[1] != block.shape[1]:
+            raise ValueError(
+                f"weight has {matrix.shape[1]} columns but activations have {block.shape[1]}"
+            )
+        self.mvm_count += block.shape[0]
+        self.mac_count += int(matrix.size) * block.shape[0]
+        return block @ matrix.T
+
+    # ------------------------------------------------------------------ #
+    # Tile-by-tile execution through the PE model (bit-exactness reference)
+    # ------------------------------------------------------------------ #
+    def run_mvm_tiled(self, weight: FxpArray, activation: FxpArray) -> np.ndarray:
+        """The same MVM executed tile-by-tile through single-PE MACs.
+
+        Intended for small matrices in tests; the result is identical to
+        :meth:`run_mvm`.
+        """
+        matrix = weight.raw
+        vector = activation.raw
+        if matrix.shape[1] != vector.size:
+            raise ValueError(
+                f"weight has {matrix.shape[1]} columns but activation has {vector.size} elements"
+            )
+        rows, cols = self.geometry.rows, self.geometry.cols
+        output_dim, input_dim = matrix.shape
+        result = np.zeros(output_dim, dtype=np.int64)
+        pe = ProcessingElement()
+        pe.set_mode(PrecisionMode.FULL)
+        accumulator = ColumnAccumulator(cols)
+
+        for col_start in range(0, output_dim, cols):
+            col_end = min(col_start + cols, output_dim)
+            accumulator.reset()
+            tile_width = col_end - col_start
+            for row_start in range(0, input_dim, rows):
+                row_end = min(row_start + rows, input_dim)
+                # Stage the activation chunk in the line buffer and broadcast
+                # each element to its PE row.
+                self.line_buffer.load(vector[row_start:row_end], PrecisionMode.FULL)
+                partials = np.zeros(cols, dtype=np.int64)
+                for local_row in range(row_end - row_start):
+                    broadcast = self.line_buffer.broadcast(local_row)
+                    for local_col in range(tile_width):
+                        pe.reset()
+                        pe.load_weight(int(matrix[col_start + local_col, row_start + local_row]))
+                        partials[local_col] += pe.mac(broadcast)
+                accumulator.accumulate(partials)
+            result[col_start:col_end] = accumulator.values[:tile_width]
+        self.mvm_count += 1
+        self.mac_count += int(matrix.size)
+        return result

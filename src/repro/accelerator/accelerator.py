@@ -1,0 +1,327 @@
+"""Top-level FIXAR accelerator: memories, AAP cores, and the controller.
+
+The :class:`FixarAccelerator` is a functional, cycle-approximate simulator of
+the FPGA design:
+
+* networks (actor / critic) are loaded into the on-chip weight memory as
+  32-bit fixed-point raw codes — capacity is enforced, there is no external
+  DRAM path;
+* forward propagation executes layer by layer on the AAP cores using the
+  column-wise dataflow (columns interleaved across cores for single-vector
+  inference, batch partitioned across cores for training batches), with the
+  accumulated outputs re-quantized and passed through the activation unit;
+* the configurable datapath is modelled by the activation precision mode:
+  in half-precision mode activations are stored and streamed as 16-bit
+  values, doubling the effective streaming rate in the timing model;
+* cycle counts come from :class:`~repro.accelerator.timing.TimingModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..fixedpoint import (
+    ACTIVATION_FULL_FORMAT,
+    ACTIVATION_HALF_FORMAT,
+    WEIGHT_FORMAT,
+    FxpArray,
+    QFormat,
+)
+from .aap_core import AAPCore
+from .accumulator import CrossCoreAccumulator
+from .activation_unit import ActivationFunction, ActivationUnit
+from .adam_unit import AdamUnit
+from .config import AcceleratorConfig
+from .dataflow import interleave_columns, partition_batch
+from .memory import ActivationMemory, GradientMemory, MemoryError_, WeightMemory
+from .pe import PrecisionMode
+from .prng import HardwareNoiseGenerator
+from .timing import CycleBreakdown, TimingModel
+
+__all__ = ["LoadedLayer", "FixarAccelerator"]
+
+
+@dataclass
+class LoadedLayer:
+    """One dense layer resident in the weight memory."""
+
+    name: str
+    weight: FxpArray          # paper orientation: (output_dim, input_dim)
+    bias: FxpArray            # (output_dim,)
+    activation: ActivationFunction
+
+    @property
+    def input_dim(self) -> int:
+        return self.weight.shape[1]
+
+    @property
+    def output_dim(self) -> int:
+        return self.weight.shape[0]
+
+    @property
+    def parameter_count(self) -> int:
+        return self.weight.size + self.bias.size
+
+
+class FixarAccelerator:
+    """Functional + timing model of the FIXAR FPGA accelerator."""
+
+    def __init__(
+        self,
+        config: Optional[AcceleratorConfig] = None,
+        weight_format: QFormat = WEIGHT_FORMAT,
+        full_activation_format: QFormat = ACTIVATION_FULL_FORMAT,
+        half_activation_format: QFormat = ACTIVATION_HALF_FORMAT,
+        noise_seed: int = 0xACE1_2468,
+    ):
+        self.config = config or AcceleratorConfig()
+        self.weight_format = weight_format
+        self.full_activation_format = full_activation_format
+        self.half_activation_format = half_activation_format
+
+        self.weight_memory = WeightMemory(self.config.weight_memory_bytes)
+        self.gradient_memory = GradientMemory(self.config.weight_memory_bytes)
+        self.activation_memory = ActivationMemory(self.config.activation_memory_bytes)
+        self.cores: List[AAPCore] = [
+            AAPCore(self.config.geometry, core_id=index) for index in range(self.config.num_cores)
+        ]
+        self.activation_unit = ActivationUnit(full_activation_format)
+        self.adam_unit = AdamUnit()
+        self.noise_generator = HardwareNoiseGenerator(seed=noise_seed)
+        self.timing = TimingModel(self.config)
+
+        self._networks: Dict[str, List[LoadedLayer]] = {}
+        self._mode = PrecisionMode.FULL
+
+    # ------------------------------------------------------------------ #
+    # Precision control (the configurable datapath)
+    # ------------------------------------------------------------------ #
+    @property
+    def precision_mode(self) -> PrecisionMode:
+        return self._mode
+
+    def set_precision(self, mode: PrecisionMode) -> None:
+        """Reconfigure every PE datapath and the activation storage format."""
+        self._mode = mode
+        for core in self.cores:
+            core.set_mode(mode)
+        self.activation_unit.output_format = self.activation_format
+
+    @property
+    def activation_format(self) -> QFormat:
+        """The activation format implied by the current precision mode."""
+        if self._mode is PrecisionMode.HALF:
+            return self.half_activation_format
+        return self.full_activation_format
+
+    @property
+    def half_precision(self) -> bool:
+        return self._mode is PrecisionMode.HALF
+
+    # ------------------------------------------------------------------ #
+    # Model loading
+    # ------------------------------------------------------------------ #
+    def load_network(
+        self,
+        name: str,
+        layers: Sequence[Tuple[np.ndarray, np.ndarray, str]],
+    ) -> None:
+        """Load a dense network into the on-chip weight memory.
+
+        ``layers`` is a sequence of ``(weight, bias, activation)`` tuples
+        where ``weight`` uses the software convention ``(input_dim,
+        output_dim)`` and ``activation`` is one of ``"relu"``, ``"tanh"``,
+        ``"identity"``.  Raises :class:`MemoryError_` when the model does not
+        fit in the weight memory.
+        """
+        if name in self._networks:
+            self.unload_network(name)
+        loaded: List[LoadedLayer] = []
+        for index, (weight, bias, activation) in enumerate(layers):
+            weight = np.asarray(weight, dtype=np.float64)
+            bias = np.asarray(bias, dtype=np.float64).ravel()
+            if weight.ndim != 2:
+                raise ValueError(f"layer {index} weight must be 2-D, got {weight.shape}")
+            if bias.size != weight.shape[1]:
+                raise ValueError(
+                    f"layer {index} bias length {bias.size} != output dim {weight.shape[1]}"
+                )
+            segment = f"{name}.layer{index}"
+            weight_fxp = FxpArray.from_float(weight.T, self.weight_format)
+            bias_fxp = FxpArray.from_float(bias, self.weight_format)
+            self.weight_memory.allocate(segment + ".weight", weight_fxp.shape)
+            self.weight_memory.write(segment + ".weight", weight_fxp.raw)
+            self.weight_memory.allocate(segment + ".bias", bias_fxp.shape)
+            self.weight_memory.write(segment + ".bias", bias_fxp.raw)
+            self.gradient_memory.allocate(segment + ".weight_grad", weight_fxp.shape)
+            self.gradient_memory.allocate(segment + ".bias_grad", bias_fxp.shape)
+            loaded.append(
+                LoadedLayer(
+                    name=segment,
+                    weight=weight_fxp,
+                    bias=bias_fxp,
+                    activation=ActivationFunction(activation),
+                )
+            )
+        self._networks[name] = loaded
+
+    def unload_network(self, name: str) -> None:
+        """Remove a network's segments from the on-chip memories."""
+        if name not in self._networks:
+            raise KeyError(f"network {name!r} is not loaded")
+        for layer in self._networks[name]:
+            self.weight_memory.free(layer.name + ".weight")
+            self.weight_memory.free(layer.name + ".bias")
+            self.gradient_memory.free(layer.name + ".weight_grad")
+            self.gradient_memory.free(layer.name + ".bias_grad")
+        del self._networks[name]
+
+    def load_agent(self, agent) -> None:
+        """Convenience: load a DDPG agent's actor and critic networks.
+
+        ``agent`` is a :class:`repro.rl.ddpg.DDPGAgent`; only the dense
+        layers' weights/biases and activation kinds are extracted, so there
+        is no hard dependency on the RL package.
+        """
+        self.load_network("actor", _mlp_to_layers(agent.actor, final_activation="tanh"))
+        self.load_network("critic", _mlp_to_layers(agent.critic, final_activation="identity"))
+
+    def network_names(self) -> List[str]:
+        return sorted(self._networks)
+
+    def network_shapes(self, name: str) -> List[Tuple[int, int]]:
+        """Layer shapes (input_dim, output_dim) of a loaded network."""
+        return [(layer.input_dim, layer.output_dim) for layer in self._layers(name)]
+
+    def network_parameter_count(self, name: str) -> int:
+        return sum(layer.parameter_count for layer in self._layers(name))
+
+    def _layers(self, name: str) -> List[LoadedLayer]:
+        if name not in self._networks:
+            raise KeyError(f"network {name!r} is not loaded; loaded: {self.network_names()}")
+        return self._networks[name]
+
+    # ------------------------------------------------------------------ #
+    # Functional execution
+    # ------------------------------------------------------------------ #
+    def infer(self, name: str, state: np.ndarray, add_noise: bool = False) -> np.ndarray:
+        """Single-vector forward propagation with intra-layer parallelism.
+
+        The matrix columns are interleaved across the AAP cores and the
+        per-core partial results are reduced by the cross-core accumulator,
+        exactly as the inference dataflow prescribes.  Optionally injects the
+        PRNG exploration noise into the final output (the actor path).
+        """
+        activation = FxpArray.from_float(
+            np.asarray(state, dtype=np.float64).ravel(), self.activation_format
+        )
+        for layer in self._layers(name):
+            column_groups = interleave_columns(layer.input_dim, len(self.cores))
+            partials = []
+            for core, columns in zip(self.cores, column_groups):
+                if columns.size == 0:
+                    continue
+                sub_weight = FxpArray(layer.weight.raw[:, columns], layer.weight.fmt, validate=False)
+                sub_activation = FxpArray(activation.raw[columns], activation.fmt, validate=False)
+                partials.append(core.run_mvm(sub_weight, sub_activation))
+            accumulated = CrossCoreAccumulator.reduce(partials)
+            activation = self._finish_layer(accumulated, layer, activation.fmt)
+        output = activation.to_float()
+        if add_noise:
+            output = output + self.noise_generator.exploration_noise(output.size)
+        return output
+
+    def forward_batch(self, name: str, states: np.ndarray) -> np.ndarray:
+        """Batched forward propagation with intra-batch parallelism."""
+        states = np.atleast_2d(np.asarray(states, dtype=np.float64))
+        chunks = partition_batch(states.shape[0], len(self.cores))
+        activation = FxpArray.from_float(states, self.activation_format)
+        for layer in self._layers(name):
+            outputs = np.zeros((states.shape[0], layer.output_dim), dtype=np.int64)
+            for core, indices in zip(self.cores, chunks):
+                if indices.size == 0:
+                    continue
+                block = FxpArray(activation.raw[indices], activation.fmt, validate=False)
+                outputs[indices] = core.run_batch_mvm(layer.weight, block)
+            activation = self._finish_layer(outputs, layer, activation.fmt)
+        return activation.to_float()
+
+    def _finish_layer(
+        self, accumulated_raw: np.ndarray, layer: LoadedLayer, activation_fmt: QFormat
+    ) -> FxpArray:
+        """Re-quantize accumulator outputs, add bias, apply the non-linearity."""
+        out_fmt = self.activation_format
+        # The accumulator holds products with weight.frac + activation.frac
+        # fraction bits; shift back to the activation format.
+        shift = layer.weight.fmt.frac_bits + activation_fmt.frac_bits - out_fmt.frac_bits
+        raw = accumulated_raw
+        if shift > 0:
+            raw = (raw + (1 << (shift - 1))) >> shift
+        elif shift < 0:
+            raw = raw << (-shift)
+        pre_activation = FxpArray(raw, out_fmt, validate=True)
+        bias = layer.bias.requantize(out_fmt)
+        pre_activation = FxpArray(pre_activation.raw + bias.raw, out_fmt, validate=True)
+        return self.activation_unit.apply(pre_activation, layer.activation)
+
+    # ------------------------------------------------------------------ #
+    # Timing and throughput
+    # ------------------------------------------------------------------ #
+    def timestep_breakdown(self, batch_size: int) -> CycleBreakdown:
+        """Cycle breakdown of one full DDPG training timestep."""
+        return self.timing.timestep_breakdown(
+            self.network_shapes("actor"),
+            self.network_shapes("critic"),
+            batch_size,
+            half_precision=self.half_precision,
+        )
+
+    def timestep_seconds(self, batch_size: int) -> float:
+        """Latency of one full DDPG training timestep in seconds."""
+        return self.timestep_breakdown(batch_size).seconds(self.config.clock_hz)
+
+    def ips(self, batch_size: int) -> float:
+        """Accelerator-only IPS (transitions processed per second)."""
+        return batch_size / self.timestep_seconds(batch_size)
+
+    def utilization(self, batch_size: int) -> float:
+        """PE-array utilization for the loaded workload."""
+        return self.timing.hardware_utilization(
+            self.network_shapes("actor"),
+            self.network_shapes("critic"),
+            batch_size,
+            half_precision=self.half_precision,
+        )
+
+    def memory_report(self) -> Dict[str, float]:
+        """Occupancy of the on-chip memories (fractions)."""
+        return {
+            "weight_memory": self.weight_memory.utilization,
+            "gradient_memory": self.gradient_memory.utilization,
+            "activation_memory_bytes": float(self.activation_memory.capacity_bytes),
+            "weight_memory_used_bytes": float(self.weight_memory.used_bytes),
+        }
+
+
+def _mlp_to_layers(mlp, final_activation: str) -> List[Tuple[np.ndarray, np.ndarray, str]]:
+    """Extract (weight, bias, activation) triples from an ``repro.nn.MLP``."""
+    from ..nn.layers import Linear, ReLU, Tanh  # local import to avoid a hard cycle
+
+    layers: List[Tuple[np.ndarray, np.ndarray, str]] = []
+    linear_layers = [layer for layer in mlp.layers if isinstance(layer, Linear)]
+    activations: List[str] = []
+    for layer in mlp.layers:
+        if isinstance(layer, Linear):
+            activations.append("identity")
+        elif isinstance(layer, ReLU) and activations:
+            activations[-1] = "relu"
+        elif isinstance(layer, Tanh) and activations:
+            activations[-1] = "tanh"
+    if activations and activations[-1] == "identity":
+        activations[-1] = final_activation
+    for linear, activation in zip(linear_layers, activations):
+        layers.append((linear.weight.copy(), linear.bias.copy(), activation))
+    return layers

@@ -1,0 +1,67 @@
+"""Column accumulators and the cross-core aggregation stage.
+
+The partial sums produced by a column of PEs are accumulated vertically; the
+per-core results are then aggregated across AAP cores (needed because
+inference interleaves the matrix columns over the cores) before being handed
+to the activation unit.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["ColumnAccumulator", "CrossCoreAccumulator"]
+
+
+class ColumnAccumulator:
+    """Accumulates partial sums flowing down one column of the PE array."""
+
+    def __init__(self, width: int):
+        if width <= 0:
+            raise ValueError(f"width must be positive, got {width}")
+        self.width = width
+        self._sums = np.zeros(width, dtype=np.int64)
+        self.accumulate_count = 0
+
+    def reset(self) -> None:
+        self._sums[...] = 0
+        self.accumulate_count = 0
+
+    def accumulate(self, partials: np.ndarray) -> np.ndarray:
+        """Add one row of partial sums (raw codes) into the accumulators."""
+        partials = np.asarray(partials, dtype=np.int64).ravel()
+        if partials.size != self.width:
+            raise ValueError(
+                f"expected {self.width} partial sums, got {partials.size}"
+            )
+        self._sums += partials
+        self.accumulate_count += 1
+        return self._sums.copy()
+
+    @property
+    def values(self) -> np.ndarray:
+        """Current accumulated sums (raw codes)."""
+        return self._sums.copy()
+
+
+class CrossCoreAccumulator:
+    """Aggregates the local accumulations of multiple AAP cores.
+
+    During inference each core accumulates the partial-sum vectors of an
+    interleaved subset of the matrix columns; the final output vector is the
+    element-wise sum over cores.
+    """
+
+    @staticmethod
+    def reduce(core_outputs: Sequence[np.ndarray]) -> np.ndarray:
+        """Element-wise sum of per-core raw output vectors."""
+        if not core_outputs:
+            raise ValueError("need at least one core output to reduce")
+        outputs = [np.asarray(out, dtype=np.int64) for out in core_outputs]
+        shape = outputs[0].shape
+        for out in outputs[1:]:
+            if out.shape != shape:
+                raise ValueError(f"core output shapes differ: {shape} vs {out.shape}")
+        return np.sum(np.stack(outputs, axis=0), axis=0)

@@ -1,0 +1,72 @@
+"""Activation unit: the non-linear functions applied to accumulated outputs.
+
+After the accumulator, the output vector passes through the activation unit
+(ReLU for hidden layers, tanh for the actor output, identity for the critic
+output) and is written back to the activation memory.  The unit operates on
+fixed-point values; tanh is evaluated with a piecewise-linear approximation
+like a hardware lookup implementation would.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+from ..fixedpoint import FxpArray, QFormat
+
+__all__ = ["ActivationFunction", "ActivationUnit"]
+
+
+class ActivationFunction(str, Enum):
+    """Supported non-linearities."""
+
+    IDENTITY = "identity"
+    RELU = "relu"
+    TANH = "tanh"
+
+
+def _piecewise_linear_tanh(values: np.ndarray, segments: int = 64) -> np.ndarray:
+    """A hardware-friendly piecewise-linear tanh on [-4, 4].
+
+    The approximation interpolates ``tanh`` over ``segments`` uniform pieces
+    and clamps to ±1 outside the interval, which is how a small LUT-based
+    activation unit behaves.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    limit = 4.0
+    knots = np.linspace(-limit, limit, segments + 1)
+    table = np.tanh(knots)
+    clipped = np.clip(values, -limit, limit)
+    return np.interp(clipped, knots, table)
+
+
+class ActivationUnit:
+    """Applies the layer non-linearity in fixed point."""
+
+    def __init__(self, output_format: QFormat, tanh_segments: int = 64):
+        if tanh_segments < 2:
+            raise ValueError(f"tanh_segments must be >= 2, got {tanh_segments}")
+        self.output_format = output_format
+        self.tanh_segments = tanh_segments
+        self.invocations = 0
+
+    def apply(self, values: FxpArray, function: ActivationFunction) -> FxpArray:
+        """Apply the non-linearity and re-quantize to the output format."""
+        self.invocations += 1
+        real = values.to_float()
+        if function is ActivationFunction.RELU:
+            real = np.maximum(real, 0.0)
+        elif function is ActivationFunction.TANH:
+            real = _piecewise_linear_tanh(real, self.tanh_segments)
+        elif function is ActivationFunction.IDENTITY:
+            pass
+        else:  # pragma: no cover - exhaustive enum
+            raise ValueError(f"unknown activation function {function!r}")
+        return FxpArray.from_float(real, self.output_format)
+
+    def apply_relu(self, values: FxpArray) -> FxpArray:
+        return self.apply(values, ActivationFunction.RELU)
+
+    def apply_tanh(self, values: FxpArray) -> FxpArray:
+        return self.apply(values, ActivationFunction.TANH)

@@ -1,0 +1,97 @@
+"""On-chip Adam optimizer module.
+
+Because the entire model lives in on-chip BRAM, the weight update never
+leaves the FPGA: a dedicated Adam module streams weights and accumulated
+gradients out of the weight / gradient memories, updates them lane-by-lane
+(16 words per 512-bit row), and writes the new weights back.
+
+The functional behaviour matches :class:`repro.nn.optim.Adam`; the extra
+value here is the fixed-point storage of the optimizer state and the cycle
+accounting used by the timing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from ..fixedpoint import QFormat, WEIGHT_FORMAT
+
+__all__ = ["AdamUnitConfig", "AdamUnit"]
+
+
+@dataclass(frozen=True)
+class AdamUnitConfig:
+    """Hardware Adam parameters."""
+
+    learning_rate: float = 1e-4
+    beta1: float = 0.9
+    beta2: float = 0.999
+    epsilon: float = 1e-8
+    #: Parallel update lanes (one 512-bit row of 16 words per cycle).
+    lanes: int = 16
+    #: Fixed-point format weights are stored in.
+    weight_format: QFormat = WEIGHT_FORMAT
+
+    def __post_init__(self) -> None:
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if not 0 <= self.beta1 < 1 or not 0 <= self.beta2 < 1:
+            raise ValueError("betas must lie in [0, 1)")
+        if self.lanes <= 0:
+            raise ValueError("lanes must be positive")
+
+
+class AdamUnit:
+    """Streaming Adam weight-update engine."""
+
+    def __init__(self, config: AdamUnitConfig | None = None):
+        self.config = config or AdamUnitConfig()
+        self._moment1: Dict[str, np.ndarray] = {}
+        self._moment2: Dict[str, np.ndarray] = {}
+        self.step_count = 0
+        self.cycle_count = 0
+
+    def register(self, name: str, shape) -> None:
+        """Allocate optimizer state for one parameter tensor."""
+        if name in self._moment1:
+            raise ValueError(f"parameter {name!r} already registered")
+        self._moment1[name] = np.zeros(shape, dtype=np.float64)
+        self._moment2[name] = np.zeros(shape, dtype=np.float64)
+
+    @property
+    def registered(self) -> bool:
+        return bool(self._moment1)
+
+    def update_cycles(self, parameter_count: int) -> int:
+        """Cycles needed to update ``parameter_count`` weights."""
+        return int(np.ceil(parameter_count / self.config.lanes))
+
+    def step(self, parameters: Dict[str, np.ndarray], gradients: Dict[str, np.ndarray]) -> int:
+        """Apply one Adam update in place; returns the cycles consumed.
+
+        Updated weights are snapped back onto the 32-bit fixed-point grid,
+        modelling their storage format in the weight memory.
+        """
+        cfg = self.config
+        self.step_count += 1
+        bias_correction1 = 1.0 - cfg.beta1 ** self.step_count
+        bias_correction2 = 1.0 - cfg.beta2 ** self.step_count
+        cycles = 0
+        for name, param in parameters.items():
+            if name not in self._moment1:
+                self.register(name, param.shape)
+            grad = np.asarray(gradients[name], dtype=np.float64)
+            m = self._moment1[name]
+            v = self._moment2[name]
+            m[...] = cfg.beta1 * m + (1.0 - cfg.beta1) * grad
+            v[...] = cfg.beta2 * v + (1.0 - cfg.beta2) * grad ** 2
+            m_hat = m / bias_correction1
+            v_hat = v / bias_correction2
+            param -= cfg.learning_rate * m_hat / (np.sqrt(v_hat) + cfg.epsilon)
+            param[...] = cfg.weight_format.quantize(param)
+            cycles += self.update_cycles(param.size)
+        self.cycle_count += cycles
+        return cycles

@@ -1,0 +1,198 @@
+"""Column-wise matrix decomposition and the two adaptive-parallelism mappings.
+
+FIXAR computes every layer as a matrix-vector multiplication (MVM) of a
+weight matrix ``W`` (P×Q) and an activation vector ``A`` (Q×1) using
+*column-wise decomposition* (paper Fig. 4a): column ``q`` of ``W`` is scaled
+by element ``A[q]`` and the Q partial-sum vectors are accumulated into the
+output.  The same mechanism serves both propagation directions:
+
+* **Inference (intra-layer parallelism)** — the columns of ``W`` are
+  interleaved across the AAP cores, each core accumulates its own partial
+  result, and a final cross-core accumulation produces the output vector.
+  One vector is processed N times faster on N cores.
+* **Training (intra-batch parallelism)** — the MVM uses the transposed
+  matrix; the batch's vectors are distributed across the cores so each core
+  runs a whole MVM on its share of the batch, processing N times more
+  vectors in parallel.
+
+This module holds the mapping math (tile counts, column interleaving, batch
+partitioning) plus a reference column-wise MVM used to prove the
+decomposition is exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List
+
+import numpy as np
+
+__all__ = [
+    "Parallelism",
+    "ArrayGeometry",
+    "column_wise_mvm",
+    "interleave_columns",
+    "partition_batch",
+    "TileSchedule",
+    "inference_schedule",
+    "training_schedule",
+]
+
+
+class Parallelism(str, Enum):
+    """The two dataflow modes of the adaptive array processing cores."""
+
+    INTRA_LAYER = "intra-layer"   # inference: split one MVM across cores
+    INTRA_BATCH = "intra-batch"   # training: one MVM per core, split the batch
+
+
+@dataclass(frozen=True)
+class ArrayGeometry:
+    """Physical PE-array dimensions of one AAP core."""
+
+    rows: int = 16
+    cols: int = 16
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ValueError(f"array dimensions must be positive, got {self.rows}x{self.cols}")
+
+    @property
+    def pe_count(self) -> int:
+        return self.rows * self.cols
+
+
+def column_wise_mvm(matrix: np.ndarray, vector: np.ndarray) -> np.ndarray:
+    """Reference column-wise decomposition of ``matrix @ vector``.
+
+    Computes the MVM by explicitly scaling each matrix column by the
+    corresponding vector element and accumulating the partial-sum vectors,
+    exactly as the PE array does.  Works on both float and integer (raw
+    fixed-point) arrays.
+    """
+    matrix = np.asarray(matrix)
+    vector = np.asarray(vector).ravel()
+    if matrix.ndim != 2:
+        raise ValueError(f"matrix must be 2-D, got shape {matrix.shape}")
+    if matrix.shape[1] != vector.size:
+        raise ValueError(
+            f"matrix has {matrix.shape[1]} columns but vector has {vector.size} elements"
+        )
+    output = np.zeros(matrix.shape[0], dtype=np.result_type(matrix.dtype, vector.dtype))
+    for column_index in range(matrix.shape[1]):
+        output = output + matrix[:, column_index] * vector[column_index]
+    return output
+
+
+def interleave_columns(num_columns: int, num_cores: int) -> List[np.ndarray]:
+    """Round-robin assignment of matrix columns to cores (intra-layer mode).
+
+    With 4 cores, core 0 accumulates columns 0, 4, 8, … exactly as described
+    in the paper.
+    """
+    if num_columns < 0:
+        raise ValueError(f"num_columns must be non-negative, got {num_columns}")
+    if num_cores <= 0:
+        raise ValueError(f"num_cores must be positive, got {num_cores}")
+    columns = np.arange(num_columns)
+    return [columns[core::num_cores] for core in range(num_cores)]
+
+
+def partition_batch(batch_size: int, num_cores: int) -> List[np.ndarray]:
+    """Contiguous partition of batch indices across cores (intra-batch mode)."""
+    if batch_size < 0:
+        raise ValueError(f"batch_size must be non-negative, got {batch_size}")
+    if num_cores <= 0:
+        raise ValueError(f"num_cores must be positive, got {num_cores}")
+    indices = np.arange(batch_size)
+    return [np.array(chunk, dtype=np.int64) for chunk in np.array_split(indices, num_cores)]
+
+
+@dataclass(frozen=True)
+class TileSchedule:
+    """How one MVM maps onto the PE arrays.
+
+    ``row_chunks`` covers the activation (Q) dimension, ``col_chunks`` the
+    output (P) dimension.  ``tiles_per_core`` is the number of 16×16 weight
+    tiles each core must process for its share of the work, and
+    ``vectors_per_core`` how many activation vectors stream through each tile.
+    """
+
+    parallelism: Parallelism
+    row_chunks: int
+    col_chunks: int
+    tiles_per_core: int
+    vectors_per_core: int
+    needs_cross_core_accumulation: bool
+
+    @property
+    def total_tiles(self) -> int:
+        return self.row_chunks * self.col_chunks
+
+
+def _ceil_div(numerator: int, denominator: int) -> int:
+    return -(-numerator // denominator)
+
+
+def inference_schedule(
+    output_dim: int,
+    input_dim: int,
+    geometry: ArrayGeometry,
+    num_cores: int,
+    half_precision: bool = False,
+) -> TileSchedule:
+    """Tile schedule for one forward-propagation MVM (intra-layer parallelism).
+
+    In half-precision mode each PE row consumes two activations per cycle, so
+    the activation dimension needs half as many row chunks.
+    """
+    if output_dim <= 0 or input_dim <= 0:
+        raise ValueError("layer dimensions must be positive")
+    if num_cores <= 0:
+        raise ValueError("num_cores must be positive")
+    activations_per_row = 2 if half_precision else 1
+    row_chunks = _ceil_div(input_dim, geometry.rows * activations_per_row)
+    col_chunks = _ceil_div(output_dim, geometry.cols)
+    tiles_per_core = _ceil_div(row_chunks, num_cores) * col_chunks
+    return TileSchedule(
+        parallelism=Parallelism.INTRA_LAYER,
+        row_chunks=row_chunks,
+        col_chunks=col_chunks,
+        tiles_per_core=tiles_per_core,
+        vectors_per_core=1,
+        needs_cross_core_accumulation=num_cores > 1,
+    )
+
+
+def training_schedule(
+    output_dim: int,
+    input_dim: int,
+    batch_size: int,
+    geometry: ArrayGeometry,
+    num_cores: int,
+    half_precision: bool = False,
+) -> TileSchedule:
+    """Tile schedule for one back-propagation MVM batch (intra-batch parallelism).
+
+    The transposed-matrix MVM reuses the same column-wise mechanism; each
+    core owns ``ceil(batch / num_cores)`` vectors and streams them through
+    every weight tile, so the weight-load cost is amortised over the batch.
+    """
+    if output_dim <= 0 or input_dim <= 0:
+        raise ValueError("layer dimensions must be positive")
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    if num_cores <= 0:
+        raise ValueError("num_cores must be positive")
+    activations_per_row = 2 if half_precision else 1
+    row_chunks = _ceil_div(input_dim, geometry.rows * activations_per_row)
+    col_chunks = _ceil_div(output_dim, geometry.cols)
+    return TileSchedule(
+        parallelism=Parallelism.INTRA_BATCH,
+        row_chunks=row_chunks,
+        col_chunks=col_chunks,
+        tiles_per_core=row_chunks * col_chunks,
+        vectors_per_core=_ceil_div(batch_size, num_cores),
+        needs_cross_core_accumulation=False,
+    )

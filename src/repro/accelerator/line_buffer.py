@@ -1,0 +1,70 @@
+"""Activation line buffer.
+
+Each AAP core copies a vector of input activations from the activation
+memory into a 512-bit line buffer, from which each element is broadcast to a
+row of the PE array.  In half-precision mode a 512-bit line carries twice as
+many activations, which is where the doubled throughput comes from on the
+memory side.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .pe import PrecisionMode
+
+__all__ = ["ActivationLineBuffer"]
+
+
+class ActivationLineBuffer:
+    """A fixed-width staging buffer between the activation memory and the PEs."""
+
+    def __init__(self, width_bits: int = 512):
+        if width_bits <= 0 or width_bits % 32 != 0:
+            raise ValueError(f"width_bits must be a positive multiple of 32, got {width_bits}")
+        self.width_bits = width_bits
+        self._data: Optional[np.ndarray] = None
+        self._mode = PrecisionMode.FULL
+        self.load_count = 0
+
+    def capacity(self, mode: PrecisionMode) -> int:
+        """How many activations one line holds in the given precision mode."""
+        return self.width_bits // mode.activation_bits
+
+    def load(self, activations_raw: np.ndarray, mode: PrecisionMode) -> None:
+        """Fill the buffer with raw activation codes for broadcast.
+
+        Raises if the vector does not fit in one line — the controller is
+        responsible for splitting longer vectors into line-sized chunks.
+        """
+        activations_raw = np.asarray(activations_raw, dtype=np.int64).ravel()
+        limit = self.capacity(mode)
+        if activations_raw.size > limit:
+            raise ValueError(
+                f"line buffer holds {limit} activations in {mode.value} precision, "
+                f"got {activations_raw.size}"
+            )
+        self._data = activations_raw.copy()
+        self._mode = mode
+        self.load_count += 1
+
+    @property
+    def occupancy(self) -> int:
+        """Number of activations currently staged."""
+        return 0 if self._data is None else int(self._data.size)
+
+    def broadcast(self, index: int) -> int:
+        """The activation broadcast to PE-array row ``index``."""
+        if self._data is None:
+            raise RuntimeError("line buffer is empty; call load() first")
+        if not 0 <= index < self._data.size:
+            raise IndexError(f"row index {index} outside occupancy {self._data.size}")
+        return int(self._data[index])
+
+    def contents(self) -> np.ndarray:
+        """A copy of the staged activations."""
+        if self._data is None:
+            return np.empty(0, dtype=np.int64)
+        return self._data.copy()

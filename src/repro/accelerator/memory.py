@@ -1,0 +1,211 @@
+"""On-chip memory models (weight, gradient, and activation memories).
+
+FIXAR keeps the entire model on chip: a 1.05 MB weight memory and an
+equally-sized gradient memory built from BRAMs, plus a 2.94 KB activation
+memory holding the activations of all three layers.  The weight memory is
+512 bits wide (16 × 32-bit weights per row), shared by all AAP cores, and is
+read row-by-row — a row feeds a PE-array *column* during inference and a
+PE-array *row* during training, which is how the design sidesteps the matrix
+transpose problem.
+
+The classes here model capacity, word layout, bandwidth (one row per cycle),
+and access counting; the stored payloads are plain numpy arrays of raw
+fixed-point codes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+__all__ = [
+    "MemoryError_",
+    "OnChipMemory",
+    "WeightMemory",
+    "GradientMemory",
+    "ActivationMemory",
+    "BRAM_BYTES",
+]
+
+#: Capacity of one Xilinx BRAM36 block in bytes (36 Kbit).
+BRAM_BYTES = 36 * 1024 // 8
+
+
+class MemoryError_(RuntimeError):
+    """Raised when an on-chip memory's capacity or layout is violated."""
+
+
+@dataclass
+class MemoryStats:
+    """Access counters for one memory."""
+
+    reads: int = 0
+    writes: int = 0
+    read_rows: int = 0
+    written_rows: int = 0
+
+    def reset(self) -> None:
+        self.reads = 0
+        self.writes = 0
+        self.read_rows = 0
+        self.written_rows = 0
+
+
+class OnChipMemory:
+    """A banked on-chip memory with a fixed capacity and row width.
+
+    Parameters
+    ----------
+    name:
+        Human-readable name used in error messages and reports.
+    capacity_bytes:
+        Total capacity.
+    row_bits:
+        Width of one physical row (512 for the weight/gradient memories).
+    word_bits:
+        Width of one stored word (32 for weights/gradients).
+    """
+
+    def __init__(self, name: str, capacity_bytes: int, row_bits: int = 512, word_bits: int = 32):
+        if capacity_bytes <= 0:
+            raise ValueError(f"{name}: capacity must be positive")
+        if row_bits <= 0 or word_bits <= 0 or row_bits % word_bits != 0:
+            raise ValueError(f"{name}: row_bits must be a positive multiple of word_bits")
+        self.name = name
+        self.capacity_bytes = int(capacity_bytes)
+        self.row_bits = int(row_bits)
+        self.word_bits = int(word_bits)
+        self.stats = MemoryStats()
+        self._segments: Dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------ #
+    # Layout properties
+    # ------------------------------------------------------------------ #
+    @property
+    def words_per_row(self) -> int:
+        """Number of words delivered by one row access (16 for 512/32)."""
+        return self.row_bits // self.word_bits
+
+    @property
+    def total_rows(self) -> int:
+        """Number of physical rows available."""
+        return self.capacity_bytes * 8 // self.row_bits
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently allocated across all segments."""
+        return sum(arr.size * self.word_bits // 8 for arr in self._segments.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the capacity currently allocated."""
+        return self.used_bytes / self.capacity_bytes
+
+    def bram_count(self) -> int:
+        """Number of BRAM36 blocks needed for this capacity."""
+        return int(np.ceil(self.capacity_bytes / BRAM_BYTES))
+
+    # ------------------------------------------------------------------ #
+    # Segment management
+    # ------------------------------------------------------------------ #
+    def allocate(self, segment: str, shape, fill: float = 0) -> np.ndarray:
+        """Reserve a named segment of raw words (int64-backed)."""
+        if segment in self._segments:
+            raise MemoryError_(f"{self.name}: segment {segment!r} already exists")
+        array = np.full(shape, fill, dtype=np.int64)
+        needed = array.size * self.word_bits // 8
+        if needed > self.free_bytes:
+            raise MemoryError_(
+                f"{self.name}: allocating {segment!r} needs {needed} B but only "
+                f"{self.free_bytes} B of {self.capacity_bytes} B remain"
+            )
+        self._segments[segment] = array
+        return array
+
+    def free(self, segment: str) -> None:
+        """Release a named segment."""
+        if segment not in self._segments:
+            raise MemoryError_(f"{self.name}: unknown segment {segment!r}")
+        del self._segments[segment]
+
+    def segments(self) -> Dict[str, tuple]:
+        """Shapes of all allocated segments."""
+        return {name: arr.shape for name, arr in self._segments.items()}
+
+    def has_segment(self, segment: str) -> bool:
+        return segment in self._segments
+
+    # ------------------------------------------------------------------ #
+    # Accesses
+    # ------------------------------------------------------------------ #
+    def write(self, segment: str, data: np.ndarray, offset: int = 0) -> int:
+        """Write raw words into a segment; returns the row-access count."""
+        if segment not in self._segments:
+            raise MemoryError_(f"{self.name}: unknown segment {segment!r}")
+        target = self._segments[segment].reshape(-1)
+        data = np.asarray(data, dtype=np.int64).reshape(-1)
+        if offset < 0 or offset + data.size > target.size:
+            raise MemoryError_(
+                f"{self.name}: write of {data.size} words at offset {offset} "
+                f"overflows segment {segment!r} ({target.size} words)"
+            )
+        target[offset:offset + data.size] = data
+        rows = int(np.ceil(data.size / self.words_per_row))
+        self.stats.writes += 1
+        self.stats.written_rows += rows
+        return rows
+
+    def read(self, segment: str, count: Optional[int] = None, offset: int = 0) -> np.ndarray:
+        """Read raw words from a segment; updates the row-access counters."""
+        if segment not in self._segments:
+            raise MemoryError_(f"{self.name}: unknown segment {segment!r}")
+        source = self._segments[segment].reshape(-1)
+        count = source.size - offset if count is None else count
+        if offset < 0 or count < 0 or offset + count > source.size:
+            raise MemoryError_(
+                f"{self.name}: read of {count} words at offset {offset} "
+                f"overflows segment {segment!r} ({source.size} words)"
+            )
+        rows = int(np.ceil(count / self.words_per_row)) if count else 0
+        self.stats.reads += 1
+        self.stats.read_rows += rows
+        return source[offset:offset + count].copy()
+
+    def view(self, segment: str) -> np.ndarray:
+        """Direct (mutable) view of a segment's raw words, without counting."""
+        if segment not in self._segments:
+            raise MemoryError_(f"{self.name}: unknown segment {segment!r}")
+        return self._segments[segment]
+
+
+class WeightMemory(OnChipMemory):
+    """The centralized 1.05 MB weight memory shared by all AAP cores."""
+
+    #: Paper value: the actor + critic parameters fit in 1.05 MB of BRAM.
+    DEFAULT_CAPACITY_BYTES = int(1.05 * 1024 * 1024)
+
+    def __init__(self, capacity_bytes: int = DEFAULT_CAPACITY_BYTES):
+        super().__init__("weight_memory", capacity_bytes, row_bits=512, word_bits=32)
+
+
+class GradientMemory(OnChipMemory):
+    """The gradient memory (same size and organisation as the weight memory)."""
+
+    def __init__(self, capacity_bytes: int = WeightMemory.DEFAULT_CAPACITY_BYTES):
+        super().__init__("gradient_memory", capacity_bytes, row_bits=512, word_bits=32)
+
+
+class ActivationMemory(OnChipMemory):
+    """The 2.94 KB activation memory holding all three layers' activations."""
+
+    #: Paper value: 2.94 KB of activation storage.
+    DEFAULT_CAPACITY_BYTES = int(2.94 * 1024)
+
+    def __init__(self, capacity_bytes: int = DEFAULT_CAPACITY_BYTES):
+        super().__init__("activation_memory", capacity_bytes, row_bits=512, word_bits=32)

@@ -1,0 +1,120 @@
+"""Processing element (PE) with a configurable 32/16-bit datapath (Fig. 5).
+
+Each PE holds a pre-loaded weight and performs one multiply-accumulate per
+cycle.  Its datapath is built from two 32x16 multipliers:
+
+* in **full-precision** mode the 32-bit activation is split into upper and
+  lower halves, each half is multiplied by the weight, and the upper product
+  is shifted left by 16 before both are added into a single accumulator;
+* in **half-precision** mode the two multipliers work on two independent
+  16-bit activations and feed two separate accumulators, doubling throughput.
+
+The class below is a faithful single-PE model used for bit-exactness tests;
+the array core uses vectorised equivalents of the same arithmetic.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Tuple
+
+import numpy as np
+
+from ..fixedpoint.arithmetic import (
+    mac_full_precision,
+    mac_half_precision,
+)
+
+__all__ = ["PrecisionMode", "ProcessingElement"]
+
+
+class PrecisionMode(str, Enum):
+    """Datapath configuration of a PE (and of the whole array)."""
+
+    FULL = "full"    # one 32-bit activation per cycle
+    HALF = "half"    # two 16-bit activations per cycle
+
+    @property
+    def macs_per_cycle(self) -> int:
+        """Effective MAC throughput of one PE in this mode."""
+        return 1 if self is PrecisionMode.FULL else 2
+
+    @property
+    def activation_bits(self) -> int:
+        return 32 if self is PrecisionMode.FULL else 16
+
+
+class ProcessingElement:
+    """One configurable-datapath multiply-accumulate unit."""
+
+    def __init__(self) -> None:
+        self._weight = np.int64(0)
+        self._accumulator_a = np.int64(0)
+        self._accumulator_b = np.int64(0)
+        self.mode = PrecisionMode.FULL
+        self.cycle_count = 0
+
+    # ------------------------------------------------------------------ #
+    # Configuration
+    # ------------------------------------------------------------------ #
+    def load_weight(self, weight_raw: int) -> None:
+        """Pre-load the weight register from the weight memory."""
+        self._weight = np.int64(weight_raw)
+
+    def set_mode(self, mode: PrecisionMode) -> None:
+        """Reconfigure the datapath (does not clear the accumulators)."""
+        self.mode = mode
+
+    def reset(self) -> None:
+        """Clear both accumulators and the cycle counter."""
+        self._accumulator_a = np.int64(0)
+        self._accumulator_b = np.int64(0)
+        self.cycle_count = 0
+
+    @property
+    def weight(self) -> int:
+        return int(self._weight)
+
+    @property
+    def accumulator(self) -> int:
+        """The full-precision accumulator value."""
+        return int(self._accumulator_a)
+
+    @property
+    def accumulators(self) -> Tuple[int, int]:
+        """Both half-precision accumulators ``(a, b)``."""
+        return int(self._accumulator_a), int(self._accumulator_b)
+
+    # ------------------------------------------------------------------ #
+    # Datapath
+    # ------------------------------------------------------------------ #
+    def mac(self, activation_raw: int) -> int:
+        """Full-precision MAC: accumulate ``activation * weight`` in one cycle."""
+        if self.mode is not PrecisionMode.FULL:
+            raise RuntimeError("PE is configured for half precision; use mac_dual()")
+        self._accumulator_a = np.int64(
+            mac_full_precision(self._accumulator_a, np.int64(activation_raw), self._weight)
+        )
+        self.cycle_count += 1
+        return int(self._accumulator_a)
+
+    def mac_dual(self, activation_a_raw: int, activation_b_raw: int) -> Tuple[int, int]:
+        """Half-precision MAC: two independent accumulations in one cycle."""
+        if self.mode is not PrecisionMode.HALF:
+            raise RuntimeError("PE is configured for full precision; use mac()")
+        acc_a, acc_b = mac_half_precision(
+            self._accumulator_a,
+            self._accumulator_b,
+            np.int64(activation_a_raw),
+            np.int64(activation_b_raw),
+            self._weight,
+        )
+        self._accumulator_a = np.int64(acc_a)
+        self._accumulator_b = np.int64(acc_b)
+        self.cycle_count += 1
+        return int(self._accumulator_a), int(self._accumulator_b)
+
+    @property
+    def throughput_multiplier(self) -> int:
+        """MACs per cycle in the current mode (1 or 2)."""
+        return self.mode.macs_per_cycle

@@ -1,0 +1,96 @@
+"""Board-level power model for the FPGA accelerator.
+
+The paper measures 20.4 W average board power (Xilinx Board Utility: FPGA,
+PCIe interface, and on-board DRAM) while running the DDPG workloads, and
+computes energy efficiency as IPS per watt.  The model below splits that
+budget into a static board floor plus dynamic contributions that scale with
+the active resources (PEs, BRAM, clock), so alternative configurations in
+ablation studies produce sensible power estimates while the default
+configuration reproduces the paper's 20.4 W.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import AcceleratorConfig
+from .resources import ResourceModel
+
+__all__ = ["PowerModel", "PowerBreakdown"]
+
+#: Static power of the board (shell, HBM controller, PCIe, regulators), watts.
+_STATIC_BOARD_WATTS = 12.0
+#: Dynamic power per PE at the reference clock, watts (calibrated).
+_WATTS_PER_PE = 0.0130
+#: Dynamic power per active BRAM block at the reference clock, watts.
+_WATTS_PER_BRAM = 0.0022
+#: Dynamic power of the Adam module and control logic, watts.
+_WATTS_MISC_DYNAMIC = 0.5
+#: Reference clock frequency the dynamic coefficients were calibrated at.
+_REFERENCE_CLOCK_HZ = 164e6
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Static and dynamic power components in watts."""
+
+    static_watts: float
+    pe_watts: float
+    memory_watts: float
+    misc_watts: float
+
+    @property
+    def total_watts(self) -> float:
+        return self.static_watts + self.pe_watts + self.memory_watts + self.misc_watts
+
+    def as_dict(self) -> dict:
+        return {
+            "static_w": self.static_watts,
+            "pe_dynamic_w": self.pe_watts,
+            "memory_dynamic_w": self.memory_watts,
+            "misc_dynamic_w": self.misc_watts,
+            "total_w": self.total_watts,
+        }
+
+
+class PowerModel:
+    """Estimates average board power for an accelerator configuration."""
+
+    def __init__(self, config: AcceleratorConfig | None = None):
+        self.config = config or AcceleratorConfig()
+        self._resources = ResourceModel(self.config)
+
+    def breakdown(self, utilization: float = 0.924) -> PowerBreakdown:
+        """Power breakdown at a given average PE-array utilization.
+
+        ``utilization`` scales the PE dynamic power: idle PEs are clock-gated
+        and contribute only a small fraction of their active power.
+        """
+        if not 0.0 <= utilization <= 1.0:
+            raise ValueError(f"utilization must lie in [0, 1], got {utilization}")
+        clock_scale = self.config.clock_hz / _REFERENCE_CLOCK_HZ
+        activity = 0.15 + 0.85 * utilization  # clock-gated idle floor
+        pe_watts = _WATTS_PER_PE * self.config.pe_count * clock_scale * activity
+        memory_watts = _WATTS_PER_BRAM * self._resources.total().bram * clock_scale
+        return PowerBreakdown(
+            static_watts=_STATIC_BOARD_WATTS,
+            pe_watts=pe_watts,
+            memory_watts=memory_watts,
+            misc_watts=_WATTS_MISC_DYNAMIC * clock_scale,
+        )
+
+    def average_watts(self, utilization: float = 0.924) -> float:
+        """Average board power in watts (paper default utilization 92.4 %)."""
+        return self.breakdown(utilization).total_watts
+
+    def energy_per_timestep_joules(self, timestep_seconds: float, utilization: float = 0.924) -> float:
+        """Energy consumed by one accelerator timestep."""
+        if timestep_seconds < 0:
+            raise ValueError("timestep_seconds must be non-negative")
+        return self.average_watts(utilization) * timestep_seconds
+
+    def ips_per_watt(self, ips: float, utilization: float = 0.924) -> float:
+        """Energy efficiency for a given throughput (the Fig. 10b metric)."""
+        if ips < 0:
+            raise ValueError("ips must be non-negative")
+        return ips / self.average_watts(utilization)

@@ -1,0 +1,87 @@
+"""Pseudo-random number generator (PRNG) module.
+
+The accelerator injects random noise into the actor's inference output to
+drive action exploration.  On the FPGA this is a small linear-feedback shift
+register (LFSR); the software model implements a 32-bit Galois LFSR and
+derives uniform and approximately Gaussian noise from it, so the exploration
+path can be made bit-reproducible against a hardware implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["GaloisLfsr32", "HardwareNoiseGenerator"]
+
+#: Taps of the maximal-length 32-bit Galois LFSR polynomial
+#: ``x^32 + x^30 + x^26 + x^25 + 1`` (0xA3000000 in mask form).
+_DEFAULT_TAP_MASK = 0xA3000000
+_WORD_MASK = 0xFFFFFFFF
+
+
+class GaloisLfsr32:
+    """A 32-bit Galois linear-feedback shift register."""
+
+    def __init__(self, seed: int = 0xACE1_2468, tap_mask: int = _DEFAULT_TAP_MASK):
+        seed = int(seed) & _WORD_MASK
+        if seed == 0:
+            raise ValueError("LFSR seed must be non-zero")
+        self._state = seed
+        self._tap_mask = int(tap_mask) & _WORD_MASK
+
+    @property
+    def state(self) -> int:
+        """Current register contents."""
+        return self._state
+
+    def next_bit(self) -> int:
+        """Advance one cycle and return the output bit."""
+        lsb = self._state & 1
+        self._state >>= 1
+        if lsb:
+            self._state ^= self._tap_mask
+        return lsb
+
+    def next_word(self, bits: int = 32) -> int:
+        """Produce a ``bits``-wide unsigned random word (one bit per cycle)."""
+        if not 1 <= bits <= 63:
+            raise ValueError(f"bits must lie in [1, 63], got {bits}")
+        word = 0
+        for _ in range(bits):
+            word = (word << 1) | self.next_bit()
+        return word
+
+    def uniform(self) -> float:
+        """A uniform sample in [0, 1) from one 32-bit word."""
+        return self.next_word(32) / float(1 << 32)
+
+
+class HardwareNoiseGenerator:
+    """Exploration-noise source backed by the on-chip LFSR.
+
+    Gaussian-like noise is produced with the Irwin–Hall construction (sum of
+    12 uniforms minus 6), which is what small hardware noise generators use:
+    no multipliers or transcendental functions are required.
+    """
+
+    def __init__(self, seed: int = 0xACE1_2468, sigma: float = 0.1):
+        if sigma < 0:
+            raise ValueError(f"sigma must be non-negative, got {sigma}")
+        self._lfsr = GaloisLfsr32(seed)
+        self.sigma = sigma
+
+    def uniform_vector(self, size: int) -> np.ndarray:
+        """A vector of uniform samples in [0, 1)."""
+        return np.array([self._lfsr.uniform() for _ in range(size)], dtype=np.float64)
+
+    def gaussian_vector(self, size: int) -> np.ndarray:
+        """A vector of approximately standard-normal samples (Irwin–Hall)."""
+        samples = np.empty(size, dtype=np.float64)
+        for index in range(size):
+            total = sum(self._lfsr.uniform() for _ in range(12))
+            samples[index] = total - 6.0
+        return samples
+
+    def exploration_noise(self, action_dim: int) -> np.ndarray:
+        """Noise added to the actor's output before it is sent to the host."""
+        return self.sigma * self.gaussian_vector(action_dim)

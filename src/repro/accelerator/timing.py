@@ -1,0 +1,316 @@
+"""Cycle-level timing model of the FIXAR accelerator.
+
+The model counts cycles structurally from the dataflow schedules of
+:mod:`repro.accelerator.dataflow`:
+
+* a weight tile (16×16 weights) takes ``tile_weight_load_cycles`` to stream
+  from the 512-bit weight memory;
+* the tile then processes one activation vector per cycle (two per cycle for
+  the activation-streaming dimension in half-precision mode);
+* weight loading is double-buffered, so a tile costs
+  ``max(load_cycles, vectors_per_core)`` cycles — weight loads are fully
+  hidden once each core owns at least 16 batch vectors, which is why the
+  measured throughput stays high across batch sizes (Fig. 10a);
+* every layer pass pays a fixed pipeline/accumulation/activation overhead;
+* backward propagation costs two MVM-equivalent passes per layer (the
+  transposed-matrix MVM for the input gradient and the outer-product
+  accumulation for the weight gradient);
+* the Adam module updates 16 weights per cycle.
+
+A full DDPG timestep (Fig. 3) is the sum of the critic and actor training
+passes plus one single-state actor inference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from .config import AcceleratorConfig
+from .dataflow import TileSchedule, inference_schedule, training_schedule
+
+__all__ = ["CycleBreakdown", "TimingModel", "LayerShape"]
+
+#: A dense layer described as ``(input_dim, output_dim)`` — the repository's
+#: ``MLP.layer_shapes`` convention.
+LayerShape = Tuple[int, int]
+
+
+@dataclass
+class CycleBreakdown:
+    """Per-phase cycle counts for one accelerator workload."""
+
+    phases: Dict[str, int] = field(default_factory=dict)
+
+    def add(self, phase: str, cycles: int) -> None:
+        self.phases[phase] = self.phases.get(phase, 0) + int(cycles)
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(self.phases.values())
+
+    def seconds(self, clock_hz: float) -> float:
+        return self.total_cycles / clock_hz
+
+    def merged(self, other: "CycleBreakdown") -> "CycleBreakdown":
+        merged = CycleBreakdown(dict(self.phases))
+        for phase, cycles in other.phases.items():
+            merged.add(phase, cycles)
+        return merged
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.phases)
+
+
+class TimingModel:
+    """Counts cycles for MVM passes, training phases, and full timesteps."""
+
+    def __init__(self, config: AcceleratorConfig | None = None):
+        self.config = config or AcceleratorConfig()
+
+    # ------------------------------------------------------------------ #
+    # Schedule-level costs
+    # ------------------------------------------------------------------ #
+    def schedule_cycles(self, schedule: TileSchedule) -> int:
+        """Cycles for one tile schedule on one core (double-buffered loads)."""
+        cfg = self.config
+        load = cfg.tile_weight_load_cycles()
+        per_tile = max(load, schedule.vectors_per_core)
+        cycles = schedule.tiles_per_core * per_tile + cfg.layer_overhead_cycles
+        if schedule.needs_cross_core_accumulation:
+            cycles += schedule.col_chunks * cfg.geometry.cols // cfg.weights_per_cycle + 1
+        return int(cycles)
+
+    def schedule_useful_cycles(self, schedule: TileSchedule) -> int:
+        """Cycles in which the PE array performs useful MACs for a schedule."""
+        return schedule.tiles_per_core * schedule.vectors_per_core
+
+    def schedule_utilization(self, schedule: TileSchedule) -> float:
+        """Fraction of PE cycles doing useful MACs under this schedule."""
+        total = self.schedule_cycles(schedule)
+        return self.schedule_useful_cycles(schedule) / total if total else 0.0
+
+    # ------------------------------------------------------------------ #
+    # Layer- and network-level costs
+    # ------------------------------------------------------------------ #
+    def forward_cycles(
+        self, layer_shapes: Sequence[LayerShape], batch_size: int, half_precision: bool
+    ) -> int:
+        """Forward propagation of a whole network for a batch."""
+        cycles = 0
+        for input_dim, output_dim in layer_shapes:
+            if batch_size == 1:
+                schedule = inference_schedule(
+                    output_dim, input_dim, self.config.geometry, self.config.num_cores, half_precision
+                )
+            else:
+                schedule = training_schedule(
+                    output_dim, input_dim, batch_size, self.config.geometry,
+                    self.config.num_cores, half_precision,
+                )
+            cycles += self.schedule_cycles(schedule)
+        return cycles
+
+    def backward_cycles(
+        self,
+        layer_shapes: Sequence[LayerShape],
+        batch_size: int,
+        half_precision: bool,
+        include_weight_gradient: bool = True,
+    ) -> int:
+        """Backward propagation: input-gradient MVM plus weight-gradient pass.
+
+        The input-gradient MVM uses the transposed weight matrix, so its
+        schedule swaps the layer dimensions.  The weight-gradient outer
+        product streams the same vectors through the same tiles and never
+        benefits from the half-precision datapath because gradients stay in
+        32-bit fixed point.
+        """
+        cycles = 0
+        for input_dim, output_dim in layer_shapes:
+            dx_schedule = training_schedule(
+                input_dim, output_dim, batch_size, self.config.geometry,
+                self.config.num_cores, half_precision,
+            )
+            cycles += self.schedule_cycles(dx_schedule)
+            if include_weight_gradient:
+                dw_schedule = training_schedule(
+                    output_dim, input_dim, batch_size, self.config.geometry,
+                    self.config.num_cores, half_precision=False,
+                )
+                cycles += self.schedule_cycles(dw_schedule)
+        return cycles
+
+    def weight_update_cycles(self, parameter_count: int) -> int:
+        """Adam weight-update cycles for a parameter tensor population."""
+        return -(-parameter_count // self.config.adam_lanes)
+
+    # ------------------------------------------------------------------ #
+    # Full DDPG timestep (Fig. 3)
+    # ------------------------------------------------------------------ #
+    def timestep_breakdown(
+        self,
+        actor_shapes: Sequence[LayerShape],
+        critic_shapes: Sequence[LayerShape],
+        batch_size: int,
+        half_precision: bool = False,
+    ) -> CycleBreakdown:
+        """Cycles of one full training timestep on the accelerator.
+
+        Phases follow the paper's operation sequence: the critic evaluates
+        the sampled transitions (including the target networks), trains, and
+        leads the actor's training; finally the actor runs a single-state
+        inference whose result is returned to the host.
+        """
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        actor_params = _parameter_count(actor_shapes)
+        critic_params = _parameter_count(critic_shapes)
+
+        breakdown = CycleBreakdown()
+        # Critic update: target-network evaluations, Q evaluation, BP, WU.
+        breakdown.add(
+            "critic_target_forward",
+            self.forward_cycles(actor_shapes, batch_size, half_precision)
+            + self.forward_cycles(critic_shapes, batch_size, half_precision),
+        )
+        breakdown.add(
+            "critic_forward", self.forward_cycles(critic_shapes, batch_size, half_precision)
+        )
+        breakdown.add(
+            "critic_backward", self.backward_cycles(critic_shapes, batch_size, half_precision)
+        )
+        breakdown.add("critic_weight_update", self.weight_update_cycles(critic_params))
+
+        # Actor update: policy forward, critic evaluation of the policy
+        # action, input-gradient-only pass through the critic, actor BP, WU.
+        breakdown.add(
+            "actor_forward", self.forward_cycles(actor_shapes, batch_size, half_precision)
+        )
+        breakdown.add(
+            "policy_q_forward", self.forward_cycles(critic_shapes, batch_size, half_precision)
+        )
+        breakdown.add(
+            "policy_q_backward",
+            self.backward_cycles(
+                critic_shapes, batch_size, half_precision, include_weight_gradient=False
+            ),
+        )
+        breakdown.add(
+            "actor_backward", self.backward_cycles(actor_shapes, batch_size, half_precision)
+        )
+        breakdown.add("actor_weight_update", self.weight_update_cycles(actor_params))
+
+        # Single-state actor inference for the environment's next action.
+        breakdown.add(
+            "actor_inference", self.forward_cycles(actor_shapes, 1, half_precision)
+        )
+        return breakdown
+
+    def timestep_seconds(
+        self,
+        actor_shapes: Sequence[LayerShape],
+        critic_shapes: Sequence[LayerShape],
+        batch_size: int,
+        half_precision: bool = False,
+    ) -> float:
+        """Latency of one accelerator timestep in seconds."""
+        breakdown = self.timestep_breakdown(
+            actor_shapes, critic_shapes, batch_size, half_precision
+        )
+        return breakdown.seconds(self.config.clock_hz)
+
+    def accelerator_ips(
+        self,
+        actor_shapes: Sequence[LayerShape],
+        critic_shapes: Sequence[LayerShape],
+        batch_size: int,
+        half_precision: bool = False,
+    ) -> float:
+        """Accelerator-only IPS: batch transitions processed per second.
+
+        Matches the paper's Fig. 10a metric (accelerator time only, no host
+        or PCIe time).
+        """
+        seconds = self.timestep_seconds(actor_shapes, critic_shapes, batch_size, half_precision)
+        return batch_size / seconds
+
+    def forward_useful_cycles(
+        self, layer_shapes: Sequence[LayerShape], batch_size: int, half_precision: bool
+    ) -> int:
+        """Useful MAC cycles of a forward pass (same structure as forward_cycles)."""
+        cycles = 0
+        for input_dim, output_dim in layer_shapes:
+            if batch_size == 1:
+                schedule = inference_schedule(
+                    output_dim, input_dim, self.config.geometry, self.config.num_cores, half_precision
+                )
+            else:
+                schedule = training_schedule(
+                    output_dim, input_dim, batch_size, self.config.geometry,
+                    self.config.num_cores, half_precision,
+                )
+            cycles += self.schedule_useful_cycles(schedule)
+        return cycles
+
+    def backward_useful_cycles(
+        self,
+        layer_shapes: Sequence[LayerShape],
+        batch_size: int,
+        half_precision: bool,
+        include_weight_gradient: bool = True,
+    ) -> int:
+        """Useful MAC cycles of a backward pass (mirrors backward_cycles)."""
+        cycles = 0
+        for input_dim, output_dim in layer_shapes:
+            dx_schedule = training_schedule(
+                input_dim, output_dim, batch_size, self.config.geometry,
+                self.config.num_cores, half_precision,
+            )
+            cycles += self.schedule_useful_cycles(dx_schedule)
+            if include_weight_gradient:
+                dw_schedule = training_schedule(
+                    output_dim, input_dim, batch_size, self.config.geometry,
+                    self.config.num_cores, half_precision=False,
+                )
+                cycles += self.schedule_useful_cycles(dw_schedule)
+        return cycles
+
+    def hardware_utilization(
+        self,
+        actor_shapes: Sequence[LayerShape],
+        critic_shapes: Sequence[LayerShape],
+        batch_size: int,
+        half_precision: bool = False,
+    ) -> float:
+        """PE-array utilization over one training timestep.
+
+        Counts the useful MAC cycles of every MVM pass in the timestep (the
+        same passes :meth:`timestep_breakdown` charges for) and divides by
+        the total timestep cycles, so weight-load stalls, per-layer pipeline
+        overheads, weight updates, and the single-state inference all count
+        against utilization.
+        """
+        breakdown = self.timestep_breakdown(
+            actor_shapes, critic_shapes, batch_size, half_precision
+        )
+        useful = 0
+        # Critic update passes.
+        useful += self.forward_useful_cycles(actor_shapes, batch_size, half_precision)
+        useful += 2 * self.forward_useful_cycles(critic_shapes, batch_size, half_precision)
+        useful += self.backward_useful_cycles(critic_shapes, batch_size, half_precision)
+        # Actor update passes.
+        useful += self.forward_useful_cycles(actor_shapes, batch_size, half_precision)
+        useful += self.forward_useful_cycles(critic_shapes, batch_size, half_precision)
+        useful += self.backward_useful_cycles(
+            critic_shapes, batch_size, half_precision, include_weight_gradient=False
+        )
+        useful += self.backward_useful_cycles(actor_shapes, batch_size, half_precision)
+        # Single-state inference.
+        useful += self.forward_useful_cycles(actor_shapes, 1, half_precision)
+        return min(1.0, useful / breakdown.total_cycles)
+
+
+def _parameter_count(layer_shapes: Sequence[LayerShape]) -> int:
+    """Weights + biases of a dense network described by its layer shapes."""
+    return sum(input_dim * output_dim + output_dim for input_dim, output_dim in layer_shapes)

@@ -1,0 +1,256 @@
+"""On-chip training engine: backward propagation and weight update.
+
+The FIXAR accelerator does not just run inference — the critic and actor
+networks are *trained* on chip: gradients are accumulated in the gradient
+memory and the Adam module updates the weights resident in the weight
+memory, so the model never leaves the FPGA.
+
+:class:`OnChipTrainer` adds that capability to the functional accelerator
+model.  A training step for one network is the classic three phases:
+
+* **FP** — batched forward propagation with per-layer activation caching
+  (intra-batch parallelism across the AAP cores);
+* **BP** — the transposed-matrix MVMs for the input gradients and the
+  outer-product accumulation for the weight gradients, both kept in the
+  32-bit fixed-point gradient format and accumulated in the gradient memory;
+* **WU** — the Adam module streams weights and gradients and writes the
+  updated 32-bit fixed-point weights back to the weight memory.
+
+All arithmetic happens on the fixed-point grids, so the result tracks the
+software :class:`repro.nn.MLP` trained under ``FixedPointNumerics`` to within
+accumulated rounding error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..fixedpoint import GRADIENT_FORMAT, FxpArray, QFormat
+from .accelerator import FixarAccelerator, LoadedLayer
+from .activation_unit import ActivationFunction
+from .adam_unit import AdamUnit, AdamUnitConfig
+from .dataflow import partition_batch
+
+__all__ = ["LayerCache", "TrainingStepResult", "OnChipTrainer"]
+
+
+@dataclass
+class LayerCache:
+    """Per-layer values retained by the forward pass for back-propagation."""
+
+    layer: LoadedLayer
+    inputs: np.ndarray           # real-valued layer inputs (batch, in_dim)
+    pre_activation: np.ndarray   # real-valued pre-activation outputs
+    outputs: np.ndarray          # real-valued post-activation outputs
+
+
+@dataclass
+class TrainingStepResult:
+    """Outputs and bookkeeping of one on-chip training step."""
+
+    outputs: np.ndarray
+    input_gradients: np.ndarray
+    weight_update_cycles: int = 0
+    gradient_norms: Dict[str, float] = field(default_factory=dict)
+
+
+class OnChipTrainer:
+    """Backward propagation and Adam weight update on the accelerator model."""
+
+    def __init__(
+        self,
+        accelerator: FixarAccelerator,
+        learning_rate: float = 1e-4,
+        gradient_format: QFormat = GRADIENT_FORMAT,
+    ):
+        self.accelerator = accelerator
+        self.gradient_format = gradient_format
+        self.adam_units: Dict[str, AdamUnit] = {}
+        self.learning_rate = learning_rate
+
+    # ------------------------------------------------------------------ #
+    # Forward with caching
+    # ------------------------------------------------------------------ #
+    def forward(self, name: str, states: np.ndarray) -> Tuple[np.ndarray, List[LayerCache]]:
+        """Batched forward propagation that retains per-layer activations.
+
+        The numeric path is identical to
+        :meth:`FixarAccelerator.forward_batch`; the cache additionally keeps
+        the (already fixed-point-projected) layer inputs and pre-activations
+        needed by the backward pass.
+        """
+        accelerator = self.accelerator
+        states = np.atleast_2d(np.asarray(states, dtype=np.float64))
+        chunks = partition_batch(states.shape[0], len(accelerator.cores))
+        activation = FxpArray.from_float(states, accelerator.activation_format)
+        caches: List[LayerCache] = []
+        for layer in accelerator._layers(name):
+            inputs_real = activation.to_float()
+            outputs_raw = np.zeros((states.shape[0], layer.output_dim), dtype=np.int64)
+            for core, indices in zip(accelerator.cores, chunks):
+                if indices.size == 0:
+                    continue
+                block = FxpArray(activation.raw[indices], activation.fmt, validate=False)
+                outputs_raw[indices] = core.run_batch_mvm(layer.weight, block)
+            pre_activation = self._finish_pre_activation(outputs_raw, layer, activation.fmt)
+            post_activation = accelerator.activation_unit.apply(pre_activation, layer.activation)
+            caches.append(
+                LayerCache(
+                    layer=layer,
+                    inputs=inputs_real,
+                    pre_activation=pre_activation.to_float(),
+                    outputs=post_activation.to_float(),
+                )
+            )
+            activation = post_activation
+        return activation.to_float(), caches
+
+    def _finish_pre_activation(
+        self, accumulated_raw: np.ndarray, layer: LoadedLayer, activation_fmt: QFormat
+    ) -> FxpArray:
+        """Re-quantize the accumulator output and add the bias (no non-linearity)."""
+        accelerator = self.accelerator
+        out_fmt = accelerator.activation_format
+        shift = layer.weight.fmt.frac_bits + activation_fmt.frac_bits - out_fmt.frac_bits
+        raw = accumulated_raw
+        if shift > 0:
+            raw = (raw + (1 << (shift - 1))) >> shift
+        elif shift < 0:
+            raw = raw << (-shift)
+        pre_activation = FxpArray(raw, out_fmt, validate=True)
+        bias = layer.bias.requantize(out_fmt)
+        return FxpArray(pre_activation.raw + bias.raw, out_fmt, validate=True)
+
+    # ------------------------------------------------------------------ #
+    # Backward propagation
+    # ------------------------------------------------------------------ #
+    def backward(
+        self, name: str, caches: List[LayerCache], output_gradient: np.ndarray
+    ) -> np.ndarray:
+        """Back-propagate a batch of output gradients through a network.
+
+        Weight and bias gradients are quantized to the 32-bit gradient format
+        and written into the gradient memory; the input gradient is returned
+        (needed when the critic's gradient drives the actor's update).
+        """
+        accelerator = self.accelerator
+        gradient = np.atleast_2d(np.asarray(output_gradient, dtype=np.float64))
+        for cache in reversed(caches):
+            layer = cache.layer
+            gradient = self._activation_backward(cache, gradient)
+            gradient = self.gradient_format.quantize(gradient)
+
+            weight_grad = self.gradient_format.quantize(cache.inputs.T @ gradient)
+            bias_grad = self.gradient_format.quantize(gradient.sum(axis=0))
+            self._store_gradients(layer, weight_grad, bias_grad)
+
+            # Input gradient: MVM with the transposed weight matrix, which the
+            # dataflow maps onto the same PE arrays in training mode.
+            weight = layer.weight.to_float().T  # (in_dim, out_dim) orientation
+            gradient = self.gradient_format.quantize(gradient @ weight.T)
+        return gradient
+
+    @staticmethod
+    def _activation_backward(cache: LayerCache, gradient: np.ndarray) -> np.ndarray:
+        """Gradient through the layer's non-linearity."""
+        if cache.layer.activation is ActivationFunction.RELU:
+            return gradient * (cache.pre_activation > 0.0)
+        if cache.layer.activation is ActivationFunction.TANH:
+            return gradient * (1.0 - cache.outputs ** 2)
+        return gradient
+
+    def _store_gradients(self, layer: LoadedLayer, weight_grad: np.ndarray, bias_grad: np.ndarray) -> None:
+        memory = self.accelerator.gradient_memory
+        weight_raw = self.gradient_format.to_raw(weight_grad.T)  # paper orientation (out, in)
+        bias_raw = self.gradient_format.to_raw(bias_grad)
+        memory.write(layer.name + ".weight_grad", weight_raw)
+        memory.write(layer.name + ".bias_grad", bias_raw)
+
+    def stored_gradients(self, name: str) -> Dict[str, np.ndarray]:
+        """Real-valued gradients currently held in the gradient memory."""
+        gradients: Dict[str, np.ndarray] = {}
+        for layer in self.accelerator._layers(name):
+            weight_raw = self.accelerator.gradient_memory.view(layer.name + ".weight_grad")
+            bias_raw = self.accelerator.gradient_memory.view(layer.name + ".bias_grad")
+            gradients[layer.name + ".weight"] = self.gradient_format.from_raw(weight_raw)
+            gradients[layer.name + ".bias"] = self.gradient_format.from_raw(bias_raw)
+        return gradients
+
+    # ------------------------------------------------------------------ #
+    # Weight update
+    # ------------------------------------------------------------------ #
+    def apply_weight_update(self, name: str) -> int:
+        """Run the Adam module over the network's weights; returns cycles."""
+        accelerator = self.accelerator
+        if name not in self.adam_units:
+            self.adam_units[name] = AdamUnit(
+                AdamUnitConfig(learning_rate=self.learning_rate, weight_format=accelerator.weight_format)
+            )
+        adam = self.adam_units[name]
+
+        parameters: Dict[str, np.ndarray] = {}
+        gradients: Dict[str, np.ndarray] = {}
+        layers = accelerator._layers(name)
+        for layer in layers:
+            parameters[layer.name + ".weight"] = layer.weight.to_float()
+            parameters[layer.name + ".bias"] = layer.bias.to_float()
+        # Both the resident weights and the stored weight gradients use the
+        # paper's (output_dim, input_dim) orientation, so they pair up
+        # directly for the update.
+        gradients.update(self.stored_gradients(name))
+
+        cycles = adam.step(parameters, gradients)
+
+        # Write the updated weights back into the weight memory and refresh
+        # the resident FxpArrays.
+        for layer in layers:
+            new_weight = FxpArray.from_float(
+                parameters[layer.name + ".weight"], accelerator.weight_format
+            )
+            new_bias = FxpArray.from_float(parameters[layer.name + ".bias"], accelerator.weight_format)
+            accelerator.weight_memory.write(layer.name + ".weight", new_weight.raw)
+            accelerator.weight_memory.write(layer.name + ".bias", new_bias.raw)
+            layer.weight = new_weight
+            layer.bias = new_bias
+        return cycles
+
+    # ------------------------------------------------------------------ #
+    # Full step
+    # ------------------------------------------------------------------ #
+    def train_batch(
+        self,
+        name: str,
+        states: np.ndarray,
+        output_gradient: Optional[np.ndarray] = None,
+        targets: Optional[np.ndarray] = None,
+    ) -> TrainingStepResult:
+        """One FP + BP + WU step for a network on a batch.
+
+        Either an explicit ``output_gradient`` is supplied (the actor update,
+        where the gradient comes from differentiating the critic), or
+        ``targets`` for a mean-squared-error regression (the critic update).
+        """
+        if (output_gradient is None) == (targets is None):
+            raise ValueError("provide exactly one of output_gradient or targets")
+        outputs, caches = self.forward(name, states)
+        if targets is not None:
+            targets = np.atleast_2d(np.asarray(targets, dtype=np.float64))
+            if targets.shape != outputs.shape:
+                raise ValueError(
+                    f"targets shape {targets.shape} != outputs shape {outputs.shape}"
+                )
+            output_gradient = 2.0 * (outputs - targets) / max(outputs.size, 1)
+        input_gradients = self.backward(name, caches, output_gradient)
+        cycles = self.apply_weight_update(name)
+        gradient_norms = {
+            key: float(np.linalg.norm(value)) for key, value in self.stored_gradients(name).items()
+        }
+        return TrainingStepResult(
+            outputs=outputs,
+            input_gradients=input_gradients,
+            weight_update_cycles=cycles,
+            gradient_norms=gradient_norms,
+        )

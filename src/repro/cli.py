@@ -1,0 +1,183 @@
+"""Command-line interface for the FIXAR reproduction.
+
+Four sub-commands cover the common workflows:
+
+* ``train``      — quantization-aware training on a benchmark (optionally
+  saving a checkpoint), printing the learning curve;
+* ``throughput`` — the Fig. 8/9/10 throughput and efficiency report for a
+  benchmark's workload;
+* ``resources``  — the Table I resource report (with optional design-space
+  overrides for core count and array geometry);
+* ``compare``    — the Table II comparison against prior FPGA accelerators.
+
+Installed as the ``fixar-repro`` console script; also runnable with
+``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .accelerator import AcceleratorConfig, PowerModel, ResourceModel, TimingModel
+from .core import (
+    FixarSystem,
+    comparison_table,
+    fixar_entry,
+    format_breakdown,
+    format_curve,
+    format_series,
+    format_table,
+    smoke_test_config,
+)
+from .envs import BENCHMARK_SUITE
+from .platform import PAPER_BATCH_SIZES, CpuGpuPlatform, FixarPlatform, WorkloadSpec
+from .rl import save_agent
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser with all sub-commands."""
+    parser = argparse.ArgumentParser(
+        prog="fixar-repro",
+        description="FIXAR fixed-point deep reinforcement learning platform (reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    train = subparsers.add_parser("train", help="run quantization-aware training")
+    train.add_argument("--benchmark", choices=BENCHMARK_SUITE, default="HalfCheetah")
+    train.add_argument("--timesteps", type=int, default=3_000)
+    train.add_argument("--batch-size", type=int, default=64)
+    train.add_argument("--regime", default="fixar-dynamic",
+                       choices=("float32", "fixed32", "fixed16", "fixar-dynamic"))
+    train.add_argument("--hidden", type=int, nargs=2, default=(64, 48), metavar=("H1", "H2"))
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--checkpoint", type=str, default=None,
+                       help="path to save the trained agent (.npz)")
+    train.add_argument("--cosim", action="store_true",
+                       help="co-simulate platform time alongside training")
+
+    throughput = subparsers.add_parser("throughput", help="Fig. 8/9/10 throughput report")
+    throughput.add_argument("--benchmark", choices=BENCHMARK_SUITE, default="HalfCheetah")
+    throughput.add_argument("--batches", type=int, nargs="+", default=list(PAPER_BATCH_SIZES))
+    throughput.add_argument("--cores", type=int, default=2)
+    throughput.add_argument("--half-precision", action="store_true")
+
+    resources = subparsers.add_parser("resources", help="Table I resource report")
+    resources.add_argument("--cores", type=int, default=2)
+    resources.add_argument("--array", type=int, nargs=2, default=(16, 16), metavar=("ROWS", "COLS"))
+
+    compare = subparsers.add_parser("compare", help="Table II comparison with prior works")
+    compare.add_argument("--use-paper-numbers", action="store_true",
+                         help="use the paper's FIXAR row instead of the modelled one")
+    return parser
+
+
+def _command_train(args: argparse.Namespace) -> int:
+    config = smoke_test_config(
+        benchmark=args.benchmark,
+        total_timesteps=args.timesteps,
+        batch_size=args.batch_size,
+        hidden_sizes=tuple(args.hidden),
+    ).with_regime(args.regime)
+    config = config.with_training(seed=args.seed)
+    system = FixarSystem(config)
+    print(f"training {args.regime} on {args.benchmark} for {args.timesteps} timesteps "
+          f"(batch {args.batch_size}, hidden {tuple(args.hidden)})")
+
+    if args.cosim:
+        result = system.cosimulate()
+        print("co-simulated platform trace:")
+        for key, value in result.summary().items():
+            print(f"  {key:24s} {value:12.3f}")
+        if result.episode_returns:
+            print(f"  final episode return     {result.episode_returns[-1]:12.1f}")
+    else:
+        result = system.train()
+        print(format_curve(result.curve.timesteps, result.curve.returns, label="reward curve"))
+        if result.qat_event is not None:
+            print(f"precision switch at t={result.qat_event.timestep} "
+                  f"(activations -> {result.qat_event.num_bits} bits)")
+
+    if args.checkpoint:
+        path = save_agent(system.agent, args.checkpoint)
+        print(f"checkpoint written to {path}")
+    return 0
+
+
+def _command_throughput(args: argparse.Namespace) -> int:
+    from .envs import make
+
+    env = make(args.benchmark)
+    platform = FixarPlatform(
+        WorkloadSpec.from_environment(env),
+        AcceleratorConfig().with_cores(args.cores),
+        half_precision=args.half_precision,
+    )
+    baseline = CpuGpuPlatform()
+    batches = tuple(args.batches)
+
+    fixar_ips = {batch: platform.platform_ips(batch) for batch in batches}
+    gpu_ips = {batch: baseline.ips(args.benchmark, batch) for batch in batches}
+    print(f"benchmark {args.benchmark}, {args.cores} AAP cores, "
+          f"{'half' if args.half_precision else 'full'} precision")
+    print(format_series(fixar_ips, name="FIXAR platform IPS  "))
+    print(format_series(gpu_ips, name="CPU-GPU platform IPS"))
+    print(format_series({b: fixar_ips[b] / gpu_ips[b] for b in batches}, name="speedup", precision=2))
+    print("accelerator-only:")
+    print(format_series({b: platform.accelerator_ips(b) for b in batches}, name="  FIXAR IPS  "))
+    print(format_series({b: platform.accelerator_ips_per_watt(b) for b in batches}, name="  FIXAR IPS/W"))
+    for batch in batches:
+        print(f"  breakdown batch {batch:4d}: " + format_breakdown(platform.timestep_breakdown(batch)))
+    return 0
+
+
+def _command_resources(args: argparse.Namespace) -> int:
+    config = AcceleratorConfig().with_cores(args.cores).with_geometry(*args.array)
+    model = ResourceModel(config)
+    print(format_table(model.table(), title=f"Resource usage — {args.cores} cores, "
+                                            f"{args.array[0]}x{args.array[1]} PEs"))
+    print(f"fits Alveo U50: {model.fits_device()}")
+    print(f"estimated board power: {PowerModel(config).average_watts():.1f} W")
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    if args.use_paper_numbers:
+        entry = fixar_entry()
+    else:
+        timing = TimingModel(AcceleratorConfig())
+        workload = WorkloadSpec("HalfCheetah", 17, 6)
+        peak = max(
+            timing.accelerator_ips(workload.actor_shapes, workload.critic_shapes, batch)
+            for batch in PAPER_BATCH_SIZES
+        )
+        power = PowerModel(AcceleratorConfig())
+        entry = fixar_entry(
+            peak_ips=peak,
+            energy_efficiency=peak / power.average_watts(),
+            dsp_count=ResourceModel(AcceleratorConfig()).total().dsp,
+        )
+    print(format_table(comparison_table(entry), title="Comparison with previous works"))
+    return 0
+
+
+_COMMANDS = {
+    "train": _command_train,
+    "throughput": _command_throughput,
+    "resources": _command_resources,
+    "compare": _command_compare,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    sys.exit(main())

@@ -1,0 +1,143 @@
+"""Comparison with prior FPGA DRL accelerators (reproduces Table II).
+
+The paper compares FIXAR against FA3C (ASPLOS'19, an A3C accelerator for
+discrete action spaces) and the FCCM'20 PPO accelerator.  Because the three
+designs train networks of very different sizes, the table normalises each
+design's peak performance to FIXAR's network size (IPS × network_size /
+FIXAR_network_size), which is how the published 12849.1 and 6823.2 IPS
+figures are obtained from the raw 2550.0 and 15286.8 IPS numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = [
+    "AcceleratorEntry",
+    "FA3C_ASPLOS19",
+    "PPO_FCCM20",
+    "fixar_entry",
+    "normalize_peak_performance",
+    "comparison_table",
+]
+
+
+@dataclass(frozen=True)
+class AcceleratorEntry:
+    """One row of the Table II comparison."""
+
+    name: str
+    platform: str
+    clock_mhz: float
+    algorithm: str
+    task_environment: str
+    precision: str
+    dsp_count: int
+    network_size_kb: float
+    peak_ips: float
+    energy_efficiency_ips_per_watt: Optional[float] = None
+
+    def normalized_peak_ips(self, reference_network_kb: float) -> float:
+        """Peak IPS normalised to the reference design's network size."""
+        return normalize_peak_performance(self.peak_ips, self.network_size_kb, reference_network_kb)
+
+
+def normalize_peak_performance(peak_ips: float, network_kb: float, reference_network_kb: float) -> float:
+    """Scale peak IPS by the ratio of network sizes.
+
+    A design processing a network ``k`` times larger than the reference is
+    doing ``k`` times more work per inference, so its throughput is credited
+    accordingly.
+    """
+    if peak_ips < 0:
+        raise ValueError("peak_ips must be non-negative")
+    if network_kb <= 0 or reference_network_kb <= 0:
+        raise ValueError("network sizes must be positive")
+    return peak_ips * network_kb / reference_network_kb
+
+
+#: FA3C (Cho et al., ASPLOS 2019): A3C on a Xilinx VCU1525, Atari (discrete).
+FA3C_ASPLOS19 = AcceleratorEntry(
+    name="FA3C (ASPLOS'19)",
+    platform="Xilinx VCU1525",
+    clock_mhz=180.0,
+    algorithm="Actor-Critic (A3C)",
+    task_environment="Discrete",
+    precision="Floating 32-bit",
+    dsp_count=2348,
+    network_size_kb=2592.0,
+    peak_ips=2550.0,
+    energy_efficiency_ips_per_watt=141.7,
+)
+
+#: Meng et al. (FCCM 2020): PPO on a Xilinx U200, continuous control.
+PPO_FCCM20 = AcceleratorEntry(
+    name="PPO accelerator (FCCM'20)",
+    platform="Xilinx U200",
+    clock_mhz=285.0,
+    algorithm="Actor-Critic (PPO)",
+    task_environment="Continuous",
+    precision="Floating 32-bit",
+    dsp_count=3744,
+    network_size_kb=229.6,
+    peak_ips=15286.8,
+    energy_efficiency_ips_per_watt=None,
+)
+
+#: Paper-reported FIXAR row constants.
+FIXAR_NETWORK_SIZE_KB = 514.4
+FIXAR_PAPER_PEAK_IPS = 38779.8
+FIXAR_PAPER_EFFICIENCY = 2638.0
+
+
+def fixar_entry(
+    peak_ips: float = FIXAR_PAPER_PEAK_IPS,
+    energy_efficiency: float = FIXAR_PAPER_EFFICIENCY,
+    dsp_count: int = 2302,
+    clock_mhz: float = 164.0,
+    network_size_kb: float = FIXAR_NETWORK_SIZE_KB,
+) -> AcceleratorEntry:
+    """The FIXAR row, optionally fed with values measured from the simulator."""
+    return AcceleratorEntry(
+        name="FIXAR",
+        platform="Xilinx U50",
+        clock_mhz=clock_mhz,
+        algorithm="Actor-Critic (DDPG)",
+        task_environment="Continuous",
+        precision="Fixed 32, 16-bit",
+        dsp_count=dsp_count,
+        network_size_kb=network_size_kb,
+        peak_ips=peak_ips,
+        energy_efficiency_ips_per_watt=energy_efficiency,
+    )
+
+
+def comparison_table(fixar: Optional[AcceleratorEntry] = None) -> List[Dict[str, object]]:
+    """Table II as a list of rows, with network-size-normalised peak IPS."""
+    fixar = fixar or fixar_entry()
+    entries = [FA3C_ASPLOS19, PPO_FCCM20, fixar]
+    rows: List[Dict[str, object]] = []
+    for entry in entries:
+        rows.append(
+            {
+                "Design": entry.name,
+                "Platform": entry.platform,
+                "Clock (MHz)": entry.clock_mhz,
+                "Algorithm": entry.algorithm,
+                "Task Env.": entry.task_environment,
+                "Precision": entry.precision,
+                "DSP": entry.dsp_count,
+                "Network Size (KB)": entry.network_size_kb,
+                "Peak Perf. (IPS)": round(entry.peak_ips, 1),
+                "Normalized Peak Perf. (IPS)": round(
+                    entry.normalized_peak_ips(fixar.network_size_kb), 1
+                ),
+                "Energy Efficiency (IPS/W)": (
+                    round(entry.energy_efficiency_ips_per_watt, 1)
+                    if entry.energy_efficiency_ips_per_watt is not None
+                    else None
+                ),
+            }
+        )
+    return rows

@@ -1,0 +1,108 @@
+"""Top-level configuration of a FIXAR experiment.
+
+Bundles every knob of the reproduction — benchmark, DDPG hyper-parameters,
+the QAT schedule, the training-loop scale, and the accelerator / platform
+parameters — into one dataclass, with presets for the paper's configuration
+and for a reduced-scale configuration that finishes in CI time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from ..accelerator import AcceleratorConfig
+from ..rl.ddpg import DDPGConfig
+from ..rl.qat import QATSchedule
+from ..rl.training import TrainingConfig
+
+__all__ = ["FixarConfig", "paper_config", "smoke_test_config"]
+
+
+@dataclass(frozen=True)
+class FixarConfig:
+    """Everything needed to instantiate and run a FIXAR experiment."""
+
+    #: Benchmark environment name (HalfCheetah, Hopper, or Swimmer).
+    benchmark: str = "HalfCheetah"
+    #: DDPG hyper-parameters.
+    ddpg: DDPGConfig = field(default_factory=DDPGConfig)
+    #: Algorithm 1 schedule (quantization bits and delay).
+    qat: QATSchedule = field(default_factory=QATSchedule)
+    #: Training-loop configuration.
+    training: TrainingConfig = field(default_factory=TrainingConfig)
+    #: Accelerator structural parameters.
+    accelerator: AcceleratorConfig = field(default_factory=AcceleratorConfig)
+    #: Numeric regime name ("fixar-dynamic", "float32", "fixed32", "fixed16").
+    numeric_regime: str = "fixar-dynamic"
+    #: Random seed for network initialisation.
+    seed: Optional[int] = 0
+
+    def with_benchmark(self, benchmark: str) -> "FixarConfig":
+        """A copy of this configuration targeting another benchmark."""
+        return replace(self, benchmark=benchmark)
+
+    def with_regime(self, regime: str) -> "FixarConfig":
+        """A copy of this configuration using another numeric regime."""
+        return replace(self, numeric_regime=regime)
+
+    def with_training(self, **kwargs) -> "FixarConfig":
+        """A copy with training-loop fields overridden."""
+        return replace(self, training=replace(self.training, **kwargs))
+
+    def with_qat(self, **kwargs) -> "FixarConfig":
+        """A copy with QAT schedule fields overridden."""
+        return replace(self, qat=replace(self.qat, **kwargs))
+
+
+def paper_config(benchmark: str = "HalfCheetah") -> FixarConfig:
+    """The paper's configuration: 1 M timesteps, QAT delay at mid-training.
+
+    The paper does not state the exact quantization delay; half of the total
+    training budget matches Fig. 7's switch point.
+    """
+    total_timesteps = 1_000_000
+    return FixarConfig(
+        benchmark=benchmark,
+        ddpg=DDPGConfig(),
+        qat=QATSchedule(num_bits=16, quantization_delay=total_timesteps // 2),
+        training=TrainingConfig(
+            total_timesteps=total_timesteps,
+            warmup_timesteps=10_000,
+            batch_size=64,
+            buffer_capacity=1_000_000,
+            evaluation_interval=5_000,
+            evaluation_episodes=10,
+        ),
+        accelerator=AcceleratorConfig(),
+        numeric_regime="fixar-dynamic",
+    )
+
+
+def smoke_test_config(
+    benchmark: str = "HalfCheetah",
+    total_timesteps: int = 2_000,
+    batch_size: int = 32,
+    hidden_sizes: Tuple[int, int] = (64, 48),
+) -> FixarConfig:
+    """A reduced-scale configuration for tests, examples, and CI benchmarks.
+
+    Keeps every moving part of the paper's pipeline (QAT switch included)
+    while shrinking the networks and the timestep budget so a full run takes
+    seconds instead of days.
+    """
+    return FixarConfig(
+        benchmark=benchmark,
+        ddpg=DDPGConfig(hidden_sizes=hidden_sizes, actor_learning_rate=1e-3, critic_learning_rate=1e-3),
+        qat=QATSchedule(num_bits=16, quantization_delay=total_timesteps // 2),
+        training=TrainingConfig(
+            total_timesteps=total_timesteps,
+            warmup_timesteps=min(200, total_timesteps // 4),
+            batch_size=batch_size,
+            buffer_capacity=max(10_000, total_timesteps),
+            evaluation_interval=max(1, total_timesteps // 4),
+            evaluation_episodes=3,
+        ),
+        accelerator=AcceleratorConfig(),
+        numeric_regime="fixar-dynamic",
+    )

@@ -1,0 +1,97 @@
+"""Plain-text report formatting for tables and figure series.
+
+The benchmark harness prints the same rows and series the paper reports;
+these helpers render lists of dictionaries as aligned text tables and
+learning curves / batch sweeps as compact series listings, without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_series", "format_breakdown", "format_curve"]
+
+
+def _format_value(value: object, precision: int) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Mapping[str, object]], precision: int = 1, title: Optional[str] = None) -> str:
+    """Render a list of dict rows as an aligned text table."""
+    if not rows:
+        return title or ""
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    rendered: List[List[str]] = [
+        [_format_value(row.get(column), precision) for column in columns] for row in rows
+    ]
+    widths = [
+        max(len(column), *(len(line[index]) for line in rendered))
+        for index, column in enumerate(columns)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(column.ljust(width) for column, width in zip(columns, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * width for width in widths))
+    for line in rendered:
+        lines.append(" | ".join(cell.ljust(width) for cell, width in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def format_series(series: Mapping[object, float], name: str = "", precision: int = 1) -> str:
+    """Render an ``x → y`` mapping (e.g. batch size → IPS) as one line."""
+    parts = [f"{x}: {_format_value(y, precision)}" for x, y in series.items()]
+    prefix = f"{name}  " if name else ""
+    return prefix + ", ".join(parts)
+
+
+def format_breakdown(breakdown: Mapping[str, float], unit: str = "ms", scale: float = 1e3, precision: int = 2) -> str:
+    """Render a per-component breakdown (e.g. the Fig. 9a time components)."""
+    parts = [f"{key}={value * scale:.{precision}f}{unit}" for key, value in breakdown.items()]
+    total = sum(breakdown.values()) * scale
+    parts.append(f"total={total:.{precision}f}{unit}")
+    return ", ".join(parts)
+
+
+def format_curve(timesteps: Iterable[int], returns: Iterable[float], label: str = "", precision: int = 1) -> str:
+    """Render a learning curve as ``label: t1:r1 t2:r2 …``."""
+    points = " ".join(
+        f"{int(t)}:{_format_value(float(r), precision)}" for t, r in zip(timesteps, returns)
+    )
+    return f"{label}: {points}" if label else points
+
+
+def rows_to_csv(rows: Sequence[Mapping[str, object]]) -> str:
+    """Render dict rows as CSV text (no external dependency)."""
+    if not rows:
+        return ""
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    lines = [",".join(columns)]
+    for row in rows:
+        lines.append(",".join(str(row.get(column, "")) for column in columns))
+    return "\n".join(lines)
+
+
+def summarize_speedups(candidate: Dict[int, float], baseline: Dict[int, float]) -> Dict[int, float]:
+    """Per-batch speedup of one IPS sweep over another."""
+    speedups: Dict[int, float] = {}
+    for batch, value in candidate.items():
+        if batch in baseline and baseline[batch] > 0:
+            speedups[batch] = value / baseline[batch]
+    return speedups

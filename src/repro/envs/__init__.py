@@ -1,0 +1,48 @@
+"""Continuous-control environments emulated on the host CPU.
+
+These are synthetic stand-ins for the MuJoCo locomotion benchmarks the paper
+uses (HalfCheetah, Hopper, Swimmer), preserving their state/action
+dimensionality, reward structure, and episode semantics.
+"""
+
+from .base import Environment, StepResult
+from .halfcheetah import HalfCheetahEnv
+from .hopper import HopperEnv
+from .locomotion import LocomotionConfig, LocomotionEnv
+from .registry import (
+    BENCHMARK_SUITE,
+    available_benchmarks,
+    benchmark_dimensions,
+    make,
+    register,
+)
+from .spaces import Box
+from .swimmer import SwimmerEnv
+from .wrappers import (
+    ActionRepeat,
+    EnvironmentWrapper,
+    EpisodeStatistics,
+    ObservationNormalizer,
+    RewardScaler,
+)
+
+__all__ = [
+    "Environment",
+    "StepResult",
+    "Box",
+    "LocomotionConfig",
+    "LocomotionEnv",
+    "HalfCheetahEnv",
+    "HopperEnv",
+    "SwimmerEnv",
+    "make",
+    "register",
+    "available_benchmarks",
+    "benchmark_dimensions",
+    "BENCHMARK_SUITE",
+    "EnvironmentWrapper",
+    "ObservationNormalizer",
+    "ActionRepeat",
+    "RewardScaler",
+    "EpisodeStatistics",
+]

@@ -1,0 +1,116 @@
+"""Environment interface for the host-CPU side of the FIXAR platform.
+
+In the paper the host CPU runs the MuJoCo environment: it receives the
+action computed on the FPGA, advances the physics, computes the reward, and
+hands the next state (plus a sampled replay batch) back to the accelerator.
+This module defines the minimal environment API those components need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .spaces import Box
+
+__all__ = ["StepResult", "Environment"]
+
+
+@dataclass(frozen=True)
+class StepResult:
+    """The outcome of one environment step."""
+
+    observation: np.ndarray
+    reward: float
+    done: bool
+    info: dict
+
+    def __iter__(self):
+        """Allow ``obs, reward, done, info = env.step(action)`` unpacking."""
+        return iter((self.observation, self.reward, self.done, self.info))
+
+
+class Environment:
+    """Base class for continuous-control environments.
+
+    Subclasses must set :attr:`observation_space` and :attr:`action_space`
+    and implement :meth:`_reset` and :meth:`_step`.
+    """
+
+    observation_space: Box
+    action_space: Box
+
+    #: Episode length used by the paper's evaluation (1000 timesteps).
+    max_episode_steps: int = 1000
+
+    #: Benchmark name (for registries and reports).
+    name: str = "environment"
+
+    def __init__(self, seed: Optional[int] = None):
+        self._rng = np.random.default_rng(seed)
+        self._elapsed_steps = 0
+        self._needs_reset = True
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def seed(self, seed: Optional[int]) -> None:
+        """Re-seed the environment's random number generator."""
+        self._rng = np.random.default_rng(seed)
+
+    def reset(self) -> np.ndarray:
+        """Start a new episode and return the initial observation."""
+        self._elapsed_steps = 0
+        self._needs_reset = False
+        observation = self._reset()
+        return np.asarray(observation, dtype=np.float64)
+
+    def step(self, action: np.ndarray) -> StepResult:
+        """Advance the environment by one timestep.
+
+        The action is clipped into the action space before being applied,
+        matching how the platform saturates the actor's noisy output.
+        """
+        if self._needs_reset:
+            raise RuntimeError(
+                f"{self.name}: step() called before reset() or after the episode ended"
+            )
+        action = self.action_space.clip(np.asarray(action, dtype=np.float64).ravel())
+        observation, reward, done, info = self._step(action)
+        self._elapsed_steps += 1
+        truncated = self._elapsed_steps >= self.max_episode_steps
+        done = bool(done or truncated)
+        if done:
+            self._needs_reset = True
+        info = dict(info)
+        info.setdefault("truncated", truncated and not info.get("terminated", False))
+        return StepResult(np.asarray(observation, dtype=np.float64), float(reward), done, info)
+
+    # ------------------------------------------------------------------ #
+    # Introspection helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def state_dim(self) -> int:
+        """Observation dimensionality (the paper's "state" size)."""
+        return self.observation_space.dim
+
+    @property
+    def action_dim(self) -> int:
+        """Action dimensionality."""
+        return self.action_space.dim
+
+    @property
+    def elapsed_steps(self) -> int:
+        """Steps taken in the current episode."""
+        return self._elapsed_steps
+
+    # ------------------------------------------------------------------ #
+    # Subclass hooks
+    # ------------------------------------------------------------------ #
+    def _reset(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def _step(self, action: np.ndarray) -> Tuple[np.ndarray, float, bool, dict]:
+        raise NotImplementedError

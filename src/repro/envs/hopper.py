@@ -1,0 +1,42 @@
+"""Hopper-like benchmark (11-dimensional state, 6-dimensional action).
+
+The paper describes the Hopper benchmark as having an 11-dimensional state
+and a 6-dimensional action.  (The stock MuJoCo Hopper exposes 3 actuators;
+we follow the paper's stated dimensions so the accelerator workloads have
+the same matrix shapes as in the evaluation.)  Hopper terminates the episode
+when the agent falls over, which the synthetic model reproduces with a
+posture-norm fall threshold and an alive bonus.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .locomotion import LocomotionConfig, LocomotionEnv
+
+__all__ = ["HopperEnv"]
+
+
+class HopperEnv(LocomotionEnv):
+    """Synthetic Hopper: hop forward without falling over."""
+
+    STATE_DIM = 11
+    ACTION_DIM = 6
+
+    def __init__(self, seed: Optional[int] = None, max_episode_steps: int = 1000):
+        config = LocomotionConfig(
+            state_dim=self.STATE_DIM,
+            action_dim=self.ACTION_DIM,
+            gain=2.0,
+            damping=0.25,
+            control_cost=0.001,
+            posture_dim=4,
+            posture_coupling=0.5,
+            posture_decay=0.92,
+            fall_threshold=1.3,
+            fall_penalty=1.0,
+            alive_bonus=1.0,
+            max_episode_steps=max_episode_steps,
+            structure_seed=11,
+        )
+        super().__init__(config, seed=seed, name="Hopper")

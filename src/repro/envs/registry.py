@@ -1,0 +1,57 @@
+"""Benchmark registry: build environments by name.
+
+The paper evaluates on three MuJoCo locomotion benchmarks; this registry
+exposes them (and the generic parametric locomotion task) through a single
+``make`` factory so training scripts, benchmarks, and the platform model can
+select workloads by name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from .base import Environment
+from .halfcheetah import HalfCheetahEnv
+from .hopper import HopperEnv
+from .swimmer import SwimmerEnv
+
+__all__ = ["make", "register", "available_benchmarks", "BENCHMARK_SUITE", "benchmark_dimensions"]
+
+_REGISTRY: Dict[str, Callable[..., Environment]] = {}
+
+#: The three benchmarks used throughout the paper's evaluation.
+BENCHMARK_SUITE = ("HalfCheetah", "Hopper", "Swimmer")
+
+
+def register(name: str, factory: Callable[..., Environment]) -> None:
+    """Register an environment factory under a (case-insensitive) name."""
+    key = name.lower()
+    if key in _REGISTRY:
+        raise ValueError(f"benchmark {name!r} is already registered")
+    _REGISTRY[key] = factory
+
+
+def make(name: str, seed: Optional[int] = None, **kwargs) -> Environment:
+    """Instantiate a registered benchmark environment by name."""
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {sorted(available_benchmarks())}"
+        )
+    return _REGISTRY[key](seed=seed, **kwargs)
+
+
+def available_benchmarks() -> List[str]:
+    """Names of all registered benchmarks."""
+    return sorted(_REGISTRY)
+
+
+def benchmark_dimensions(name: str) -> Dict[str, int]:
+    """State / action dimensionality of a benchmark without instantiating it fully."""
+    env = make(name)
+    return {"state_dim": env.state_dim, "action_dim": env.action_dim}
+
+
+register("HalfCheetah", HalfCheetahEnv)
+register("Hopper", HopperEnv)
+register("Swimmer", SwimmerEnv)

@@ -1,0 +1,74 @@
+"""Observation and action spaces for the continuous-control environments.
+
+Only box (bounded real-vector) spaces are needed: the paper's benchmarks all
+target continuous action spaces with per-dimension bounds of ±1 for actions
+and unbounded observations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Box"]
+
+
+class Box:
+    """A bounded (or unbounded) real-valued vector space."""
+
+    def __init__(self, low, high, shape=None, dtype=np.float64):
+        if shape is None:
+            low_arr = np.asarray(low, dtype=dtype)
+            high_arr = np.asarray(high, dtype=dtype)
+            if low_arr.shape != high_arr.shape:
+                raise ValueError(
+                    f"low shape {low_arr.shape} != high shape {high_arr.shape}"
+                )
+            shape = low_arr.shape
+        else:
+            shape = tuple(shape)
+            low_arr = np.full(shape, low, dtype=dtype)
+            high_arr = np.full(shape, high, dtype=dtype)
+        if np.any(low_arr > high_arr):
+            raise ValueError("low must not exceed high anywhere")
+        self.low = low_arr
+        self.high = high_arr
+        self.shape = shape
+        self.dtype = dtype
+
+    @property
+    def dim(self) -> int:
+        """Number of scalar components in the space."""
+        return int(np.prod(self.shape)) if self.shape else 1
+
+    @property
+    def bounded(self) -> bool:
+        """Whether every dimension has finite bounds."""
+        return bool(np.all(np.isfinite(self.low)) and np.all(np.isfinite(self.high)))
+
+    def contains(self, value) -> bool:
+        """Whether ``value`` lies inside the box (inclusive bounds)."""
+        arr = np.asarray(value, dtype=self.dtype)
+        if arr.shape != self.shape:
+            return False
+        return bool(np.all(arr >= self.low) and np.all(arr <= self.high))
+
+    def clip(self, value) -> np.ndarray:
+        """Clip a value into the box."""
+        return np.clip(np.asarray(value, dtype=self.dtype), self.low, self.high)
+
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        """Uniform sample from the box (standard normal if unbounded)."""
+        if self.bounded:
+            return rng.uniform(self.low, self.high).astype(self.dtype)
+        return rng.standard_normal(self.shape).astype(self.dtype)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Box)
+            and self.shape == other.shape
+            and np.array_equal(self.low, other.low)
+            and np.array_equal(self.high, other.high)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Box(shape={self.shape}, low={self.low.min()}, high={self.high.max()})"

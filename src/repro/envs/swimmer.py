@@ -1,0 +1,39 @@
+"""Swimmer-like benchmark (8-dimensional state, 2-dimensional action).
+
+The paper's Swimmer benchmark has an 8-dimensional state and a 2-dimensional
+action.  Swimmer never falls; its dynamics are more heavily damped than
+HalfCheetah's (a swimmer coasts slowly), so the achievable reward level is
+lower — consistent with the modest Swimmer returns typical of DDPG.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .locomotion import LocomotionConfig, LocomotionEnv
+
+__all__ = ["SwimmerEnv"]
+
+
+class SwimmerEnv(LocomotionEnv):
+    """Synthetic Swimmer: undulate forward through a viscous medium."""
+
+    STATE_DIM = 8
+    ACTION_DIM = 2
+
+    def __init__(self, seed: Optional[int] = None, max_episode_steps: int = 1000):
+        config = LocomotionConfig(
+            state_dim=self.STATE_DIM,
+            action_dim=self.ACTION_DIM,
+            gain=0.5,
+            damping=0.15,
+            control_cost=0.0001,
+            posture_dim=3,
+            posture_coupling=0.2,
+            posture_decay=0.95,
+            fall_threshold=None,
+            alive_bonus=0.0,
+            max_episode_steps=max_episode_steps,
+            structure_seed=8,
+        )
+        super().__init__(config, seed=seed, name="Swimmer")

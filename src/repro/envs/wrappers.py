@@ -1,0 +1,179 @@
+"""Environment wrappers: the host-side plumbing around the raw benchmarks.
+
+Real DDPG deployments wrap the environment with a few standard utilities —
+running observation normalization, action repeat ("frame skip"), reward
+scaling, and episode statistics.  These wrappers follow the same
+:class:`~repro.envs.base.Environment` interface, so anything that accepts an
+environment (the training loop, the co-simulation, the platform model's
+calibration) accepts a wrapped one too.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .base import Environment, StepResult
+
+__all__ = [
+    "EnvironmentWrapper",
+    "ObservationNormalizer",
+    "ActionRepeat",
+    "RewardScaler",
+    "EpisodeStatistics",
+]
+
+
+class EnvironmentWrapper(Environment):
+    """Base wrapper delegating everything to the wrapped environment."""
+
+    def __init__(self, env: Environment):
+        super().__init__(seed=None)
+        self.env = env
+        self.observation_space = env.observation_space
+        self.action_space = env.action_space
+        self.max_episode_steps = env.max_episode_steps
+        self.name = env.name
+
+    def seed(self, seed: Optional[int]) -> None:
+        self.env.seed(seed)
+
+    def reset(self) -> np.ndarray:
+        self._elapsed_steps = 0
+        self._needs_reset = False
+        return self._reset()
+
+    def step(self, action: np.ndarray) -> StepResult:
+        result = self._wrapped_step(action)
+        self._elapsed_steps = self.env.elapsed_steps
+        if result.done:
+            self._needs_reset = True
+        return result
+
+    # Subclass hooks ----------------------------------------------------- #
+    def _reset(self) -> np.ndarray:
+        return self.env.reset()
+
+    def _wrapped_step(self, action: np.ndarray) -> StepResult:
+        return self.env.step(action)
+
+
+class ObservationNormalizer(EnvironmentWrapper):
+    """Normalizes observations with running mean/variance (Welford update).
+
+    Fixed-point training is sensitive to the activation range; normalizing
+    observations keeps the first layer's inputs within a narrow, predictable
+    band, which tightens the captured quantization range.
+    """
+
+    def __init__(self, env: Environment, epsilon: float = 1e-8, clip: float = 10.0):
+        super().__init__(env)
+        if epsilon <= 0 or clip <= 0:
+            raise ValueError("epsilon and clip must be positive")
+        self.epsilon = epsilon
+        self.clip = clip
+        self._count = 0
+        self._mean = np.zeros(env.state_dim)
+        self._m2 = np.zeros(env.state_dim)
+
+    def _update(self, observation: np.ndarray) -> None:
+        self._count += 1
+        delta = observation - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (observation - self._mean)
+
+    @property
+    def running_mean(self) -> np.ndarray:
+        return self._mean.copy()
+
+    @property
+    def running_std(self) -> np.ndarray:
+        if self._count < 2:
+            return np.ones_like(self._mean)
+        return np.sqrt(self._m2 / (self._count - 1) + self.epsilon)
+
+    def normalize(self, observation: np.ndarray) -> np.ndarray:
+        normalized = (observation - self._mean) / (self.running_std + self.epsilon)
+        return np.clip(normalized, -self.clip, self.clip)
+
+    def _reset(self) -> np.ndarray:
+        observation = self.env.reset()
+        self._update(observation)
+        return self.normalize(observation)
+
+    def _wrapped_step(self, action: np.ndarray) -> StepResult:
+        result = self.env.step(action)
+        self._update(result.observation)
+        return StepResult(self.normalize(result.observation), result.reward, result.done, result.info)
+
+
+class ActionRepeat(EnvironmentWrapper):
+    """Repeats each action for ``repeat`` physics steps, summing rewards.
+
+    Action repeat lowers the host-CPU control rate (fewer policy inferences
+    per simulated second) — a common knob when the environment step is the
+    platform bottleneck, as it is at small batch sizes in Fig. 9.
+    """
+
+    def __init__(self, env: Environment, repeat: int = 2):
+        super().__init__(env)
+        if repeat < 1:
+            raise ValueError(f"repeat must be >= 1, got {repeat}")
+        self.repeat = repeat
+
+    def _wrapped_step(self, action: np.ndarray) -> StepResult:
+        total_reward = 0.0
+        result: Optional[StepResult] = None
+        for _ in range(self.repeat):
+            result = self.env.step(action)
+            total_reward += result.reward
+            if result.done:
+                break
+        assert result is not None
+        return StepResult(result.observation, total_reward, result.done, result.info)
+
+
+class RewardScaler(EnvironmentWrapper):
+    """Scales rewards by a constant (keeps TD targets in fixed-point range)."""
+
+    def __init__(self, env: Environment, scale: float):
+        super().__init__(env)
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        self.scale = scale
+
+    def _wrapped_step(self, action: np.ndarray) -> StepResult:
+        result = self.env.step(action)
+        return StepResult(result.observation, result.reward * self.scale, result.done, result.info)
+
+
+class EpisodeStatistics(EnvironmentWrapper):
+    """Records per-episode returns and lengths (host-side bookkeeping)."""
+
+    def __init__(self, env: Environment):
+        super().__init__(env)
+        self.episode_returns: list = []
+        self.episode_lengths: list = []
+        self._current_return = 0.0
+        self._current_length = 0
+
+    def _reset(self) -> np.ndarray:
+        self._current_return = 0.0
+        self._current_length = 0
+        return self.env.reset()
+
+    def _wrapped_step(self, action: np.ndarray) -> StepResult:
+        result = self.env.step(action)
+        self._current_return += result.reward
+        self._current_length += 1
+        if result.done:
+            self.episode_returns.append(self._current_return)
+            self.episode_lengths.append(self._current_length)
+        return result
+
+    def statistics(self) -> Tuple[float, float]:
+        """Mean episode return and mean episode length so far."""
+        if not self.episode_returns:
+            return float("nan"), float("nan")
+        return float(np.mean(self.episode_returns)), float(np.mean(self.episode_lengths))

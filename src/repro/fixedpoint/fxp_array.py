@@ -1,0 +1,180 @@
+"""Fixed-point tensors backed by integer numpy arrays.
+
+``FxpArray`` is the software model of the data the FIXAR accelerator moves
+through its datapath: every element is an integer raw code interpreted under
+a :class:`~repro.fixedpoint.qformat.QFormat`.  All arithmetic is carried out
+on the integer codes (with explicit re-quantization), so results match what
+fixed-point hardware would produce, including rounding and saturation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from .qformat import QFormat
+
+__all__ = ["FxpArray"]
+
+
+class FxpArray:
+    """A numpy-backed fixed-point tensor.
+
+    The raw integer codes are stored as ``int64``; the logical word length is
+    enforced through saturation whenever a new array is produced.
+    """
+
+    __slots__ = ("raw", "fmt")
+
+    def __init__(self, raw: np.ndarray, fmt: QFormat, *, validate: bool = True):
+        raw = np.asarray(raw, dtype=np.int64)
+        if validate:
+            raw = fmt.clip_raw(raw)
+        self.raw = raw
+        self.fmt = fmt
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_float(cls, values: np.ndarray | float | Iterable, fmt: QFormat) -> "FxpArray":
+        """Quantize real values into a fixed-point array."""
+        return cls(fmt.to_raw(values), fmt, validate=False)
+
+    @classmethod
+    def zeros(cls, shape, fmt: QFormat) -> "FxpArray":
+        """An all-zero fixed-point array of the given shape."""
+        return cls(np.zeros(shape, dtype=np.int64), fmt, validate=False)
+
+    @classmethod
+    def from_raw(cls, raw: np.ndarray, fmt: QFormat) -> "FxpArray":
+        """Wrap existing raw codes (saturating them into range)."""
+        return cls(raw, fmt, validate=True)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self):
+        return self.raw.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.raw.ndim
+
+    @property
+    def size(self) -> int:
+        return int(self.raw.size)
+
+    @property
+    def nbytes(self) -> int:
+        """Storage footprint at the logical word length (not int64)."""
+        return self.size * self.fmt.word_length // 8
+
+    def to_float(self) -> np.ndarray:
+        """Real-valued view of the array."""
+        return self.fmt.from_raw(self.raw)
+
+    def copy(self) -> "FxpArray":
+        return FxpArray(self.raw.copy(), self.fmt, validate=False)
+
+    def __len__(self) -> int:
+        return len(self.raw)
+
+    def __getitem__(self, idx) -> "FxpArray":
+        return FxpArray(self.raw[idx], self.fmt, validate=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FxpArray(shape={self.shape}, fmt={self.fmt})"
+
+    # ------------------------------------------------------------------ #
+    # Format conversion
+    # ------------------------------------------------------------------ #
+    def requantize(self, fmt: QFormat) -> "FxpArray":
+        """Convert to another format, shifting the binary point.
+
+        The conversion rounds to nearest when precision is lost and saturates
+        when the new format's range is narrower, exactly as the accelerator's
+        down-scaling path does when activations drop from 32 to 16 bits.
+        """
+        if fmt == self.fmt:
+            return self.copy()
+        shift = fmt.frac_bits - self.fmt.frac_bits
+        if shift >= 0:
+            raw = self.raw << shift
+        else:
+            # Round-to-nearest on a right shift: add half an LSB before shifting.
+            offset = 1 << (-shift - 1)
+            raw = (self.raw + offset) >> (-shift)
+        return FxpArray(raw, fmt, validate=True)
+
+    # ------------------------------------------------------------------ #
+    # Arithmetic
+    # ------------------------------------------------------------------ #
+    def _coerce(self, other: "FxpArray | float | np.ndarray") -> "FxpArray":
+        if isinstance(other, FxpArray):
+            return other.requantize(self.fmt)
+        return FxpArray.from_float(other, self.fmt)
+
+    def __add__(self, other: "FxpArray | float | np.ndarray") -> "FxpArray":
+        other = self._coerce(other)
+        return FxpArray(self.raw + other.raw, self.fmt, validate=True)
+
+    def __sub__(self, other: "FxpArray | float | np.ndarray") -> "FxpArray":
+        other = self._coerce(other)
+        return FxpArray(self.raw - other.raw, self.fmt, validate=True)
+
+    def __neg__(self) -> "FxpArray":
+        return FxpArray(-self.raw, self.fmt, validate=True)
+
+    def __mul__(self, other: "FxpArray | float | np.ndarray") -> "FxpArray":
+        """Element-wise fixed-point multiply, result in ``self.fmt``.
+
+        The full-precision product has ``self.frac + other.frac`` fraction
+        bits; it is rounded back to ``self.fmt`` like the accelerator's MAC
+        output stage.
+        """
+        other = other if isinstance(other, FxpArray) else FxpArray.from_float(other, self.fmt)
+        product = self.raw * other.raw
+        shift = other.fmt.frac_bits
+        if shift > 0:
+            product = (product + (1 << (shift - 1))) >> shift
+        return FxpArray(product, self.fmt, validate=True)
+
+    def matmul(self, other: "FxpArray", out_fmt: QFormat | None = None) -> "FxpArray":
+        """Fixed-point matrix multiplication.
+
+        Products are accumulated at full precision (int64) and the final sums
+        are re-quantized to ``out_fmt`` (default: ``self.fmt``).  This mirrors
+        the AAP core, whose accumulators are wider than the PE outputs.
+        """
+        out_fmt = out_fmt or self.fmt
+        acc = self.raw @ other.raw  # frac bits: self.frac + other.frac
+        shift = self.fmt.frac_bits + other.fmt.frac_bits - out_fmt.frac_bits
+        if shift > 0:
+            acc = (acc + (1 << (shift - 1))) >> shift
+        elif shift < 0:
+            acc = acc << (-shift)
+        return FxpArray(acc, out_fmt, validate=True)
+
+    def __matmul__(self, other: "FxpArray") -> "FxpArray":
+        return self.matmul(other)
+
+    # ------------------------------------------------------------------ #
+    # Comparisons / reductions (on real values)
+    # ------------------------------------------------------------------ #
+    def min(self) -> float:
+        return float(self.to_float().min())
+
+    def max(self) -> float:
+        return float(self.to_float().max())
+
+    def abs_max(self) -> float:
+        return float(np.abs(self.to_float()).max())
+
+    def allclose(self, other: "FxpArray | np.ndarray", atol: float | None = None) -> bool:
+        """Whether the real values agree within one LSB (by default)."""
+        atol = self.fmt.resolution if atol is None else atol
+        other_vals = other.to_float() if isinstance(other, FxpArray) else np.asarray(other)
+        return bool(np.allclose(self.to_float(), other_vals, atol=atol))

@@ -1,0 +1,47 @@
+"""Minimal neural-network substrate used by the FIXAR reproduction.
+
+Provides dense layers with explicit forward/backward passes, the paper's
+actor and critic network builders, MSE / policy-gradient losses, Adam / SGD
+optimizers, and pluggable numeric policies (floating point, static fixed
+point, and FIXAR's dynamic dual fixed point).
+"""
+
+from .initializers import fan_in_uniform, uniform, zeros
+from .layers import Layer, Linear, ReLU, Tanh
+from .losses import huber_loss, mse_loss, policy_gradient_loss
+from .network import DEFAULT_HIDDEN_SIZES, MLP, build_actor, build_critic
+from .numerics import (
+    DynamicFixedPointNumerics,
+    FixedPointNumerics,
+    FloatNumerics,
+    Numerics,
+)
+from .optim import SGD, Adam, Optimizer
+from .quantized import REGIMES, make_numerics, regime_names
+
+__all__ = [
+    "Layer",
+    "Linear",
+    "ReLU",
+    "Tanh",
+    "MLP",
+    "build_actor",
+    "build_critic",
+    "DEFAULT_HIDDEN_SIZES",
+    "mse_loss",
+    "huber_loss",
+    "policy_gradient_loss",
+    "Adam",
+    "SGD",
+    "Optimizer",
+    "Numerics",
+    "FloatNumerics",
+    "FixedPointNumerics",
+    "DynamicFixedPointNumerics",
+    "make_numerics",
+    "regime_names",
+    "REGIMES",
+    "fan_in_uniform",
+    "uniform",
+    "zeros",
+]

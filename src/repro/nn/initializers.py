@@ -1,0 +1,40 @@
+"""Weight initializers used by the DDPG actor and critic networks.
+
+DDPG (Lillicrap et al., 2015) initialises hidden layers with the fan-in
+uniform rule ``U(-1/sqrt(fan_in), 1/sqrt(fan_in))`` and the final layer with
+a small uniform range so the initial policy outputs and Q-value estimates are
+near zero.  The paper's networks follow the same recipe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["fan_in_uniform", "uniform", "zeros"]
+
+
+def fan_in_uniform(shape: tuple, rng: np.random.Generator) -> np.ndarray:
+    """Fan-in uniform initialisation ``U(-1/sqrt(fan_in), 1/sqrt(fan_in))``.
+
+    ``shape`` is ``(fan_in, fan_out)`` for a dense weight matrix or
+    ``(fan_out,)`` for a bias, in which case the bound defaults to the bias
+    vector length (matching the common DDPG implementation).
+    """
+    fan_in = shape[0]
+    bound = 1.0 / np.sqrt(fan_in) if fan_in > 0 else 0.0
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def uniform(low: float, high: float):
+    """A uniform initializer factory with a fixed range."""
+
+    def init(shape: tuple, rng: np.random.Generator) -> np.ndarray:
+        return rng.uniform(low, high, size=shape)
+
+    return init
+
+
+def zeros(shape: tuple, rng: np.random.Generator) -> np.ndarray:
+    """All-zero initialisation (used for biases of output layers)."""
+    del rng
+    return np.zeros(shape, dtype=np.float64)

@@ -1,0 +1,163 @@
+"""Network layers with explicit forward and backward passes.
+
+The FIXAR accelerator schedules forward propagation (FP), backward
+propagation (BP), and weight update (WU) as separate phases over the same
+matrix-vector hardware, so the software model mirrors that structure: each
+layer exposes ``forward`` and ``backward`` explicitly instead of relying on
+an autograd engine.  All tensors are batch-major: inputs have shape
+``(batch, features)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from .initializers import fan_in_uniform
+from .numerics import Numerics
+
+__all__ = ["Layer", "Linear", "ReLU", "Tanh"]
+
+Initializer = Callable[[tuple, np.random.Generator], np.ndarray]
+
+
+class Layer:
+    """Base class for layers.
+
+    Layers with parameters expose them through :meth:`parameters` and their
+    accumulated gradients through :meth:`gradients`; parameter-free layers
+    return empty dictionaries.
+    """
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def parameters(self) -> Dict[str, np.ndarray]:
+        return {}
+
+    def gradients(self) -> Dict[str, np.ndarray]:
+        return {}
+
+    def zero_grad(self) -> None:
+        """Reset accumulated gradients to zero."""
+
+    @property
+    def output_dim(self) -> Optional[int]:
+        """Output feature dimension, if the layer changes it."""
+        return None
+
+
+class Linear(Layer):
+    """A dense layer ``y = x @ W + b`` with explicit backward pass.
+
+    The weight matrix is stored as ``(in_features, out_features)``, matching
+    the accelerator's weight-memory layout where each matrix row is spread
+    over 16 BRAM modules.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        *,
+        rng: np.random.Generator,
+        weight_init: Optional[Initializer] = None,
+        bias_init: Optional[Initializer] = None,
+        numerics: Optional[Numerics] = None,
+        name: str = "linear",
+    ):
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError(
+                f"layer dimensions must be positive, got {in_features}x{out_features}"
+            )
+        weight_init = weight_init or fan_in_uniform
+        bias_init = bias_init or fan_in_uniform
+        self.in_features = in_features
+        self.out_features = out_features
+        self.name = name
+        self.numerics = numerics or Numerics()
+        self.weight = weight_init((in_features, out_features), rng)
+        self.bias = bias_init((out_features,), rng)
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+        self._inputs: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        inputs = np.atleast_2d(np.asarray(inputs, dtype=np.float64))
+        if inputs.shape[1] != self.in_features:
+            raise ValueError(
+                f"{self.name}: expected {self.in_features} input features, "
+                f"got {inputs.shape[1]}"
+            )
+        self._inputs = inputs
+        weight = self.numerics.project_weight(self.weight)
+        bias = self.numerics.project_weight(self.bias)
+        return inputs @ weight + bias
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._inputs is None:
+            raise RuntimeError(f"{self.name}: backward called before forward")
+        grad_output = np.atleast_2d(np.asarray(grad_output, dtype=np.float64))
+        grad_output = self.numerics.project_gradient(grad_output)
+        weight = self.numerics.project_weight(self.weight)
+        self.grad_weight += self.numerics.project_gradient(self._inputs.T @ grad_output)
+        self.grad_bias += self.numerics.project_gradient(grad_output.sum(axis=0))
+        return grad_output @ weight.T
+
+    # ------------------------------------------------------------------ #
+    def parameters(self) -> Dict[str, np.ndarray]:
+        return {f"{self.name}.weight": self.weight, f"{self.name}.bias": self.bias}
+
+    def gradients(self) -> Dict[str, np.ndarray]:
+        return {f"{self.name}.weight": self.grad_weight, f"{self.name}.bias": self.grad_bias}
+
+    def zero_grad(self) -> None:
+        self.grad_weight[...] = 0.0
+        self.grad_bias[...] = 0.0
+
+    @property
+    def output_dim(self) -> int:
+        return self.out_features
+
+    @property
+    def parameter_count(self) -> int:
+        """Number of scalar parameters (weights plus biases)."""
+        return self.weight.size + self.bias.size
+
+
+class ReLU(Layer):
+    """Rectified linear unit."""
+
+    def __init__(self) -> None:
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        self._mask = inputs > 0.0
+        return inputs * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("ReLU: backward called before forward")
+        return np.asarray(grad_output, dtype=np.float64) * self._mask
+
+
+class Tanh(Layer):
+    """Hyperbolic tangent, used on the actor's output to bound actions."""
+
+    def __init__(self) -> None:
+        self._output: Optional[np.ndarray] = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        self._output = np.tanh(np.asarray(inputs, dtype=np.float64))
+        return self._output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._output is None:
+            raise RuntimeError("Tanh: backward called before forward")
+        return np.asarray(grad_output, dtype=np.float64) * (1.0 - self._output ** 2)

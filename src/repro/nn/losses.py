@@ -1,0 +1,66 @@
+"""Loss functions with explicit gradients.
+
+Only two objectives are needed for DDPG: a mean-squared error for the
+critic's temporal-difference regression and the deterministic policy
+gradient objective for the actor (which maximises the critic's Q-value, so
+its "loss" is the negative mean Q).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["mse_loss", "policy_gradient_loss", "huber_loss"]
+
+
+def mse_loss(prediction: np.ndarray, target: np.ndarray) -> Tuple[float, np.ndarray]:
+    """Mean squared error and its gradient w.r.t. the prediction.
+
+    Returns ``(loss, grad)`` where ``grad`` has the prediction's shape and is
+    already normalised by the batch size.
+    """
+    prediction = np.asarray(prediction, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if prediction.shape != target.shape:
+        raise ValueError(
+            f"prediction shape {prediction.shape} != target shape {target.shape}"
+        )
+    diff = prediction - target
+    count = max(prediction.size, 1)
+    loss = float(np.sum(diff ** 2) / count)
+    grad = 2.0 * diff / count
+    return loss, grad
+
+
+def huber_loss(
+    prediction: np.ndarray, target: np.ndarray, delta: float = 1.0
+) -> Tuple[float, np.ndarray]:
+    """Huber loss and its gradient (optional robust alternative to MSE)."""
+    prediction = np.asarray(prediction, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if prediction.shape != target.shape:
+        raise ValueError(
+            f"prediction shape {prediction.shape} != target shape {target.shape}"
+        )
+    diff = prediction - target
+    abs_diff = np.abs(diff)
+    quadratic = abs_diff <= delta
+    count = max(prediction.size, 1)
+    loss_terms = np.where(quadratic, 0.5 * diff ** 2, delta * (abs_diff - 0.5 * delta))
+    grad = np.where(quadratic, diff, delta * np.sign(diff)) / count
+    return float(np.sum(loss_terms) / count), grad
+
+
+def policy_gradient_loss(q_values: np.ndarray) -> Tuple[float, np.ndarray]:
+    """Deterministic policy gradient objective: ``loss = -mean(Q)``.
+
+    Returns the loss and its gradient w.r.t. the Q-values, which is then
+    back-propagated through the critic and into the actor's actions.
+    """
+    q_values = np.asarray(q_values, dtype=np.float64)
+    count = max(q_values.size, 1)
+    loss = float(-np.mean(q_values))
+    grad = -np.ones_like(q_values) / count
+    return loss, grad

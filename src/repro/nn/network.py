@@ -1,0 +1,196 @@
+"""Multi-layer perceptron container and the paper's actor / critic builders.
+
+Both FIXAR networks are small MLPs:
+
+* actor:  state → 400 → 300 → action, ReLU hidden activations, tanh output;
+* critic: (state ‖ action) → 400 → 300 → 1, ReLU hidden activations, linear
+  output.
+
+The :class:`MLP` applies the numeric policy's activation projection after
+every layer, which is where the quantization-aware training hook lives.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .initializers import fan_in_uniform, uniform
+from .layers import Layer, Linear, ReLU, Tanh
+from .numerics import Numerics
+
+__all__ = ["MLP", "build_actor", "build_critic", "DEFAULT_HIDDEN_SIZES"]
+
+#: Hidden layer widths used throughout the paper.
+DEFAULT_HIDDEN_SIZES: Tuple[int, int] = (400, 300)
+
+
+class MLP:
+    """A sequential network with explicit forward / backward passes.
+
+    Parameters
+    ----------
+    layers:
+        The layer sequence (alternating ``Linear`` and activation layers).
+    numerics:
+        Numeric policy applied to every layer's output activation and shared
+        with the dense layers for weight / gradient projection.
+    """
+
+    def __init__(self, layers: Sequence[Layer], numerics: Optional[Numerics] = None):
+        if not layers:
+            raise ValueError("an MLP needs at least one layer")
+        self.layers: List[Layer] = list(layers)
+        self.numerics = numerics or Numerics()
+        for layer in self.layers:
+            if isinstance(layer, Linear):
+                layer.numerics = self.numerics
+
+    # ------------------------------------------------------------------ #
+    # Propagation
+    # ------------------------------------------------------------------ #
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        """Forward propagation with per-layer activation projection."""
+        activation = np.atleast_2d(np.asarray(inputs, dtype=np.float64))
+        for layer in self.layers:
+            activation = layer.forward(activation)
+            self.numerics.observe_activation(activation)
+            activation = self.numerics.project_activation(activation)
+        return activation
+
+    def __call__(self, inputs: np.ndarray) -> np.ndarray:
+        return self.forward(inputs)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Backward propagation; returns the gradient w.r.t. the inputs."""
+        gradient = np.atleast_2d(np.asarray(grad_output, dtype=np.float64))
+        for layer in reversed(self.layers):
+            gradient = layer.backward(gradient)
+            gradient = self.numerics.project_gradient(gradient)
+        return gradient
+
+    # ------------------------------------------------------------------ #
+    # Parameter management
+    # ------------------------------------------------------------------ #
+    def parameters(self) -> Dict[str, np.ndarray]:
+        params: Dict[str, np.ndarray] = {}
+        for index, layer in enumerate(self.layers):
+            for name, value in layer.parameters().items():
+                params[f"{index}.{name}"] = value
+        return params
+
+    def gradients(self) -> Dict[str, np.ndarray]:
+        grads: Dict[str, np.ndarray] = {}
+        for index, layer in enumerate(self.layers):
+            for name, value in layer.gradients().items():
+                grads[f"{index}.{name}"] = value
+        return grads
+
+    def zero_grad(self) -> None:
+        for layer in self.layers:
+            layer.zero_grad()
+
+    def set_parameters(self, params: Dict[str, np.ndarray]) -> None:
+        """Overwrite parameters in place from a dictionary of the same shape."""
+        current = self.parameters()
+        for name, value in params.items():
+            if name not in current:
+                raise KeyError(f"unknown parameter {name!r}")
+            if current[name].shape != value.shape:
+                raise ValueError(
+                    f"shape mismatch for {name!r}: "
+                    f"{current[name].shape} vs {value.shape}"
+                )
+            current[name][...] = value
+
+    def copy_from(self, other: "MLP") -> None:
+        """Hard-copy another network's parameters (used for target networks)."""
+        self.set_parameters(other.parameters())
+
+    def soft_update_from(self, other: "MLP", tau: float) -> None:
+        """Polyak averaging ``theta ← tau * theta_other + (1 - tau) * theta``."""
+        if not 0.0 <= tau <= 1.0:
+            raise ValueError(f"tau must lie in [0, 1], got {tau}")
+        params = self.parameters()
+        source = other.parameters()
+        for name, value in params.items():
+            value[...] = tau * source[name] + (1.0 - tau) * value
+
+    # ------------------------------------------------------------------ #
+    # Model accounting (used by the accelerator memory model)
+    # ------------------------------------------------------------------ #
+    @property
+    def parameter_count(self) -> int:
+        """Total number of scalar parameters."""
+        return sum(v.size for v in self.parameters().values())
+
+    @property
+    def layer_shapes(self) -> List[Tuple[int, int]]:
+        """The (in, out) shape of every dense layer, in order."""
+        return [
+            (layer.in_features, layer.out_features)
+            for layer in self.layers
+            if isinstance(layer, Linear)
+        ]
+
+    def model_size_bytes(self, bits_per_weight: int = 32) -> int:
+        """Storage footprint of all parameters at the given bit width."""
+        return self.parameter_count * bits_per_weight // 8
+
+
+def build_actor(
+    state_dim: int,
+    action_dim: int,
+    hidden_sizes: Sequence[int] = DEFAULT_HIDDEN_SIZES,
+    *,
+    rng: Optional[np.random.Generator] = None,
+    numerics: Optional[Numerics] = None,
+) -> MLP:
+    """The paper's actor network: state → 400 → 300 → action with tanh output."""
+    rng = rng or np.random.default_rng()
+    sizes = [state_dim, *hidden_sizes]
+    layers: List[Layer] = []
+    for index, (fan_in, fan_out) in enumerate(zip(sizes[:-1], sizes[1:])):
+        layers.append(Linear(fan_in, fan_out, rng=rng, name=f"actor_fc{index}"))
+        layers.append(ReLU())
+    layers.append(
+        Linear(
+            sizes[-1],
+            action_dim,
+            rng=rng,
+            weight_init=uniform(-3e-3, 3e-3),
+            bias_init=uniform(-3e-3, 3e-3),
+            name="actor_out",
+        )
+    )
+    layers.append(Tanh())
+    return MLP(layers, numerics=numerics)
+
+
+def build_critic(
+    state_dim: int,
+    action_dim: int,
+    hidden_sizes: Sequence[int] = DEFAULT_HIDDEN_SIZES,
+    *,
+    rng: Optional[np.random.Generator] = None,
+    numerics: Optional[Numerics] = None,
+) -> MLP:
+    """The paper's critic network: (state ‖ action) → 400 → 300 → 1."""
+    rng = rng or np.random.default_rng()
+    sizes = [state_dim + action_dim, *hidden_sizes]
+    layers: List[Layer] = []
+    for index, (fan_in, fan_out) in enumerate(zip(sizes[:-1], sizes[1:])):
+        layers.append(Linear(fan_in, fan_out, rng=rng, name=f"critic_fc{index}"))
+        layers.append(ReLU())
+    layers.append(
+        Linear(
+            sizes[-1],
+            1,
+            rng=rng,
+            weight_init=uniform(-3e-3, 3e-3),
+            bias_init=uniform(-3e-3, 3e-3),
+            name="critic_out",
+        )
+    )
+    return MLP(layers, numerics=numerics)

@@ -1,0 +1,71 @@
+"""Convenience constructors for the numeric regimes studied in the paper.
+
+Fig. 7 compares four training regimes on HalfCheetah:
+
+* ``float32``        — 32-bit floating point (GPU baseline),
+* ``fixed32``        — 32-bit fixed point throughout,
+* ``fixed16``        — 16-bit fixed point from scratch (fails to train),
+* ``fixar-dynamic``  — FIXAR's dynamic dual fixed point (32-bit until the
+  quantization delay, then 16-bit activations).
+
+:func:`make_numerics` builds the matching :class:`~repro.nn.numerics.Numerics`
+policy by name so experiment scripts and benchmarks can sweep regimes with a
+single string parameter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from ..fixedpoint import QFormat
+from .numerics import (
+    DynamicFixedPointNumerics,
+    FixedPointNumerics,
+    FloatNumerics,
+    Numerics,
+)
+
+__all__ = ["REGIMES", "make_numerics", "regime_names"]
+
+#: Names of the supported numeric regimes, in the order the paper plots them.
+REGIMES = ("float32", "fixed32", "fixed16", "fixar-dynamic")
+
+
+def regime_names() -> Iterable[str]:
+    """The regime names accepted by :func:`make_numerics`."""
+    return REGIMES
+
+
+def make_numerics(regime: str, *, num_bits: int = 16) -> Numerics:
+    """Build the numeric policy for a named regime.
+
+    Parameters
+    ----------
+    regime:
+        One of :data:`REGIMES`.
+    num_bits:
+        Quantization bit width used by the dynamic regime (default 16, the
+        paper's value).
+    """
+    regime = regime.lower()
+    builders: Dict[str, object] = {
+        "float32": FloatNumerics,
+        "fixed32": lambda: FixedPointNumerics(
+            weight_format=QFormat(32, 16),
+            activation_format=QFormat(32, 16),
+            gradient_format=QFormat(32, 16),
+            name="fixed32",
+        ),
+        "fixed16": lambda: FixedPointNumerics(
+            weight_format=QFormat(16, 8),
+            activation_format=QFormat(16, 8),
+            gradient_format=QFormat(16, 8),
+            name="fixed16",
+        ),
+        "fixar-dynamic": lambda: DynamicFixedPointNumerics(num_bits=num_bits),
+    }
+    if regime not in builders:
+        raise ValueError(
+            f"unknown numeric regime {regime!r}; expected one of {sorted(builders)}"
+        )
+    return builders[regime]()

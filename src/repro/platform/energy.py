@@ -1,0 +1,103 @@
+"""Training-campaign energy model.
+
+The paper reports instantaneous energy efficiency (IPS/W); this module
+extends that to whole training campaigns: how much energy and wall-clock
+time the FIXAR platform and the CPU-GPU baseline need to run a full
+schedule (e.g. the paper's one million timesteps), given a batch size.  It
+composes the existing timing and power models, so the same calibration
+underlies both views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .fixar_platform import FixarPlatform
+from .gpu_baseline import CpuGpuPlatform
+
+__all__ = ["CampaignEstimate", "estimate_training_campaign"]
+
+#: Average host-CPU package power while running the environment, watts.
+_HOST_CPU_WATTS = 35.0
+
+
+@dataclass(frozen=True)
+class CampaignEstimate:
+    """Time and energy to run one training campaign on one platform."""
+
+    platform: str
+    timesteps: int
+    batch_size: int
+    seconds: float
+    accelerator_energy_joules: float
+    host_energy_joules: float
+
+    @property
+    def hours(self) -> float:
+        return self.seconds / 3600.0
+
+    @property
+    def total_energy_joules(self) -> float:
+        return self.accelerator_energy_joules + self.host_energy_joules
+
+    @property
+    def total_energy_watt_hours(self) -> float:
+        return self.total_energy_joules / 3600.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "platform": self.platform,
+            "timesteps": self.timesteps,
+            "batch_size": self.batch_size,
+            "hours": round(self.hours, 2),
+            "accelerator_energy_Wh": round(self.accelerator_energy_joules / 3600.0, 1),
+            "host_energy_Wh": round(self.host_energy_joules / 3600.0, 1),
+            "total_energy_Wh": round(self.total_energy_watt_hours, 1),
+        }
+
+
+def estimate_training_campaign(
+    platform: FixarPlatform,
+    baseline: CpuGpuPlatform,
+    timesteps: int = 1_000_000,
+    batch_size: int = 64,
+    host_watts: float = _HOST_CPU_WATTS,
+) -> Dict[str, CampaignEstimate]:
+    """Estimate a full training campaign on FIXAR and on the CPU-GPU baseline.
+
+    Returns ``{"fixar": ..., "cpu_gpu": ...}``.  Accelerator energy charges
+    the accelerator only for its own active time; host energy charges the CPU
+    for the whole campaign duration (it orchestrates every timestep).
+    """
+    if timesteps <= 0 or batch_size <= 0:
+        raise ValueError("timesteps and batch_size must be positive")
+    if host_watts <= 0:
+        raise ValueError("host_watts must be positive")
+
+    fixar_step = platform.timestep_seconds(batch_size)
+    fixar_seconds = fixar_step * timesteps
+    fpga_active_seconds = platform.fpga_seconds(batch_size) * timesteps
+    fixar_watts = platform.accelerator_watts(batch_size)
+    fixar = CampaignEstimate(
+        platform="FIXAR (CPU + FPGA)",
+        timesteps=timesteps,
+        batch_size=batch_size,
+        seconds=fixar_seconds,
+        accelerator_energy_joules=fpga_active_seconds * fixar_watts,
+        host_energy_joules=fixar_seconds * host_watts,
+    )
+
+    benchmark = platform.workload.benchmark
+    gpu_step = baseline.timestep_seconds(benchmark, batch_size)
+    gpu_seconds = gpu_step * timesteps
+    gpu_active_seconds = baseline.gpu.timestep_seconds(batch_size) * timesteps
+    cpu_gpu = CampaignEstimate(
+        platform="CPU + GPU",
+        timesteps=timesteps,
+        batch_size=batch_size,
+        seconds=gpu_seconds,
+        accelerator_energy_joules=gpu_active_seconds * baseline.gpu.average_watts(),
+        host_energy_joules=gpu_seconds * host_watts,
+    )
+    return {"fixar": fixar, "cpu_gpu": cpu_gpu}

@@ -1,0 +1,155 @@
+"""End-to-end FIXAR platform model (host CPU + PCIe runtime + FPGA).
+
+One platform timestep follows the paper's Fig. 3 sequence:
+
+1. the host CPU advances the environment with the previous action, stores
+   the transition, and samples a replay batch of B transitions;
+2. the batch and the current state are transferred to the FPGA through the
+   Xilinx run-time over PCIe;
+3. the FPGA trains the critic and actor networks on the batch and runs the
+   actor's inference for the current state;
+4. the selected action returns to the host.
+
+The model composes the host, PCIe, and accelerator timing models to produce
+the Fig. 8 throughput numbers, the Fig. 9 execution-time breakdown, and the
+Fig. 10 accelerator-only comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from ..accelerator import AcceleratorConfig, PowerModel, TimingModel
+from ..nn.network import DEFAULT_HIDDEN_SIZES
+from .host import HostModel
+from .metrics import ips_per_watt
+from .pcie import PcieModel
+
+__all__ = ["WorkloadSpec", "FixarPlatform", "PAPER_BATCH_SIZES"]
+
+#: Batch sizes swept in the paper's evaluation.
+PAPER_BATCH_SIZES = (64, 128, 256, 512)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """The DDPG workload a benchmark presents to the accelerator."""
+
+    benchmark: str
+    state_dim: int
+    action_dim: int
+    hidden_sizes: Sequence[int] = DEFAULT_HIDDEN_SIZES
+
+    @property
+    def actor_shapes(self):
+        """Dense-layer shapes (input, output) of the actor network."""
+        sizes = [self.state_dim, *self.hidden_sizes, self.action_dim]
+        return list(zip(sizes[:-1], sizes[1:]))
+
+    @property
+    def critic_shapes(self):
+        """Dense-layer shapes (input, output) of the critic network."""
+        sizes = [self.state_dim + self.action_dim, *self.hidden_sizes, 1]
+        return list(zip(sizes[:-1], sizes[1:]))
+
+    @classmethod
+    def from_environment(cls, env) -> "WorkloadSpec":
+        """Build the spec from an environment instance."""
+        return cls(benchmark=env.name, state_dim=env.state_dim, action_dim=env.action_dim)
+
+
+class FixarPlatform:
+    """Timing model of the full CPU-FPGA platform."""
+
+    def __init__(
+        self,
+        workload: WorkloadSpec,
+        accelerator_config: Optional[AcceleratorConfig] = None,
+        host: Optional[HostModel] = None,
+        pcie: Optional[PcieModel] = None,
+        half_precision: bool = False,
+    ):
+        self.workload = workload
+        self.accelerator_config = accelerator_config or AcceleratorConfig()
+        self.timing = TimingModel(self.accelerator_config)
+        self.power = PowerModel(self.accelerator_config)
+        self.host = host or HostModel()
+        self.pcie = pcie or PcieModel()
+        self.half_precision = half_precision
+
+    # ------------------------------------------------------------------ #
+    # Per-component times (Fig. 9a)
+    # ------------------------------------------------------------------ #
+    def fpga_seconds(self, batch_size: int) -> float:
+        """FPGA accelerator time of one timestep."""
+        return self.timing.timestep_seconds(
+            self.workload.actor_shapes,
+            self.workload.critic_shapes,
+            batch_size,
+            half_precision=self.half_precision,
+        )
+
+    def runtime_seconds(self, batch_size: int) -> float:
+        """Xilinx run-time / PCIe time of one timestep."""
+        return self.pcie.timestep_seconds(
+            batch_size, self.workload.state_dim, self.workload.action_dim
+        )
+
+    def cpu_seconds(self, batch_size: int) -> float:
+        """Host CPU (environment + replay) time of one timestep."""
+        return self.host.timestep_seconds(self.workload.benchmark, batch_size)
+
+    def timestep_breakdown(self, batch_size: int) -> Dict[str, float]:
+        """Execution-time breakdown of a single timestep (Fig. 9a)."""
+        return {
+            "cpu_environment": self.cpu_seconds(batch_size),
+            "runtime": self.runtime_seconds(batch_size),
+            "fpga": self.fpga_seconds(batch_size),
+        }
+
+    def timestep_ratio(self, batch_size: int) -> Dict[str, float]:
+        """Execution-time *ratio* of each component (Fig. 9b)."""
+        breakdown = self.timestep_breakdown(batch_size)
+        total = sum(breakdown.values())
+        return {name: value / total for name, value in breakdown.items()}
+
+    def timestep_seconds(self, batch_size: int) -> float:
+        """End-to-end time of one platform timestep."""
+        return sum(self.timestep_breakdown(batch_size).values())
+
+    # ------------------------------------------------------------------ #
+    # Throughput and efficiency (Figs. 8 and 10)
+    # ------------------------------------------------------------------ #
+    def platform_ips(self, batch_size: int) -> float:
+        """System-level training throughput (Fig. 8)."""
+        return batch_size / self.timestep_seconds(batch_size)
+
+    def accelerator_ips(self, batch_size: int) -> float:
+        """Accelerator-only throughput (Fig. 10a)."""
+        return batch_size / self.fpga_seconds(batch_size)
+
+    def accelerator_utilization(self, batch_size: int) -> float:
+        """PE-array utilization of the accelerator for this workload."""
+        return self.timing.hardware_utilization(
+            self.workload.actor_shapes,
+            self.workload.critic_shapes,
+            batch_size,
+            half_precision=self.half_precision,
+        )
+
+    def accelerator_watts(self, batch_size: int) -> float:
+        """Average FPGA board power while running this workload."""
+        return self.power.average_watts(self.accelerator_utilization(batch_size))
+
+    def accelerator_ips_per_watt(self, batch_size: int) -> float:
+        """Accelerator energy efficiency (Fig. 10b)."""
+        return ips_per_watt(self.accelerator_ips(batch_size), self.accelerator_watts(batch_size))
+
+    def sweep_platform_ips(self, batch_sizes: Sequence[int] = PAPER_BATCH_SIZES) -> Dict[int, float]:
+        """Platform IPS over a batch-size sweep (one Fig. 8 series)."""
+        return {batch: self.platform_ips(batch) for batch in batch_sizes}
+
+    def sweep_accelerator_ips(self, batch_sizes: Sequence[int] = PAPER_BATCH_SIZES) -> Dict[int, float]:
+        """Accelerator IPS over a batch-size sweep (one Fig. 10a series)."""
+        return {batch: self.accelerator_ips(batch) for batch in batch_sizes}

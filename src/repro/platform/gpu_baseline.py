@@ -1,0 +1,122 @@
+"""Analytical CPU-GPU baseline (the paper's comparison platform).
+
+The paper compares FIXAR against a conventional platform: the same Xeon host
+plus an Nvidia Titan RTX running the DDPG networks in 32-bit floating point.
+Two behaviours of that baseline drive Figs. 8 and 10:
+
+* a DDPG timestep on the GPU is dominated by fixed per-timestep overhead
+  (many small kernel launches, Python framework time), so the GPU's
+  effective IPS grows roughly linearly with the batch size as its hardware
+  utilization improves;
+* the GPU draws far more power (56.7 W average in the paper's measurement)
+  than the FPGA card, so its energy efficiency is an order of magnitude
+  lower even at its best batch size.
+
+The model is calibrated so the default parameters reproduce the paper's
+measured averages (≈2.7× platform speedup, ≈5.5× accelerator speedup, and
+15.4× energy-efficiency advantage for FIXAR).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from .host import HostModel
+from .metrics import ips_per_watt
+
+__all__ = ["GpuConfig", "GpuAcceleratorModel", "CpuGpuPlatform"]
+
+
+@dataclass(frozen=True)
+class GpuConfig:
+    """Timing and power parameters of the GPU baseline."""
+
+    #: Fixed GPU time per training timestep (kernel launches, sync, copies).
+    fixed_overhead_seconds: float = 20.0e-3
+    #: Marginal GPU time per batch transition once launches are amortised.
+    per_sample_seconds: float = 2.0e-6
+    #: Framework (Python / PyTorch host-side) time per timestep.
+    framework_seconds: float = 1.0e-3
+    #: Average board power while running the DDPG workloads (paper: 56.7 W).
+    average_watts: float = 56.7
+    #: Peak hardware utilization reached at very large batch sizes.
+    peak_utilization: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.fixed_overhead_seconds <= 0 or self.per_sample_seconds < 0:
+            raise ValueError("GPU timing parameters must be positive")
+        if self.framework_seconds < 0:
+            raise ValueError("framework_seconds must be non-negative")
+        if self.average_watts <= 0:
+            raise ValueError("average_watts must be positive")
+        if not 0 < self.peak_utilization <= 1:
+            raise ValueError("peak_utilization must lie in (0, 1]")
+
+
+class GpuAcceleratorModel:
+    """GPU-only timing (the Fig. 10 comparison, no host or framework time)."""
+
+    def __init__(self, config: Optional[GpuConfig] = None):
+        self.config = config or GpuConfig()
+
+    def timestep_seconds(self, batch_size: int) -> float:
+        """GPU time to process one training timestep with a batch of B."""
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        return (
+            self.config.fixed_overhead_seconds
+            + self.config.per_sample_seconds * batch_size
+        )
+
+    def ips(self, batch_size: int) -> float:
+        """GPU accelerator-only IPS (batch transitions per second)."""
+        return batch_size / self.timestep_seconds(batch_size)
+
+    def utilization(self, batch_size: int) -> float:
+        """Hardware utilization, growing linearly with batch size (paper obs.)."""
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        amortised = self.config.per_sample_seconds * batch_size
+        fraction = amortised / self.timestep_seconds(batch_size)
+        return min(self.config.peak_utilization, fraction)
+
+    def average_watts(self) -> float:
+        """Average board power while training."""
+        return self.config.average_watts
+
+    def ips_per_watt(self, batch_size: int) -> float:
+        """GPU energy efficiency at a batch size."""
+        return ips_per_watt(self.ips(batch_size), self.average_watts())
+
+
+class CpuGpuPlatform:
+    """End-to-end CPU-GPU platform timing (the Fig. 8 baseline)."""
+
+    def __init__(
+        self,
+        gpu: Optional[GpuAcceleratorModel] = None,
+        host: Optional[HostModel] = None,
+    ):
+        self.gpu = gpu or GpuAcceleratorModel()
+        self.host = host or HostModel()
+
+    def timestep_breakdown(self, benchmark: str, batch_size: int) -> Dict[str, float]:
+        """Per-component time of one platform timestep in seconds."""
+        return {
+            "cpu_environment": self.host.timestep_seconds(benchmark, batch_size),
+            "framework": self.gpu.config.framework_seconds,
+            "gpu": self.gpu.timestep_seconds(batch_size),
+        }
+
+    def timestep_seconds(self, benchmark: str, batch_size: int) -> float:
+        """Total end-to-end time of one platform timestep."""
+        return sum(self.timestep_breakdown(benchmark, batch_size).values())
+
+    def ips(self, benchmark: str, batch_size: int) -> float:
+        """Platform-level training throughput in IPS."""
+        return batch_size / self.timestep_seconds(benchmark, batch_size)
+
+    def sweep_ips(self, benchmark: str, batch_sizes: Sequence[int]) -> Dict[int, float]:
+        """IPS for a list of batch sizes (one Fig. 8 series)."""
+        return {batch: self.ips(benchmark, batch) for batch in batch_sizes}

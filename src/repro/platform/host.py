@@ -1,0 +1,94 @@
+"""Host-CPU timing model.
+
+The host CPU (an Intel Xeon 6226R in the paper) runs the Python environment,
+stores transitions, and samples the replay batch.  Fig. 9a shows this CPU
+time is roughly constant at ~2 ms per timestep regardless of the batch size.
+The model exposes that constant (with a small per-benchmark variation and an
+optional per-sample replay-sampling cost) and can also be calibrated from a
+measured environment by timing real steps.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+__all__ = ["HostConfig", "HostModel"]
+
+#: Per-benchmark environment step time in seconds (calibrated to the paper's
+#: "roughly constant around 2 ms" observation; heavier physics → slightly more).
+_DEFAULT_ENV_STEP_SECONDS: Dict[str, float] = {
+    "halfcheetah": 2.1e-3,
+    "hopper": 1.9e-3,
+    "swimmer": 1.8e-3,
+}
+
+
+@dataclass(frozen=True)
+class HostConfig:
+    """Host-side timing parameters."""
+
+    #: Fallback environment step time for unknown benchmarks.
+    default_env_step_seconds: float = 2.0e-3
+    #: Time to store one transition and bookkeep the episode.
+    transition_store_seconds: float = 2.0e-5
+    #: Per-sample cost of assembling the replay batch to send to the FPGA.
+    replay_sample_seconds_per_transition: float = 4.0e-7
+
+    def __post_init__(self) -> None:
+        if self.default_env_step_seconds <= 0:
+            raise ValueError("default_env_step_seconds must be positive")
+        if self.transition_store_seconds < 0 or self.replay_sample_seconds_per_transition < 0:
+            raise ValueError("host timing components must be non-negative")
+
+
+class HostModel:
+    """Estimates the CPU time of one platform timestep."""
+
+    def __init__(self, config: Optional[HostConfig] = None):
+        self.config = config or HostConfig()
+        self._calibrated: Dict[str, float] = {}
+
+    def env_step_seconds(self, benchmark: str) -> float:
+        """Environment simulation time for one step of the benchmark."""
+        key = benchmark.lower()
+        if key in self._calibrated:
+            return self._calibrated[key]
+        return _DEFAULT_ENV_STEP_SECONDS.get(key, self.config.default_env_step_seconds)
+
+    def timestep_seconds(self, benchmark: str, batch_size: int) -> float:
+        """Total host-CPU time of one timestep (env step + replay handling)."""
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        return (
+            self.env_step_seconds(benchmark)
+            + self.config.transition_store_seconds
+            + self.config.replay_sample_seconds_per_transition * batch_size
+        )
+
+    # ------------------------------------------------------------------ #
+    # Calibration against a real environment object
+    # ------------------------------------------------------------------ #
+    def calibrate(self, env, steps: int = 200) -> float:
+        """Measure a real environment's average step time and remember it.
+
+        ``env`` is any object following the :class:`repro.envs.Environment`
+        API.  Returns the measured per-step time in seconds.
+        """
+        if steps <= 0:
+            raise ValueError(f"steps must be positive, got {steps}")
+        observation = env.reset()
+        del observation
+        rng_action = env.action_space
+        start = time.perf_counter()
+        done_resets = 0
+        for _ in range(steps):
+            result = env.step(rng_action.clip(rng_action.low * 0.0))
+            if result.done:
+                env.reset()
+                done_resets += 1
+        elapsed = time.perf_counter() - start
+        per_step = elapsed / steps
+        self._calibrated[env.name.lower()] = per_step
+        return per_step

@@ -1,0 +1,80 @@
+"""Throughput and efficiency metrics used across the evaluation.
+
+The paper's primary metric is IPS — the number of inferences processed per
+second — defined as the ratio of the number of collected samples (the replay
+batch processed each timestep) to the end-to-end time of the timestep.
+Energy efficiency is IPS per watt.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "ips",
+    "ips_per_watt",
+    "speedup",
+    "geometric_mean",
+    "normalize_to_dsp",
+]
+
+
+def ips(samples: float, seconds: float) -> float:
+    """Inferences per second: samples processed divided by elapsed time."""
+    if seconds <= 0:
+        raise ValueError(f"seconds must be positive, got {seconds}")
+    if samples < 0:
+        raise ValueError(f"samples must be non-negative, got {samples}")
+    return samples / seconds
+
+
+def ips_per_watt(throughput_ips: float, watts: float) -> float:
+    """Energy efficiency: throughput divided by average power."""
+    if watts <= 0:
+        raise ValueError(f"watts must be positive, got {watts}")
+    if throughput_ips < 0:
+        raise ValueError(f"throughput_ips must be non-negative, got {throughput_ips}")
+    return throughput_ips / watts
+
+
+def speedup(candidate: float, baseline: float) -> float:
+    """How many times faster the candidate is than the baseline."""
+    if baseline <= 0:
+        raise ValueError(f"baseline must be positive, got {baseline}")
+    if candidate < 0:
+        raise ValueError(f"candidate must be non-negative, got {candidate}")
+    return candidate / baseline
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (standard for speedup summaries)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("geometric_mean needs at least one value")
+    if np.any(arr <= 0):
+        raise ValueError("geometric_mean requires strictly positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def normalize_to_dsp(peak_ips: float, dsp_count: int, reference_dsp_count: int) -> float:
+    """DSP-normalized peak performance (used in the paper's Table II).
+
+    Scales a design's peak IPS to what it would deliver with the reference
+    design's DSP budget, enabling an apples-to-apples comparison between
+    accelerators of different sizes.
+    """
+    if dsp_count <= 0 or reference_dsp_count <= 0:
+        raise ValueError("DSP counts must be positive")
+    if peak_ips < 0:
+        raise ValueError("peak_ips must be non-negative")
+    return peak_ips * reference_dsp_count / dsp_count
+
+
+def average_ips(per_batch_ips: Sequence[float]) -> float:
+    """Arithmetic mean IPS over a batch-size sweep (the headline metric)."""
+    arr = np.asarray(list(per_batch_ips), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("average_ips needs at least one value")
+    return float(arr.mean())

@@ -1,0 +1,77 @@
+"""PCIe / runtime transfer model (the "Xilinx run-time" component of Fig. 9).
+
+Every timestep the host pushes the current state and a replay batch of B
+transitions to the FPGA over PCIe and reads the selected action back.  The
+paper observes that this runtime component is dominated by a fixed overhead
+(buffer allocation and driver calls in the Xilinx run-time), growing only
+marginally when the batch size doubles.  The model therefore has a large
+constant term, a small per-buffer term, and a bandwidth term that only
+matters for very large batches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["PcieConfig", "PcieModel"]
+
+
+@dataclass(frozen=True)
+class PcieConfig:
+    """Runtime / PCIe timing parameters."""
+
+    #: Fixed runtime overhead per timestep (buffer allocation, driver calls).
+    base_overhead_seconds: float = 1.5e-3
+    #: Additional overhead per transferred buffer (input batch, state, action).
+    per_buffer_seconds: float = 1.0e-4
+    #: Effective host-to-card bandwidth in bytes per second (PCIe Gen3 x16
+    #: achieves ~12 GB/s raw; small DMA transfers see far less).
+    bandwidth_bytes_per_second: float = 3.0e9
+    #: Marginal per-transition runtime cost (pinning, descriptor setup).
+    per_transition_seconds: float = 1.5e-6
+
+    def __post_init__(self) -> None:
+        if self.base_overhead_seconds < 0 or self.per_buffer_seconds < 0:
+            raise ValueError("overheads must be non-negative")
+        if self.bandwidth_bytes_per_second <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.per_transition_seconds < 0:
+            raise ValueError("per_transition_seconds must be non-negative")
+
+
+class PcieModel:
+    """Estimates the host↔FPGA runtime time of one timestep."""
+
+    #: Buffers moved per timestep: input batch, current state, returned action.
+    BUFFERS_PER_TIMESTEP = 3
+
+    def __init__(self, config: Optional[PcieConfig] = None):
+        self.config = config or PcieConfig()
+
+    def batch_bytes(self, batch_size: int, state_dim: int, action_dim: int, bytes_per_value: int = 4) -> int:
+        """Payload size of a replay batch of transitions.
+
+        A transition carries state, action, reward, next state, and done
+        flag; the current state for inference adds one more state vector.
+        """
+        if batch_size <= 0 or state_dim <= 0 or action_dim <= 0:
+            raise ValueError("batch_size, state_dim, and action_dim must be positive")
+        per_transition = (2 * state_dim + action_dim + 2) * bytes_per_value
+        return batch_size * per_transition + state_dim * bytes_per_value
+
+    def transfer_seconds(self, payload_bytes: int) -> float:
+        """Pure DMA transfer time for a payload."""
+        if payload_bytes < 0:
+            raise ValueError("payload_bytes must be non-negative")
+        return payload_bytes / self.config.bandwidth_bytes_per_second
+
+    def timestep_seconds(self, batch_size: int, state_dim: int, action_dim: int) -> float:
+        """Total runtime time of one timestep (Fig. 9's "runtime" component)."""
+        payload = self.batch_bytes(batch_size, state_dim, action_dim)
+        return (
+            self.config.base_overhead_seconds
+            + self.BUFFERS_PER_TIMESTEP * self.config.per_buffer_seconds
+            + self.config.per_transition_seconds * batch_size
+            + self.transfer_seconds(payload)
+        )

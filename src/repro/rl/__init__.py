@@ -1,0 +1,43 @@
+"""Deep reinforcement learning substrate (DDPG + quantization-aware training).
+
+Contains the replay buffer, exploration noise processes, the DDPG agent with
+explicit forward/backward/weight-update phases, Algorithm 1's QAT schedule
+and controller, the training loop, and the evaluation protocol used by the
+paper's Fig. 7 accuracy study.
+"""
+
+from .checkpoint import checkpoint_metadata, load_agent_into, save_agent
+from .ddpg import DDPGAgent, DDPGConfig, UpdateMetrics
+from .evaluation import EvaluationPoint, LearningCurve, compare_curves, evaluate_policy
+from .noise import DecayedNoise, GaussianNoise, NoiseProcess, OrnsteinUhlenbeckNoise
+from .qat import QATController, QATEvent, QATSchedule
+from .replay_buffer import ReplayBuffer, TransitionBatch
+from .td3 import TD3Agent, TD3Config
+from .training import TrainingConfig, TrainingResult, train
+
+__all__ = [
+    "DDPGAgent",
+    "DDPGConfig",
+    "TD3Agent",
+    "TD3Config",
+    "UpdateMetrics",
+    "save_agent",
+    "load_agent_into",
+    "checkpoint_metadata",
+    "ReplayBuffer",
+    "TransitionBatch",
+    "NoiseProcess",
+    "GaussianNoise",
+    "OrnsteinUhlenbeckNoise",
+    "DecayedNoise",
+    "QATSchedule",
+    "QATController",
+    "QATEvent",
+    "TrainingConfig",
+    "TrainingResult",
+    "train",
+    "evaluate_policy",
+    "LearningCurve",
+    "EvaluationPoint",
+    "compare_curves",
+]

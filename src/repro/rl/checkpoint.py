@@ -1,0 +1,127 @@
+"""Checkpointing: save and restore trained agents.
+
+Long QAT runs (the paper's schedule is one million timesteps) need restart
+support: the checkpoint captures the actor/critic (and target) parameters,
+the numeric regime's state — including the captured activation range and
+whether the precision switch has already happened — and enough metadata to
+rebuild a compatible agent.  Checkpoints are plain ``.npz`` archives with a
+JSON metadata blob, so they need nothing beyond numpy.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from ..nn import MLP, DynamicFixedPointNumerics
+from .ddpg import DDPGAgent
+from .td3 import TD3Agent
+
+__all__ = ["save_agent", "load_agent_into", "checkpoint_metadata"]
+
+_FORMAT_VERSION = 1
+
+
+def _network_arrays(prefix: str, network: MLP) -> Dict[str, np.ndarray]:
+    return {f"{prefix}::{name}": value for name, value in network.parameters().items()}
+
+
+def _agent_networks(agent: Union[DDPGAgent, TD3Agent]) -> Dict[str, MLP]:
+    if isinstance(agent, TD3Agent):
+        return {
+            "actor": agent.actor,
+            "critic_1": agent.critic_1,
+            "critic_2": agent.critic_2,
+            "target_actor": agent.target_actor,
+            "target_critic_1": agent.target_critic_1,
+            "target_critic_2": agent.target_critic_2,
+        }
+    return {
+        "actor": agent.actor,
+        "critic": agent.critic,
+        "target_actor": agent.target_actor,
+        "target_critic": agent.target_critic,
+    }
+
+
+def checkpoint_metadata(agent: Union[DDPGAgent, TD3Agent]) -> Dict[str, object]:
+    """The JSON-serialisable metadata stored alongside the parameters."""
+    metadata: Dict[str, object] = {
+        "format_version": _FORMAT_VERSION,
+        "agent_class": type(agent).__name__,
+        "state_dim": agent.state_dim,
+        "action_dim": agent.action_dim,
+        "update_count": agent.update_count,
+        "numerics": agent.numerics.describe(),
+    }
+    numerics = agent.numerics
+    if isinstance(numerics, DynamicFixedPointNumerics):
+        metadata["qat"] = {
+            "half_mode": numerics.half_mode,
+            "num_bits": numerics.num_bits,
+            "range_min": numerics.range_tracker.min_value if numerics.range_tracker.initialized else None,
+            "range_max": numerics.range_tracker.max_value if numerics.range_tracker.initialized else None,
+            "range_count": numerics.range_tracker.count,
+        }
+    return metadata
+
+
+def save_agent(agent: Union[DDPGAgent, TD3Agent], path: Union[str, Path]) -> Path:
+    """Write an agent checkpoint to ``path`` (``.npz``)."""
+    path = Path(path)
+    arrays: Dict[str, np.ndarray] = {}
+    for prefix, network in _agent_networks(agent).items():
+        arrays.update(_network_arrays(prefix, network))
+    arrays["__metadata__"] = np.frombuffer(
+        json.dumps(checkpoint_metadata(agent)).encode("utf-8"), dtype=np.uint8
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **arrays)
+    # numpy appends .npz when missing; normalise the returned path.
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_agent_into(agent: Union[DDPGAgent, TD3Agent], path: Union[str, Path]) -> Dict[str, object]:
+    """Restore a checkpoint into an already-constructed compatible agent.
+
+    The agent must have the same class, dimensions, and network shapes as the
+    one that was saved.  Returns the checkpoint metadata.  If the checkpoint
+    was taken after the QAT precision switch, the agent's dynamic numeric
+    policy is switched back into half mode with the captured range.
+    """
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        metadata = json.loads(bytes(archive["__metadata__"].tobytes()).decode("utf-8"))
+        if metadata["agent_class"] != type(agent).__name__:
+            raise ValueError(
+                f"checkpoint holds a {metadata['agent_class']}, got a {type(agent).__name__}"
+            )
+        if metadata["state_dim"] != agent.state_dim or metadata["action_dim"] != agent.action_dim:
+            raise ValueError(
+                "checkpoint dimensions "
+                f"({metadata['state_dim']}, {metadata['action_dim']}) do not match the agent "
+                f"({agent.state_dim}, {agent.action_dim})"
+            )
+        networks = _agent_networks(agent)
+        for key in archive.files:
+            if key == "__metadata__":
+                continue
+            prefix, parameter_name = key.split("::", 1)
+            if prefix not in networks:
+                raise ValueError(f"checkpoint contains unknown network {prefix!r}")
+            networks[prefix].set_parameters({parameter_name: archive[key]})
+
+    agent.update_count = int(metadata["update_count"])
+    qat_state = metadata.get("qat")
+    numerics = agent.numerics
+    if qat_state and isinstance(numerics, DynamicFixedPointNumerics):
+        if qat_state["range_min"] is not None:
+            numerics.range_tracker.min_value = float(qat_state["range_min"])
+            numerics.range_tracker.max_value = float(qat_state["range_max"])
+            numerics.range_tracker.count = int(qat_state["range_count"])
+        if qat_state["half_mode"] and not numerics.half_mode:
+            numerics.switch_to_half()
+    return metadata

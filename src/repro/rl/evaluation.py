@@ -1,0 +1,130 @@
+"""Policy evaluation and learning-curve bookkeeping.
+
+The paper evaluates the agent every 5000 timesteps by averaging the
+cumulative reward of 10 rollouts from random initial states (an episode ends
+when the agent falls down or after 1000 timesteps).  This module implements
+that protocol and the learning-curve container used by Fig. 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..envs.base import Environment
+from .ddpg import DDPGAgent
+
+__all__ = ["evaluate_policy", "LearningCurve", "EvaluationPoint"]
+
+
+def evaluate_policy(
+    env: Environment,
+    agent: DDPGAgent,
+    episodes: int = 10,
+    max_steps: Optional[int] = None,
+) -> float:
+    """Average cumulative reward of deterministic rollouts.
+
+    Parameters
+    ----------
+    env:
+        Evaluation environment (re-used across episodes).
+    agent:
+        The agent whose deterministic policy is evaluated (no noise).
+    episodes:
+        Number of rollouts to average (paper: 10 random initial states).
+    max_steps:
+        Optional per-episode step cap overriding the environment's horizon.
+    """
+    if episodes <= 0:
+        raise ValueError(f"episodes must be positive, got {episodes}")
+    returns = []
+    for _ in range(episodes):
+        observation = env.reset()
+        total = 0.0
+        steps = 0
+        done = False
+        while not done:
+            action = agent.act(observation)
+            observation, reward, done, _ = env.step(action)
+            total += reward
+            steps += 1
+            if max_steps is not None and steps >= max_steps:
+                break
+        returns.append(total)
+    return float(np.mean(returns))
+
+
+@dataclass(frozen=True)
+class EvaluationPoint:
+    """One point of a learning curve."""
+
+    timestep: int
+    average_return: float
+
+
+@dataclass
+class LearningCurve:
+    """A labelled sequence of evaluation points (one Fig. 7 series)."""
+
+    label: str
+    points: List[EvaluationPoint] = field(default_factory=list)
+
+    def record(self, timestep: int, average_return: float) -> None:
+        """Append one evaluation result."""
+        self.points.append(EvaluationPoint(timestep, float(average_return)))
+
+    @property
+    def timesteps(self) -> np.ndarray:
+        return np.array([p.timestep for p in self.points], dtype=np.int64)
+
+    @property
+    def returns(self) -> np.ndarray:
+        return np.array([p.average_return for p in self.points], dtype=np.float64)
+
+    @property
+    def final_return(self) -> float:
+        """The last evaluation's average return (NaN when empty)."""
+        return float(self.returns[-1]) if self.points else float("nan")
+
+    def best_return(self) -> float:
+        """The best evaluation seen over training (NaN when empty)."""
+        return float(self.returns.max()) if self.points else float("nan")
+
+    def mean_return(self, last_fraction: float = 0.25) -> float:
+        """Mean return over the final ``last_fraction`` of the curve.
+
+        A more robust "converged performance" summary than the single last
+        point, used when comparing numeric regimes.
+        """
+        if not self.points:
+            return float("nan")
+        if not 0.0 < last_fraction <= 1.0:
+            raise ValueError(f"last_fraction must lie in (0, 1], got {last_fraction}")
+        count = max(1, int(round(len(self.points) * last_fraction)))
+        return float(self.returns[-count:].mean())
+
+    def improvement(self) -> float:
+        """Final minus first return (positive when training helped)."""
+        if len(self.points) < 2:
+            return 0.0
+        return float(self.returns[-1] - self.returns[0])
+
+    def summary(self) -> dict:
+        """Serialisable summary used in reports and EXPERIMENTS.md."""
+        return {
+            "label": self.label,
+            "evaluations": len(self.points),
+            "final_return": self.final_return,
+            "best_return": self.best_return(),
+            "mean_tail_return": self.mean_return(),
+            "improvement": self.improvement(),
+        }
+
+
+def compare_curves(curves: Sequence[LearningCurve]) -> List[dict]:
+    """Summaries of several curves, sorted by converged performance."""
+    summaries = [curve.summary() for curve in curves]
+    return sorted(summaries, key=lambda s: s["mean_tail_return"], reverse=True)

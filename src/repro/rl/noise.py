@@ -1,0 +1,113 @@
+"""Exploration noise processes.
+
+FIXAR's accelerator injects pseudo-random noise into the actor's inference
+output (through an on-chip PRNG) to drive action exploration.  The software
+model provides the two standard DDPG noise processes — uncorrelated Gaussian
+noise and the temporally correlated Ornstein–Uhlenbeck process — plus a
+decayed variant for annealing studies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["NoiseProcess", "GaussianNoise", "OrnsteinUhlenbeckNoise", "DecayedNoise"]
+
+
+class NoiseProcess:
+    """Base class for exploration noise processes."""
+
+    def __init__(self, action_dim: int, seed: Optional[int] = None):
+        if action_dim <= 0:
+            raise ValueError(f"action_dim must be positive, got {action_dim}")
+        self.action_dim = action_dim
+        self._rng = np.random.default_rng(seed)
+
+    def sample(self) -> np.ndarray:
+        """Draw one noise vector."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Reset any internal state (called at episode boundaries)."""
+
+    def __call__(self) -> np.ndarray:
+        return self.sample()
+
+
+class GaussianNoise(NoiseProcess):
+    """Uncorrelated Gaussian exploration noise ``N(0, sigma^2)``."""
+
+    def __init__(self, action_dim: int, sigma: float = 0.1, seed: Optional[int] = None):
+        super().__init__(action_dim, seed)
+        if sigma < 0.0:
+            raise ValueError(f"sigma must be non-negative, got {sigma}")
+        self.sigma = sigma
+
+    def sample(self) -> np.ndarray:
+        return self._rng.normal(0.0, self.sigma, size=self.action_dim)
+
+
+class OrnsteinUhlenbeckNoise(NoiseProcess):
+    """Temporally correlated OU noise, the classic DDPG exploration process."""
+
+    def __init__(
+        self,
+        action_dim: int,
+        mu: float = 0.0,
+        theta: float = 0.15,
+        sigma: float = 0.2,
+        dt: float = 1e-2,
+        seed: Optional[int] = None,
+    ):
+        super().__init__(action_dim, seed)
+        if sigma < 0.0 or theta < 0.0 or dt <= 0.0:
+            raise ValueError("sigma/theta must be non-negative and dt positive")
+        self.mu = mu
+        self.theta = theta
+        self.sigma = sigma
+        self.dt = dt
+        self._state = np.full(action_dim, mu, dtype=np.float64)
+
+    def sample(self) -> np.ndarray:
+        drift = self.theta * (self.mu - self._state) * self.dt
+        diffusion = self.sigma * np.sqrt(self.dt) * self._rng.standard_normal(self.action_dim)
+        self._state = self._state + drift + diffusion
+        return self._state.copy()
+
+    def reset(self) -> None:
+        self._state = np.full(self.action_dim, self.mu, dtype=np.float64)
+
+
+class DecayedNoise(NoiseProcess):
+    """Wraps another process and scales its output down over time."""
+
+    def __init__(
+        self,
+        base: NoiseProcess,
+        decay: float = 0.999,
+        min_scale: float = 0.05,
+    ):
+        super().__init__(base.action_dim)
+        if not 0.0 < decay <= 1.0:
+            raise ValueError(f"decay must lie in (0, 1], got {decay}")
+        if not 0.0 <= min_scale <= 1.0:
+            raise ValueError(f"min_scale must lie in [0, 1], got {min_scale}")
+        self.base = base
+        self.decay = decay
+        self.min_scale = min_scale
+        self._scale = 1.0
+
+    def sample(self) -> np.ndarray:
+        noise = self.base.sample() * self._scale
+        self._scale = max(self.min_scale, self._scale * self.decay)
+        return noise
+
+    def reset(self) -> None:
+        self.base.reset()
+
+    @property
+    def scale(self) -> float:
+        """Current noise scale factor."""
+        return self._scale

@@ -1,0 +1,116 @@
+"""Quantization-aware training for deep reinforcement learning (Algorithm 1).
+
+The paper's QAT algorithm trains the DDPG networks with 32-bit fixed-point
+activations while monitoring their dynamic range; after ``quantization_delay``
+timesteps the activations are down-scaled to ``num_bits`` (16) using the
+captured range, and training continues at the reduced precision.  Weights and
+gradients stay in 32-bit fixed point for the whole run.
+
+:class:`QATController` owns the schedule and flips the agent's
+:class:`~repro.nn.numerics.DynamicFixedPointNumerics` policy at the right
+timestep; the generic training loop in :mod:`repro.rl.training` calls it once
+per environment step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..fixedpoint import AffineQuantizer
+from ..nn.numerics import DynamicFixedPointNumerics
+
+__all__ = ["QATSchedule", "QATController", "QATEvent"]
+
+
+@dataclass(frozen=True)
+class QATSchedule:
+    """Algorithm 1's two knobs: quantization bit width ``n`` and delay ``d``."""
+
+    #: Quantization bit width ``n`` (paper: 16).
+    num_bits: int = 16
+    #: Quantization delay ``d``: timestep at which activations drop to ``n`` bits.
+    quantization_delay: int = 500_000
+
+    def __post_init__(self) -> None:
+        if self.num_bits < 2:
+            raise ValueError(f"num_bits must be >= 2, got {self.num_bits}")
+        if self.quantization_delay < 0:
+            raise ValueError(
+                f"quantization_delay must be non-negative, got {self.quantization_delay}"
+            )
+
+    def phase_at(self, timestep: int) -> str:
+        """Which phase a timestep falls in: ``"full"`` or ``"half"`` precision."""
+        return "full" if timestep < self.quantization_delay else "half"
+
+
+@dataclass(frozen=True)
+class QATEvent:
+    """Describes the precision switch, returned once by the controller."""
+
+    timestep: int
+    num_bits: int
+    activation_min: float
+    activation_max: float
+    delta: float
+    zero_point: int
+
+
+class QATController:
+    """Drives the precision switch of a dynamic fixed-point numeric policy."""
+
+    def __init__(self, numerics: DynamicFixedPointNumerics, schedule: QATSchedule):
+        if not isinstance(numerics, DynamicFixedPointNumerics):
+            raise TypeError(
+                "QATController requires DynamicFixedPointNumerics, got "
+                f"{type(numerics).__name__}"
+            )
+        if numerics.num_bits != schedule.num_bits:
+            raise ValueError(
+                "numerics and schedule disagree on the quantization bit width: "
+                f"{numerics.num_bits} vs {schedule.num_bits}"
+            )
+        self.numerics = numerics
+        self.schedule = schedule
+        self._event: Optional[QATEvent] = None
+
+    @property
+    def switched(self) -> bool:
+        """Whether the precision switch has already happened."""
+        return self._event is not None
+
+    @property
+    def event(self) -> Optional[QATEvent]:
+        """The switch event, if it has happened."""
+        return self._event
+
+    def on_timestep(self, timestep: int) -> Optional[QATEvent]:
+        """Advance the schedule; returns the switch event exactly once.
+
+        Called with the zero-based global timestep *before* the agent update
+        at that timestep, so that the update at ``t == d`` already runs in
+        half precision, matching Algorithm 1's ``if t < d`` test.
+        """
+        if self.switched or timestep < self.schedule.quantization_delay:
+            return None
+        if not self.numerics.range_tracker.initialized:
+            # No activations observed yet (e.g. a zero delay before any
+            # forward pass); postpone the switch until a range exists.
+            return None
+        quantizer: AffineQuantizer = self.numerics.switch_to_half()
+        self._event = QATEvent(
+            timestep=timestep,
+            num_bits=self.schedule.num_bits,
+            activation_min=quantizer.min_value,
+            activation_max=quantizer.max_value,
+            delta=quantizer.delta,
+            zero_point=quantizer.zero_point,
+        )
+        return self._event
+
+    def activation_bits_at(self, timestep: int) -> int:
+        """Activation bit width in effect at a timestep under the schedule."""
+        if timestep < self.schedule.quantization_delay:
+            return self.numerics.full_activation_format.word_length
+        return self.schedule.num_bits

@@ -1,0 +1,114 @@
+"""Experience replay buffer.
+
+The host CPU stores every transition (state, action, reward, next state,
+done) and samples a random batch of ``B`` transitions to send to the FPGA at
+each timestep.  This module is that storage: a flat, pre-allocated circular
+buffer with uniform sampling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["TransitionBatch", "ReplayBuffer"]
+
+
+@dataclass(frozen=True)
+class TransitionBatch:
+    """A batch of transitions, one row per transition."""
+
+    states: np.ndarray
+    actions: np.ndarray
+    rewards: np.ndarray
+    next_states: np.ndarray
+    dones: np.ndarray
+
+    def __len__(self) -> int:
+        return self.states.shape[0]
+
+    @property
+    def nbytes(self) -> int:
+        """Raw payload size of the batch (what crosses PCIe), in bytes."""
+        return int(
+            self.states.nbytes
+            + self.actions.nbytes
+            + self.rewards.nbytes
+            + self.next_states.nbytes
+            + self.dones.nbytes
+        )
+
+
+class ReplayBuffer:
+    """A fixed-capacity circular replay buffer with uniform sampling."""
+
+    def __init__(
+        self,
+        capacity: int,
+        state_dim: int,
+        action_dim: int,
+        seed: Optional[int] = None,
+    ):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if state_dim <= 0 or action_dim <= 0:
+            raise ValueError("state_dim and action_dim must be positive")
+        self.capacity = capacity
+        self.state_dim = state_dim
+        self.action_dim = action_dim
+        self._states = np.zeros((capacity, state_dim), dtype=np.float64)
+        self._actions = np.zeros((capacity, action_dim), dtype=np.float64)
+        self._rewards = np.zeros((capacity, 1), dtype=np.float64)
+        self._next_states = np.zeros((capacity, state_dim), dtype=np.float64)
+        self._dones = np.zeros((capacity, 1), dtype=np.float64)
+        self._rng = np.random.default_rng(seed)
+        self._next_index = 0
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def full(self) -> bool:
+        """Whether the buffer has wrapped around at least once."""
+        return self._size == self.capacity
+
+    def add(
+        self,
+        state: np.ndarray,
+        action: np.ndarray,
+        reward: float,
+        next_state: np.ndarray,
+        done: bool,
+    ) -> None:
+        """Append one transition, overwriting the oldest when full."""
+        index = self._next_index
+        self._states[index] = np.asarray(state, dtype=np.float64).ravel()
+        self._actions[index] = np.asarray(action, dtype=np.float64).ravel()
+        self._rewards[index, 0] = float(reward)
+        self._next_states[index] = np.asarray(next_state, dtype=np.float64).ravel()
+        self._dones[index, 0] = 1.0 if done else 0.0
+        self._next_index = (index + 1) % self.capacity
+        self._size = min(self._size + 1, self.capacity)
+
+    def sample(self, batch_size: int) -> TransitionBatch:
+        """Sample a uniform random batch of transitions (with replacement)."""
+        if self._size == 0:
+            raise RuntimeError("cannot sample from an empty replay buffer")
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        indices = self._rng.integers(0, self._size, size=batch_size)
+        return TransitionBatch(
+            states=self._states[indices].copy(),
+            actions=self._actions[indices].copy(),
+            rewards=self._rewards[indices].copy(),
+            next_states=self._next_states[indices].copy(),
+            dones=self._dones[indices].copy(),
+        )
+
+    def clear(self) -> None:
+        """Drop all stored transitions."""
+        self._next_index = 0
+        self._size = 0

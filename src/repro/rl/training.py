@@ -1,0 +1,213 @@
+"""The DDPG training loop used by every Fig. 7 experiment.
+
+One loop iteration corresponds to one platform timestep (paper Fig. 3): the
+actor selects a (noisy) action for the current state, the environment
+advances and returns the reward and next state, the transition is stored in
+the replay buffer, and a random batch is used to update the critic and actor
+networks.  A :class:`~repro.rl.qat.QATController` may be attached to switch
+the activation precision at the quantization delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..envs.base import Environment
+from .ddpg import DDPGAgent
+from .evaluation import LearningCurve, evaluate_policy
+from .noise import GaussianNoise, NoiseProcess
+from .qat import QATController, QATEvent
+from .replay_buffer import ReplayBuffer
+
+__all__ = ["TrainingConfig", "TrainingResult", "train"]
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Knobs of the training loop (paper defaults, scaled by the caller)."""
+
+    #: Total environment timesteps (paper: 1,000,000).
+    total_timesteps: int = 10_000
+    #: Steps of uniform-random actions before the policy is used.
+    warmup_timesteps: int = 1_000
+    #: Replay batch size B sent to the accelerator each timestep.
+    batch_size: int = 64
+    #: Replay buffer capacity.
+    buffer_capacity: int = 100_000
+    #: Evaluate every this many timesteps (paper: 5000).
+    evaluation_interval: int = 5_000
+    #: Rollouts per evaluation (paper: 10).
+    evaluation_episodes: int = 10
+    #: Std-dev of Gaussian exploration noise added to actions.
+    exploration_noise: float = 0.1
+    #: Random seed for the loop (exploration, replay sampling).
+    seed: Optional[int] = 0
+
+    def __post_init__(self) -> None:
+        if self.total_timesteps <= 0:
+            raise ValueError("total_timesteps must be positive")
+        if self.warmup_timesteps < 0:
+            raise ValueError("warmup_timesteps must be non-negative")
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if self.buffer_capacity < self.batch_size:
+            raise ValueError("buffer_capacity must be at least batch_size")
+        if self.evaluation_interval <= 0:
+            raise ValueError("evaluation_interval must be positive")
+        if self.evaluation_episodes <= 0:
+            raise ValueError("evaluation_episodes must be positive")
+        if self.exploration_noise < 0:
+            raise ValueError("exploration_noise must be non-negative")
+
+
+@dataclass
+class TrainingResult:
+    """Everything a Fig. 7 experiment needs from one training run."""
+
+    curve: LearningCurve
+    episode_returns: List[float] = field(default_factory=list)
+    qat_event: Optional[QATEvent] = None
+    total_timesteps: int = 0
+    total_updates: int = 0
+
+    def summary(self) -> dict:
+        info = self.curve.summary()
+        info.update(
+            {
+                "episodes": len(self.episode_returns),
+                "total_timesteps": self.total_timesteps,
+                "total_updates": self.total_updates,
+                "quantization_switch_step": (
+                    self.qat_event.timestep if self.qat_event else None
+                ),
+            }
+        )
+        return info
+
+
+def train(
+    env: Environment,
+    agent: DDPGAgent,
+    config: TrainingConfig,
+    *,
+    eval_env: Optional[Environment] = None,
+    qat_controller: Optional[QATController] = None,
+    noise: Optional[NoiseProcess] = None,
+    label: Optional[str] = None,
+    progress_callback: Optional[Callable[[int, dict], None]] = None,
+) -> TrainingResult:
+    """Run the DDPG training loop and return its learning curve.
+
+    Parameters
+    ----------
+    env:
+        Training environment.
+    agent:
+        The DDPG agent to train in place.
+    config:
+        Loop configuration.
+    eval_env:
+        Separate environment for evaluations (defaults to ``env``'s class is
+        *not* re-instantiated; the same ``env`` object is reused, which keeps
+        the substrate dependency-free — pass a distinct instance to match the
+        paper's protocol exactly).
+    qat_controller:
+        Optional Algorithm 1 controller switching activation precision.
+    noise:
+        Exploration noise process (defaults to Gaussian with the configured
+        standard deviation).
+    label:
+        Learning-curve label (defaults to the agent's numeric regime name).
+    progress_callback:
+        Optional ``callback(timestep, metrics)`` invoked after each evaluation.
+    """
+    rng = np.random.default_rng(config.seed)
+    shares_training_env = False
+    if eval_env is not None:
+        evaluation_env = eval_env
+    else:
+        # Prefer a fresh instance of the same benchmark so evaluations do not
+        # disturb the training episode; fall back to sharing when the
+        # environment cannot be default-constructed.
+        try:
+            evaluation_env = type(env)()
+            evaluation_env.seed(config.seed)
+        except TypeError:
+            evaluation_env = env
+            shares_training_env = True
+    noise = noise or GaussianNoise(agent.action_dim, config.exploration_noise, seed=config.seed)
+    buffer = ReplayBuffer(
+        config.buffer_capacity, agent.state_dim, agent.action_dim, seed=config.seed
+    )
+    curve = LearningCurve(label or agent.numerics.name)
+    result = TrainingResult(curve=curve)
+
+    observation = env.reset()
+    episode_return = 0.0
+
+    for timestep in range(config.total_timesteps):
+        qat_event = None
+        if qat_controller is not None:
+            qat_event = qat_controller.on_timestep(timestep)
+            if qat_event is not None:
+                result.qat_event = qat_event
+
+        # ----- Action selection ------------------------------------------ #
+        if timestep < config.warmup_timesteps:
+            action = rng.uniform(-1.0, 1.0, size=agent.action_dim)
+        else:
+            action = agent.act(observation, noise.sample())
+
+        # ----- Environment interaction (host CPU side) -------------------- #
+        next_observation, reward, done, _ = env.step(action)
+        buffer.add(observation, action, reward, next_observation, done)
+        episode_return += reward
+        observation = next_observation
+
+        if done:
+            result.episode_returns.append(episode_return)
+            episode_return = 0.0
+            observation = env.reset()
+            noise.reset()
+
+        # ----- Agent update (accelerator side) ----------------------------- #
+        if len(buffer) >= config.batch_size and timestep >= config.warmup_timesteps:
+            agent.update(buffer.sample(config.batch_size))
+            result.total_updates += 1
+
+        # ----- Periodic evaluation ---------------------------------------- #
+        if (timestep + 1) % config.evaluation_interval == 0:
+            average_return = evaluate_policy(
+                evaluation_env, agent, episodes=config.evaluation_episodes
+            )
+            curve.record(timestep + 1, average_return)
+            if shares_training_env:
+                # Evaluation consumed the shared environment's episode; start
+                # a fresh training episode from a clean state.
+                result.episode_returns.append(episode_return)
+                episode_return = 0.0
+                observation = env.reset()
+                noise.reset()
+            if progress_callback is not None:
+                progress_callback(
+                    timestep + 1,
+                    {
+                        "average_return": average_return,
+                        "episodes": len(result.episode_returns),
+                        "activation_bits": agent.numerics.activation_bits,
+                    },
+                )
+
+    # If the run ended between evaluation points, add a final evaluation so
+    # short smoke-test runs still produce a non-empty curve.
+    if not curve.points:
+        curve.record(
+            config.total_timesteps,
+            evaluate_policy(evaluation_env, agent, episodes=config.evaluation_episodes),
+        )
+
+    result.total_timesteps = config.total_timesteps
+    return result

@@ -1,0 +1,32 @@
+"""Shared fixtures for the FIXAR reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.envs import HalfCheetahEnv
+from repro.rl import DDPGAgent, DDPGConfig
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_env() -> HalfCheetahEnv:
+    """A HalfCheetah instance with a short horizon for fast tests."""
+    return HalfCheetahEnv(seed=0, max_episode_steps=50)
+
+
+@pytest.fixture
+def small_agent(rng) -> DDPGAgent:
+    """A tiny DDPG agent matching the small environment's dimensions."""
+    return DDPGAgent(
+        state_dim=17,
+        action_dim=6,
+        config=DDPGConfig(hidden_sizes=(32, 24)),
+        rng=rng,
+    )

@@ -1,0 +1,81 @@
+"""Unit tests for the adaptive array processing core's functional model."""
+
+import numpy as np
+import pytest
+
+from repro.accelerator import AAPCore, ArrayGeometry
+from repro.fixedpoint import FxpArray, QFormat
+
+Q16_8 = QFormat(16, 8)
+Q32_16 = QFormat(32, 16)
+
+
+class TestRunMvm:
+    def test_matches_raw_matmul(self, rng):
+        core = AAPCore()
+        weight = FxpArray.from_float(rng.normal(size=(12, 9)), Q32_16)
+        activation = FxpArray.from_float(rng.normal(size=9), Q32_16)
+        result = core.run_mvm(weight, activation)
+        np.testing.assert_array_equal(result, weight.raw @ activation.raw)
+
+    def test_dimension_checks(self, rng):
+        core = AAPCore()
+        weight = FxpArray.from_float(rng.normal(size=(4, 3)), Q32_16)
+        bad_activation = FxpArray.from_float(rng.normal(size=5), Q32_16)
+        with pytest.raises(ValueError):
+            core.run_mvm(weight, bad_activation)
+        with pytest.raises(ValueError):
+            core.run_mvm(FxpArray.from_float(rng.normal(size=3), Q32_16), bad_activation)
+
+    def test_counters(self, rng):
+        core = AAPCore()
+        weight = FxpArray.from_float(rng.normal(size=(4, 3)), Q32_16)
+        activation = FxpArray.from_float(rng.normal(size=3), Q32_16)
+        core.run_mvm(weight, activation)
+        assert core.mvm_count == 1
+        assert core.mac_count == 12
+
+
+class TestTiledEquivalence:
+    def test_tiled_equals_vectorised_small(self, rng):
+        """The tile-by-tile PE walk is bit-exact against the vectorised path."""
+        core = AAPCore(ArrayGeometry(4, 4))
+        weight = FxpArray.from_float(rng.uniform(-2, 2, size=(10, 7)), Q16_8)
+        activation = FxpArray.from_float(rng.uniform(-2, 2, size=7), Q16_8)
+        tiled = core.run_mvm_tiled(weight, activation)
+        vectorised = core.run_mvm(weight, activation)
+        np.testing.assert_array_equal(tiled, vectorised)
+
+    def test_tiled_handles_non_multiple_dimensions(self, rng):
+        core = AAPCore(ArrayGeometry(4, 4))
+        weight = FxpArray.from_float(rng.uniform(-1, 1, size=(5, 3)), Q16_8)
+        activation = FxpArray.from_float(rng.uniform(-1, 1, size=3), Q16_8)
+        np.testing.assert_array_equal(
+            core.run_mvm_tiled(weight, activation), core.run_mvm(weight, activation)
+        )
+
+    def test_tiled_dimension_check(self, rng):
+        core = AAPCore(ArrayGeometry(4, 4))
+        weight = FxpArray.from_float(rng.uniform(-1, 1, size=(5, 3)), Q16_8)
+        activation = FxpArray.from_float(rng.uniform(-1, 1, size=4), Q16_8)
+        with pytest.raises(ValueError):
+            core.run_mvm_tiled(weight, activation)
+
+
+class TestBatchMvm:
+    def test_matches_per_vector_mvm(self, rng):
+        core = AAPCore()
+        weight = FxpArray.from_float(rng.normal(size=(6, 4)), Q32_16)
+        activations = FxpArray.from_float(rng.normal(size=(5, 4)), Q32_16)
+        block = core.run_batch_mvm(weight, activations)
+        assert block.shape == (5, 6)
+        for row in range(5):
+            np.testing.assert_array_equal(block[row], weight.raw @ activations.raw[row])
+
+    def test_dimension_checks(self, rng):
+        core = AAPCore()
+        weight = FxpArray.from_float(rng.normal(size=(6, 4)), Q32_16)
+        with pytest.raises(ValueError):
+            core.run_batch_mvm(weight, FxpArray.from_float(rng.normal(size=(5, 3)), Q32_16))
+        with pytest.raises(ValueError):
+            core.run_batch_mvm(weight, FxpArray.from_float(rng.normal(size=4), Q32_16))

@@ -1,0 +1,213 @@
+"""Unit tests for the line buffer, accumulators, activation unit, PRNG, and Adam unit."""
+
+import numpy as np
+import pytest
+
+from repro.accelerator import (
+    ActivationFunction,
+    ActivationLineBuffer,
+    ActivationUnit,
+    AdamUnit,
+    AdamUnitConfig,
+    ColumnAccumulator,
+    CrossCoreAccumulator,
+    GaloisLfsr32,
+    HardwareNoiseGenerator,
+    PrecisionMode,
+)
+from repro.fixedpoint import FxpArray, QFormat
+
+Q32_16 = QFormat(32, 16)
+
+
+class TestActivationLineBuffer:
+    def test_capacity_doubles_in_half_precision(self):
+        buffer = ActivationLineBuffer(width_bits=512)
+        assert buffer.capacity(PrecisionMode.FULL) == 16
+        assert buffer.capacity(PrecisionMode.HALF) == 32
+
+    def test_load_and_broadcast(self):
+        buffer = ActivationLineBuffer()
+        buffer.load(np.arange(10), PrecisionMode.FULL)
+        assert buffer.occupancy == 10
+        assert buffer.broadcast(3) == 3
+        np.testing.assert_array_equal(buffer.contents(), np.arange(10))
+
+    def test_overflow_rejected(self):
+        buffer = ActivationLineBuffer(width_bits=512)
+        with pytest.raises(ValueError):
+            buffer.load(np.zeros(17), PrecisionMode.FULL)
+        buffer.load(np.zeros(17), PrecisionMode.HALF)  # fits in half precision
+
+    def test_broadcast_requires_load(self):
+        buffer = ActivationLineBuffer()
+        with pytest.raises(RuntimeError):
+            buffer.broadcast(0)
+
+    def test_broadcast_index_bounds(self):
+        buffer = ActivationLineBuffer()
+        buffer.load(np.arange(4), PrecisionMode.FULL)
+        with pytest.raises(IndexError):
+            buffer.broadcast(4)
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            ActivationLineBuffer(width_bits=100)
+
+
+class TestAccumulators:
+    def test_column_accumulator_sums_partials(self):
+        acc = ColumnAccumulator(width=4)
+        acc.accumulate(np.array([1, 2, 3, 4]))
+        result = acc.accumulate(np.array([10, 20, 30, 40]))
+        np.testing.assert_array_equal(result, [11, 22, 33, 44])
+        assert acc.accumulate_count == 2
+
+    def test_column_accumulator_reset(self):
+        acc = ColumnAccumulator(width=2)
+        acc.accumulate(np.array([1, 1]))
+        acc.reset()
+        np.testing.assert_array_equal(acc.values, [0, 0])
+
+    def test_column_accumulator_validates_width(self):
+        acc = ColumnAccumulator(width=3)
+        with pytest.raises(ValueError):
+            acc.accumulate(np.array([1, 2]))
+        with pytest.raises(ValueError):
+            ColumnAccumulator(width=0)
+
+    def test_cross_core_reduce(self):
+        result = CrossCoreAccumulator.reduce([np.array([1, 2]), np.array([10, 20])])
+        np.testing.assert_array_equal(result, [11, 22])
+
+    def test_cross_core_reduce_validates(self):
+        with pytest.raises(ValueError):
+            CrossCoreAccumulator.reduce([])
+        with pytest.raises(ValueError):
+            CrossCoreAccumulator.reduce([np.zeros(2), np.zeros(3)])
+
+
+class TestActivationUnit:
+    def test_relu(self):
+        unit = ActivationUnit(Q32_16)
+        values = FxpArray.from_float([-1.0, 0.5], Q32_16)
+        out = unit.apply(values, ActivationFunction.RELU)
+        np.testing.assert_allclose(out.to_float(), [0.0, 0.5], atol=Q32_16.resolution)
+
+    def test_tanh_close_to_reference(self, rng):
+        unit = ActivationUnit(Q32_16, tanh_segments=128)
+        values = rng.uniform(-3, 3, size=100)
+        out = unit.apply(FxpArray.from_float(values, Q32_16), ActivationFunction.TANH)
+        np.testing.assert_allclose(out.to_float(), np.tanh(values), atol=5e-3)
+
+    def test_tanh_saturates_outside_range(self):
+        unit = ActivationUnit(Q32_16)
+        out = unit.apply(FxpArray.from_float([100.0, -100.0], Q32_16), ActivationFunction.TANH)
+        np.testing.assert_allclose(out.to_float(), [1.0, -1.0], atol=1e-3)
+
+    def test_identity(self):
+        unit = ActivationUnit(Q32_16)
+        values = FxpArray.from_float([1.25, -2.5], Q32_16)
+        out = unit.apply(values, ActivationFunction.IDENTITY)
+        np.testing.assert_allclose(out.to_float(), [1.25, -2.5])
+
+    def test_requantizes_to_output_format(self):
+        narrow = QFormat(16, 8)
+        unit = ActivationUnit(narrow)
+        out = unit.apply_relu(FxpArray.from_float([0.5001], Q32_16))
+        assert out.fmt == narrow
+
+    def test_invocation_counter(self):
+        unit = ActivationUnit(Q32_16)
+        unit.apply_relu(FxpArray.from_float([1.0], Q32_16))
+        unit.apply_tanh(FxpArray.from_float([1.0], Q32_16))
+        assert unit.invocations == 2
+
+    def test_rejects_too_few_segments(self):
+        with pytest.raises(ValueError):
+            ActivationUnit(Q32_16, tanh_segments=1)
+
+
+class TestPrng:
+    def test_lfsr_period_and_determinism(self):
+        a = GaloisLfsr32(seed=123)
+        b = GaloisLfsr32(seed=123)
+        assert [a.next_bit() for _ in range(64)] == [b.next_bit() for _ in range(64)]
+
+    def test_lfsr_rejects_zero_seed(self):
+        with pytest.raises(ValueError):
+            GaloisLfsr32(seed=0)
+
+    def test_lfsr_word_range(self):
+        lfsr = GaloisLfsr32(seed=7)
+        for bits in (1, 8, 16, 32):
+            word = lfsr.next_word(bits)
+            assert 0 <= word < (1 << bits)
+        with pytest.raises(ValueError):
+            lfsr.next_word(0)
+
+    def test_uniform_in_unit_interval(self):
+        lfsr = GaloisLfsr32(seed=99)
+        samples = [lfsr.uniform() for _ in range(200)]
+        assert all(0.0 <= s < 1.0 for s in samples)
+        assert 0.3 < np.mean(samples) < 0.7
+
+    def test_gaussian_vector_statistics(self):
+        gen = HardwareNoiseGenerator(seed=5, sigma=1.0)
+        samples = gen.gaussian_vector(400)
+        assert abs(np.mean(samples)) < 0.2
+        assert 0.7 < np.std(samples) < 1.3
+
+    def test_exploration_noise_scaled_by_sigma(self):
+        gen = HardwareNoiseGenerator(seed=5, sigma=0.0)
+        np.testing.assert_array_equal(gen.exploration_noise(4), np.zeros(4))
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ValueError):
+            HardwareNoiseGenerator(sigma=-0.1)
+
+
+class TestAdamUnit:
+    def test_matches_software_adam(self, rng):
+        from repro.nn import Adam
+
+        params_hw = {"w": rng.normal(size=(8, 4))}
+        params_sw = {"w": params_hw["w"].copy()}
+        grads = {"w": rng.normal(size=(8, 4))}
+        unit = AdamUnit(AdamUnitConfig(learning_rate=1e-3))
+        sw = Adam(params_sw, learning_rate=1e-3)
+        for _ in range(5):
+            unit.step(params_hw, grads)
+            sw.step(grads)
+        # The hardware unit additionally snaps to the 32-bit fixed grid after
+        # every step, so allow a few LSBs of accumulated rounding drift.
+        tolerance = 5 * 2 * AdamUnitConfig().weight_format.resolution
+        np.testing.assert_allclose(params_hw["w"], params_sw["w"], atol=tolerance)
+
+    def test_update_cycles_scale_with_parameters(self):
+        unit = AdamUnit()
+        assert unit.update_cycles(16) == 1
+        assert unit.update_cycles(17) == 2
+        assert unit.update_cycles(160) == 10
+
+    def test_step_counts_cycles(self, rng):
+        unit = AdamUnit()
+        params = {"w": rng.normal(size=(32,)), "b": rng.normal(size=(4,))}
+        grads = {"w": np.ones(32), "b": np.ones(4)}
+        cycles = unit.step(params, grads)
+        assert cycles == 2 + 1
+        assert unit.cycle_count == cycles
+
+    def test_register_duplicate_rejected(self):
+        unit = AdamUnit()
+        unit.register("w", (4,))
+        with pytest.raises(ValueError):
+            unit.register("w", (4,))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            AdamUnitConfig(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            AdamUnitConfig(lanes=0)
+        with pytest.raises(ValueError):
+            AdamUnitConfig(beta1=1.0)

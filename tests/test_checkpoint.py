@@ -1,0 +1,111 @@
+"""Unit tests for agent checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.nn import make_numerics
+from repro.rl import (
+    DDPGAgent,
+    DDPGConfig,
+    TD3Agent,
+    TD3Config,
+    checkpoint_metadata,
+    load_agent_into,
+    save_agent,
+)
+
+
+def _ddpg(rng, regime="float32"):
+    return DDPGAgent(
+        6, 2, DDPGConfig(hidden_sizes=(12, 8)), numerics=make_numerics(regime), rng=rng
+    )
+
+
+class TestSaveLoadDDPG:
+    def test_roundtrip_restores_policy(self, rng, tmp_path):
+        agent = _ddpg(rng)
+        path = save_agent(agent, tmp_path / "agent.npz")
+        assert path.exists()
+
+        restored = _ddpg(np.random.default_rng(999))
+        state = rng.normal(size=6)
+        assert not np.allclose(agent.act(state), restored.act(state))
+        metadata = load_agent_into(restored, path)
+        np.testing.assert_allclose(agent.act(state), restored.act(state))
+        assert metadata["agent_class"] == "DDPGAgent"
+
+    def test_target_networks_restored(self, rng, tmp_path):
+        agent = _ddpg(rng)
+        path = save_agent(agent, tmp_path / "agent.npz")
+        restored = _ddpg(np.random.default_rng(5))
+        load_agent_into(restored, path)
+        for name, value in agent.target_critic.parameters().items():
+            np.testing.assert_allclose(restored.target_critic.parameters()[name], value)
+
+    def test_update_count_restored(self, rng, tmp_path):
+        agent = _ddpg(rng)
+        agent.update_count = 42
+        path = save_agent(agent, tmp_path / "agent.npz")
+        restored = _ddpg(np.random.default_rng(5))
+        load_agent_into(restored, path)
+        assert restored.update_count == 42
+
+    def test_missing_npz_suffix_normalised(self, rng, tmp_path):
+        agent = _ddpg(rng)
+        path = save_agent(agent, tmp_path / "agent")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_metadata_contents(self, rng):
+        agent = _ddpg(rng, regime="fixar-dynamic")
+        metadata = checkpoint_metadata(agent)
+        assert metadata["state_dim"] == 6
+        assert metadata["numerics"]["name"] == "fixar-dynamic"
+        assert metadata["qat"]["half_mode"] is False
+
+
+class TestQatState:
+    def test_half_mode_and_range_restored(self, rng, tmp_path):
+        agent = _ddpg(rng, regime="fixar-dynamic")
+        agent.numerics.observe_activation(np.array([-2.0, 3.0]))
+        agent.numerics.switch_to_half()
+        path = save_agent(agent, tmp_path / "qat.npz")
+
+        restored = _ddpg(np.random.default_rng(1), regime="fixar-dynamic")
+        load_agent_into(restored, path)
+        assert restored.numerics.half_mode
+        assert restored.numerics.range_tracker.min_value == pytest.approx(-2.0)
+        assert restored.numerics.range_tracker.max_value == pytest.approx(3.0)
+
+
+class TestSaveLoadTD3:
+    def test_roundtrip(self, rng, tmp_path):
+        agent = TD3Agent(6, 2, TD3Config(hidden_sizes=(12, 8)), rng=rng)
+        path = save_agent(agent, tmp_path / "td3.npz")
+        restored = TD3Agent(6, 2, TD3Config(hidden_sizes=(12, 8)), rng=np.random.default_rng(7))
+        load_agent_into(restored, path)
+        state = rng.normal(size=6)
+        np.testing.assert_allclose(agent.act(state), restored.act(state))
+
+
+class TestValidation:
+    def test_class_mismatch_rejected(self, rng, tmp_path):
+        ddpg = _ddpg(rng)
+        path = save_agent(ddpg, tmp_path / "agent.npz")
+        td3 = TD3Agent(6, 2, TD3Config(hidden_sizes=(12, 8)), rng=rng)
+        with pytest.raises(ValueError):
+            load_agent_into(td3, path)
+
+    def test_dimension_mismatch_rejected(self, rng, tmp_path):
+        agent = _ddpg(rng)
+        path = save_agent(agent, tmp_path / "agent.npz")
+        other = DDPGAgent(7, 2, DDPGConfig(hidden_sizes=(12, 8)), rng=rng)
+        with pytest.raises(ValueError):
+            load_agent_into(other, path)
+
+    def test_shape_mismatch_rejected(self, rng, tmp_path):
+        agent = _ddpg(rng)
+        path = save_agent(agent, tmp_path / "agent.npz")
+        other = DDPGAgent(6, 2, DDPGConfig(hidden_sizes=(10, 8)), rng=rng)
+        with pytest.raises(ValueError):
+            load_agent_into(other, path)

@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train"])
+        assert args.benchmark == "HalfCheetah"
+        assert args.regime == "fixar-dynamic"
+        assert args.timesteps == 3_000
+
+    def test_rejects_unknown_benchmark(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--benchmark", "Ant"])
+
+    def test_throughput_batches(self):
+        args = build_parser().parse_args(["throughput", "--batches", "32", "64"])
+        assert args.batches == [32, 64]
+
+
+class TestCommands:
+    def test_resources_command(self, capsys):
+        assert main(["resources"]) == 0
+        output = capsys.readouterr().out
+        assert "PEs" in output
+        assert "fits Alveo U50: True" in output
+
+    def test_resources_command_custom_design(self, capsys):
+        assert main(["resources", "--cores", "8", "--array", "16", "16"]) == 0
+        output = capsys.readouterr().out
+        assert "fits Alveo U50: False" in output
+
+    def test_compare_command_paper_numbers(self, capsys):
+        assert main(["compare", "--use-paper-numbers"]) == 0
+        output = capsys.readouterr().out
+        assert "FA3C" in output
+        assert "38779.8" in output
+
+    def test_compare_command_modelled(self, capsys):
+        assert main(["compare"]) == 0
+        assert "FIXAR" in capsys.readouterr().out
+
+    def test_throughput_command(self, capsys):
+        assert main(["throughput", "--benchmark", "Swimmer", "--batches", "64", "256"]) == 0
+        output = capsys.readouterr().out
+        assert "FIXAR platform IPS" in output
+        assert "speedup" in output
+        assert "breakdown batch" in output
+
+    def test_throughput_half_precision(self, capsys):
+        assert main(["throughput", "--batches", "64", "--half-precision"]) == 0
+        assert "half precision" in capsys.readouterr().out
+
+    def test_train_command_quick(self, capsys, tmp_path):
+        checkpoint = tmp_path / "agent.npz"
+        exit_code = main(
+            [
+                "train",
+                "--timesteps", "400",
+                "--batch-size", "16",
+                "--hidden", "24", "16",
+                "--regime", "fixar-dynamic",
+                "--checkpoint", str(checkpoint),
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "reward curve" in output
+        assert "precision switch" in output
+        assert checkpoint.exists()
+
+    def test_train_command_cosim(self, capsys):
+        exit_code = main(
+            ["train", "--timesteps", "300", "--batch-size", "16", "--hidden", "24", "16", "--cosim"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "co-simulated platform trace" in output
+        assert "platform_ips" in output

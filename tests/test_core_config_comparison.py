@@ -1,0 +1,130 @@
+"""Unit tests for the top-level configuration, Table II comparison, and reports."""
+
+import pytest
+
+from repro.core import (
+    FA3C_ASPLOS19,
+    PPO_FCCM20,
+    FixarConfig,
+    comparison_table,
+    fixar_entry,
+    format_breakdown,
+    format_curve,
+    format_series,
+    format_table,
+    normalize_peak_performance,
+    paper_config,
+    rows_to_csv,
+    smoke_test_config,
+    summarize_speedups,
+)
+
+
+class TestFixarConfig:
+    def test_defaults(self):
+        config = FixarConfig()
+        assert config.benchmark == "HalfCheetah"
+        assert config.numeric_regime == "fixar-dynamic"
+        assert config.qat.num_bits == 16
+
+    def test_with_benchmark_and_regime(self):
+        config = FixarConfig().with_benchmark("Hopper").with_regime("fixed32")
+        assert config.benchmark == "Hopper"
+        assert config.numeric_regime == "fixed32"
+
+    def test_with_training_and_qat_overrides(self):
+        config = FixarConfig().with_training(batch_size=128).with_qat(quantization_delay=42)
+        assert config.training.batch_size == 128
+        assert config.qat.quantization_delay == 42
+
+    def test_paper_config_scale(self):
+        config = paper_config("Swimmer")
+        assert config.benchmark == "Swimmer"
+        assert config.training.total_timesteps == 1_000_000
+        assert config.training.evaluation_interval == 5_000
+        assert config.training.evaluation_episodes == 10
+        assert config.qat.quantization_delay == 500_000
+        assert config.ddpg.hidden_sizes == (400, 300)
+
+    def test_smoke_config_is_small_and_consistent(self):
+        config = smoke_test_config(total_timesteps=1000)
+        assert config.training.total_timesteps == 1000
+        assert config.qat.quantization_delay == 500
+        assert config.training.buffer_capacity >= config.training.batch_size
+
+
+class TestComparisonTable:
+    def test_normalization_matches_paper_numbers(self):
+        """2550 IPS at 2592 KB normalises to 12849.1 IPS at FIXAR's 514.4 KB."""
+        fa3c = normalize_peak_performance(2550.0, 2592.0, 514.4)
+        ppo = normalize_peak_performance(15286.8, 229.6, 514.4)
+        assert fa3c == pytest.approx(12849.1, rel=0.01)
+        assert ppo == pytest.approx(6823.2, rel=0.01)
+
+    def test_normalization_validation(self):
+        with pytest.raises(ValueError):
+            normalize_peak_performance(-1.0, 100.0, 100.0)
+        with pytest.raises(ValueError):
+            normalize_peak_performance(1.0, 0.0, 100.0)
+
+    def test_prior_work_constants(self):
+        assert FA3C_ASPLOS19.dsp_count == 2348
+        assert FA3C_ASPLOS19.task_environment == "Discrete"
+        assert PPO_FCCM20.clock_mhz == pytest.approx(285.0)
+        assert PPO_FCCM20.energy_efficiency_ips_per_watt is None
+
+    def test_table_rows_and_winner(self):
+        rows = comparison_table()
+        assert len(rows) == 3
+        assert rows[-1]["Design"] == "FIXAR"
+        normalized = {row["Design"]: row["Normalized Peak Perf. (IPS)"] for row in rows}
+        # FIXAR wins the normalized comparison, as in the paper.
+        assert normalized["FIXAR"] == max(normalized.values())
+
+    def test_table_with_measured_fixar_entry(self):
+        entry = fixar_entry(peak_ips=50_000.0, energy_efficiency=2_700.0)
+        rows = comparison_table(entry)
+        fixar_row = rows[-1]
+        assert fixar_row["Peak Perf. (IPS)"] == pytest.approx(50_000.0)
+        assert fixar_row["Energy Efficiency (IPS/W)"] == pytest.approx(2_700.0)
+
+    def test_fixar_precision_label(self):
+        assert "Fixed" in fixar_entry().precision
+
+
+class TestReportFormatting:
+    def test_format_table_alignment_and_missing_values(self):
+        rows = [
+            {"Design": "A", "IPS": 100.0},
+            {"Design": "B", "IPS": None, "Extra": 1},
+        ]
+        text = format_table(rows, title="Table")
+        lines = text.splitlines()
+        assert lines[0] == "Table"
+        assert "Design" in lines[1] and "Extra" in lines[1]
+        assert "-" in text  # the dash shows the missing value
+
+    def test_format_table_empty(self):
+        assert format_table([], title="Nothing") == "Nothing"
+
+    def test_format_series(self):
+        text = format_series({64: 100.0, 128: 200.0}, name="ips")
+        assert text.startswith("ips")
+        assert "64: 100.0" in text
+
+    def test_format_breakdown_includes_total(self):
+        text = format_breakdown({"cpu": 0.002, "fpga": 0.001})
+        assert "total=3.00ms" in text
+
+    def test_format_curve(self):
+        text = format_curve([100, 200], [1.5, 2.5], label="fixar")
+        assert text == "fixar: 100:1.5 200:2.5"
+
+    def test_rows_to_csv(self):
+        csv = rows_to_csv([{"a": 1, "b": 2}, {"a": 3, "b": 4}])
+        assert csv.splitlines() == ["a,b", "1,2", "3,4"]
+        assert rows_to_csv([]) == ""
+
+    def test_summarize_speedups(self):
+        speedups = summarize_speedups({64: 20.0, 128: 30.0}, {64: 10.0, 128: 10.0, 256: 5.0})
+        assert speedups == {64: 2.0, 128: 3.0}

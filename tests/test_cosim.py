@@ -1,0 +1,107 @@
+"""Tests for the trace-driven platform co-simulation."""
+
+import numpy as np
+import pytest
+
+from repro.core import FixarSystem, smoke_test_config
+from repro.envs import HalfCheetahEnv
+from repro.nn import DynamicFixedPointNumerics
+from repro.platform import (
+    CpuGpuPlatform,
+    FixarPlatform,
+    PlatformCoSimulation,
+    WorkloadSpec,
+)
+from repro.rl import DDPGAgent, DDPGConfig, QATController, QATSchedule, TrainingConfig
+
+
+def _cosim(rng, total_timesteps=300, warmup=50, batch=16, delay=None):
+    env = HalfCheetahEnv(seed=0, max_episode_steps=50)
+    numerics = DynamicFixedPointNumerics()
+    agent = DDPGAgent(
+        env.state_dim,
+        env.action_dim,
+        DDPGConfig(hidden_sizes=(24, 16), actor_learning_rate=1e-3, critic_learning_rate=1e-3),
+        numerics=numerics,
+        rng=rng,
+    )
+    controller = None
+    if delay is not None:
+        controller = QATController(numerics, QATSchedule(16, quantization_delay=delay))
+    platform = FixarPlatform(
+        WorkloadSpec(env.name, env.state_dim, env.action_dim, hidden_sizes=(24, 16))
+    )
+    config = TrainingConfig(
+        total_timesteps=total_timesteps,
+        warmup_timesteps=warmup,
+        batch_size=batch,
+        buffer_capacity=5_000,
+        evaluation_interval=total_timesteps,
+        evaluation_episodes=1,
+        seed=0,
+    )
+    return PlatformCoSimulation(env, agent, platform, config, qat_controller=controller)
+
+
+class TestCoSimulation:
+    def test_trace_accounting(self, rng):
+        cosim = _cosim(rng)
+        result = cosim.run()
+        assert result.timesteps == 300
+        assert result.training_updates == 300 - 50
+        assert result.transitions_processed == result.training_updates * 16
+        assert result.simulated_seconds > 0
+        assert result.wall_clock_seconds > 0
+        assert set(result.component_seconds) == {"cpu_environment", "runtime", "fpga"}
+        assert result.simulated_seconds == pytest.approx(sum(result.component_seconds.values()))
+
+    def test_platform_ips_reasonable(self, rng):
+        result = _cosim(rng).run()
+        # Small batch 16: throughput should be positive and below the large
+        # batch asymptote of the analytic model.
+        assert 0 < result.platform_ips < 60_000
+
+    def test_beats_baseline(self, rng):
+        result = _cosim(rng).run()
+        assert result.speedup_vs_baseline > 1.0
+        assert result.baseline_ips < result.platform_ips
+
+    def test_precision_switch_recorded_and_applied(self, rng):
+        cosim = _cosim(rng, total_timesteps=300, delay=150)
+        result = cosim.run()
+        assert result.precision_switch_timestep is not None
+        assert result.precision_switch_timestep >= 150
+        assert cosim.platform.half_precision
+
+    def test_no_switch_without_controller(self, rng):
+        result = _cosim(rng, delay=None).run()
+        assert result.precision_switch_timestep is None
+
+    def test_warmup_costs_less_than_training(self, rng):
+        """Warmup timesteps (no batch processed) are cheaper than training ones."""
+        short = _cosim(rng, total_timesteps=60, warmup=60).run()
+        trained = _cosim(rng, total_timesteps=60, warmup=10).run()
+        assert short.transitions_processed == 0
+        assert short.simulated_seconds < trained.simulated_seconds
+
+    def test_summary_keys(self, rng):
+        summary = _cosim(rng, total_timesteps=80, warmup=20).run().summary()
+        assert {"platform_ips", "baseline_ips", "speedup_vs_baseline", "fpga_seconds"} <= set(summary)
+
+
+class TestSystemIntegration:
+    def test_fixar_system_cosimulate(self):
+        config = smoke_test_config(total_timesteps=400, batch_size=16, hidden_sizes=(24, 16))
+        config = config.with_training(warmup_timesteps=80, evaluation_interval=400)
+        system = FixarSystem(config)
+        result = system.cosimulate()
+        assert result.timesteps == 400
+        assert result.precision_switch_timestep is not None
+        assert system.platform.half_precision
+        assert result.platform_ips > result.baseline_ips
+
+    def test_cosim_uses_custom_baseline(self, rng):
+        cosim = _cosim(rng, total_timesteps=100, warmup=20)
+        cosim.baseline = CpuGpuPlatform()
+        result = cosim.run()
+        assert result.baseline_seconds > 0

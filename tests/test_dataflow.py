@@ -1,0 +1,136 @@
+"""Unit tests for the column-wise dataflow and adaptive-parallelism mappings."""
+
+import numpy as np
+import pytest
+
+from repro.accelerator import (
+    ArrayGeometry,
+    Parallelism,
+    column_wise_mvm,
+    inference_schedule,
+    interleave_columns,
+    partition_batch,
+    training_schedule,
+)
+
+
+class TestColumnWiseMvm:
+    def test_matches_numpy_matmul_float(self, rng):
+        matrix = rng.normal(size=(7, 5))
+        vector = rng.normal(size=5)
+        np.testing.assert_allclose(column_wise_mvm(matrix, vector), matrix @ vector)
+
+    def test_matches_numpy_matmul_integer(self, rng):
+        matrix = rng.integers(-100, 100, size=(6, 9))
+        vector = rng.integers(-100, 100, size=9)
+        np.testing.assert_array_equal(column_wise_mvm(matrix, vector), matrix @ vector)
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            column_wise_mvm(np.zeros((3, 4)), np.zeros(5))
+        with pytest.raises(ValueError):
+            column_wise_mvm(np.zeros(3), np.zeros(3))
+
+
+class TestInterleaving:
+    def test_round_robin_assignment(self):
+        groups = interleave_columns(10, 4)
+        np.testing.assert_array_equal(groups[0], [0, 4, 8])
+        np.testing.assert_array_equal(groups[1], [1, 5, 9])
+        np.testing.assert_array_equal(groups[3], [3, 7])
+
+    def test_covers_all_columns_exactly_once(self):
+        groups = interleave_columns(23, 3)
+        combined = np.sort(np.concatenate(groups))
+        np.testing.assert_array_equal(combined, np.arange(23))
+
+    def test_single_core(self):
+        groups = interleave_columns(5, 1)
+        assert len(groups) == 1
+        np.testing.assert_array_equal(groups[0], np.arange(5))
+
+    def test_interleaved_partial_mvm_sums_to_full(self, rng):
+        """Per-core partial accumulations reduce to the full MVM result."""
+        matrix = rng.integers(-50, 50, size=(8, 10))
+        vector = rng.integers(-50, 50, size=10)
+        groups = interleave_columns(10, 3)
+        partials = [matrix[:, g] @ vector[g] for g in groups]
+        np.testing.assert_array_equal(np.sum(partials, axis=0), matrix @ vector)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            interleave_columns(-1, 2)
+        with pytest.raises(ValueError):
+            interleave_columns(4, 0)
+
+
+class TestBatchPartition:
+    def test_covers_batch(self):
+        chunks = partition_batch(10, 4)
+        assert sum(len(c) for c in chunks) == 10
+        combined = np.sort(np.concatenate(chunks))
+        np.testing.assert_array_equal(combined, np.arange(10))
+
+    def test_balanced_sizes(self):
+        chunks = partition_batch(10, 4)
+        sizes = [len(c) for c in chunks]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_cores_than_vectors(self):
+        chunks = partition_batch(2, 4)
+        assert sum(len(c) for c in chunks) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            partition_batch(-1, 2)
+        with pytest.raises(ValueError):
+            partition_batch(4, 0)
+
+
+class TestSchedules:
+    GEOMETRY = ArrayGeometry(16, 16)
+
+    def test_inference_schedule_paper_layer(self):
+        # The 300x400 hidden layer: 25 row chunks, 19 column chunks.
+        schedule = inference_schedule(300, 400, self.GEOMETRY, num_cores=2)
+        assert schedule.parallelism is Parallelism.INTRA_LAYER
+        assert schedule.row_chunks == 25
+        assert schedule.col_chunks == 19
+        assert schedule.tiles_per_core == 13 * 19
+        assert schedule.vectors_per_core == 1
+        assert schedule.needs_cross_core_accumulation
+
+    def test_inference_half_precision_halves_row_chunks(self):
+        full = inference_schedule(300, 400, self.GEOMETRY, num_cores=2, half_precision=False)
+        half = inference_schedule(300, 400, self.GEOMETRY, num_cores=2, half_precision=True)
+        assert half.row_chunks == (full.row_chunks + 1) // 2
+
+    def test_single_core_needs_no_cross_core_accumulation(self):
+        schedule = inference_schedule(300, 400, self.GEOMETRY, num_cores=1)
+        assert not schedule.needs_cross_core_accumulation
+
+    def test_training_schedule_intra_batch(self):
+        schedule = training_schedule(300, 400, batch_size=512, geometry=self.GEOMETRY, num_cores=2)
+        assert schedule.parallelism is Parallelism.INTRA_BATCH
+        assert schedule.vectors_per_core == 256
+        assert schedule.tiles_per_core == schedule.total_tiles
+        assert not schedule.needs_cross_core_accumulation
+
+    def test_training_vectors_per_core_scales_with_cores(self):
+        two = training_schedule(300, 400, 512, self.GEOMETRY, num_cores=2)
+        four = training_schedule(300, 400, 512, self.GEOMETRY, num_cores=4)
+        assert four.vectors_per_core == two.vectors_per_core // 2
+
+    def test_small_layer_has_single_tile(self):
+        schedule = training_schedule(6, 16, 32, self.GEOMETRY, num_cores=2)
+        assert schedule.total_tiles == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            inference_schedule(0, 10, self.GEOMETRY, 2)
+        with pytest.raises(ValueError):
+            training_schedule(10, 10, 0, self.GEOMETRY, 2)
+        with pytest.raises(ValueError):
+            training_schedule(10, 10, 8, self.GEOMETRY, 0)
+        with pytest.raises(ValueError):
+            ArrayGeometry(0, 16)

@@ -1,0 +1,60 @@
+"""Tests for the training-campaign energy model."""
+
+import pytest
+
+from repro.platform import (
+    CpuGpuPlatform,
+    FixarPlatform,
+    WorkloadSpec,
+    estimate_training_campaign,
+)
+
+
+@pytest.fixture
+def platforms():
+    platform = FixarPlatform(WorkloadSpec("HalfCheetah", 17, 6))
+    return platform, CpuGpuPlatform()
+
+
+class TestCampaignEstimate:
+    def test_paper_scale_campaign(self, platforms):
+        platform, baseline = platforms
+        estimates = estimate_training_campaign(platform, baseline, timesteps=1_000_000, batch_size=64)
+        fixar, cpu_gpu = estimates["fixar"], estimates["cpu_gpu"]
+        # FIXAR finishes the campaign faster and with less total energy.
+        assert fixar.seconds < cpu_gpu.seconds
+        assert fixar.total_energy_joules < cpu_gpu.total_energy_joules
+        # One million timesteps at a few ms each lands in the hours range.
+        assert 0.5 < fixar.hours < 5.0
+        assert cpu_gpu.hours > fixar.hours
+
+    def test_energy_components_positive(self, platforms):
+        platform, baseline = platforms
+        estimates = estimate_training_campaign(platform, baseline, timesteps=10_000, batch_size=256)
+        for estimate in estimates.values():
+            assert estimate.accelerator_energy_joules > 0
+            assert estimate.host_energy_joules > 0
+            assert estimate.total_energy_watt_hours == pytest.approx(
+                estimate.total_energy_joules / 3600.0
+            )
+
+    def test_as_dict_keys(self, platforms):
+        platform, baseline = platforms
+        estimate = estimate_training_campaign(platform, baseline, timesteps=1000)["fixar"]
+        as_dict = estimate.as_dict()
+        assert {"platform", "hours", "total_energy_Wh"} <= set(as_dict)
+
+    def test_larger_batch_takes_longer_per_campaign(self, platforms):
+        platform, baseline = platforms
+        small = estimate_training_campaign(platform, baseline, timesteps=10_000, batch_size=64)
+        large = estimate_training_campaign(platform, baseline, timesteps=10_000, batch_size=512)
+        assert large["fixar"].seconds > small["fixar"].seconds
+
+    def test_validation(self, platforms):
+        platform, baseline = platforms
+        with pytest.raises(ValueError):
+            estimate_training_campaign(platform, baseline, timesteps=0)
+        with pytest.raises(ValueError):
+            estimate_training_campaign(platform, baseline, batch_size=0)
+        with pytest.raises(ValueError):
+            estimate_training_campaign(platform, baseline, host_watts=0.0)

@@ -1,0 +1,133 @@
+"""Tests for the environment wrappers."""
+
+import numpy as np
+import pytest
+
+from repro.envs import (
+    ActionRepeat,
+    EpisodeStatistics,
+    HalfCheetahEnv,
+    HopperEnv,
+    ObservationNormalizer,
+    RewardScaler,
+)
+from repro.rl import DDPGAgent, DDPGConfig, TrainingConfig, train
+
+
+class TestObservationNormalizer:
+    def test_normalized_statistics(self, rng):
+        env = ObservationNormalizer(HalfCheetahEnv(seed=0, max_episode_steps=500))
+        observations = [env.reset()]
+        for _ in range(400):
+            result = env.step(rng.uniform(-1, 1, env.action_dim))
+            observations.append(result.observation)
+            if result.done:
+                observations.append(env.reset())
+        stacked = np.vstack(observations[100:])
+        assert np.all(np.abs(stacked.mean(axis=0)) < 1.0)
+        assert np.all(stacked.std(axis=0) < 3.0)
+
+    def test_clipping(self):
+        env = ObservationNormalizer(HalfCheetahEnv(seed=0), clip=2.0)
+        env.reset()
+        result = env.step(np.ones(env.action_dim))
+        assert np.all(np.abs(result.observation) <= 2.0)
+
+    def test_running_std_defaults_to_one(self):
+        env = ObservationNormalizer(HalfCheetahEnv(seed=0))
+        np.testing.assert_allclose(env.running_std, 1.0)
+
+    def test_preserves_dimensions(self):
+        env = ObservationNormalizer(HalfCheetahEnv(seed=0))
+        assert env.state_dim == 17
+        assert env.action_dim == 6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ObservationNormalizer(HalfCheetahEnv(seed=0), epsilon=0.0)
+
+
+class TestActionRepeat:
+    def test_accumulates_rewards(self):
+        base = HalfCheetahEnv(seed=0, max_episode_steps=100)
+        repeated = ActionRepeat(HalfCheetahEnv(seed=0, max_episode_steps=100), repeat=4)
+        base.reset()
+        repeated.reset()
+        action = base.optimal_action()
+        single_rewards = sum(base.step(action).reward for _ in range(4))
+        combined = repeated.step(action).reward
+        assert combined == pytest.approx(single_rewards, rel=0.3, abs=0.5)
+
+    def test_inner_steps_counted(self):
+        env = ActionRepeat(HalfCheetahEnv(seed=0, max_episode_steps=100), repeat=3)
+        env.reset()
+        env.step(np.zeros(env.action_dim))
+        assert env.elapsed_steps == 3
+
+    def test_stops_at_episode_end(self):
+        env = ActionRepeat(HopperEnv(seed=0, max_episode_steps=2), repeat=5)
+        env.reset()
+        result = env.step(np.zeros(env.action_dim))
+        assert result.done
+        assert env.elapsed_steps <= 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ActionRepeat(HalfCheetahEnv(seed=0), repeat=0)
+
+
+class TestRewardScaler:
+    def test_scaling(self):
+        base = HalfCheetahEnv(seed=0)
+        scaled = RewardScaler(HalfCheetahEnv(seed=0), scale=0.1)
+        base.reset()
+        scaled.reset()
+        action = np.full(base.action_dim, 0.5)
+        assert scaled.step(action).reward == pytest.approx(0.1 * base.step(action).reward)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RewardScaler(HalfCheetahEnv(seed=0), scale=0.0)
+
+
+class TestEpisodeStatistics:
+    def test_records_episodes(self, rng):
+        env = EpisodeStatistics(HalfCheetahEnv(seed=0, max_episode_steps=20))
+        for _ in range(3):
+            env.reset()
+            done = False
+            while not done:
+                done = env.step(rng.uniform(-1, 1, env.action_dim)).done
+        assert len(env.episode_returns) == 3
+        assert all(length == 20 for length in env.episode_lengths)
+        mean_return, mean_length = env.statistics()
+        assert np.isfinite(mean_return)
+        assert mean_length == pytest.approx(20.0)
+
+    def test_statistics_empty(self):
+        env = EpisodeStatistics(HalfCheetahEnv(seed=0))
+        mean_return, mean_length = env.statistics()
+        assert np.isnan(mean_return) and np.isnan(mean_length)
+
+
+class TestTrainingLoopCompatibility:
+    def test_wrapped_environment_trains(self, rng):
+        env = ObservationNormalizer(EpisodeStatistics(HalfCheetahEnv(seed=0, max_episode_steps=50)))
+        eval_env = ObservationNormalizer(HalfCheetahEnv(seed=1, max_episode_steps=50))
+        agent = DDPGAgent(
+            env.state_dim,
+            env.action_dim,
+            DDPGConfig(hidden_sizes=(24, 16), actor_learning_rate=1e-3, critic_learning_rate=1e-3),
+            rng=rng,
+        )
+        config = TrainingConfig(
+            total_timesteps=200,
+            warmup_timesteps=50,
+            batch_size=16,
+            buffer_capacity=1_000,
+            evaluation_interval=200,
+            evaluation_episodes=1,
+            seed=0,
+        )
+        result = train(env, agent, config, eval_env=eval_env)
+        assert result.total_updates > 0

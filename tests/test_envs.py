@@ -1,0 +1,182 @@
+"""Unit tests for the synthetic locomotion environments."""
+
+import numpy as np
+import pytest
+
+from repro.envs import (
+    BENCHMARK_SUITE,
+    Environment,
+    HalfCheetahEnv,
+    HopperEnv,
+    LocomotionConfig,
+    LocomotionEnv,
+    SwimmerEnv,
+    available_benchmarks,
+    benchmark_dimensions,
+    make,
+)
+
+
+class TestEnvironmentContract:
+    def test_step_before_reset_raises(self):
+        env = HalfCheetahEnv(seed=0)
+        with pytest.raises(RuntimeError):
+            env.step(np.zeros(env.action_dim))
+
+    def test_reset_returns_observation(self):
+        env = HalfCheetahEnv(seed=0)
+        obs = env.reset()
+        assert obs.shape == (env.state_dim,)
+        assert np.all(np.isfinite(obs))
+
+    def test_step_result_unpacks(self):
+        env = HalfCheetahEnv(seed=0)
+        env.reset()
+        obs, reward, done, info = env.step(np.zeros(env.action_dim))
+        assert obs.shape == (env.state_dim,)
+        assert isinstance(reward, float)
+        assert isinstance(done, bool)
+        assert isinstance(info, dict)
+
+    def test_horizon_truncation(self):
+        env = HalfCheetahEnv(seed=0, max_episode_steps=5)
+        env.reset()
+        for step in range(5):
+            result = env.step(np.zeros(env.action_dim))
+        assert result.done
+        assert result.info["truncated"]
+
+    def test_step_after_done_requires_reset(self):
+        env = HalfCheetahEnv(seed=0, max_episode_steps=2)
+        env.reset()
+        env.step(np.zeros(env.action_dim))
+        env.step(np.zeros(env.action_dim))
+        with pytest.raises(RuntimeError):
+            env.step(np.zeros(env.action_dim))
+
+    def test_actions_are_clipped(self):
+        env = HalfCheetahEnv(seed=0)
+        env.reset()
+        # A wildly out-of-range action must not blow up the dynamics.
+        result = env.step(np.full(env.action_dim, 1e6))
+        assert np.all(np.isfinite(result.observation))
+        assert np.isfinite(result.reward)
+
+    def test_seeding_reproducible(self):
+        env_a = HalfCheetahEnv(seed=42)
+        env_b = HalfCheetahEnv(seed=42)
+        obs_a = env_a.reset()
+        obs_b = env_b.reset()
+        np.testing.assert_allclose(obs_a, obs_b)
+        action = np.full(env_a.action_dim, 0.3)
+        np.testing.assert_allclose(env_a.step(action).reward, env_b.step(action).reward)
+
+
+class TestPaperDimensions:
+    def test_halfcheetah_dimensions(self):
+        env = HalfCheetahEnv()
+        assert env.state_dim == 17
+        assert env.action_dim == 6
+
+    def test_hopper_dimensions(self):
+        env = HopperEnv()
+        assert env.state_dim == 11
+        assert env.action_dim == 6
+
+    def test_swimmer_dimensions(self):
+        env = SwimmerEnv()
+        assert env.state_dim == 8
+        assert env.action_dim == 2
+
+
+class TestLocomotionDynamics:
+    def test_good_action_beats_zero_action(self):
+        env = HalfCheetahEnv(seed=0, max_episode_steps=200)
+        env.reset()
+        good = 0.0
+        for _ in range(200):
+            result = env.step(env.optimal_action())
+            good += result.reward
+        env = HalfCheetahEnv(seed=0, max_episode_steps=200)
+        env.reset()
+        idle = 0.0
+        for _ in range(200):
+            idle += env.step(np.zeros(env.action_dim)).reward
+        assert good > idle + 50.0
+
+    def test_control_cost_penalises_wasteful_actions(self):
+        config = LocomotionConfig(state_dim=6, action_dim=2, control_cost=1.0, structure_seed=3)
+        env = LocomotionEnv(config, seed=0)
+        env.reset()
+        # An action orthogonal to the gait direction produces no thrust but
+        # still pays the control cost.
+        direction = env.gait_direction
+        orthogonal = np.array([-direction[1], direction[0]])
+        rewards = [env.step(orthogonal).reward for _ in range(20)]
+        assert np.mean(rewards) < 0.0
+
+    def test_hopper_falls_under_violent_actions(self):
+        env = HopperEnv(seed=0, max_episode_steps=1000)
+        env.reset()
+        rng = np.random.default_rng(0)
+        terminated = False
+        for _ in range(1000):
+            action = rng.choice([-1.0, 1.0], size=env.action_dim)
+            result = env.step(action)
+            if result.info.get("terminated"):
+                terminated = True
+                break
+            if result.done:
+                break
+        assert terminated, "violent bang-bang control should eventually topple the hopper"
+
+    def test_halfcheetah_never_terminates_early(self):
+        env = HalfCheetahEnv(seed=0, max_episode_steps=300)
+        env.reset()
+        rng = np.random.default_rng(1)
+        for step in range(300):
+            result = env.step(rng.uniform(-1, 1, env.action_dim))
+            if result.done:
+                break
+        assert step == 299
+        assert result.info["truncated"]
+
+    def test_info_contains_velocity(self):
+        env = SwimmerEnv(seed=0)
+        env.reset()
+        info = env.step(np.zeros(env.action_dim)).info
+        assert "velocity" in info
+        assert "control_cost" in info
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            LocomotionConfig(state_dim=0, action_dim=2)
+        with pytest.raises(ValueError):
+            LocomotionConfig(state_dim=4, action_dim=2, damping=1.5)
+
+
+class TestRegistry:
+    def test_suite_names(self):
+        assert set(BENCHMARK_SUITE) == {"HalfCheetah", "Hopper", "Swimmer"}
+
+    def test_make_all_benchmarks(self):
+        for name in BENCHMARK_SUITE:
+            env = make(name, seed=0)
+            assert isinstance(env, Environment)
+            assert env.name == name
+
+    def test_make_is_case_insensitive(self):
+        assert make("halfcheetah").name == "HalfCheetah"
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError):
+            make("Ant")
+
+    def test_available_benchmarks_sorted(self):
+        names = available_benchmarks()
+        assert names == sorted(names)
+        assert len(names) >= 3
+
+    def test_benchmark_dimensions(self):
+        dims = benchmark_dimensions("Swimmer")
+        assert dims == {"state_dim": 8, "action_dim": 2}

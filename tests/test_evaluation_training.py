@@ -1,0 +1,173 @@
+"""Unit and integration tests for the evaluation protocol and training loop."""
+
+import numpy as np
+import pytest
+
+from repro.envs import HalfCheetahEnv, HopperEnv
+from repro.nn import make_numerics
+from repro.rl import (
+    DDPGAgent,
+    DDPGConfig,
+    LearningCurve,
+    QATController,
+    QATSchedule,
+    TrainingConfig,
+    compare_curves,
+    evaluate_policy,
+    train,
+)
+
+
+def _small_agent(rng, env, regime="float32", lr=1e-3):
+    return DDPGAgent(
+        env.state_dim,
+        env.action_dim,
+        DDPGConfig(hidden_sizes=(24, 16), actor_learning_rate=lr, critic_learning_rate=lr),
+        numerics=make_numerics(regime),
+        rng=rng,
+    )
+
+
+class TestEvaluatePolicy:
+    def test_returns_finite_average(self, rng):
+        env = HalfCheetahEnv(seed=0, max_episode_steps=20)
+        agent = _small_agent(rng, env)
+        value = evaluate_policy(env, agent, episodes=3)
+        assert np.isfinite(value)
+
+    def test_respects_max_steps(self, rng):
+        env = HalfCheetahEnv(seed=0, max_episode_steps=1000)
+        agent = _small_agent(rng, env)
+        value = evaluate_policy(env, agent, episodes=1, max_steps=5)
+        assert np.isfinite(value)
+        assert env.elapsed_steps <= 5
+
+    def test_invalid_episodes(self, rng):
+        env = HalfCheetahEnv(seed=0)
+        agent = _small_agent(rng, env)
+        with pytest.raises(ValueError):
+            evaluate_policy(env, agent, episodes=0)
+
+
+class TestLearningCurve:
+    def test_record_and_summary(self):
+        curve = LearningCurve("test")
+        for step, value in [(100, 1.0), (200, 2.0), (300, 4.0), (400, 5.0)]:
+            curve.record(step, value)
+        assert curve.final_return == 5.0
+        assert curve.best_return() == 5.0
+        assert curve.improvement() == pytest.approx(4.0)
+        assert curve.mean_return(0.5) == pytest.approx(4.5)
+        summary = curve.summary()
+        assert summary["label"] == "test"
+        assert summary["evaluations"] == 4
+
+    def test_empty_curve(self):
+        curve = LearningCurve("empty")
+        assert np.isnan(curve.final_return)
+        assert curve.improvement() == 0.0
+
+    def test_mean_return_validates_fraction(self):
+        curve = LearningCurve("x")
+        curve.record(1, 1.0)
+        with pytest.raises(ValueError):
+            curve.mean_return(0.0)
+
+    def test_compare_curves_sorted(self):
+        strong = LearningCurve("strong")
+        weak = LearningCurve("weak")
+        strong.record(1, 10.0)
+        weak.record(1, 1.0)
+        ordered = compare_curves([weak, strong])
+        assert ordered[0]["label"] == "strong"
+
+
+class TestTrainingConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(total_timesteps=0)
+        with pytest.raises(ValueError):
+            TrainingConfig(batch_size=0)
+        with pytest.raises(ValueError):
+            TrainingConfig(buffer_capacity=10, batch_size=20)
+        with pytest.raises(ValueError):
+            TrainingConfig(evaluation_interval=0)
+        with pytest.raises(ValueError):
+            TrainingConfig(exploration_noise=-0.1)
+
+
+class TestTrainingLoop:
+    def _config(self, steps=400, batch=16):
+        return TrainingConfig(
+            total_timesteps=steps,
+            warmup_timesteps=50,
+            batch_size=batch,
+            buffer_capacity=5000,
+            evaluation_interval=steps // 2,
+            evaluation_episodes=2,
+            exploration_noise=0.2,
+            seed=0,
+        )
+
+    def test_short_run_produces_curve_and_updates(self, rng):
+        env = HalfCheetahEnv(seed=0, max_episode_steps=50)
+        eval_env = HalfCheetahEnv(seed=1, max_episode_steps=50)
+        agent = _small_agent(rng, env)
+        result = train(env, agent, self._config(), eval_env=eval_env)
+        assert result.total_timesteps == 400
+        assert result.total_updates > 0
+        assert len(result.curve.points) == 2
+        assert len(result.episode_returns) > 0
+
+    def test_default_eval_env_is_fresh_instance(self, rng):
+        env = HalfCheetahEnv(seed=0, max_episode_steps=50)
+        agent = _small_agent(rng, env)
+        result = train(env, agent, self._config(steps=200))
+        assert len(result.curve.points) >= 1
+
+    def test_qat_switch_fires_during_training(self, rng):
+        env = HalfCheetahEnv(seed=0, max_episode_steps=50)
+        agent = _small_agent(rng, env, regime="fixar-dynamic")
+        controller = QATController(agent.numerics, QATSchedule(16, quantization_delay=150))
+        result = train(env, agent, self._config(steps=300), qat_controller=controller)
+        assert result.qat_event is not None
+        assert result.qat_event.timestep >= 150
+        assert agent.numerics.half_mode
+
+    def test_progress_callback_invoked(self, rng):
+        env = HopperEnv(seed=0, max_episode_steps=50)
+        agent = _small_agent(rng, env)
+        seen = []
+        train(
+            env,
+            agent,
+            self._config(steps=200),
+            progress_callback=lambda step, metrics: seen.append((step, metrics)),
+        )
+        assert len(seen) == 2
+        assert "average_return" in seen[0][1]
+
+    def test_label_defaults_to_regime_name(self, rng):
+        env = HalfCheetahEnv(seed=0, max_episode_steps=30)
+        agent = _small_agent(rng, env, regime="fixed32")
+        result = train(env, agent, self._config(steps=120))
+        assert result.curve.label == "fixed32"
+
+    def test_training_improves_over_random_policy(self, rng):
+        """A slightly longer run must beat the untrained policy's return."""
+        env = HalfCheetahEnv(seed=0, max_episode_steps=100)
+        eval_env = HalfCheetahEnv(seed=1, max_episode_steps=100)
+        agent = _small_agent(rng, env, lr=2e-3)
+        untrained = evaluate_policy(eval_env, agent, episodes=3)
+        config = TrainingConfig(
+            total_timesteps=1500,
+            warmup_timesteps=200,
+            batch_size=32,
+            buffer_capacity=10_000,
+            evaluation_interval=1500,
+            evaluation_episodes=3,
+            exploration_noise=0.3,
+            seed=0,
+        )
+        result = train(env, agent, config, eval_env=eval_env)
+        assert result.curve.final_return > untrained + 10.0

@@ -1,0 +1,171 @@
+"""Unit and integration tests for the top-level FIXAR accelerator simulator."""
+
+import numpy as np
+import pytest
+
+from repro.accelerator import (
+    AcceleratorConfig,
+    FixarAccelerator,
+    MemoryError_,
+    PrecisionMode,
+)
+from repro.rl import DDPGAgent, DDPGConfig
+
+
+def _small_layers(rng, in_dim=10, hidden=12, out_dim=3, final="tanh"):
+    return [
+        (rng.normal(scale=0.3, size=(in_dim, hidden)), rng.normal(scale=0.1, size=hidden), "relu"),
+        (rng.normal(scale=0.3, size=(hidden, out_dim)), rng.normal(scale=0.1, size=out_dim), final),
+    ]
+
+
+class TestLoading:
+    def test_load_and_shapes(self, rng):
+        accelerator = FixarAccelerator()
+        accelerator.load_network("net", _small_layers(rng))
+        assert accelerator.network_names() == ["net"]
+        assert accelerator.network_shapes("net") == [(10, 12), (12, 3)]
+        assert accelerator.network_parameter_count("net") == (10 * 12 + 12) + (12 * 3 + 3)
+
+    def test_reload_replaces_network(self, rng):
+        accelerator = FixarAccelerator()
+        accelerator.load_network("net", _small_layers(rng))
+        used_before = accelerator.weight_memory.used_bytes
+        accelerator.load_network("net", _small_layers(rng))
+        assert accelerator.weight_memory.used_bytes == used_before
+
+    def test_unload_frees_memory(self, rng):
+        accelerator = FixarAccelerator()
+        accelerator.load_network("net", _small_layers(rng))
+        accelerator.unload_network("net")
+        assert accelerator.weight_memory.used_bytes == 0
+        with pytest.raises(KeyError):
+            accelerator.network_shapes("net")
+
+    def test_oversized_model_rejected(self, rng):
+        tiny = AcceleratorConfig(weight_memory_bytes=1024)
+        accelerator = FixarAccelerator(tiny)
+        with pytest.raises(MemoryError_):
+            accelerator.load_network("net", _small_layers(rng, in_dim=100, hidden=100))
+
+    def test_bad_layer_shapes_rejected(self, rng):
+        accelerator = FixarAccelerator()
+        with pytest.raises(ValueError):
+            accelerator.load_network("net", [(np.zeros((4, 3)), np.zeros(2), "relu")])
+
+    def test_paper_model_fits(self, rng):
+        """The full-size actor and critic both fit in the 1.05 MB weight memory."""
+        agent = DDPGAgent(17, 6, DDPGConfig(), rng=rng)
+        accelerator = FixarAccelerator()
+        accelerator.load_agent(agent)
+        assert accelerator.weight_memory.used_bytes <= accelerator.weight_memory.capacity_bytes
+        assert accelerator.network_shapes("actor") == [(17, 400), (400, 300), (300, 6)]
+        assert accelerator.network_shapes("critic") == [(23, 400), (400, 300), (300, 1)]
+
+
+class TestFunctionalEquivalence:
+    def test_infer_matches_mlp_within_fixed_point_error(self, rng):
+        agent = DDPGAgent(17, 6, DDPGConfig(hidden_sizes=(32, 24)), rng=rng)
+        accelerator = FixarAccelerator()
+        accelerator.load_agent(agent)
+        state = rng.normal(size=17)
+        reference = agent.actor.forward(state)[0]
+        accelerated = accelerator.infer("actor", state)
+        np.testing.assert_allclose(accelerated, reference, atol=5e-3)
+
+    def test_forward_batch_matches_mlp(self, rng):
+        agent = DDPGAgent(11, 3, DDPGConfig(hidden_sizes=(24, 16)), rng=rng)
+        accelerator = FixarAccelerator()
+        accelerator.load_agent(agent)
+        states = rng.normal(size=(8, 11))
+        reference = agent.actor.forward(states)
+        accelerated = accelerator.forward_batch("actor", states)
+        np.testing.assert_allclose(accelerated, reference, atol=5e-3)
+
+    def test_critic_inference(self, rng):
+        agent = DDPGAgent(8, 2, DDPGConfig(hidden_sizes=(16, 12)), rng=rng)
+        accelerator = FixarAccelerator()
+        accelerator.load_agent(agent)
+        state_action = rng.normal(size=10)
+        reference = agent.critic.forward(state_action)[0]
+        accelerated = accelerator.infer("critic", state_action)
+        np.testing.assert_allclose(accelerated, reference, atol=5e-3)
+
+    def test_intra_layer_split_independent_of_core_count(self, rng):
+        layers = _small_layers(rng)
+        one_core = FixarAccelerator(AcceleratorConfig(num_cores=1))
+        four_core = FixarAccelerator(AcceleratorConfig(num_cores=4))
+        one_core.load_network("net", layers)
+        four_core.load_network("net", layers)
+        state = rng.normal(size=10)
+        np.testing.assert_allclose(
+            one_core.infer("net", state), four_core.infer("net", state), atol=1e-6
+        )
+
+    def test_noise_injection_changes_output(self, rng):
+        accelerator = FixarAccelerator()
+        accelerator.load_network("net", _small_layers(rng))
+        state = rng.normal(size=10)
+        clean = accelerator.infer("net", state, add_noise=False)
+        noisy = accelerator.infer("net", state, add_noise=True)
+        assert not np.allclose(clean, noisy)
+
+    def test_half_precision_mode_increases_error_but_stays_close(self, rng):
+        agent = DDPGAgent(17, 6, DDPGConfig(hidden_sizes=(32, 24)), rng=rng)
+        accelerator = FixarAccelerator()
+        accelerator.load_agent(agent)
+        state = rng.normal(size=17)
+        reference = agent.actor.forward(state)[0]
+        full = accelerator.infer("actor", state)
+        accelerator.set_precision(PrecisionMode.HALF)
+        half = accelerator.infer("actor", state)
+        full_error = np.abs(full - reference).max()
+        half_error = np.abs(half - reference).max()
+        assert half_error >= full_error
+        np.testing.assert_allclose(half, reference, atol=0.1)
+
+
+class TestPrecisionControl:
+    def test_default_full_precision(self):
+        accelerator = FixarAccelerator()
+        assert accelerator.precision_mode is PrecisionMode.FULL
+        assert not accelerator.half_precision
+        assert accelerator.activation_format.word_length == 32
+
+    def test_switch_to_half(self):
+        accelerator = FixarAccelerator()
+        accelerator.set_precision(PrecisionMode.HALF)
+        assert accelerator.half_precision
+        assert accelerator.activation_format.word_length == 16
+        assert all(core.mode is PrecisionMode.HALF for core in accelerator.cores)
+
+    def test_half_precision_doubles_throughput_estimate(self, rng):
+        agent = DDPGAgent(17, 6, DDPGConfig(), rng=rng)
+        accelerator = FixarAccelerator()
+        accelerator.load_agent(agent)
+        full_ips = accelerator.ips(256)
+        accelerator.set_precision(PrecisionMode.HALF)
+        half_ips = accelerator.ips(256)
+        assert half_ips > full_ips
+
+
+class TestTimingIntegration:
+    def test_timestep_breakdown_and_ips(self, rng):
+        agent = DDPGAgent(17, 6, DDPGConfig(), rng=rng)
+        accelerator = FixarAccelerator()
+        accelerator.load_agent(agent)
+        breakdown = accelerator.timestep_breakdown(256)
+        assert breakdown.total_cycles > 0
+        assert accelerator.timestep_seconds(256) == pytest.approx(
+            breakdown.total_cycles / accelerator.config.clock_hz
+        )
+        assert 40_000 < accelerator.ips(256) < 80_000
+        assert 0.8 < accelerator.utilization(512) <= 1.0
+
+    def test_memory_report(self, rng):
+        agent = DDPGAgent(17, 6, DDPGConfig(), rng=rng)
+        accelerator = FixarAccelerator()
+        accelerator.load_agent(agent)
+        report = accelerator.memory_report()
+        assert 0.9 < report["weight_memory"] <= 1.0
+        assert report["weight_memory_used_bytes"] > 1_000_000

@@ -1,0 +1,118 @@
+"""Unit tests for the end-to-end FIXAR platform timing model."""
+
+import pytest
+
+from repro.accelerator import AcceleratorConfig
+from repro.envs import HalfCheetahEnv
+from repro.platform import (
+    PAPER_BATCH_SIZES,
+    CpuGpuPlatform,
+    FixarPlatform,
+    WorkloadSpec,
+)
+
+
+@pytest.fixture
+def platform():
+    return FixarPlatform(WorkloadSpec("HalfCheetah", 17, 6))
+
+
+class TestWorkloadSpec:
+    def test_shapes_match_paper(self):
+        spec = WorkloadSpec("HalfCheetah", 17, 6)
+        assert spec.actor_shapes == [(17, 400), (400, 300), (300, 6)]
+        assert spec.critic_shapes == [(23, 400), (400, 300), (300, 1)]
+
+    def test_from_environment(self):
+        spec = WorkloadSpec.from_environment(HalfCheetahEnv())
+        assert spec.benchmark == "HalfCheetah"
+        assert spec.state_dim == 17
+        assert spec.action_dim == 6
+
+    def test_custom_hidden_sizes(self):
+        spec = WorkloadSpec("Hopper", 11, 6, hidden_sizes=(64, 48))
+        assert spec.actor_shapes == [(11, 64), (64, 48), (48, 6)]
+
+
+class TestBreakdown:
+    def test_components_present(self, platform):
+        breakdown = platform.timestep_breakdown(64)
+        assert set(breakdown) == {"cpu_environment", "runtime", "fpga"}
+        assert all(value > 0 for value in breakdown.values())
+
+    def test_cpu_time_constant_fpga_time_linear(self, platform):
+        """Fig. 9a: CPU ~constant, FPGA roughly linear in the batch size."""
+        b64 = platform.timestep_breakdown(64)
+        b512 = platform.timestep_breakdown(512)
+        assert b512["cpu_environment"] < 1.5 * b64["cpu_environment"]
+        assert b512["runtime"] < 2.0 * b64["runtime"]
+        assert 4.0 < b512["fpga"] / b64["fpga"] < 10.0
+
+    def test_bottleneck_shifts_to_fpga(self, platform):
+        """Fig. 9b: CPU dominates at small batch, FPGA at large batch."""
+        small = platform.timestep_ratio(64)
+        large = platform.timestep_ratio(512)
+        assert small["cpu_environment"] > small["fpga"] * 0.9
+        assert large["fpga"] > large["cpu_environment"]
+        assert sum(small.values()) == pytest.approx(1.0)
+        assert sum(large.values()) == pytest.approx(1.0)
+
+    def test_total_is_component_sum(self, platform):
+        assert platform.timestep_seconds(128) == pytest.approx(
+            sum(platform.timestep_breakdown(128).values())
+        )
+
+
+class TestThroughput:
+    def test_platform_ips_grows_with_batch(self, platform):
+        sweep = platform.sweep_platform_ips()
+        values = [sweep[batch] for batch in PAPER_BATCH_SIZES]
+        assert values == sorted(values)
+
+    def test_headline_platform_ips_ballpark(self, platform):
+        """Mean platform IPS over the paper's batch sweep ≈ 25.3 kIPS."""
+        sweep = platform.sweep_platform_ips()
+        mean_ips = sum(sweep.values()) / len(sweep)
+        assert 18_000 < mean_ips < 33_000
+
+    def test_accelerator_ips_flat_and_near_paper(self, platform):
+        sweep = platform.sweep_accelerator_ips()
+        assert min(sweep.values()) > 0.8 * max(sweep.values())
+        assert 45_000 < max(sweep.values()) < 75_000
+
+    def test_platform_beats_cpu_gpu_baseline(self, platform):
+        """Fig. 8: FIXAR is 1.8–4.8× faster than the CPU-GPU platform."""
+        baseline = CpuGpuPlatform()
+        ratios = [
+            platform.platform_ips(batch) / baseline.ips("HalfCheetah", batch)
+            for batch in PAPER_BATCH_SIZES
+        ]
+        assert all(ratio > 1.5 for ratio in ratios)
+        assert max(ratios) < 6.0
+        # The advantage shrinks as the batch grows (GPU utilization improves).
+        assert ratios[0] > ratios[-1]
+
+    def test_energy_efficiency_near_paper(self, platform):
+        """Fig. 10b: ≈2638 IPS/W, an order of magnitude above the GPU."""
+        efficiency = platform.accelerator_ips_per_watt(256)
+        assert 2_000 < efficiency < 3_600
+        gpu = CpuGpuPlatform().gpu
+        assert efficiency > 5 * gpu.ips_per_watt(256)
+
+    def test_accelerator_watts_close_to_paper(self, platform):
+        assert platform.accelerator_watts(512) == pytest.approx(20.4, abs=1.5)
+
+    def test_half_precision_platform_faster(self):
+        spec = WorkloadSpec("HalfCheetah", 17, 6)
+        full = FixarPlatform(spec, half_precision=False)
+        half = FixarPlatform(spec, half_precision=True)
+        assert half.platform_ips(256) > full.platform_ips(256)
+
+    def test_more_cores_increase_throughput(self):
+        spec = WorkloadSpec("HalfCheetah", 17, 6)
+        two = FixarPlatform(spec, AcceleratorConfig(num_cores=2))
+        four = FixarPlatform(spec, AcceleratorConfig(num_cores=4))
+        assert four.accelerator_ips(512) > two.accelerator_ips(512)
+
+    def test_utilization_high(self, platform):
+        assert platform.accelerator_utilization(512) > 0.85

@@ -1,0 +1,97 @@
+"""Integration tests for the assembled FIXAR system."""
+
+import numpy as np
+import pytest
+
+from repro.accelerator import PrecisionMode
+from repro.core import FixarSystem, smoke_test_config
+from repro.platform import PAPER_BATCH_SIZES
+
+
+@pytest.fixture(scope="module")
+def trained_system():
+    """A small system trained once and shared by the read-only tests below."""
+    config = smoke_test_config(total_timesteps=600, batch_size=16, hidden_sizes=(24, 16))
+    config = config.with_training(
+        warmup_timesteps=100, evaluation_interval=300, evaluation_episodes=2
+    )
+    system = FixarSystem(config)
+    result = system.train()
+    return system, result
+
+
+class TestConstruction:
+    def test_components_wired_together(self):
+        system = FixarSystem(smoke_test_config(total_timesteps=500))
+        assert system.env.name == "HalfCheetah"
+        assert system.agent.state_dim == 17
+        assert system.accelerator.network_names() == ["actor", "critic"]
+        assert system.qat_controller is not None
+        assert system.workload.actor_shapes[0][0] == 17
+
+    def test_float_regime_has_no_qat_controller(self):
+        config = smoke_test_config(total_timesteps=500).with_regime("float32")
+        system = FixarSystem(config)
+        assert system.qat_controller is None
+
+    def test_benchmark_selection(self):
+        system = FixarSystem(smoke_test_config("Swimmer", total_timesteps=500))
+        assert system.env.name == "Swimmer"
+        assert system.agent.action_dim == 2
+
+
+class TestTraining(object):
+    def test_training_runs_and_switches_precision(self, trained_system):
+        system, result = trained_system
+        assert result.total_timesteps == 600
+        assert result.qat_event is not None
+        assert system.accelerator.precision_mode is PrecisionMode.HALF
+        assert system.platform.half_precision
+        assert len(result.curve.points) >= 1
+        assert np.isfinite(result.curve.final_return)
+
+    def test_trained_weights_are_resident_on_accelerator(self, trained_system):
+        system, _ = trained_system
+        state = np.zeros(17)
+        reference = system.agent.act(state)
+        accelerated = system.accelerator.infer("actor", state)
+        np.testing.assert_allclose(np.clip(accelerated, -1, 1), reference, atol=0.05)
+
+
+class TestReports:
+    def test_throughput_report(self, trained_system):
+        system, _ = trained_system
+        report = system.throughput_report()
+        assert report.batch_sizes == list(PAPER_BATCH_SIZES)
+        for batch in PAPER_BATCH_SIZES:
+            assert report.platform_ips[batch] > report.baseline_platform_ips[batch]
+            assert report.accelerator_ips[batch] > report.gpu_accelerator_ips[batch]
+            assert set(report.time_breakdowns[batch]) == {"cpu_environment", "runtime", "fpga"}
+        summary = report.summary()
+        assert summary["platform_speedup_vs_cpu_gpu"] > 1.5
+        assert summary["efficiency_gain_vs_gpu"] > 5.0
+
+    def test_resource_table(self, trained_system):
+        system, _ = trained_system
+        rows = system.resource_table()
+        assert rows[-2]["Component"] == "Total"
+        assert rows[-2]["DSP"] == 2302
+
+    def test_comparison_table_uses_model_numbers(self, trained_system):
+        system, _ = trained_system
+        rows = system.comparison_table()
+        fixar_row = rows[-1]
+        assert fixar_row["Design"] == "FIXAR"
+        assert fixar_row["Peak Perf. (IPS)"] > 10_000
+
+    def test_headline_summary_keys(self, trained_system):
+        system, _ = trained_system
+        summary = system.headline_summary(batch_sizes=(64, 256))
+        assert set(summary) >= {
+            "platform_ips",
+            "accelerator_ips",
+            "accelerator_ips_per_watt",
+            "platform_speedup_vs_cpu_gpu",
+            "accelerator_speedup_vs_gpu",
+            "efficiency_gain_vs_gpu",
+        }

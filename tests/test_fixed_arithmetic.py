@@ -1,0 +1,91 @@
+"""Unit tests for the PE's decomposed multiplier arithmetic (Fig. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.fixedpoint import (
+    combine_halves,
+    dual_multiply,
+    mac_full_precision,
+    mac_half_precision,
+    multiply_decomposed,
+    pack_dual_activations,
+    split_halves,
+    unpack_dual_activations,
+)
+
+
+class TestSplitCombine:
+    @pytest.mark.parametrize("value", [0, 1, -1, 12345, -54321, 2 ** 31 - 1, -(2 ** 31)])
+    def test_roundtrip(self, value):
+        upper, lower = split_halves(value)
+        assert combine_halves(upper, lower) == value
+
+    def test_vectorised_roundtrip(self, rng):
+        values = rng.integers(-(2 ** 31), 2 ** 31, size=100)
+        upper, lower = split_halves(values)
+        np.testing.assert_array_equal(combine_halves(upper, lower), values)
+
+    def test_lower_half_is_unsigned_field(self):
+        _, lower = split_halves(-1)
+        assert lower == 0xFFFF
+
+
+class TestDecomposedMultiply:
+    @pytest.mark.parametrize(
+        "activation,weight",
+        [(0, 0), (1, 1), (-1, 7), (123456, -98765), (2 ** 30, 2 ** 20), (-(2 ** 30), 3)],
+    )
+    def test_equals_direct_multiply(self, activation, weight):
+        assert multiply_decomposed(activation, weight) == activation * weight
+
+    def test_vectorised_equals_direct(self, rng):
+        activations = rng.integers(-(2 ** 31), 2 ** 31, size=200)
+        weights = rng.integers(-(2 ** 15), 2 ** 15, size=200)
+        np.testing.assert_array_equal(
+            multiply_decomposed(activations, weights), activations * weights
+        )
+
+    def test_mac_accumulates(self):
+        acc = mac_full_precision(10, 3, 4)
+        assert acc == 10 + 12
+
+
+class TestDualMode:
+    def test_dual_multiply_independent(self):
+        prod_a, prod_b = dual_multiply(3, -5, 7)
+        assert prod_a == 21
+        assert prod_b == -35
+
+    def test_dual_mac(self):
+        acc_a, acc_b = mac_half_precision(1, 2, 3, 4, 10)
+        assert acc_a == 1 + 30
+        assert acc_b == 2 + 40
+
+    def test_throughput_doubling_shape(self, rng):
+        """Two half-precision activations per weight produce two results."""
+        activations_a = rng.integers(-(2 ** 15), 2 ** 15, size=64)
+        activations_b = rng.integers(-(2 ** 15), 2 ** 15, size=64)
+        weights = rng.integers(-(2 ** 15), 2 ** 15, size=64)
+        prod_a, prod_b = dual_multiply(activations_a, activations_b, weights)
+        assert prod_a.shape == prod_b.shape == (64,)
+        np.testing.assert_array_equal(prod_a, activations_a * weights)
+        np.testing.assert_array_equal(prod_b, activations_b * weights)
+
+
+class TestPacking:
+    @pytest.mark.parametrize("a,b", [(0, 0), (1, -1), (-32768, 32767), (1234, -4321)])
+    def test_pack_unpack_roundtrip(self, a, b):
+        word = pack_dual_activations(np.array([a]), np.array([b]))
+        out_a, out_b = unpack_dual_activations(word)
+        assert out_a[0] == a
+        assert out_b[0] == b
+
+    def test_memory_layout_unchanged(self, rng):
+        """Two 16-bit activations occupy exactly one 32-bit word."""
+        a = rng.integers(-(2 ** 15), 2 ** 15, size=16)
+        b = rng.integers(-(2 ** 15), 2 ** 15, size=16)
+        words = pack_dual_activations(a, b)
+        assert words.shape == (16,)
+        assert np.all(words >= 0)
+        assert np.all(words < 2 ** 32)

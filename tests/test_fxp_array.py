@@ -1,0 +1,134 @@
+"""Unit tests for the integer-backed fixed-point tensor."""
+
+import numpy as np
+import pytest
+
+from repro.fixedpoint import FxpArray, QFormat
+
+Q16_8 = QFormat(16, 8)
+Q32_16 = QFormat(32, 16)
+
+
+class TestConstruction:
+    def test_from_float_and_back(self):
+        values = np.array([0.5, -1.25, 3.0])
+        arr = FxpArray.from_float(values, Q16_8)
+        np.testing.assert_allclose(arr.to_float(), values)
+
+    def test_zeros(self):
+        arr = FxpArray.zeros((3, 4), Q16_8)
+        assert arr.shape == (3, 4)
+        assert np.all(arr.raw == 0)
+
+    def test_from_raw_saturates(self):
+        arr = FxpArray.from_raw(np.array([10 ** 12]), Q16_8)
+        assert arr.raw[0] == Q16_8.raw_max
+
+    def test_nbytes_uses_logical_word_length(self):
+        arr = FxpArray.zeros((10,), Q16_8)
+        assert arr.nbytes == 10 * 2
+        arr32 = FxpArray.zeros((10,), Q32_16)
+        assert arr32.nbytes == 10 * 4
+
+    def test_indexing_preserves_format(self):
+        arr = FxpArray.from_float(np.arange(6.0).reshape(2, 3), Q16_8)
+        sub = arr[0]
+        assert isinstance(sub, FxpArray)
+        assert sub.fmt == Q16_8
+        np.testing.assert_allclose(sub.to_float(), [0.0, 1.0, 2.0])
+
+
+class TestArithmetic:
+    def test_addition_matches_float(self):
+        a = FxpArray.from_float([1.5, -2.0], Q16_8)
+        b = FxpArray.from_float([0.25, 0.75], Q16_8)
+        np.testing.assert_allclose((a + b).to_float(), [1.75, -1.25])
+
+    def test_subtraction(self):
+        a = FxpArray.from_float([1.5, -2.0], Q16_8)
+        b = FxpArray.from_float([0.25, 0.75], Q16_8)
+        np.testing.assert_allclose((a - b).to_float(), [1.25, -2.75])
+
+    def test_negation(self):
+        a = FxpArray.from_float([1.5, -2.0], Q16_8)
+        np.testing.assert_allclose((-a).to_float(), [-1.5, 2.0])
+
+    def test_multiplication_close_to_float(self):
+        a = FxpArray.from_float([1.5, -2.0], Q16_8)
+        b = FxpArray.from_float([0.5, 0.75], Q16_8)
+        np.testing.assert_allclose((a * b).to_float(), [0.75, -1.5], atol=Q16_8.resolution)
+
+    def test_addition_saturates(self):
+        a = FxpArray.from_float([Q16_8.max_value], Q16_8)
+        result = a + a
+        assert result.to_float()[0] == pytest.approx(Q16_8.max_value)
+
+    def test_add_scalar_coerces(self):
+        a = FxpArray.from_float([1.0, 2.0], Q16_8)
+        np.testing.assert_allclose((a + 0.5).to_float(), [1.5, 2.5])
+
+    def test_mixed_format_addition_uses_left_format(self):
+        a = FxpArray.from_float([1.0], Q16_8)
+        b = FxpArray.from_float([0.5], Q32_16)
+        result = a + b
+        assert result.fmt == Q16_8
+        assert result.to_float()[0] == pytest.approx(1.5)
+
+
+class TestMatmul:
+    def test_matmul_matches_float_reference(self, rng):
+        a = rng.uniform(-2, 2, size=(4, 5))
+        b = rng.uniform(-2, 2, size=(5, 3))
+        fa = FxpArray.from_float(a, Q32_16)
+        fb = FxpArray.from_float(b, Q32_16)
+        result = (fa @ fb).to_float()
+        np.testing.assert_allclose(result, a @ b, atol=1e-3)
+
+    def test_matmul_output_format(self, rng):
+        a = FxpArray.from_float(rng.uniform(-1, 1, size=(2, 3)), Q16_8)
+        b = FxpArray.from_float(rng.uniform(-1, 1, size=(3, 2)), Q16_8)
+        out = a.matmul(b, out_fmt=Q32_16)
+        assert out.fmt == Q32_16
+
+    def test_matmul_is_deterministic(self, rng):
+        a = FxpArray.from_float(rng.uniform(-1, 1, size=(3, 3)), Q16_8)
+        b = FxpArray.from_float(rng.uniform(-1, 1, size=(3, 3)), Q16_8)
+        first = (a @ b).raw
+        second = (a @ b).raw
+        np.testing.assert_array_equal(first, second)
+
+
+class TestRequantize:
+    def test_widening_is_lossless(self):
+        arr = FxpArray.from_float([1.25, -0.5, 3.75], Q16_8)
+        wide = arr.requantize(Q32_16)
+        np.testing.assert_allclose(wide.to_float(), arr.to_float())
+
+    def test_narrowing_rounds_to_nearest(self):
+        arr = FxpArray.from_float([1.0 + 1 / 65536], Q32_16)
+        narrow = arr.requantize(Q16_8)
+        assert narrow.to_float()[0] == pytest.approx(1.0)
+
+    def test_narrowing_saturates(self):
+        arr = FxpArray.from_float([3000.0], Q32_16)
+        narrow = arr.requantize(Q16_8)
+        assert narrow.to_float()[0] == pytest.approx(Q16_8.max_value)
+
+    def test_same_format_is_copy(self):
+        arr = FxpArray.from_float([1.0], Q16_8)
+        other = arr.requantize(Q16_8)
+        other.raw[0] = 0
+        assert arr.raw[0] != 0
+
+
+class TestComparisons:
+    def test_min_max_abs(self):
+        arr = FxpArray.from_float([-3.0, 1.0, 2.5], Q16_8)
+        assert arr.min() == pytest.approx(-3.0)
+        assert arr.max() == pytest.approx(2.5)
+        assert arr.abs_max() == pytest.approx(3.0)
+
+    def test_allclose_against_numpy(self):
+        arr = FxpArray.from_float([1.0, 2.0], Q16_8)
+        assert arr.allclose(np.array([1.0, 2.0]))
+        assert not arr.allclose(np.array([1.0, 2.5]))

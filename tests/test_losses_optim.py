@@ -1,0 +1,132 @@
+"""Unit tests for loss functions and optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.fixedpoint import WEIGHT_FORMAT
+from repro.nn import Adam, SGD, huber_loss, mse_loss, policy_gradient_loss
+
+
+class TestMseLoss:
+    def test_zero_for_perfect_prediction(self):
+        pred = np.array([[1.0], [2.0]])
+        loss, grad = mse_loss(pred, pred.copy())
+        assert loss == 0.0
+        np.testing.assert_allclose(grad, 0.0)
+
+    def test_value_and_gradient(self):
+        pred = np.array([[1.0], [3.0]])
+        target = np.array([[0.0], [1.0]])
+        loss, grad = mse_loss(pred, target)
+        assert loss == pytest.approx((1 + 4) / 2)
+        np.testing.assert_allclose(grad, [[1.0], [2.0]])
+
+    def test_gradient_matches_numerical(self, rng):
+        pred = rng.normal(size=(4, 3))
+        target = rng.normal(size=(4, 3))
+        _, grad = mse_loss(pred, target)
+        eps = 1e-6
+        bumped = pred.copy()
+        bumped[2, 1] += eps
+        plus, _ = mse_loss(bumped, target)
+        bumped[2, 1] -= 2 * eps
+        minus, _ = mse_loss(bumped, target)
+        assert grad[2, 1] == pytest.approx((plus - minus) / (2 * eps), rel=1e-5)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            mse_loss(np.zeros((2, 1)), np.zeros((3, 1)))
+
+
+class TestHuberLoss:
+    def test_quadratic_region_matches_mse_half(self):
+        pred = np.array([[0.5]])
+        target = np.array([[0.0]])
+        loss, _ = huber_loss(pred, target, delta=1.0)
+        assert loss == pytest.approx(0.5 * 0.25)
+
+    def test_linear_region_gradient_bounded(self):
+        pred = np.array([[10.0]])
+        target = np.array([[0.0]])
+        _, grad = huber_loss(pred, target, delta=1.0)
+        assert abs(grad[0, 0]) <= 1.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            huber_loss(np.zeros((2, 1)), np.zeros((3, 1)))
+
+
+class TestPolicyGradientLoss:
+    def test_loss_is_negative_mean_q(self):
+        q = np.array([[1.0], [3.0]])
+        loss, grad = policy_gradient_loss(q)
+        assert loss == pytest.approx(-2.0)
+        np.testing.assert_allclose(grad, -0.5 * np.ones((2, 1)))
+
+    def test_gradient_direction_increases_q(self):
+        q = np.array([[1.0], [3.0]])
+        _, grad = policy_gradient_loss(q)
+        # Stepping opposite the gradient (gradient descent) raises mean Q.
+        stepped = q - 0.1 * grad
+        assert np.mean(stepped) > np.mean(q)
+
+
+class TestSGD:
+    def test_single_step_moves_against_gradient(self):
+        params = {"w": np.array([1.0, 2.0])}
+        opt = SGD(params, learning_rate=0.1)
+        opt.step({"w": np.array([1.0, -1.0])})
+        np.testing.assert_allclose(params["w"], [0.9, 2.1])
+
+    def test_momentum_accumulates(self):
+        params = {"w": np.array([0.0])}
+        opt = SGD(params, learning_rate=0.1, momentum=0.9)
+        opt.step({"w": np.array([1.0])})
+        opt.step({"w": np.array([1.0])})
+        # Second step uses velocity 0.9*1 + 1 = 1.9.
+        np.testing.assert_allclose(params["w"], [-0.1 - 0.19])
+
+    def test_rejects_bad_hyperparameters(self):
+        with pytest.raises(ValueError):
+            SGD({"w": np.zeros(1)}, learning_rate=0.0)
+        with pytest.raises(ValueError):
+            SGD({"w": np.zeros(1)}, learning_rate=0.1, momentum=1.0)
+
+
+class TestAdam:
+    def test_minimises_quadratic(self, rng):
+        target = rng.normal(size=5)
+        params = {"w": np.zeros(5)}
+        opt = Adam(params, learning_rate=0.05)
+        for _ in range(500):
+            grad = 2 * (params["w"] - target)
+            opt.step({"w": grad})
+        np.testing.assert_allclose(params["w"], target, atol=1e-2)
+
+    def test_first_step_size_close_to_learning_rate(self):
+        params = {"w": np.array([0.0])}
+        opt = Adam(params, learning_rate=0.01)
+        opt.step({"w": np.array([123.0])})
+        assert abs(params["w"][0] + 0.01) < 1e-6
+
+    def test_projection_keeps_weights_on_grid(self):
+        params = {"w": np.array([0.1234567])}
+        opt = Adam(params, learning_rate=1e-3, project=WEIGHT_FORMAT.quantize)
+        opt.step({"w": np.array([1.0])})
+        value = params["w"][0]
+        assert value == WEIGHT_FORMAT.quantize(value)
+
+    def test_state_shapes(self):
+        params = {"w": np.zeros((3, 2))}
+        opt = Adam(params)
+        opt.step({"w": np.ones((3, 2))})
+        state = opt.state()
+        assert state["moment1"]["w"].shape == (3, 2)
+
+    def test_rejects_bad_hyperparameters(self):
+        with pytest.raises(ValueError):
+            Adam({"w": np.zeros(1)}, learning_rate=-1.0)
+        with pytest.raises(ValueError):
+            Adam({"w": np.zeros(1)}, beta1=1.0)
+        with pytest.raises(ValueError):
+            Adam({"w": np.zeros(1)}, epsilon=0.0)

@@ -1,0 +1,150 @@
+"""Unit tests for dense layers, activations, and initializers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import FixedPointNumerics, Linear, ReLU, Tanh, fan_in_uniform, uniform, zeros
+
+
+class TestInitializers:
+    def test_fan_in_uniform_bounds(self, rng):
+        weights = fan_in_uniform((100, 50), rng)
+        bound = 1.0 / np.sqrt(100)
+        assert weights.shape == (100, 50)
+        assert np.all(np.abs(weights) <= bound)
+
+    def test_uniform_factory(self, rng):
+        init = uniform(-0.1, 0.1)
+        weights = init((20, 20), rng)
+        assert np.all(weights >= -0.1)
+        assert np.all(weights <= 0.1)
+
+    def test_zeros(self, rng):
+        assert np.all(zeros((5,), rng) == 0.0)
+
+
+class TestLinear:
+    def test_forward_shape_and_value(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        layer.weight[...] = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+        layer.bias[...] = np.array([0.5, -0.5])
+        out = layer.forward(np.array([[1.0, 2.0, 3.0]]))
+        np.testing.assert_allclose(out, [[1 + 3 + 0.5, 2 + 3 - 0.5]])
+
+    def test_forward_rejects_wrong_width(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        with pytest.raises(ValueError):
+            layer.forward(np.ones((1, 4)))
+
+    def test_backward_before_forward_raises(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.ones((1, 2)))
+
+    def test_gradient_matches_numerical(self, rng):
+        layer = Linear(4, 3, rng=rng)
+        x = rng.normal(size=(5, 4))
+        target_grad = rng.normal(size=(5, 3))
+
+        layer.zero_grad()
+        layer.forward(x)
+        layer.backward(target_grad)
+
+        eps = 1e-6
+        analytic = layer.grad_weight.copy()
+        for i in range(4):
+            for j in range(3):
+                layer.weight[i, j] += eps
+                plus = np.sum(layer.forward(x) * target_grad)
+                layer.weight[i, j] -= 2 * eps
+                minus = np.sum(layer.forward(x) * target_grad)
+                layer.weight[i, j] += eps
+                numeric = (plus - minus) / (2 * eps)
+                assert analytic[i, j] == pytest.approx(numeric, rel=1e-4, abs=1e-6)
+
+    def test_input_gradient_matches_numerical(self, rng):
+        layer = Linear(4, 3, rng=rng)
+        x = rng.normal(size=(2, 4))
+        upstream = rng.normal(size=(2, 3))
+        layer.forward(x)
+        input_grad = layer.backward(upstream)
+        eps = 1e-6
+        for i in range(2):
+            for j in range(4):
+                bumped = x.copy()
+                bumped[i, j] += eps
+                plus = np.sum(layer.forward(bumped) * upstream)
+                bumped[i, j] -= 2 * eps
+                minus = np.sum(layer.forward(bumped) * upstream)
+                numeric = (plus - minus) / (2 * eps)
+                assert input_grad[i, j] == pytest.approx(numeric, rel=1e-4, abs=1e-6)
+
+    def test_zero_grad_resets(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        layer.forward(np.ones((1, 3)))
+        layer.backward(np.ones((1, 2)))
+        assert np.any(layer.grad_weight != 0)
+        layer.zero_grad()
+        assert np.all(layer.grad_weight == 0)
+        assert np.all(layer.grad_bias == 0)
+
+    def test_gradients_accumulate_across_calls(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        x = np.ones((1, 3))
+        g = np.ones((1, 2))
+        layer.forward(x)
+        layer.backward(g)
+        once = layer.grad_weight.copy()
+        layer.forward(x)
+        layer.backward(g)
+        np.testing.assert_allclose(layer.grad_weight, 2 * once)
+
+    def test_rejects_bad_dimensions(self, rng):
+        with pytest.raises(ValueError):
+            Linear(0, 5, rng=rng)
+
+    def test_parameter_count(self, rng):
+        layer = Linear(10, 4, rng=rng)
+        assert layer.parameter_count == 10 * 4 + 4
+
+    def test_numerics_projection_applied_to_weights(self, rng):
+        numerics = FixedPointNumerics()
+        layer = Linear(3, 2, rng=rng, numerics=numerics)
+        layer.weight[...] = 1e-9  # below the fixed-point resolution
+        out = layer.forward(np.ones((1, 3)))
+        # The sub-resolution weights project to zero, so the output is just
+        # the (projected) bias.
+        np.testing.assert_allclose(out - layer.bias, 0.0, atol=numerics.weight_format.resolution)
+
+
+class TestActivations:
+    def test_relu_forward_backward(self):
+        relu = ReLU()
+        x = np.array([[-1.0, 0.0, 2.0]])
+        out = relu.forward(x)
+        np.testing.assert_allclose(out, [[0.0, 0.0, 2.0]])
+        grad = relu.backward(np.ones_like(x))
+        np.testing.assert_allclose(grad, [[0.0, 0.0, 1.0]])
+
+    def test_relu_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            ReLU().backward(np.ones((1, 2)))
+
+    def test_tanh_forward_bounded(self, rng):
+        tanh = Tanh()
+        out = tanh.forward(rng.normal(scale=10, size=(4, 6)))
+        assert np.all(np.abs(out) <= 1.0)
+
+    def test_tanh_gradient_matches_numerical(self, rng):
+        tanh = Tanh()
+        x = rng.normal(size=(1, 5))
+        upstream = rng.normal(size=(1, 5))
+        tanh.forward(x)
+        grad = tanh.backward(upstream)
+        eps = 1e-6
+        numeric = (np.tanh(x + eps) - np.tanh(x - eps)) / (2 * eps) * upstream
+        np.testing.assert_allclose(grad, numeric, rtol=1e-5)
+
+    def test_tanh_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            Tanh().backward(np.ones((1, 2)))

@@ -1,0 +1,74 @@
+"""Unit tests for exploration noise processes."""
+
+import numpy as np
+import pytest
+
+from repro.rl import DecayedNoise, GaussianNoise, OrnsteinUhlenbeckNoise
+
+
+class TestGaussianNoise:
+    def test_shape_and_scale(self):
+        noise = GaussianNoise(action_dim=4, sigma=0.5, seed=0)
+        samples = np.array([noise.sample() for _ in range(2000)])
+        assert samples.shape == (2000, 4)
+        assert np.std(samples) == pytest.approx(0.5, rel=0.1)
+        assert np.mean(samples) == pytest.approx(0.0, abs=0.05)
+
+    def test_zero_sigma_is_silent(self):
+        noise = GaussianNoise(action_dim=3, sigma=0.0)
+        np.testing.assert_array_equal(noise.sample(), np.zeros(3))
+
+    def test_seeded_reproducibility(self):
+        a = GaussianNoise(2, 0.1, seed=7)
+        b = GaussianNoise(2, 0.1, seed=7)
+        np.testing.assert_allclose(a.sample(), b.sample())
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ValueError):
+            GaussianNoise(2, sigma=-0.1)
+
+    def test_rejects_bad_dimension(self):
+        with pytest.raises(ValueError):
+            GaussianNoise(0)
+
+
+class TestOrnsteinUhlenbeck:
+    def test_temporal_correlation(self):
+        noise = OrnsteinUhlenbeckNoise(action_dim=1, sigma=0.2, theta=0.15, seed=0)
+        samples = np.array([noise.sample()[0] for _ in range(3000)])
+        lag1 = np.corrcoef(samples[:-1], samples[1:])[0, 1]
+        assert lag1 > 0.9  # strongly correlated process
+
+    def test_reset_returns_to_mean(self):
+        noise = OrnsteinUhlenbeckNoise(action_dim=3, mu=0.0, seed=0)
+        for _ in range(50):
+            noise.sample()
+        noise.reset()
+        np.testing.assert_allclose(noise._state, 0.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            OrnsteinUhlenbeckNoise(2, sigma=-1.0)
+        with pytest.raises(ValueError):
+            OrnsteinUhlenbeckNoise(2, dt=0.0)
+
+
+class TestDecayedNoise:
+    def test_scale_decays_to_floor(self):
+        noise = DecayedNoise(GaussianNoise(2, 1.0, seed=0), decay=0.5, min_scale=0.1)
+        for _ in range(20):
+            noise.sample()
+        assert noise.scale == pytest.approx(0.1)
+
+    def test_reset_propagates(self):
+        base = OrnsteinUhlenbeckNoise(2, seed=0)
+        noise = DecayedNoise(base, decay=0.9)
+        noise.sample()
+        noise.reset()
+        np.testing.assert_allclose(base._state, 0.0)
+
+    def test_rejects_bad_decay(self):
+        with pytest.raises(ValueError):
+            DecayedNoise(GaussianNoise(2), decay=0.0)
+        with pytest.raises(ValueError):
+            DecayedNoise(GaussianNoise(2), min_scale=2.0)

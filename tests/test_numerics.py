@@ -1,0 +1,126 @@
+"""Unit tests for the numeric policies (float, fixed, dynamic fixed point)."""
+
+import numpy as np
+import pytest
+
+from repro.fixedpoint import QFormat
+from repro.nn import (
+    DynamicFixedPointNumerics,
+    FixedPointNumerics,
+    FloatNumerics,
+    Numerics,
+)
+
+
+class TestBaseAndFloat:
+    def test_base_is_identity(self, rng):
+        numerics = Numerics()
+        values = rng.normal(size=10)
+        np.testing.assert_array_equal(numerics.project_activation(values), values)
+        np.testing.assert_array_equal(numerics.project_weight(values), values)
+        np.testing.assert_array_equal(numerics.project_gradient(values), values)
+
+    def test_float_numerics_rounds_to_float32(self):
+        numerics = FloatNumerics()
+        value = np.array([1.0 + 1e-10])
+        assert numerics.project_activation(value)[0] == np.float32(1.0 + 1e-10)
+
+    def test_describe(self):
+        desc = FloatNumerics().describe()
+        assert desc["name"] == "float32"
+        assert desc["activation_bits"] == 32
+
+
+class TestFixedPointNumerics:
+    def test_projections_snap_to_grid(self):
+        numerics = FixedPointNumerics(
+            weight_format=QFormat(16, 8),
+            activation_format=QFormat(16, 8),
+            gradient_format=QFormat(16, 8),
+        )
+        value = np.array([0.001, 1.0])
+        projected = numerics.project_activation(value)
+        assert projected[0] == pytest.approx(0.0)
+        assert projected[1] == pytest.approx(1.0)
+
+    def test_bit_widths(self):
+        numerics = FixedPointNumerics(
+            activation_format=QFormat(16, 8), weight_format=QFormat(32, 16)
+        )
+        assert numerics.activation_bits == 16
+        assert numerics.weight_bits == 32
+
+    def test_default_name(self):
+        assert FixedPointNumerics().name == "fixed32"
+
+    def test_describe_includes_formats(self):
+        desc = FixedPointNumerics().describe()
+        assert "weight_format" in desc
+        assert "activation_format" in desc
+
+
+class TestDynamicFixedPointNumerics:
+    def test_starts_in_full_mode(self):
+        numerics = DynamicFixedPointNumerics()
+        assert not numerics.half_mode
+        assert numerics.activation_bits == 32
+
+    def test_observation_feeds_tracker(self, rng):
+        numerics = DynamicFixedPointNumerics()
+        values = rng.normal(size=100)
+        numerics.observe_activation(values)
+        assert numerics.range_tracker.initialized
+        assert numerics.range_tracker.max_value == pytest.approx(values.max())
+
+    def test_switch_to_half(self, rng):
+        numerics = DynamicFixedPointNumerics()
+        numerics.observe_activation(rng.uniform(-2, 2, size=50))
+        quantizer = numerics.switch_to_half()
+        assert numerics.half_mode
+        assert numerics.activation_bits == 16
+        assert quantizer.num_bits == 16
+
+    def test_switch_without_observation_raises(self):
+        numerics = DynamicFixedPointNumerics()
+        with pytest.raises(Exception):
+            numerics.switch_to_half()
+
+    def test_projection_changes_after_switch(self, rng):
+        numerics = DynamicFixedPointNumerics()
+        values = rng.uniform(-2, 2, size=1000)
+        numerics.observe_activation(values)
+        full = numerics.project_activation(values)
+        numerics.switch_to_half()
+        half = numerics.project_activation(values)
+        full_error = np.abs(full - values).max()
+        half_error = np.abs(half - values).max()
+        assert half_error > full_error
+
+    def test_observation_stops_after_switch(self, rng):
+        numerics = DynamicFixedPointNumerics()
+        numerics.observe_activation(np.array([-1.0, 1.0]))
+        numerics.switch_to_half()
+        numerics.observe_activation(np.array([100.0]))
+        assert numerics.range_tracker.max_value == pytest.approx(1.0)
+
+    def test_switch_back_to_full(self, rng):
+        numerics = DynamicFixedPointNumerics()
+        numerics.observe_activation(np.array([-1.0, 1.0]))
+        numerics.switch_to_half()
+        numerics.switch_to_full()
+        assert not numerics.half_mode
+        assert numerics.activation_bits == 32
+
+    def test_weights_stay_32_bit_after_switch(self, rng):
+        numerics = DynamicFixedPointNumerics()
+        numerics.observe_activation(np.array([-1.0, 1.0]))
+        numerics.switch_to_half()
+        assert numerics.weight_bits == 32
+
+    def test_describe_reports_range_and_mode(self):
+        numerics = DynamicFixedPointNumerics()
+        numerics.observe_activation(np.array([-1.0, 2.0]))
+        numerics.switch_to_half()
+        desc = numerics.describe()
+        assert desc["half_mode"] is True
+        assert desc["range"] == [pytest.approx(-1.0), pytest.approx(2.0)]

@@ -1,0 +1,123 @@
+"""Unit tests for the on-chip memory models."""
+
+import numpy as np
+import pytest
+
+from repro.accelerator import (
+    ActivationMemory,
+    BRAM_BYTES,
+    GradientMemory,
+    MemoryError_,
+    OnChipMemory,
+    WeightMemory,
+)
+
+
+class TestOnChipMemory:
+    def test_row_layout(self):
+        memory = OnChipMemory("test", capacity_bytes=4096, row_bits=512, word_bits=32)
+        assert memory.words_per_row == 16
+        assert memory.total_rows == 4096 * 8 // 512
+
+    def test_invalid_layout_rejected(self):
+        with pytest.raises(ValueError):
+            OnChipMemory("bad", capacity_bytes=0)
+        with pytest.raises(ValueError):
+            OnChipMemory("bad", capacity_bytes=1024, row_bits=500, word_bits=32)
+
+    def test_allocate_and_capacity_tracking(self):
+        memory = OnChipMemory("test", capacity_bytes=1024)
+        memory.allocate("a", (64,))       # 256 bytes
+        assert memory.used_bytes == 256
+        assert memory.free_bytes == 768
+        assert 0 < memory.utilization < 1
+
+    def test_allocation_overflow_raises(self):
+        memory = OnChipMemory("test", capacity_bytes=128)
+        with pytest.raises(MemoryError_):
+            memory.allocate("too_big", (64,))  # 256 bytes > 128
+
+    def test_duplicate_segment_rejected(self):
+        memory = OnChipMemory("test", capacity_bytes=1024)
+        memory.allocate("a", (4,))
+        with pytest.raises(MemoryError_):
+            memory.allocate("a", (4,))
+
+    def test_free_releases_capacity(self):
+        memory = OnChipMemory("test", capacity_bytes=1024)
+        memory.allocate("a", (64,))
+        memory.free("a")
+        assert memory.used_bytes == 0
+        memory.allocate("a", (64,))  # can be re-allocated
+
+    def test_free_unknown_segment_raises(self):
+        memory = OnChipMemory("test", capacity_bytes=1024)
+        with pytest.raises(MemoryError_):
+            memory.free("missing")
+
+    def test_write_read_roundtrip(self):
+        memory = OnChipMemory("test", capacity_bytes=1024)
+        memory.allocate("a", (32,))
+        data = np.arange(32, dtype=np.int64)
+        rows = memory.write("a", data)
+        assert rows == 2  # 32 words / 16 per row
+        out = memory.read("a")
+        np.testing.assert_array_equal(out, data)
+
+    def test_partial_write_with_offset(self):
+        memory = OnChipMemory("test", capacity_bytes=1024)
+        memory.allocate("a", (32,))
+        memory.write("a", np.full(8, 7, dtype=np.int64), offset=8)
+        out = memory.read("a", count=8, offset=8)
+        assert np.all(out == 7)
+
+    def test_out_of_bounds_access_raises(self):
+        memory = OnChipMemory("test", capacity_bytes=1024)
+        memory.allocate("a", (16,))
+        with pytest.raises(MemoryError_):
+            memory.write("a", np.zeros(32, dtype=np.int64))
+        with pytest.raises(MemoryError_):
+            memory.read("a", count=32)
+
+    def test_access_counters(self):
+        memory = OnChipMemory("test", capacity_bytes=1024)
+        memory.allocate("a", (32,))
+        memory.write("a", np.zeros(32, dtype=np.int64))
+        memory.read("a")
+        assert memory.stats.writes == 1
+        assert memory.stats.reads == 1
+        assert memory.stats.written_rows == 2
+        assert memory.stats.read_rows == 2
+
+    def test_view_is_mutable(self):
+        memory = OnChipMemory("test", capacity_bytes=1024)
+        memory.allocate("a", (4,))
+        memory.view("a")[0] = 42
+        assert memory.read("a")[0] == 42
+
+    def test_bram_count(self):
+        memory = OnChipMemory("test", capacity_bytes=10 * BRAM_BYTES)
+        assert memory.bram_count() == 10
+
+
+class TestPaperMemories:
+    def test_weight_memory_default_capacity(self):
+        assert WeightMemory().capacity_bytes == int(1.05 * 1024 * 1024)
+
+    def test_gradient_memory_matches_weight_memory(self):
+        assert GradientMemory().capacity_bytes == WeightMemory().capacity_bytes
+
+    def test_activation_memory_default_capacity(self):
+        assert ActivationMemory().capacity_bytes == int(2.94 * 1024)
+
+    def test_paper_model_fits_weight_memory(self):
+        """Actor (17-400-300-6) + critic (23-400-300-1) fit at 32-bit weights."""
+        actor_params = 17 * 400 + 400 + 400 * 300 + 300 + 300 * 6 + 6
+        critic_params = 23 * 400 + 400 + 400 * 300 + 300 + 300 * 1 + 1
+        total_bytes = (actor_params + critic_params) * 4
+        assert total_bytes <= WeightMemory().capacity_bytes
+
+    def test_activation_memory_holds_all_three_layers(self):
+        """400 + 300 + action activations fit in 2.94 KB at 32-bit."""
+        activations = 400 + 300 + 6
+        assert activations * 4 <= ActivationMemory().capacity_bytes

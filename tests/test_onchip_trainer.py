@@ -1,0 +1,160 @@
+"""Tests for on-chip training (backward propagation + Adam weight update)."""
+
+import numpy as np
+import pytest
+
+from repro.accelerator import FixarAccelerator, OnChipTrainer
+from repro.nn import MLP, Adam, FixedPointNumerics, Linear, ReLU, Tanh, mse_loss
+
+
+def _reference_network(rng, in_dim=6, hidden=10, out_dim=3, final_tanh=True):
+    """A small software MLP under fixed-point numerics plus its layer spec."""
+    numerics = FixedPointNumerics()
+    layers = [Linear(in_dim, hidden, rng=rng, name="fc0"), ReLU(),
+              Linear(hidden, out_dim, rng=rng, name="fc1")]
+    if final_tanh:
+        layers.append(Tanh())
+    mlp = MLP(layers, numerics=numerics)
+    spec = [
+        (layers[0].weight.copy(), layers[0].bias.copy(), "relu"),
+        (layers[2].weight.copy(), layers[2].bias.copy(), "tanh" if final_tanh else "identity"),
+    ]
+    return mlp, spec
+
+
+@pytest.fixture
+def loaded(rng):
+    mlp, spec = _reference_network(rng)
+    accelerator = FixarAccelerator()
+    accelerator.load_network("net", spec)
+    trainer = OnChipTrainer(accelerator, learning_rate=1e-3)
+    return mlp, accelerator, trainer
+
+
+class TestForwardWithCache:
+    def test_matches_plain_forward(self, loaded, rng):
+        _, accelerator, trainer = loaded
+        states = rng.normal(size=(5, 6))
+        outputs, caches = trainer.forward("net", states)
+        np.testing.assert_allclose(outputs, accelerator.forward_batch("net", states), atol=1e-9)
+        assert len(caches) == 2
+        assert caches[0].inputs.shape == (5, 6)
+        assert caches[1].outputs.shape == (5, 3)
+
+
+class TestBackward:
+    def test_gradients_match_software_network(self, loaded, rng):
+        mlp, _, trainer = loaded
+        states = rng.normal(size=(8, 6))
+        upstream = rng.normal(size=(8, 3))
+
+        mlp.zero_grad()
+        mlp.forward(states)
+        reference_input_grad = mlp.backward(upstream)
+        reference_grads = mlp.gradients()
+
+        _, caches = trainer.forward("net", states)
+        input_grad = trainer.backward("net", caches, upstream)
+        stored = trainer.stored_gradients("net")
+
+        np.testing.assert_allclose(input_grad, reference_input_grad, atol=2e-3)
+        # Stored weight gradients use the paper's (out, in) orientation.
+        np.testing.assert_allclose(
+            stored["net.layer0.weight"].T, reference_grads["0.fc0.weight"], atol=2e-3
+        )
+        np.testing.assert_allclose(
+            stored["net.layer1.bias"], reference_grads["2.fc1.bias"], atol=2e-3
+        )
+
+    def test_relu_masks_gradient(self, loaded, rng):
+        _, _, trainer = loaded
+        states = rng.normal(size=(4, 6))
+        outputs, caches = trainer.forward("net", states)
+        inactive = caches[0].pre_activation <= 0
+        upstream = np.ones_like(outputs)
+        trainer.backward("net", caches, upstream)
+        # Where ReLU was inactive, the corresponding input columns of the
+        # second layer contributed nothing to that layer's weight gradient.
+        stored = trainer.stored_gradients("net")
+        weight_grad = stored["net.layer1.weight"]  # (out, hidden)
+        fully_inactive_units = np.where(inactive.all(axis=0))[0]
+        for unit in fully_inactive_units:
+            np.testing.assert_allclose(weight_grad[:, unit], 0.0, atol=1e-9)
+
+
+class TestWeightUpdate:
+    def test_update_changes_resident_weights(self, loaded, rng):
+        _, accelerator, trainer = loaded
+        states = rng.normal(size=(8, 6))
+        targets = rng.uniform(-0.5, 0.5, size=(8, 3))
+        before = accelerator._layers("net")[0].weight.to_float().copy()
+        trainer.train_batch("net", states, targets=targets)
+        after = accelerator._layers("net")[0].weight.to_float()
+        assert not np.allclose(before, after)
+
+    def test_weight_memory_and_layer_stay_consistent(self, loaded, rng):
+        _, accelerator, trainer = loaded
+        states = rng.normal(size=(4, 6))
+        trainer.train_batch("net", states, targets=np.zeros((4, 3)))
+        layer = accelerator._layers("net")[0]
+        resident = accelerator.weight_memory.view("net.layer0.weight")
+        np.testing.assert_array_equal(resident, layer.weight.raw)
+
+    def test_matches_software_adam_step(self, rng):
+        mlp, spec = _reference_network(rng, final_tanh=False)
+        accelerator = FixarAccelerator()
+        accelerator.load_network("net", spec)
+        trainer = OnChipTrainer(accelerator, learning_rate=1e-3)
+
+        states = rng.normal(size=(16, 6))
+        targets = rng.uniform(-0.5, 0.5, size=(16, 1 + 2))
+        # Software reference: same loss, same optimizer, fixed-point numerics.
+        optimizer = Adam(mlp.parameters(), learning_rate=1e-3,
+                         project=mlp.numerics.project_weight)
+        mlp.zero_grad()
+        predictions = mlp.forward(states)
+        _, grad = mse_loss(predictions, targets)
+        mlp.backward(grad)
+        optimizer.step(mlp.gradients())
+
+        trainer.train_batch("net", states, targets=targets)
+
+        software_weight = mlp.parameters()["0.fc0.weight"]
+        hardware_weight = accelerator._layers("net")[0].weight.to_float().T
+        np.testing.assert_allclose(hardware_weight, software_weight, atol=5e-4)
+
+    def test_regression_loss_decreases(self, loaded, rng):
+        """Training a few steps on a fixed batch reduces the MSE."""
+        _, _, trainer = loaded
+        trainer.learning_rate = 1e-2
+        trainer.adam_units.clear()
+        states = rng.normal(size=(32, 6))
+        targets = np.tanh(rng.normal(size=(32, 3)) * 0.3)
+        first = trainer.train_batch("net", states, targets=targets)
+        initial_loss = float(np.mean((first.outputs - targets) ** 2))
+        for _ in range(30):
+            last = trainer.train_batch("net", states, targets=targets)
+        final_loss = float(np.mean((last.outputs - targets) ** 2))
+        assert final_loss < initial_loss
+
+    def test_weight_update_cycles_counted(self, loaded, rng):
+        _, accelerator, trainer = loaded
+        result = trainer.train_batch("net", rng.normal(size=(4, 6)), targets=np.zeros((4, 3)))
+        parameter_count = accelerator.network_parameter_count("net")
+        assert result.weight_update_cycles >= parameter_count // 16
+        assert result.gradient_norms
+
+
+class TestValidation:
+    def test_requires_exactly_one_objective(self, loaded, rng):
+        _, _, trainer = loaded
+        states = rng.normal(size=(2, 6))
+        with pytest.raises(ValueError):
+            trainer.train_batch("net", states)
+        with pytest.raises(ValueError):
+            trainer.train_batch("net", states, targets=np.zeros((2, 3)), output_gradient=np.zeros((2, 3)))
+
+    def test_target_shape_checked(self, loaded, rng):
+        _, _, trainer = loaded
+        with pytest.raises(ValueError):
+            trainer.train_batch("net", rng.normal(size=(2, 6)), targets=np.zeros((2, 7)))

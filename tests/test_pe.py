@@ -1,0 +1,73 @@
+"""Unit tests for the configurable-datapath processing element."""
+
+import pytest
+
+from repro.accelerator import PrecisionMode, ProcessingElement
+
+
+class TestPrecisionMode:
+    def test_macs_per_cycle(self):
+        assert PrecisionMode.FULL.macs_per_cycle == 1
+        assert PrecisionMode.HALF.macs_per_cycle == 2
+
+    def test_activation_bits(self):
+        assert PrecisionMode.FULL.activation_bits == 32
+        assert PrecisionMode.HALF.activation_bits == 16
+
+
+class TestProcessingElement:
+    def test_full_precision_mac(self):
+        pe = ProcessingElement()
+        pe.load_weight(3)
+        assert pe.mac(4) == 12
+        assert pe.mac(-2) == 12 - 6
+        assert pe.cycle_count == 2
+
+    def test_full_precision_with_wide_operands(self):
+        pe = ProcessingElement()
+        weight = 2 ** 20 + 12345
+        activation = -(2 ** 30) + 999
+        pe.load_weight(weight)
+        assert pe.mac(activation) == weight * activation
+
+    def test_half_precision_dual_mac(self):
+        pe = ProcessingElement()
+        pe.set_mode(PrecisionMode.HALF)
+        pe.load_weight(5)
+        acc_a, acc_b = pe.mac_dual(2, -3)
+        assert (acc_a, acc_b) == (10, -15)
+        acc_a, acc_b = pe.mac_dual(1, 1)
+        assert (acc_a, acc_b) == (15, -10)
+        assert pe.cycle_count == 2
+
+    def test_mode_mismatch_raises(self):
+        pe = ProcessingElement()
+        pe.load_weight(1)
+        with pytest.raises(RuntimeError):
+            pe.mac_dual(1, 2)
+        pe.set_mode(PrecisionMode.HALF)
+        with pytest.raises(RuntimeError):
+            pe.mac(1)
+
+    def test_reset_clears_accumulators_not_weight(self):
+        pe = ProcessingElement()
+        pe.load_weight(7)
+        pe.mac(3)
+        pe.reset()
+        assert pe.accumulator == 0
+        assert pe.cycle_count == 0
+        assert pe.weight == 7
+
+    def test_throughput_multiplier(self):
+        pe = ProcessingElement()
+        assert pe.throughput_multiplier == 1
+        pe.set_mode(PrecisionMode.HALF)
+        assert pe.throughput_multiplier == 2
+
+    def test_mode_switch_preserves_accumulators(self):
+        """Reconfiguring the datapath must not corrupt in-flight accumulations."""
+        pe = ProcessingElement()
+        pe.load_weight(2)
+        pe.mac(10)
+        pe.set_mode(PrecisionMode.HALF)
+        assert pe.accumulators[0] == 20

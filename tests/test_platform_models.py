@@ -1,0 +1,159 @@
+"""Unit tests for the host, PCIe, GPU baseline, and metrics models."""
+
+import numpy as np
+import pytest
+
+from repro.envs import HalfCheetahEnv
+from repro.platform import (
+    CpuGpuPlatform,
+    GpuAcceleratorModel,
+    GpuConfig,
+    HostConfig,
+    HostModel,
+    PcieConfig,
+    PcieModel,
+    average_ips,
+    geometric_mean,
+    ips,
+    ips_per_watt,
+    normalize_to_dsp,
+    speedup,
+)
+
+
+class TestMetrics:
+    def test_ips(self):
+        assert ips(512, 0.01) == pytest.approx(51200)
+        with pytest.raises(ValueError):
+            ips(10, 0.0)
+        with pytest.raises(ValueError):
+            ips(-1, 1.0)
+
+    def test_ips_per_watt(self):
+        assert ips_per_watt(53826.8, 20.4) == pytest.approx(2638.57, rel=1e-3)
+        with pytest.raises(ValueError):
+            ips_per_watt(1000, 0.0)
+
+    def test_speedup(self):
+        assert speedup(27.0, 10.0) == pytest.approx(2.7)
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -1.0])
+
+    def test_normalize_to_dsp(self):
+        assert normalize_to_dsp(1000, dsp_count=2000, reference_dsp_count=1000) == pytest.approx(500)
+        with pytest.raises(ValueError):
+            normalize_to_dsp(1000, 0, 100)
+
+    def test_average_ips(self):
+        assert average_ips([10.0, 20.0, 30.0]) == pytest.approx(20.0)
+        with pytest.raises(ValueError):
+            average_ips([])
+
+
+class TestHostModel:
+    def test_env_step_time_is_roughly_constant_2ms(self):
+        host = HostModel()
+        for benchmark in ("HalfCheetah", "Hopper", "Swimmer"):
+            assert host.env_step_seconds(benchmark) == pytest.approx(2e-3, rel=0.2)
+
+    def test_unknown_benchmark_uses_default(self):
+        host = HostModel()
+        assert host.env_step_seconds("Ant") == HostConfig().default_env_step_seconds
+
+    def test_timestep_grows_weakly_with_batch(self):
+        host = HostModel()
+        small = host.timestep_seconds("HalfCheetah", 64)
+        large = host.timestep_seconds("HalfCheetah", 512)
+        assert large > small
+        assert large < 1.5 * small
+
+    def test_calibration_overrides_default(self):
+        host = HostModel()
+        env = HalfCheetahEnv(seed=0, max_episode_steps=50)
+        measured = host.calibrate(env, steps=20)
+        assert measured > 0
+        assert host.env_step_seconds("HalfCheetah") == pytest.approx(measured)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HostConfig(default_env_step_seconds=0.0)
+        with pytest.raises(ValueError):
+            HostModel().timestep_seconds("HalfCheetah", 0)
+        with pytest.raises(ValueError):
+            HostModel().calibrate(HalfCheetahEnv(seed=0), steps=0)
+
+
+class TestPcieModel:
+    def test_batch_bytes(self):
+        model = PcieModel()
+        per_transition = (2 * 17 + 6 + 2) * 4
+        assert model.batch_bytes(64, 17, 6) == 64 * per_transition + 17 * 4
+
+    def test_transfer_time_linear_in_bytes(self):
+        model = PcieModel()
+        assert model.transfer_seconds(2_000_000) == pytest.approx(
+            2 * model.transfer_seconds(1_000_000)
+        )
+
+    def test_runtime_dominated_by_fixed_overhead(self):
+        """Fig. 9: runtime grows only marginally when the batch doubles."""
+        model = PcieModel()
+        t64 = model.timestep_seconds(64, 17, 6)
+        t512 = model.timestep_seconds(512, 17, 6)
+        assert t512 > t64
+        assert t512 < 2.0 * t64
+
+    def test_validation(self):
+        model = PcieModel()
+        with pytest.raises(ValueError):
+            model.batch_bytes(0, 17, 6)
+        with pytest.raises(ValueError):
+            model.transfer_seconds(-1)
+        with pytest.raises(ValueError):
+            PcieConfig(bandwidth_bytes_per_second=0)
+
+
+class TestGpuBaseline:
+    def test_ips_grows_with_batch(self):
+        gpu = GpuAcceleratorModel()
+        values = [gpu.ips(batch) for batch in (64, 128, 256, 512)]
+        assert values == sorted(values)
+        assert values[-1] > 3 * values[0]
+
+    def test_utilization_grows_with_batch(self):
+        gpu = GpuAcceleratorModel()
+        assert gpu.utilization(512) > gpu.utilization(64)
+        assert gpu.utilization(10 ** 7) <= 1.0
+
+    def test_power_and_efficiency(self):
+        gpu = GpuAcceleratorModel()
+        assert gpu.average_watts() == pytest.approx(56.7)
+        assert gpu.ips_per_watt(512) == pytest.approx(gpu.ips(512) / 56.7)
+
+    def test_platform_breakdown_and_sweep(self):
+        platform = CpuGpuPlatform()
+        breakdown = platform.timestep_breakdown("HalfCheetah", 128)
+        assert set(breakdown) == {"cpu_environment", "framework", "gpu"}
+        sweep = platform.sweep_ips("HalfCheetah", (64, 512))
+        assert sweep[512] > sweep[64]
+
+    def test_platform_time_includes_all_components(self):
+        platform = CpuGpuPlatform()
+        assert platform.timestep_seconds("HalfCheetah", 64) == pytest.approx(
+            sum(platform.timestep_breakdown("HalfCheetah", 64).values())
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GpuConfig(fixed_overhead_seconds=0.0)
+        with pytest.raises(ValueError):
+            GpuConfig(average_watts=0.0)
+        with pytest.raises(ValueError):
+            GpuAcceleratorModel().ips(0)

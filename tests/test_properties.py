@@ -1,0 +1,202 @@
+"""Property-based tests (hypothesis) for the core numeric substrates.
+
+These check the invariants the rest of the system relies on: fixed-point
+conversion error bounds, the exactness of the PE's decomposed multiplier, the
+equivalence of the column-wise dataflow with a plain matrix-vector product,
+quantizer range guarantees, and replay-buffer bookkeeping.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.accelerator import column_wise_mvm, interleave_columns, partition_batch
+from repro.fixedpoint import (
+    AffineQuantizer,
+    FxpArray,
+    QFormat,
+    multiply_decomposed,
+    pack_dual_activations,
+    split_halves,
+    combine_halves,
+    unpack_dual_activations,
+)
+from repro.rl import ReplayBuffer
+
+# --------------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------------- #
+qformats = st.builds(
+    QFormat,
+    word_length=st.integers(min_value=8, max_value=32),
+    frac_bits=st.integers(min_value=0, max_value=7),
+)
+
+small_floats = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False)
+
+
+class TestQFormatProperties:
+    @given(fmt=qformats, value=small_floats)
+    @settings(max_examples=200, deadline=None)
+    def test_quantization_error_bounded(self, fmt, value):
+        """Quantizing an in-range value never errs by more than half an LSB."""
+        if not (fmt.min_value <= value <= fmt.max_value):
+            return
+        assert abs(fmt.quantize(value) - value) <= fmt.resolution / 2 + 1e-12
+
+    @given(fmt=qformats, value=small_floats)
+    @settings(max_examples=200, deadline=None)
+    def test_quantization_is_idempotent(self, fmt, value):
+        once = fmt.quantize(value)
+        twice = fmt.quantize(once)
+        assert once == twice
+
+    @given(fmt=qformats, value=small_floats)
+    @settings(max_examples=200, deadline=None)
+    def test_saturation_stays_in_range(self, fmt, value):
+        quantized = fmt.quantize(value)
+        assert fmt.min_value - 1e-12 <= quantized <= fmt.max_value + 1e-12
+
+
+class TestFxpArrayProperties:
+    @given(
+        values=arrays(np.float64, st.integers(1, 20), elements=st.floats(-50, 50)),
+        offsets=arrays(np.float64, st.integers(1, 20), elements=st.floats(-50, 50)),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_addition_commutes(self, values, offsets):
+        size = min(values.size, offsets.size)
+        fmt = QFormat(32, 16)
+        a = FxpArray.from_float(values[:size], fmt)
+        b = FxpArray.from_float(offsets[:size], fmt)
+        np.testing.assert_array_equal((a + b).raw, (b + a).raw)
+
+    @given(values=arrays(np.float64, st.integers(1, 20), elements=st.floats(-50, 50)))
+    @settings(max_examples=100, deadline=None)
+    def test_negation_is_involution(self, values):
+        fmt = QFormat(32, 16)
+        a = FxpArray.from_float(values, fmt)
+        np.testing.assert_array_equal((-(-a)).raw, a.raw)
+
+    @given(values=arrays(np.float64, st.integers(1, 20), elements=st.floats(-50, 50)))
+    @settings(max_examples=100, deadline=None)
+    def test_widening_requantize_is_lossless(self, values):
+        narrow = QFormat(16, 6)
+        wide = QFormat(32, 16)
+        a = FxpArray.from_float(values, narrow)
+        np.testing.assert_allclose(a.requantize(wide).to_float(), a.to_float())
+
+
+class TestDecomposedMultiplierProperties:
+    @given(
+        activation=st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1),
+        weight=st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_decomposition_exact(self, activation, weight):
+        assert multiply_decomposed(activation, weight) == activation * weight
+
+    @given(value=st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1))
+    @settings(max_examples=300, deadline=None)
+    def test_split_combine_roundtrip(self, value):
+        upper, lower = split_halves(value)
+        assert combine_halves(upper, lower) == value
+
+    @given(
+        a=st.integers(min_value=-(2 ** 15), max_value=2 ** 15 - 1),
+        b=st.integers(min_value=-(2 ** 15), max_value=2 ** 15 - 1),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_pack_unpack_roundtrip(self, a, b):
+        word = pack_dual_activations(np.array([a]), np.array([b]))
+        out_a, out_b = unpack_dual_activations(word)
+        assert (out_a[0], out_b[0]) == (a, b)
+
+
+class TestQuantizerProperties:
+    @given(
+        num_bits=st.integers(min_value=2, max_value=16),
+        low=st.floats(min_value=-100, max_value=0, allow_nan=False),
+        span=st.floats(min_value=1e-3, max_value=200, allow_nan=False),
+        values=arrays(np.float64, st.integers(1, 30), elements=st.floats(-150, 150)),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_codes_always_within_code_range(self, num_bits, low, span, values):
+        quantizer = AffineQuantizer(num_bits, low, low + span)
+        codes = quantizer.quantize(values)
+        assert codes.min() >= quantizer.code_min
+        assert codes.max() <= quantizer.code_max
+
+    @given(
+        num_bits=st.integers(min_value=4, max_value=16),
+        low=st.floats(min_value=-10, max_value=0, allow_nan=False),
+        span=st.floats(min_value=0.1, max_value=20, allow_nan=False),
+        values=arrays(np.float64, st.integers(1, 30), elements=st.floats(-5, 5)),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_in_range_roundtrip_error_bounded_by_delta(self, num_bits, low, span, values):
+        high = low + span
+        quantizer = AffineQuantizer(num_bits, low, high)
+        in_range = np.clip(values, low, high)
+        recovered = quantizer.apply(in_range)
+        assert np.max(np.abs(recovered - in_range)) <= quantizer.delta + 1e-9
+
+
+class TestDataflowProperties:
+    @given(
+        rows=st.integers(1, 12),
+        cols=st.integers(1, 12),
+        seed=st.integers(0, 2 ** 16),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_column_wise_mvm_matches_matmul(self, rows, cols, seed):
+        rng = np.random.default_rng(seed)
+        matrix = rng.integers(-1000, 1000, size=(rows, cols))
+        vector = rng.integers(-1000, 1000, size=cols)
+        np.testing.assert_array_equal(column_wise_mvm(matrix, vector), matrix @ vector)
+
+    @given(columns=st.integers(0, 200), cores=st.integers(1, 8))
+    @settings(max_examples=150, deadline=None)
+    def test_interleaving_is_a_partition(self, columns, cores):
+        groups = interleave_columns(columns, cores)
+        assert len(groups) == cores
+        combined = np.sort(np.concatenate(groups)) if columns else np.array([])
+        np.testing.assert_array_equal(combined, np.arange(columns))
+
+    @given(batch=st.integers(0, 200), cores=st.integers(1, 8))
+    @settings(max_examples=150, deadline=None)
+    def test_batch_partition_is_balanced(self, batch, cores):
+        chunks = partition_batch(batch, cores)
+        sizes = [len(chunk) for chunk in chunks]
+        assert sum(sizes) == batch
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestReplayBufferProperties:
+    @given(
+        capacity=st.integers(min_value=1, max_value=64),
+        additions=st.integers(min_value=0, max_value=200),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_size_never_exceeds_capacity(self, capacity, additions):
+        buffer = ReplayBuffer(capacity, state_dim=2, action_dim=1, seed=0)
+        for index in range(additions):
+            buffer.add(np.zeros(2), np.zeros(1), float(index), np.zeros(2), False)
+        assert len(buffer) == min(capacity, additions)
+        assert buffer.full == (additions >= capacity)
+
+    @given(
+        capacity=st.integers(min_value=4, max_value=64),
+        additions=st.integers(min_value=1, max_value=200),
+        batch=st.integers(min_value=1, max_value=32),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_samples_only_contain_stored_rewards(self, capacity, additions, batch):
+        buffer = ReplayBuffer(capacity, state_dim=2, action_dim=1, seed=0)
+        for index in range(additions):
+            buffer.add(np.zeros(2), np.zeros(1), float(index), np.zeros(2), False)
+        sampled = buffer.sample(batch)
+        valid_low = max(0, additions - capacity)
+        assert sampled.rewards.min() >= valid_low
+        assert sampled.rewards.max() <= additions - 1

@@ -1,0 +1,80 @@
+"""Unit tests for Algorithm 1's quantization-aware training schedule."""
+
+import numpy as np
+import pytest
+
+from repro.nn import DynamicFixedPointNumerics, FixedPointNumerics
+from repro.rl import QATController, QATSchedule
+
+
+class TestSchedule:
+    def test_defaults(self):
+        schedule = QATSchedule()
+        assert schedule.num_bits == 16
+        assert schedule.quantization_delay == 500_000
+
+    def test_phase_at(self):
+        schedule = QATSchedule(num_bits=16, quantization_delay=100)
+        assert schedule.phase_at(0) == "full"
+        assert schedule.phase_at(99) == "full"
+        assert schedule.phase_at(100) == "half"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QATSchedule(num_bits=1)
+        with pytest.raises(ValueError):
+            QATSchedule(quantization_delay=-1)
+
+
+class TestController:
+    def _controller(self, delay=10, num_bits=16):
+        numerics = DynamicFixedPointNumerics(num_bits=num_bits)
+        return QATController(numerics, QATSchedule(num_bits=num_bits, quantization_delay=delay)), numerics
+
+    def test_requires_dynamic_numerics(self):
+        with pytest.raises(TypeError):
+            QATController(FixedPointNumerics(), QATSchedule())
+
+    def test_bit_width_mismatch_rejected(self):
+        numerics = DynamicFixedPointNumerics(num_bits=8)
+        with pytest.raises(ValueError):
+            QATController(numerics, QATSchedule(num_bits=16))
+
+    def test_no_switch_before_delay(self, rng):
+        controller, numerics = self._controller(delay=10)
+        numerics.observe_activation(rng.normal(size=10))
+        for step in range(10):
+            assert controller.on_timestep(step) is None
+        assert not controller.switched
+
+    def test_switch_at_delay(self, rng):
+        controller, numerics = self._controller(delay=10)
+        numerics.observe_activation(rng.uniform(-3, 5, size=100))
+        event = controller.on_timestep(10)
+        assert event is not None
+        assert controller.switched
+        assert numerics.half_mode
+        assert event.timestep == 10
+        assert event.num_bits == 16
+        assert event.activation_max == pytest.approx(numerics.range_tracker.max_value)
+        assert event.delta > 0
+
+    def test_switch_happens_once(self, rng):
+        controller, numerics = self._controller(delay=5)
+        numerics.observe_activation(rng.normal(size=10))
+        assert controller.on_timestep(5) is not None
+        assert controller.on_timestep(6) is None
+        assert controller.event is not None
+
+    def test_switch_postponed_until_range_observed(self):
+        controller, numerics = self._controller(delay=0)
+        # No activations observed yet: the controller must wait.
+        assert controller.on_timestep(0) is None
+        numerics.observe_activation(np.array([-1.0, 1.0]))
+        assert controller.on_timestep(1) is not None
+
+    def test_activation_bits_at(self):
+        controller, _ = self._controller(delay=100)
+        assert controller.activation_bits_at(0) == 32
+        assert controller.activation_bits_at(99) == 32
+        assert controller.activation_bits_at(100) == 16

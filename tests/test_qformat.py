@@ -1,0 +1,107 @@
+"""Unit tests for the fixed-point Q-format descriptions."""
+
+import numpy as np
+import pytest
+
+from repro.fixedpoint import (
+    ACTIVATION_FULL_FORMAT,
+    ACTIVATION_HALF_FORMAT,
+    GRADIENT_FORMAT,
+    WEIGHT_FORMAT,
+    QFormat,
+)
+
+
+class TestQFormatConstruction:
+    def test_basic_properties(self):
+        fmt = QFormat(word_length=16, frac_bits=8)
+        assert fmt.int_bits == 7
+        assert fmt.resolution == pytest.approx(1 / 256)
+        assert fmt.scale == 256
+        assert fmt.raw_min == -(1 << 15)
+        assert fmt.raw_max == (1 << 15) - 1
+
+    def test_value_range(self):
+        fmt = QFormat(word_length=8, frac_bits=4)
+        assert fmt.min_value == pytest.approx(-8.0)
+        assert fmt.max_value == pytest.approx(8.0 - 1 / 16)
+
+    def test_rejects_too_small_word(self):
+        with pytest.raises(ValueError):
+            QFormat(word_length=1, frac_bits=0)
+
+    def test_rejects_too_large_word(self):
+        with pytest.raises(ValueError):
+            QFormat(word_length=64, frac_bits=16)
+
+    def test_rejects_negative_frac_bits(self):
+        with pytest.raises(ValueError):
+            QFormat(word_length=16, frac_bits=-1)
+
+    def test_rejects_frac_bits_consuming_sign(self):
+        with pytest.raises(ValueError):
+            QFormat(word_length=16, frac_bits=16)
+
+    def test_is_hashable_and_comparable(self):
+        assert QFormat(32, 16) == QFormat(32, 16)
+        assert QFormat(32, 16) != QFormat(16, 8)
+        assert len({QFormat(32, 16), QFormat(32, 16)}) == 1
+
+
+class TestQFormatConversions:
+    def test_roundtrip_exact_values(self):
+        fmt = QFormat(16, 8)
+        values = np.array([0.0, 1.0, -1.0, 0.5, -3.25, 100.00390625])
+        raw = fmt.to_raw(values)
+        back = fmt.from_raw(raw)
+        np.testing.assert_allclose(back, values)
+
+    def test_quantize_rounds_to_nearest(self):
+        fmt = QFormat(16, 8)
+        assert fmt.quantize(0.001) == pytest.approx(0.0)
+        assert fmt.quantize(0.003) == pytest.approx(1 / 256)
+
+    def test_quantization_error_bounded_by_half_lsb(self):
+        fmt = QFormat(16, 8)
+        values = np.linspace(-10, 10, 1001)
+        err = np.abs(fmt.quantize(values) - values)
+        assert err.max() <= fmt.resolution / 2 + 1e-12
+
+    def test_saturation_on_overflow(self):
+        fmt = QFormat(8, 4)
+        assert fmt.quantize(100.0) == pytest.approx(fmt.max_value)
+        assert fmt.quantize(-100.0) == pytest.approx(fmt.min_value)
+
+    def test_no_saturate_raises(self):
+        fmt = QFormat(8, 4)
+        with pytest.raises(ValueError):
+            fmt.to_raw(100.0, saturate=False)
+
+    def test_clip_raw(self):
+        fmt = QFormat(8, 4)
+        raw = np.array([fmt.raw_min - 10, 0, fmt.raw_max + 10])
+        clipped = fmt.clip_raw(raw)
+        assert clipped[0] == fmt.raw_min
+        assert clipped[2] == fmt.raw_max
+
+    def test_representable_mask(self):
+        fmt = QFormat(8, 4)
+        mask = fmt.representable(np.array([0.0, 7.9, 8.5, -8.0, -9.0]))
+        assert list(mask) == [True, True, False, True, False]
+
+
+class TestPaperFormats:
+    def test_weight_format_is_32_bit(self):
+        assert WEIGHT_FORMAT.word_length == 32
+        assert GRADIENT_FORMAT.word_length == 32
+
+    def test_activation_formats_halve(self):
+        assert ACTIVATION_FULL_FORMAT.word_length == 32
+        assert ACTIVATION_HALF_FORMAT.word_length == 16
+        assert ACTIVATION_FULL_FORMAT.half() == ACTIVATION_HALF_FORMAT
+
+    def test_half_always_valid(self):
+        fmt = QFormat(32, 30)
+        half = fmt.half()
+        assert half.word_length == 16
+        assert half.frac_bits < half.word_length

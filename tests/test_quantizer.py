@@ -1,0 +1,114 @@
+"""Unit tests for the range tracker and Algorithm 1's affine quantizer."""
+
+import numpy as np
+import pytest
+
+from repro.fixedpoint import AffineQuantizer, QuantizationError, RangeTracker
+
+
+class TestRangeTracker:
+    def test_starts_uninitialized(self):
+        tracker = RangeTracker()
+        assert not tracker.initialized
+
+    def test_tracks_min_max(self):
+        tracker = RangeTracker()
+        tracker.update(np.array([1.0, -2.0, 3.0]))
+        tracker.update(np.array([0.5, 4.0]))
+        assert tracker.min_value == pytest.approx(-2.0)
+        assert tracker.max_value == pytest.approx(4.0)
+        assert tracker.count == 5
+
+    def test_scalar_update(self):
+        tracker = RangeTracker()
+        tracker.update(2.5)
+        assert tracker.initialized
+        assert tracker.min_value == tracker.max_value == pytest.approx(2.5)
+
+    def test_empty_update_ignored(self):
+        tracker = RangeTracker()
+        tracker.update(np.array([]))
+        assert not tracker.initialized
+
+    def test_reset(self):
+        tracker = RangeTracker()
+        tracker.update([1.0])
+        tracker.reset()
+        assert not tracker.initialized
+
+    def test_merge(self):
+        a = RangeTracker()
+        b = RangeTracker()
+        a.update([1.0, 2.0])
+        b.update([-5.0, 0.0])
+        a.merge(b)
+        assert a.min_value == pytest.approx(-5.0)
+        assert a.max_value == pytest.approx(2.0)
+        assert a.count == 4
+
+    def test_merge_uninitialized_is_noop(self):
+        a = RangeTracker()
+        a.update([1.0])
+        a.merge(RangeTracker())
+        assert a.count == 1
+
+
+class TestAffineQuantizer:
+    def test_paper_formula(self):
+        """delta and z follow Algorithm 1 exactly."""
+        quantizer = AffineQuantizer(num_bits=4, min_value=-2.0, max_value=6.0)
+        expected_delta = (2.0 + 6.0) / 16
+        assert quantizer.delta == pytest.approx(expected_delta)
+        assert quantizer.zero_point == int(np.floor(2.0 / expected_delta))
+
+    def test_quantize_uses_floor(self):
+        quantizer = AffineQuantizer(num_bits=4, min_value=0.0, max_value=16.0)
+        # delta = 1.0, z = 0
+        assert quantizer.quantize(3.9)[()] == 3
+
+    def test_roundtrip_error_bounded_by_delta(self, rng):
+        quantizer = AffineQuantizer(num_bits=8, min_value=-3.0, max_value=5.0)
+        values = rng.uniform(-3.0, 5.0, size=1000)
+        recovered = quantizer.apply(values)
+        assert np.max(np.abs(recovered - values)) <= quantizer.delta + 1e-12
+
+    def test_codes_within_range(self, rng):
+        quantizer = AffineQuantizer(num_bits=6, min_value=-1.0, max_value=1.0)
+        values = rng.uniform(-10, 10, size=500)
+        codes = quantizer.quantize(values)
+        assert codes.min() >= quantizer.code_min
+        assert codes.max() <= quantizer.code_max
+
+    def test_16_bit_error_much_smaller_than_8_bit(self, rng):
+        values = rng.uniform(-4, 4, size=2000)
+        q8 = AffineQuantizer(8, -4, 4)
+        q16 = AffineQuantizer(16, -4, 4)
+        assert q16.quantization_error(values) < q8.quantization_error(values) / 100
+
+    def test_from_tracker(self):
+        tracker = RangeTracker()
+        tracker.update(np.array([-1.0, 2.0]))
+        quantizer = AffineQuantizer.from_tracker(16, tracker)
+        assert quantizer.min_value == pytest.approx(-1.0)
+        assert quantizer.max_value == pytest.approx(2.0)
+
+    def test_from_uninitialized_tracker_raises(self):
+        with pytest.raises(QuantizationError):
+            AffineQuantizer.from_tracker(16, RangeTracker())
+
+    def test_degenerate_zero_range(self):
+        quantizer = AffineQuantizer(num_bits=8, min_value=0.0, max_value=0.0)
+        assert quantizer.delta > 0
+        assert quantizer.apply(0.0)[()] == pytest.approx(0.0, abs=quantizer.delta)
+
+    def test_rejects_invalid_ranges(self):
+        with pytest.raises(QuantizationError):
+            AffineQuantizer(8, 1.0, -1.0)
+        with pytest.raises(QuantizationError):
+            AffineQuantizer(8, float("nan"), 1.0)
+        with pytest.raises(QuantizationError):
+            AffineQuantizer(1, -1.0, 1.0)
+
+    def test_quantization_error_empty_input(self):
+        quantizer = AffineQuantizer(8, -1.0, 1.0)
+        assert quantizer.quantization_error(np.array([])) == 0.0

@@ -1,0 +1,49 @@
+"""Unit tests for the named numeric regimes of the Fig. 7 study."""
+
+import pytest
+
+from repro.nn import (
+    REGIMES,
+    DynamicFixedPointNumerics,
+    FixedPointNumerics,
+    FloatNumerics,
+    make_numerics,
+    regime_names,
+)
+
+
+class TestRegimeFactory:
+    def test_all_paper_regimes_present(self):
+        assert set(REGIMES) == {"float32", "fixed32", "fixed16", "fixar-dynamic"}
+        assert list(regime_names()) == list(REGIMES)
+
+    def test_float32(self):
+        assert isinstance(make_numerics("float32"), FloatNumerics)
+
+    def test_fixed32(self):
+        numerics = make_numerics("fixed32")
+        assert isinstance(numerics, FixedPointNumerics)
+        assert numerics.activation_bits == 32
+        assert numerics.weight_bits == 32
+
+    def test_fixed16(self):
+        numerics = make_numerics("fixed16")
+        assert numerics.activation_bits == 16
+        assert numerics.weight_bits == 16
+
+    def test_dynamic(self):
+        numerics = make_numerics("fixar-dynamic")
+        assert isinstance(numerics, DynamicFixedPointNumerics)
+        assert numerics.activation_bits == 32
+        assert numerics.num_bits == 16
+
+    def test_dynamic_custom_bits(self):
+        numerics = make_numerics("fixar-dynamic", num_bits=8)
+        assert numerics.num_bits == 8
+
+    def test_case_insensitive(self):
+        assert isinstance(make_numerics("FLOAT32"), FloatNumerics)
+
+    def test_unknown_regime_raises(self):
+        with pytest.raises(ValueError):
+            make_numerics("bfloat16")

@@ -1,0 +1,93 @@
+"""Unit tests for the replay buffer."""
+
+import numpy as np
+import pytest
+
+from repro.rl import ReplayBuffer, TransitionBatch
+
+
+class TestReplayBuffer:
+    def _filled_buffer(self, count=10, capacity=16):
+        buffer = ReplayBuffer(capacity, state_dim=3, action_dim=2, seed=0)
+        for index in range(count):
+            buffer.add(
+                np.full(3, index, dtype=float),
+                np.full(2, index, dtype=float),
+                float(index),
+                np.full(3, index + 1, dtype=float),
+                done=(index % 4 == 3),
+            )
+        return buffer
+
+    def test_length_grows_until_capacity(self):
+        buffer = self._filled_buffer(count=10, capacity=16)
+        assert len(buffer) == 10
+        assert not buffer.full
+
+    def test_wraps_around_at_capacity(self):
+        buffer = self._filled_buffer(count=20, capacity=16)
+        assert len(buffer) == 16
+        assert buffer.full
+
+    def test_oldest_entries_overwritten(self):
+        buffer = self._filled_buffer(count=20, capacity=16)
+        batch = buffer.sample(200)
+        # Entries 0..3 were overwritten by 16..19.
+        assert batch.rewards.min() >= 4.0
+
+    def test_sample_shapes(self):
+        buffer = self._filled_buffer()
+        batch = buffer.sample(8)
+        assert isinstance(batch, TransitionBatch)
+        assert batch.states.shape == (8, 3)
+        assert batch.actions.shape == (8, 2)
+        assert batch.rewards.shape == (8, 1)
+        assert batch.next_states.shape == (8, 3)
+        assert batch.dones.shape == (8, 1)
+        assert len(batch) == 8
+
+    def test_sample_consistency_of_rows(self):
+        buffer = self._filled_buffer()
+        batch = buffer.sample(32)
+        # Each sampled transition keeps state/action/reward consistent.
+        for row in range(len(batch)):
+            assert batch.states[row, 0] == batch.actions[row, 0]
+            assert batch.states[row, 0] == batch.rewards[row, 0]
+            assert batch.next_states[row, 0] == batch.states[row, 0] + 1
+
+    def test_dones_stored_as_float(self):
+        buffer = self._filled_buffer()
+        batch = buffer.sample(32)
+        assert set(np.unique(batch.dones)).issubset({0.0, 1.0})
+
+    def test_sample_from_empty_raises(self):
+        buffer = ReplayBuffer(8, 3, 2)
+        with pytest.raises(RuntimeError):
+            buffer.sample(4)
+
+    def test_invalid_batch_size(self):
+        buffer = self._filled_buffer()
+        with pytest.raises(ValueError):
+            buffer.sample(0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            ReplayBuffer(0, 3, 2)
+        with pytest.raises(ValueError):
+            ReplayBuffer(8, 0, 2)
+
+    def test_clear(self):
+        buffer = self._filled_buffer()
+        buffer.clear()
+        assert len(buffer) == 0
+
+    def test_sample_returns_copies(self):
+        buffer = self._filled_buffer()
+        batch = buffer.sample(4)
+        batch.states[...] = -999.0
+        fresh = buffer.sample(200)
+        assert fresh.states.min() >= 0.0
+
+    def test_batch_nbytes_positive(self):
+        buffer = self._filled_buffer()
+        assert buffer.sample(4).nbytes > 0

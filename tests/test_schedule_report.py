@@ -1,0 +1,78 @@
+"""Tests for the per-layer mapping and memory-footprint reports."""
+
+import pytest
+
+from repro.accelerator import (
+    AcceleratorConfig,
+    layer_mapping_report,
+    memory_footprint_report,
+    workload_mapping_report,
+)
+
+ACTOR_SHAPES = [(17, 400), (400, 300), (300, 6)]
+CRITIC_SHAPES = [(23, 400), (400, 300), (300, 1)]
+
+
+class TestLayerMappingReport:
+    def test_one_row_per_layer(self):
+        rows = layer_mapping_report(ACTOR_SHAPES, batch_size=256)
+        assert len(rows) == 3
+        assert rows[0]["Layer"].startswith("L0")
+        assert rows[1]["Layer"] == "L1 (400x300)"
+
+    def test_training_mode_uses_intra_batch(self):
+        rows = layer_mapping_report(ACTOR_SHAPES, batch_size=256)
+        assert all(row["Parallelism"] == "intra-batch" for row in rows)
+        assert all(row["Vectors/core"] == 128 for row in rows)
+
+    def test_inference_mode_uses_intra_layer(self):
+        rows = layer_mapping_report(ACTOR_SHAPES, batch_size=1)
+        assert all(row["Parallelism"] == "intra-layer" for row in rows)
+        assert all(row["Vectors/core"] == 1 for row in rows)
+
+    def test_half_precision_reduces_row_chunks(self):
+        full = layer_mapping_report(ACTOR_SHAPES, 256, half_precision=False)
+        half = layer_mapping_report(ACTOR_SHAPES, 256, half_precision=True)
+        assert half[1]["Row chunks"] < full[1]["Row chunks"]
+        assert half[1]["FP cycles"] < full[1]["FP cycles"]
+
+    def test_largest_layer_dominates_cycles(self):
+        rows = layer_mapping_report(ACTOR_SHAPES, 256)
+        cycles = [row["FP cycles"] for row in rows]
+        assert cycles[1] == max(cycles)
+
+    def test_utilization_bounded(self):
+        rows = layer_mapping_report(ACTOR_SHAPES, 512)
+        assert all(0 < row["PE utilization (%)"] <= 100 for row in rows)
+
+
+class TestWorkloadMappingReport:
+    def test_covers_both_networks(self):
+        rows = workload_mapping_report(ACTOR_SHAPES, CRITIC_SHAPES, 256)
+        assert len(rows) == 6
+        assert {row["Network"] for row in rows} == {"actor", "critic"}
+
+
+class TestMemoryFootprintReport:
+    def test_paper_workload_fits(self):
+        report = memory_footprint_report(ACTOR_SHAPES, CRITIC_SHAPES)
+        assert report["fits_weight_memory"]
+        assert report["fits_activation_memory"]
+        assert 0.9 < report["weight_memory_utilization"] <= 1.0
+        assert report["actor_parameters"] == 17 * 400 + 400 + 400 * 300 + 300 + 300 * 6 + 6
+
+    def test_oversized_workload_detected(self):
+        huge = [(1000, 1000), (1000, 1000)]
+        report = memory_footprint_report(huge, huge)
+        assert not report["fits_weight_memory"]
+
+    def test_half_precision_weights_halve_footprint(self):
+        full = memory_footprint_report(ACTOR_SHAPES, CRITIC_SHAPES, bits_per_weight=32)
+        half = memory_footprint_report(ACTOR_SHAPES, CRITIC_SHAPES, bits_per_weight=16)
+        assert half["weight_bytes"] == full["weight_bytes"] // 2
+
+    def test_custom_config(self):
+        tiny = AcceleratorConfig(weight_memory_bytes=1024)
+        report = memory_footprint_report(ACTOR_SHAPES, CRITIC_SHAPES, config=tiny)
+        assert not report["fits_weight_memory"]
+        assert report["weight_memory_utilization"] > 1.0

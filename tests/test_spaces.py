@@ -1,0 +1,54 @@
+"""Unit tests for the Box space."""
+
+import numpy as np
+import pytest
+
+from repro.envs import Box
+
+
+class TestBox:
+    def test_scalar_bounds_with_shape(self):
+        box = Box(-1.0, 1.0, shape=(4,))
+        assert box.dim == 4
+        assert box.bounded
+
+    def test_array_bounds(self):
+        box = Box(np.array([-1.0, 0.0]), np.array([1.0, 2.0]))
+        assert box.shape == (2,)
+        assert box.contains(np.array([0.0, 1.0]))
+        assert not box.contains(np.array([0.0, 3.0]))
+
+    def test_mismatched_bounds_raise(self):
+        with pytest.raises(ValueError):
+            Box(np.zeros(2), np.zeros(3))
+
+    def test_inverted_bounds_raise(self):
+        with pytest.raises(ValueError):
+            Box(1.0, -1.0, shape=(2,))
+
+    def test_unbounded_space(self):
+        box = Box(-np.inf, np.inf, shape=(3,))
+        assert not box.bounded
+        assert box.contains(np.array([1e9, -1e9, 0.0]))
+
+    def test_clip(self):
+        box = Box(-1.0, 1.0, shape=(3,))
+        np.testing.assert_allclose(box.clip([2.0, -2.0, 0.5]), [1.0, -1.0, 0.5])
+
+    def test_contains_wrong_shape(self):
+        box = Box(-1.0, 1.0, shape=(3,))
+        assert not box.contains(np.zeros(4))
+
+    def test_sample_within_bounds(self, rng):
+        box = Box(-2.0, 3.0, shape=(10,))
+        for _ in range(20):
+            sample = box.sample(rng)
+            assert box.contains(sample)
+
+    def test_sample_unbounded_returns_normal(self, rng):
+        box = Box(-np.inf, np.inf, shape=(5,))
+        assert box.sample(rng).shape == (5,)
+
+    def test_equality(self):
+        assert Box(-1.0, 1.0, shape=(2,)) == Box(-1.0, 1.0, shape=(2,))
+        assert Box(-1.0, 1.0, shape=(2,)) != Box(-1.0, 2.0, shape=(2,))

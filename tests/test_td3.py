@@ -1,0 +1,151 @@
+"""Unit tests for the TD3 agent (the DDPG variant the paper cites)."""
+
+import numpy as np
+import pytest
+
+from repro.envs import HalfCheetahEnv
+from repro.nn import make_numerics
+from repro.rl import ReplayBuffer, TD3Agent, TD3Config, TrainingConfig, train
+
+
+def _make_agent(rng, state_dim=5, action_dim=2, **kwargs):
+    return TD3Agent(state_dim, action_dim, TD3Config(hidden_sizes=(16, 12), **kwargs), rng=rng)
+
+
+def _filled_buffer(agent, rng, count=300):
+    buffer = ReplayBuffer(1000, agent.state_dim, agent.action_dim, seed=0)
+    state = rng.normal(size=agent.state_dim)
+    for _ in range(count):
+        action = rng.uniform(-1, 1, agent.action_dim)
+        next_state = rng.normal(size=agent.state_dim)
+        buffer.add(state, action, float(action.sum()), next_state, done=rng.random() < 0.05)
+        state = next_state
+    return buffer
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = TD3Config()
+        assert config.policy_delay == 2
+        assert config.target_noise == pytest.approx(0.2)
+        assert config.hidden_sizes == (400, 300)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TD3Config(policy_delay=0)
+        with pytest.raises(ValueError):
+            TD3Config(target_noise=-0.1)
+        with pytest.raises(ValueError):
+            TD3Config(gamma=0.0)
+
+
+class TestActing:
+    def test_action_bounds(self, rng):
+        agent = _make_agent(rng)
+        action = agent.act(rng.normal(size=5), noise=np.full(2, 5.0))
+        assert np.all(action == 1.0)
+
+    def test_batch_and_q(self, rng):
+        agent = _make_agent(rng)
+        actions = agent.act_batch(rng.normal(size=(4, 5)))
+        assert actions.shape == (4, 2)
+        q = agent.q_value(rng.normal(size=(4, 5)), actions)
+        assert q.shape == (4, 1)
+
+
+class TestUpdate:
+    def test_critics_update_every_step_actor_delayed(self, rng):
+        agent = _make_agent(rng, policy_delay=3,
+                            actor_learning_rate=1e-2, critic_learning_rate=1e-2)
+        buffer = _filled_buffer(agent, rng)
+        actor_before = {k: v.copy() for k, v in agent.actor.parameters().items()}
+        critic_before = {k: v.copy() for k, v in agent.critic_1.parameters().items()}
+        # update_count starts at 0, so the very first update also updates the
+        # actor; do it, then snapshot and check the next two skip the actor.
+        agent.update(buffer.sample(32))
+        actor_after_first = {k: v.copy() for k, v in agent.actor.parameters().items()}
+        assert any(not np.allclose(actor_before[k], v) for k, v in actor_after_first.items())
+        assert any(not np.allclose(critic_before[k], v) for k, v in agent.critic_1.parameters().items())
+
+        agent.update(buffer.sample(32))
+        agent.update(buffer.sample(32))
+        for name, value in agent.actor.parameters().items():
+            np.testing.assert_allclose(value, actor_after_first[name])
+
+    def test_both_critics_learn_independently(self, rng):
+        agent = _make_agent(rng, critic_learning_rate=1e-2)
+        buffer = _filled_buffer(agent, rng)
+        agent.update(buffer.sample(64))
+        params_1 = agent.critic_1.parameters()
+        params_2 = agent.critic_2.parameters()
+        assert any(not np.allclose(params_1[k], params_2[k]) for k in params_1)
+
+    def test_metrics_extras(self, rng):
+        agent = _make_agent(rng)
+        buffer = _filled_buffer(agent, rng)
+        metrics = agent.update(buffer.sample(32))
+        assert "critic_1_loss" in metrics.extras
+        assert np.isfinite(metrics.critic_loss)
+
+    def test_target_q_uses_minimum(self, rng):
+        """The TD target never exceeds what either single critic would give."""
+        agent = _make_agent(rng)
+        buffer = _filled_buffer(agent, rng)
+        batch = buffer.sample(16)
+        metrics = agent.update(batch)
+        assert np.isfinite(metrics.mean_target_q)
+
+    def test_critic_loss_decreases_on_fixed_batch(self, rng):
+        agent = _make_agent(rng, critic_learning_rate=1e-2, actor_learning_rate=1e-4)
+        buffer = _filled_buffer(agent, rng)
+        batch = buffer.sample(64)
+        first = agent.update(batch).critic_loss
+        for _ in range(40):
+            last = agent.update(batch).critic_loss
+        assert last < first
+
+    def test_update_under_dynamic_numerics(self, rng):
+        numerics = make_numerics("fixar-dynamic")
+        agent = TD3Agent(5, 2, TD3Config(hidden_sizes=(16, 12)), numerics=numerics, rng=rng)
+        buffer = _filled_buffer(agent, rng)
+        agent.update(buffer.sample(32))
+        assert numerics.range_tracker.initialized
+
+
+class TestTrainingLoopCompatibility:
+    def test_td3_runs_in_the_shared_training_loop(self, rng):
+        env = HalfCheetahEnv(seed=0, max_episode_steps=50)
+        eval_env = HalfCheetahEnv(seed=1, max_episode_steps=50)
+        agent = TD3Agent(
+            env.state_dim,
+            env.action_dim,
+            TD3Config(hidden_sizes=(24, 16), actor_learning_rate=1e-3, critic_learning_rate=1e-3),
+            rng=rng,
+        )
+        config = TrainingConfig(
+            total_timesteps=300,
+            warmup_timesteps=50,
+            batch_size=16,
+            buffer_capacity=5_000,
+            evaluation_interval=150,
+            evaluation_episodes=2,
+            seed=0,
+        )
+        result = train(env, agent, config, eval_env=eval_env, label="td3")
+        assert result.total_updates > 0
+        assert len(result.curve.points) == 2
+
+
+class TestAccounting:
+    def test_shapes_and_parameter_count(self, rng):
+        agent = _make_agent(rng)
+        shapes = agent.network_shapes()
+        assert shapes["critic"] == shapes["critic_2"]
+        assert agent.parameter_count() == (
+            agent.actor.parameter_count + 2 * agent.critic_1.parameter_count
+        )
+        assert agent.model_size_bytes(16) == agent.parameter_count() * 2
+
+    def test_invalid_dimensions(self, rng):
+        with pytest.raises(ValueError):
+            TD3Agent(0, 2, rng=rng)
