@@ -4,13 +4,15 @@
 Hopper is the paper's benchmark with early termination: the agent falls if
 its posture drifts too far, so the learning problem couples forward progress
 with stability.  This example trains a DDPG agent with Algorithm 1's QAT on
-Hopper, reports the reward before and after the precision switch, and then
-offloads the trained actor to the accelerator simulator to compare the
-fixed-point policy's behaviour against the software policy in the live
-environment.
+Hopper — collecting experience through the vectorized rollout engine, which
+steps ``--num-envs`` Hopper instances in lock-step with one batched actor
+inference per step — reports the reward before and after the precision
+switch, and then offloads the trained actor to the accelerator simulator to
+compare the fixed-point policy's behaviour against the software policy in
+the live environment.
 
 Run:
-    python examples/train_hopper_qat.py [--timesteps 4000]
+    python examples/train_hopper_qat.py [--timesteps 4000] [--num-envs 4]
 """
 
 from __future__ import annotations
@@ -53,12 +55,15 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--timesteps", type=int, default=4_000)
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--num-envs", type=int, default=4,
+                        help="Hopper instances rolled out in lock-step")
     args = parser.parse_args()
 
     env = HopperEnv(seed=args.seed, max_episode_steps=400)
-    eval_env = HopperEnv(seed=args.seed + 1, max_episode_steps=400)
+    eval_env = HopperEnv(seed=args.seed + args.num_envs, max_episode_steps=400)
     print("=== Hopper with quantization-aware training ===")
-    print(f"state dim {env.state_dim}, action dim {env.action_dim}, fall threshold enabled")
+    print(f"state dim {env.state_dim}, action dim {env.action_dim}, fall threshold enabled; "
+          f"{args.num_envs} environments in lock-step")
 
     numerics = DynamicFixedPointNumerics(num_bits=16)
     agent = DDPGAgent(
@@ -78,6 +83,7 @@ def main() -> None:
         evaluation_episodes=5,
         exploration_noise=0.15,
         seed=args.seed,
+        num_envs=args.num_envs,
     )
 
     result = train(env, agent, config, eval_env=eval_env, qat_controller=controller, label="hopper-qat")

@@ -146,6 +146,37 @@ class TimingModel:
         return -(-parameter_count // self.config.adam_lanes)
 
     # ------------------------------------------------------------------ #
+    # Batched inference (vectorized rollout)
+    # ------------------------------------------------------------------ #
+    def inference_cycles(
+        self,
+        layer_shapes: Sequence[LayerShape],
+        num_states: int = 1,
+        half_precision: bool = False,
+    ) -> int:
+        """Forward-only cycles for a batch of ``num_states`` inferences.
+
+        A vectorized rollout presents the actor with N states at once; the
+        PE array streams them through each weight tile back to back, so the
+        per-layer weight loads and pipeline overheads are paid once per
+        layer instead of once per state.  This is why batch-of-N inference
+        is strictly cheaper than N serial single-state passes.
+        """
+        if num_states <= 0:
+            raise ValueError(f"num_states must be positive, got {num_states}")
+        return self.forward_cycles(layer_shapes, num_states, half_precision)
+
+    def inference_seconds(
+        self,
+        layer_shapes: Sequence[LayerShape],
+        num_states: int = 1,
+        half_precision: bool = False,
+    ) -> float:
+        """Latency of one batched inference pass in seconds."""
+        cycles = self.inference_cycles(layer_shapes, num_states, half_precision)
+        return cycles / self.config.clock_hz
+
+    # ------------------------------------------------------------------ #
     # Full DDPG timestep (Fig. 3)
     # ------------------------------------------------------------------ #
     def timestep_breakdown(
@@ -154,16 +185,21 @@ class TimingModel:
         critic_shapes: Sequence[LayerShape],
         batch_size: int,
         half_precision: bool = False,
+        num_envs: int = 1,
     ) -> CycleBreakdown:
         """Cycles of one full training timestep on the accelerator.
 
         Phases follow the paper's operation sequence: the critic evaluates
         the sampled transitions (including the target networks), trains, and
-        leads the actor's training; finally the actor runs a single-state
-        inference whose result is returned to the host.
+        leads the actor's training; finally the actor runs the rollout
+        inference whose result is returned to the host — a single state in
+        the paper's loop, or a batch of ``num_envs`` states when the host
+        rolls out a vectorized environment.
         """
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
+        if num_envs <= 0:
+            raise ValueError(f"num_envs must be positive, got {num_envs}")
         actor_params = _parameter_count(actor_shapes)
         critic_params = _parameter_count(critic_shapes)
 
@@ -201,9 +237,10 @@ class TimingModel:
         )
         breakdown.add("actor_weight_update", self.weight_update_cycles(actor_params))
 
-        # Single-state actor inference for the environment's next action.
+        # Actor inference for the environments' next actions (batch of
+        # ``num_envs`` states; the paper's scalar loop is num_envs == 1).
         breakdown.add(
-            "actor_inference", self.forward_cycles(actor_shapes, 1, half_precision)
+            "actor_inference", self.inference_cycles(actor_shapes, num_envs, half_precision)
         )
         return breakdown
 
@@ -213,10 +250,11 @@ class TimingModel:
         critic_shapes: Sequence[LayerShape],
         batch_size: int,
         half_precision: bool = False,
+        num_envs: int = 1,
     ) -> float:
         """Latency of one accelerator timestep in seconds."""
         breakdown = self.timestep_breakdown(
-            actor_shapes, critic_shapes, batch_size, half_precision
+            actor_shapes, critic_shapes, batch_size, half_precision, num_envs
         )
         return breakdown.seconds(self.config.clock_hz)
 
@@ -282,17 +320,18 @@ class TimingModel:
         critic_shapes: Sequence[LayerShape],
         batch_size: int,
         half_precision: bool = False,
+        num_envs: int = 1,
     ) -> float:
         """PE-array utilization over one training timestep.
 
         Counts the useful MAC cycles of every MVM pass in the timestep (the
         same passes :meth:`timestep_breakdown` charges for) and divides by
         the total timestep cycles, so weight-load stalls, per-layer pipeline
-        overheads, weight updates, and the single-state inference all count
+        overheads, weight updates, and the rollout inference all count
         against utilization.
         """
         breakdown = self.timestep_breakdown(
-            actor_shapes, critic_shapes, batch_size, half_precision
+            actor_shapes, critic_shapes, batch_size, half_precision, num_envs
         )
         useful = 0
         # Critic update passes.
@@ -306,8 +345,8 @@ class TimingModel:
             critic_shapes, batch_size, half_precision, include_weight_gradient=False
         )
         useful += self.backward_useful_cycles(actor_shapes, batch_size, half_precision)
-        # Single-state inference.
-        useful += self.forward_useful_cycles(actor_shapes, 1, half_precision)
+        # Rollout inference (batch of num_envs states).
+        useful += self.forward_useful_cycles(actor_shapes, num_envs, half_precision)
         return min(1.0, useful / breakdown.total_cycles)
 
 

@@ -50,6 +50,9 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--benchmark", choices=BENCHMARK_SUITE, default="HalfCheetah")
     train.add_argument("--timesteps", type=int, default=3_000)
     train.add_argument("--batch-size", type=int, default=64)
+    train.add_argument("--num-envs", type=int, default=1,
+                       help="environments rolled out in lock-step with batched "
+                            "actor inference (1 = the paper's scalar loop)")
     train.add_argument("--regime", default="fixar-dynamic",
                        choices=("float32", "fixed32", "fixed16", "fixar-dynamic"))
     train.add_argument("--hidden", type=int, nargs=2, default=(64, 48), metavar=("H1", "H2"))
@@ -76,16 +79,24 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _command_train(args: argparse.Namespace) -> int:
+    if args.cosim and args.num_envs != 1:
+        print(
+            "error: --cosim traces the scalar training loop and does not "
+            "support --num-envs > 1 yet",
+            file=sys.stderr,
+        )
+        return 2
     config = smoke_test_config(
         benchmark=args.benchmark,
         total_timesteps=args.timesteps,
         batch_size=args.batch_size,
         hidden_sizes=tuple(args.hidden),
     ).with_regime(args.regime)
-    config = config.with_training(seed=args.seed)
+    config = config.with_training(seed=args.seed, num_envs=args.num_envs)
     system = FixarSystem(config)
     print(f"training {args.regime} on {args.benchmark} for {args.timesteps} timesteps "
-          f"(batch {args.batch_size}, hidden {tuple(args.hidden)})")
+          f"(batch {args.batch_size}, hidden {tuple(args.hidden)}, "
+          f"{args.num_envs} env{'s' if args.num_envs != 1 else ''} in lock-step)")
 
     if args.cosim:
         result = system.cosimulate()

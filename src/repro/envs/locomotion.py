@@ -17,6 +17,15 @@ properties the FIXAR experiments rely on:
 The dynamics are deliberately simple (damped velocity + posture integrator
 driven by the joint torques) but are honest dynamical systems: rewards are
 computed from the simulated physical state, not from a lookup of the action.
+
+All physics is implemented by :class:`LocomotionDynamics`, a *batched*
+kernel operating on ``(N, ...)`` state arrays.  The scalar environment calls
+it with ``N = 1`` and :class:`~repro.envs.vector.VectorEnv` calls it with
+``N = num_envs``, so a vectorized rollout is bitwise identical to stepping N
+independently seeded scalar environments.  To keep that guarantee the kernel
+only uses elementwise operations and multiply+sum reductions along the last
+axis (whose result per row does not depend on the batch size), never BLAS
+matmuls (whose blocking does).
 """
 
 from __future__ import annotations
@@ -29,7 +38,7 @@ import numpy as np
 from .base import Environment
 from .spaces import Box
 
-__all__ = ["LocomotionConfig", "LocomotionEnv"]
+__all__ = ["LocomotionConfig", "LocomotionDynamics", "LocomotionEnv"]
 
 
 @dataclass(frozen=True)
@@ -78,6 +87,98 @@ class LocomotionConfig:
             raise ValueError("max_episode_steps must be positive")
 
 
+class LocomotionDynamics:
+    """Batched locomotion physics shared by the scalar and vector paths.
+
+    The kernel is a pure function of the physical state, the actions, and
+    externally drawn noise (the caller owns the per-environment RNG streams),
+    operating on ``(N, ...)`` arrays.  Every reduction is a multiply+sum
+    along the last axis so each row's result is bitwise independent of how
+    many rows are processed together — the property the vectorized rollout
+    tests rely on.
+    """
+
+    def __init__(self, config: LocomotionConfig):
+        self.config = config
+        structure_rng = np.random.default_rng(config.structure_seed)
+        direction = structure_rng.normal(size=config.action_dim)
+        self.gait_direction = direction / np.sqrt((direction * direction).sum())
+        self.internal_dim = 2 + config.posture_dim + config.action_dim
+        self.observation_matrix = structure_rng.normal(
+            scale=1.0 / np.sqrt(self.internal_dim),
+            size=(config.state_dim, self.internal_dim),
+        )
+        self.observation_bias = structure_rng.normal(scale=0.05, size=config.state_dim)
+        #: ``np.resize(delta, posture_dim)`` as a cyclic column gather.
+        self._posture_columns = np.arange(config.posture_dim) % config.action_dim
+
+    # ------------------------------------------------------------------ #
+    # Kernels
+    # ------------------------------------------------------------------ #
+    def step(
+        self,
+        velocity: np.ndarray,
+        phase: np.ndarray,
+        posture: np.ndarray,
+        previous_action: np.ndarray,
+        actions: np.ndarray,
+        posture_noise: np.ndarray,
+        velocity_noise: np.ndarray,
+    ) -> Tuple[np.ndarray, ...]:
+        """Advance N bodies by one timestep.
+
+        Returns ``(velocity, phase, posture, rewards, fallen, posture_norms,
+        control_costs)``, all shaped ``(N, ...)``.
+        """
+        cfg = self.config
+        thrust = (actions * self.gait_direction).sum(axis=1)
+
+        delta = actions - previous_action
+        posture = (
+            cfg.posture_decay * posture
+            + cfg.posture_coupling * delta[:, self._posture_columns]
+            + posture_noise
+        )
+        posture_norms = np.sqrt((posture * posture).sum(axis=1))
+        traction = 1.0 / (1.0 + posture_norms)
+
+        velocity = (1.0 - cfg.damping) * velocity + cfg.damping * (
+            cfg.gain * thrust * traction
+        )
+        velocity = velocity + velocity_noise
+        phase = phase + 0.1 * velocity
+
+        control_costs = cfg.control_cost * (actions * actions).sum(axis=1)
+        rewards = velocity - control_costs + cfg.alive_bonus
+
+        if cfg.fall_threshold is not None:
+            fallen = posture_norms > cfg.fall_threshold
+            rewards = np.where(fallen, rewards - cfg.fall_penalty, rewards)
+        else:
+            fallen = np.zeros(actions.shape[0], dtype=bool)
+        return velocity, phase, posture, rewards, fallen, posture_norms, control_costs
+
+    def observe(
+        self,
+        velocity: np.ndarray,
+        phase: np.ndarray,
+        posture: np.ndarray,
+        previous_action: np.ndarray,
+        observation_noise: Optional[np.ndarray],
+    ) -> np.ndarray:
+        """Project N physical states into ``(N, state_dim)`` observations."""
+        internal = np.concatenate(
+            (velocity[:, None], np.sin(phase)[:, None], posture, previous_action),
+            axis=1,
+        )
+        observations = (
+            internal[:, None, :] * self.observation_matrix[None, :, :]
+        ).sum(axis=2) + self.observation_bias
+        if observation_noise is not None:
+            observations = observations + observation_noise
+        return observations
+
+
 class LocomotionEnv(Environment):
     """A damped point-body locomotion task driven by joint torques.
 
@@ -106,14 +207,8 @@ class LocomotionEnv(Environment):
         # observation vector.  These are functions of the structure seed, not
         # of the per-episode RNG, so every instance of a benchmark presents
         # the same task.
-        structure_rng = np.random.default_rng(config.structure_seed)
-        direction = structure_rng.normal(size=config.action_dim)
-        self._gait_direction = direction / np.linalg.norm(direction)
-        internal_dim = 2 + config.posture_dim + config.action_dim
-        self._observation_matrix = structure_rng.normal(
-            scale=1.0 / np.sqrt(internal_dim), size=(config.state_dim, internal_dim)
-        )
-        self._observation_bias = structure_rng.normal(scale=0.05, size=config.state_dim)
+        self._dynamics = LocomotionDynamics(config)
+        self._gait_direction = self._dynamics.gait_direction
 
         self._velocity = 0.0
         self._phase = 0.0
@@ -133,60 +228,56 @@ class LocomotionEnv(Environment):
 
     def _step(self, action: np.ndarray) -> Tuple[np.ndarray, float, bool, dict]:
         cfg = self.config
-        thrust = float(action @ self._gait_direction)
+        # Noise draws in the fixed per-stream order (posture, velocity,
+        # observation) that the vectorized path reproduces env by env.
+        posture_noise = self._rng.normal(scale=cfg.dynamics_noise, size=cfg.posture_dim)
+        velocity_noise = self._rng.normal(scale=cfg.dynamics_noise)
 
-        # Posture dynamics: changes in torque perturb the posture, which
-        # decays back toward upright; an unstable posture reduces traction.
-        self._posture = (
-            cfg.posture_decay * self._posture
-            + cfg.posture_coupling * np.resize(action - self._previous_action, cfg.posture_dim)
-            + self._rng.normal(scale=cfg.dynamics_noise, size=cfg.posture_dim)
+        velocity, phase, posture, rewards, fallen_mask, posture_norms, control_costs = (
+            self._dynamics.step(
+                np.array([self._velocity]),
+                np.array([self._phase]),
+                self._posture[None, :],
+                self._previous_action[None, :],
+                np.asarray(action, dtype=np.float64)[None, :],
+                posture_noise[None, :],
+                np.array([velocity_noise]),
+            )
         )
-        posture_norm = float(np.linalg.norm(self._posture))
-        traction = 1.0 / (1.0 + posture_norm)
-
-        # Velocity dynamics: damped integrator driven by the aligned thrust.
-        self._velocity = (1.0 - cfg.damping) * self._velocity + cfg.damping * (
-            cfg.gain * thrust * traction
-        )
-        self._velocity += float(self._rng.normal(scale=cfg.dynamics_noise))
-        self._phase += 0.1 * self._velocity
-
-        control_cost = cfg.control_cost * float(action @ action)
-        reward = self._velocity - control_cost + cfg.alive_bonus
-
-        fallen = (
-            cfg.fall_threshold is not None and posture_norm > cfg.fall_threshold
-        )
-        if fallen:
-            reward -= cfg.fall_penalty
+        self._velocity = float(velocity[0])
+        self._phase = float(phase[0])
+        self._posture = posture[0]
+        posture_norm = float(posture_norms[0])
+        control_cost = float(control_costs[0])
+        reward = float(rewards[0])
+        fallen = bool(fallen_mask[0])
 
         self._previous_action = action.copy()
         info = {
             "velocity": self._velocity,
             "posture_norm": posture_norm,
             "control_cost": control_cost,
-            "terminated": bool(fallen),
+            "terminated": fallen,
         }
-        return self._observe(), reward, bool(fallen), info
+        return self._observe(), reward, fallen, info
 
     # ------------------------------------------------------------------ #
     # Internal helpers
     # ------------------------------------------------------------------ #
     def _observe(self) -> np.ndarray:
-        internal = np.concatenate(
-            (
-                [self._velocity, np.sin(self._phase)],
-                self._posture,
-                self._previous_action,
-            )
-        )
-        observation = self._observation_matrix @ internal + self._observation_bias
+        noise = None
         if self.config.observation_noise > 0.0:
-            observation = observation + self._rng.normal(
-                scale=self.config.observation_noise, size=observation.shape
+            noise = self._rng.normal(
+                scale=self.config.observation_noise, size=(1, self.config.state_dim)
             )
-        return observation
+        observation = self._dynamics.observe(
+            np.array([self._velocity]),
+            np.array([self._phase]),
+            self._posture[None, :],
+            self._previous_action[None, :],
+            noise,
+        )
+        return observation[0]
 
     # ------------------------------------------------------------------ #
     # Oracle helpers (used by tests and examples)

@@ -1,0 +1,358 @@
+"""Lock-step vectorized execution of N registered environments.
+
+FIXAR's adaptive data-level parallelism only pays off when the platform is
+fed batches: one actor inference for N states instead of N single-state
+round-trips.  :class:`VectorEnv` supplies the environment half of that
+bargain — it steps N environments in lock-step, auto-resets finished
+episodes, and seeds every environment independently (``seed + i``), so a
+batched rollout observes exactly the trajectories N scalar environments
+would have produced.
+
+Two execution paths back the same API:
+
+* **vectorized** — when every environment is a
+  :class:`~repro.envs.locomotion.LocomotionEnv` with an identical
+  configuration, the physics runs through the batched
+  :class:`~repro.envs.locomotion.LocomotionDynamics` kernel: one set of
+  ``(N, ...)`` array operations per step, with only the per-environment RNG
+  draws left in a Python loop.  Because the kernel's reductions are bitwise
+  batch-invariant and each environment keeps its own generator, the
+  trajectories are *bitwise identical* to scalar stepping — the property
+  ``tests/test_vector_env.py`` enforces for every N.  In this mode the
+  wrapped environment objects act as seed/metadata templates; their
+  per-episode scalar state is not kept in sync (their RNGs are the
+  authoritative streams).
+* **loop** — arbitrary :class:`~repro.envs.base.Environment` objects are
+  stepped one by one.  Slower, but supports heterogeneous or custom
+  environments with the same auto-reset semantics.
+
+Auto-reset follows the training loop's convention: when an episode ends,
+``step`` returns the *reset* observation for that slot and stashes the
+terminal observation in ``infos[i]["final_observation"]`` so replay buffers
+can store the true transition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from .base import Environment, StepResult
+from .locomotion import LocomotionEnv
+from .registry import make as make_env
+
+__all__ = ["VectorStepResult", "VectorEnv"]
+
+
+@dataclass(frozen=True)
+class VectorStepResult:
+    """The outcome of one lock-step across all environments.
+
+    ``observations`` already reflect auto-resets (they are what the policy
+    should act on next); the pre-reset terminal observation of a finished
+    episode lives in ``infos[i]["final_observation"]``.
+    """
+
+    observations: np.ndarray
+    rewards: np.ndarray
+    dones: np.ndarray
+    infos: List[dict]
+
+    def __iter__(self):
+        """Allow ``obs, rewards, dones, infos = vec_env.step(actions)``."""
+        return iter((self.observations, self.rewards, self.dones, self.infos))
+
+
+class VectorEnv:
+    """Steps N environments in lock-step with auto-reset.
+
+    Parameters
+    ----------
+    envs:
+        The environments to drive.  All must share observation and action
+        spaces.
+    vectorized:
+        Force (``True``) or forbid (``False``) the batched locomotion fast
+        path; ``None`` auto-detects (homogeneous ``LocomotionEnv`` configs).
+    """
+
+    def __init__(
+        self,
+        envs: Sequence[Environment],
+        *,
+        vectorized: Optional[bool] = None,
+    ):
+        envs = list(envs)
+        if not envs:
+            raise ValueError("VectorEnv needs at least one environment")
+        first = envs[0]
+        for env in envs[1:]:
+            if (
+                env.observation_space != first.observation_space
+                or env.action_space != first.action_space
+            ):
+                raise ValueError("all environments must share the same spaces")
+        self.envs: List[Environment] = envs
+        self.num_envs = len(envs)
+        self.observation_space = first.observation_space
+        self.action_space = first.action_space
+        self.name = first.name
+
+        eligible = all(
+            isinstance(env, LocomotionEnv) and env.config == first.config
+            for env in envs
+        ) and isinstance(first, LocomotionEnv)
+        if vectorized and not eligible:
+            raise ValueError(
+                "vectorized=True requires homogeneous LocomotionEnv instances"
+            )
+        self._vectorized = eligible if vectorized is None else vectorized
+
+        if self._vectorized:
+            cfg = first.config
+            self._dynamics = first._dynamics
+            self._rngs = [env._rng for env in envs]
+            n = self.num_envs
+            self._velocity = np.zeros(n)
+            self._phase = np.zeros(n)
+            self._posture = np.zeros((n, cfg.posture_dim))
+            self._previous_action = np.zeros((n, cfg.action_dim))
+            self._elapsed = np.zeros(n, dtype=np.int64)
+        self._needs_reset = True
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def make(
+        cls,
+        benchmark: str,
+        num_envs: int,
+        seed: Optional[int] = None,
+        *,
+        vectorized: Optional[bool] = None,
+        **kwargs,
+    ) -> "VectorEnv":
+        """Build N copies of a registered benchmark, seeded ``seed + i``."""
+        if num_envs <= 0:
+            raise ValueError(f"num_envs must be positive, got {num_envs}")
+        seeds = cls.spawn_seeds(seed, num_envs)
+        envs = [make_env(benchmark, seed=s, **kwargs) for s in seeds]
+        return cls(envs, vectorized=vectorized)
+
+    @classmethod
+    def from_template(
+        cls,
+        env: Environment,
+        num_envs: int,
+        seed: Optional[int] = None,
+        *,
+        vectorized: Optional[bool] = None,
+    ) -> "VectorEnv":
+        """Build N fresh siblings of an existing environment instance.
+
+        Tries ``type(env)(seed=..., max_episode_steps=...)`` first (the
+        benchmark subclasses' signature), then the registry by name.  The
+        replicas must come out as the *same class* as the template —
+        otherwise (e.g. a wrapped environment whose ``name`` resolves to the
+        bare registry benchmark) replication would silently change the
+        training dynamics, so it raises instead; pass a prebuilt
+        :class:`VectorEnv` of the wrapped environments in that case.
+        """
+        if num_envs <= 0:
+            raise ValueError(f"num_envs must be positive, got {num_envs}")
+        seeds = cls.spawn_seeds(seed, num_envs)
+        try:
+            envs = [
+                type(env)(seed=s, max_episode_steps=env.max_episode_steps)
+                for s in seeds
+            ]
+        except TypeError:
+            try:
+                envs = [make_env(env.name, seed=s) for s in seeds]
+            except KeyError:
+                raise ValueError(
+                    f"cannot replicate {type(env).__name__}: it takes neither the "
+                    "(seed, max_episode_steps) signature nor a registered name"
+                ) from None
+            if type(envs[0]) is not type(env):
+                raise ValueError(
+                    f"cannot replicate {type(env).__name__}: the registry builds "
+                    f"{type(envs[0]).__name__} for {env.name!r}, which would drop "
+                    "the template's wrapping/configuration — construct the "
+                    "environments yourself and pass a VectorEnv"
+                )
+        return cls(envs, vectorized=vectorized)
+
+    @staticmethod
+    def spawn_seeds(seed: Optional[int], num_envs: int) -> List[Optional[int]]:
+        """The per-environment seeding rule: ``seed + i`` (or all-None)."""
+        if seed is None:
+            return [None] * num_envs
+        return [seed + i for i in range(num_envs)]
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def state_dim(self) -> int:
+        return self.observation_space.dim
+
+    @property
+    def action_dim(self) -> int:
+        return self.action_space.dim
+
+    @property
+    def is_vectorized(self) -> bool:
+        """Whether the batched locomotion fast path is active."""
+        return self._vectorized
+
+    def __len__(self) -> int:
+        return self.num_envs
+
+    # ------------------------------------------------------------------ #
+    # Core API
+    # ------------------------------------------------------------------ #
+    def seed(self, seed: Optional[int]) -> None:
+        """Re-seed every environment with the ``seed + i`` rule."""
+        for env, env_seed in zip(self.envs, self.spawn_seeds(seed, self.num_envs)):
+            env.seed(env_seed)
+        if self._vectorized:
+            self._rngs = [env._rng for env in self.envs]
+        self._needs_reset = True
+
+    def reset(self) -> np.ndarray:
+        """Start a fresh episode in every environment; returns ``(N, S)``."""
+        self._needs_reset = False
+        if not self._vectorized:
+            return np.stack([env.reset() for env in self.envs])
+        rows = np.arange(self.num_envs)
+        self._reset_rows(rows)
+        return self._observe_rows(rows)
+
+    def step(self, actions: np.ndarray) -> VectorStepResult:
+        """Advance every environment by one timestep (with auto-reset)."""
+        if self._needs_reset:
+            raise RuntimeError(f"{self.name}: step() called before reset()")
+        actions = np.asarray(actions, dtype=np.float64)
+        if actions.shape != (self.num_envs, self.action_dim):
+            raise ValueError(
+                f"actions must have shape ({self.num_envs}, {self.action_dim}), "
+                f"got {actions.shape}"
+            )
+        if self._vectorized:
+            return self._step_vectorized(actions)
+        return self._step_loop(actions)
+
+    # ------------------------------------------------------------------ #
+    # Loop path
+    # ------------------------------------------------------------------ #
+    def _step_loop(self, actions: np.ndarray) -> VectorStepResult:
+        observations = np.empty((self.num_envs, self.state_dim))
+        rewards = np.empty(self.num_envs)
+        dones = np.zeros(self.num_envs, dtype=bool)
+        infos: List[dict] = []
+        for i, env in enumerate(self.envs):
+            result: StepResult = env.step(actions[i])
+            rewards[i] = result.reward
+            dones[i] = result.done
+            info = dict(result.info)
+            if result.done:
+                info["final_observation"] = result.observation
+                observations[i] = env.reset()
+            else:
+                observations[i] = result.observation
+            infos.append(info)
+        return VectorStepResult(observations, rewards, dones, infos)
+
+    # ------------------------------------------------------------------ #
+    # Vectorized locomotion path
+    # ------------------------------------------------------------------ #
+    def _step_vectorized(self, actions: np.ndarray) -> VectorStepResult:
+        cfg = self.envs[0].config
+        max_steps = self.envs[0].max_episode_steps
+        actions = self.action_space.clip(actions)
+
+        posture_dim = cfg.posture_dim
+        n = self.num_envs
+        posture_noise = np.empty((n, posture_dim))
+        velocity_noise = np.empty(n)
+        for i, rng in enumerate(self._rngs):
+            posture_noise[i] = rng.normal(scale=cfg.dynamics_noise, size=posture_dim)
+            velocity_noise[i] = rng.normal(scale=cfg.dynamics_noise)
+
+        (
+            self._velocity,
+            self._phase,
+            self._posture,
+            rewards,
+            fallen,
+            posture_norms,
+            control_costs,
+        ) = self._dynamics.step(
+            self._velocity,
+            self._phase,
+            self._posture,
+            self._previous_action,
+            actions,
+            posture_noise,
+            velocity_noise,
+        )
+        self._previous_action = actions.copy()
+        self._elapsed += 1
+        truncated = self._elapsed >= max_steps
+        dones = fallen | truncated
+
+        rows = np.arange(n)
+        observations = self._observe_rows(rows)
+
+        infos: List[dict] = []
+        for i in range(n):
+            infos.append(
+                {
+                    "velocity": float(self._velocity[i]),
+                    "posture_norm": float(posture_norms[i]),
+                    "control_cost": float(control_costs[i]),
+                    "terminated": bool(fallen[i]),
+                    "truncated": bool(truncated[i] and not fallen[i]),
+                }
+            )
+
+        done_rows = rows[dones]
+        if done_rows.size:
+            for i in done_rows:
+                infos[i]["final_observation"] = observations[i].copy()
+            self._reset_rows(done_rows)
+            observations[done_rows] = self._observe_rows(done_rows)
+        return VectorStepResult(observations, rewards, dones, infos)
+
+    def _reset_rows(self, rows: np.ndarray) -> None:
+        """Re-initialise the selected environments' physical state in place."""
+        cfg = self.envs[0].config
+        self._velocity[rows] = 0.0
+        self._previous_action[rows] = 0.0
+        self._elapsed[rows] = 0
+        for i in rows:
+            rng = self._rngs[i]
+            self._phase[i] = rng.uniform(0.0, 2.0 * np.pi)
+            self._posture[i] = rng.normal(scale=0.05, size=cfg.posture_dim)
+
+    def _observe_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Observations for the selected environments (fresh noise draws)."""
+        cfg = self.envs[0].config
+        noise = None
+        if cfg.observation_noise > 0.0:
+            noise = np.empty((rows.size, cfg.state_dim))
+            for j, i in enumerate(rows):
+                noise[j] = self._rngs[i].normal(
+                    scale=cfg.observation_noise, size=(1, cfg.state_dim)
+                )
+        return self._dynamics.observe(
+            self._velocity[rows],
+            self._phase[rows],
+            self._posture[rows],
+            self._previous_action[rows],
+            noise,
+        )

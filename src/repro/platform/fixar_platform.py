@@ -13,6 +13,13 @@ One platform timestep follows the paper's Fig. 3 sequence:
 The model composes the host, PCIe, and accelerator timing models to produce
 the Fig. 8 throughput numbers, the Fig. 9 execution-time breakdown, and the
 Fig. 10 accelerator-only comparison.
+
+The vectorized rollout subsystem adds a batched-inference hook: every
+timing query accepts ``num_envs``, pricing one batch-of-N actor inference
+and one PCIe round trip per lock-step instead of N serial single-state
+round trips, and :meth:`FixarPlatform.infer_batch` reports the latency,
+payload, and energy of that batched inference on its own (the quantity the
+rollout engine accumulates).
 """
 
 from __future__ import annotations
@@ -26,7 +33,7 @@ from .host import HostModel
 from .metrics import ips_per_watt
 from .pcie import PcieModel
 
-__all__ = ["WorkloadSpec", "FixarPlatform", "PAPER_BATCH_SIZES"]
+__all__ = ["WorkloadSpec", "FixarPlatform", "BatchInferenceReport", "PAPER_BATCH_SIZES"]
 
 #: Batch sizes swept in the paper's evaluation.
 PAPER_BATCH_SIZES = (64, 128, 256, 512)
@@ -55,8 +62,39 @@ class WorkloadSpec:
 
     @classmethod
     def from_environment(cls, env) -> "WorkloadSpec":
-        """Build the spec from an environment instance."""
+        """Build the spec from an environment (scalar or vector) instance."""
         return cls(benchmark=env.name, state_dim=env.state_dim, action_dim=env.action_dim)
+
+
+@dataclass(frozen=True)
+class BatchInferenceReport:
+    """Cost of serving one batch-of-N actor inference to the host.
+
+    Produced by :meth:`FixarPlatform.infer_batch`; the rollout engine
+    accumulates ``total_seconds`` per lock-step to co-simulate a vectorized
+    rollout's platform time.
+    """
+
+    #: Number of states inferred in the batch.
+    num_states: int
+    #: FPGA time of the batched forward pass.
+    fpga_seconds: float
+    #: Xilinx runtime / PCIe time of the single batched round trip.
+    runtime_seconds: float
+    #: Bytes crossing PCIe (N states up, N actions down).
+    pcie_bytes: int
+    #: FPGA board energy spent on the batched pass.
+    energy_joules: float
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end latency of the batched inference."""
+        return self.fpga_seconds + self.runtime_seconds
+
+    @property
+    def states_per_second(self) -> float:
+        """Inference throughput of the batch."""
+        return self.num_states / self.total_seconds
 
 
 class FixarPlatform:
@@ -81,42 +119,79 @@ class FixarPlatform:
     # ------------------------------------------------------------------ #
     # Per-component times (Fig. 9a)
     # ------------------------------------------------------------------ #
-    def fpga_seconds(self, batch_size: int) -> float:
+    def fpga_seconds(self, batch_size: int, num_envs: int = 1) -> float:
         """FPGA accelerator time of one timestep."""
         return self.timing.timestep_seconds(
             self.workload.actor_shapes,
             self.workload.critic_shapes,
             batch_size,
             half_precision=self.half_precision,
+            num_envs=num_envs,
         )
 
-    def runtime_seconds(self, batch_size: int) -> float:
+    def runtime_seconds(self, batch_size: int, num_envs: int = 1) -> float:
         """Xilinx run-time / PCIe time of one timestep."""
         return self.pcie.timestep_seconds(
-            batch_size, self.workload.state_dim, self.workload.action_dim
+            batch_size, self.workload.state_dim, self.workload.action_dim, num_envs=num_envs
         )
 
-    def cpu_seconds(self, batch_size: int) -> float:
+    def cpu_seconds(self, batch_size: int, num_envs: int = 1) -> float:
         """Host CPU (environment + replay) time of one timestep."""
-        return self.host.timestep_seconds(self.workload.benchmark, batch_size)
+        return self.host.timestep_seconds(self.workload.benchmark, batch_size, num_envs=num_envs)
 
-    def timestep_breakdown(self, batch_size: int) -> Dict[str, float]:
+    def timestep_breakdown(self, batch_size: int, num_envs: int = 1) -> Dict[str, float]:
         """Execution-time breakdown of a single timestep (Fig. 9a)."""
         return {
-            "cpu_environment": self.cpu_seconds(batch_size),
-            "runtime": self.runtime_seconds(batch_size),
-            "fpga": self.fpga_seconds(batch_size),
+            "cpu_environment": self.cpu_seconds(batch_size, num_envs),
+            "runtime": self.runtime_seconds(batch_size, num_envs),
+            "fpga": self.fpga_seconds(batch_size, num_envs),
         }
 
-    def timestep_ratio(self, batch_size: int) -> Dict[str, float]:
+    def timestep_ratio(self, batch_size: int, num_envs: int = 1) -> Dict[str, float]:
         """Execution-time *ratio* of each component (Fig. 9b)."""
-        breakdown = self.timestep_breakdown(batch_size)
+        breakdown = self.timestep_breakdown(batch_size, num_envs)
         total = sum(breakdown.values())
         return {name: value / total for name, value in breakdown.items()}
 
-    def timestep_seconds(self, batch_size: int) -> float:
+    def timestep_seconds(self, batch_size: int, num_envs: int = 1) -> float:
         """End-to-end time of one platform timestep."""
-        return sum(self.timestep_breakdown(batch_size).values())
+        return sum(self.timestep_breakdown(batch_size, num_envs).values())
+
+    # ------------------------------------------------------------------ #
+    # Batched rollout inference (vectorized execution subsystem)
+    # ------------------------------------------------------------------ #
+    def infer_batch(self, num_states: int) -> BatchInferenceReport:
+        """Price one batch-of-N actor inference served to the host.
+
+        The N states ride a single PCIe round trip and a single forward
+        pass whose weight loads are amortised over the batch, so both the
+        latency and the payload grow sub-linearly in N — the accounting the
+        vectorized rollout engine relies on instead of N serial
+        single-state inferences.
+        """
+        if num_states <= 0:
+            raise ValueError(f"num_states must be positive, got {num_states}")
+        fpga = self.timing.inference_seconds(
+            self.workload.actor_shapes, num_states, half_precision=self.half_precision
+        )
+        runtime = self.pcie.inference_seconds(
+            num_states, self.workload.state_dim, self.workload.action_dim
+        )
+        payload = self.pcie.inference_bytes(
+            num_states, self.workload.state_dim, self.workload.action_dim
+        )
+        energy = self.power.average_watts() * fpga
+        return BatchInferenceReport(
+            num_states=num_states,
+            fpga_seconds=fpga,
+            runtime_seconds=runtime,
+            pcie_bytes=payload,
+            energy_joules=energy,
+        )
+
+    def env_steps_per_second(self, batch_size: int, num_envs: int = 1) -> float:
+        """Environment steps collected per second with N lock-stepped envs."""
+        return num_envs / self.timestep_seconds(batch_size, num_envs)
 
     # ------------------------------------------------------------------ #
     # Throughput and efficiency (Figs. 8 and 10)

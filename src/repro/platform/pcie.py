@@ -49,16 +49,49 @@ class PcieModel:
     def __init__(self, config: Optional[PcieConfig] = None):
         self.config = config or PcieConfig()
 
-    def batch_bytes(self, batch_size: int, state_dim: int, action_dim: int, bytes_per_value: int = 4) -> int:
+    def batch_bytes(
+        self,
+        batch_size: int,
+        state_dim: int,
+        action_dim: int,
+        bytes_per_value: int = 4,
+        num_envs: int = 1,
+    ) -> int:
         """Payload size of a replay batch of transitions.
 
         A transition carries state, action, reward, next state, and done
-        flag; the current state for inference adds one more state vector.
+        flag; the current states for inference (one per lock-stepped
+        environment) add ``num_envs`` more state vectors.
         """
         if batch_size <= 0 or state_dim <= 0 or action_dim <= 0:
             raise ValueError("batch_size, state_dim, and action_dim must be positive")
+        if num_envs <= 0:
+            raise ValueError(f"num_envs must be positive, got {num_envs}")
         per_transition = (2 * state_dim + action_dim + 2) * bytes_per_value
-        return batch_size * per_transition + state_dim * bytes_per_value
+        return batch_size * per_transition + num_envs * state_dim * bytes_per_value
+
+    def inference_bytes(
+        self, num_states: int, state_dim: int, action_dim: int, bytes_per_value: int = 4
+    ) -> int:
+        """Payload of one batched inference round trip: N states, N actions."""
+        if num_states <= 0 or state_dim <= 0 or action_dim <= 0:
+            raise ValueError("num_states, state_dim, and action_dim must be positive")
+        return num_states * (state_dim + action_dim) * bytes_per_value
+
+    def inference_seconds(self, num_states: int, state_dim: int, action_dim: int) -> float:
+        """Runtime time of one batched inference round trip.
+
+        The batch of N states travels in one host→card buffer and the N
+        actions return in one card→host buffer, so the fixed runtime
+        overhead is paid once — the whole point of batching the rollout
+        versus N serial single-state round trips.
+        """
+        payload = self.inference_bytes(num_states, state_dim, action_dim)
+        return (
+            self.config.base_overhead_seconds
+            + 2 * self.config.per_buffer_seconds
+            + self.transfer_seconds(payload)
+        )
 
     def transfer_seconds(self, payload_bytes: int) -> float:
         """Pure DMA transfer time for a payload."""
@@ -66,9 +99,17 @@ class PcieModel:
             raise ValueError("payload_bytes must be non-negative")
         return payload_bytes / self.config.bandwidth_bytes_per_second
 
-    def timestep_seconds(self, batch_size: int, state_dim: int, action_dim: int) -> float:
-        """Total runtime time of one timestep (Fig. 9's "runtime" component)."""
-        payload = self.batch_bytes(batch_size, state_dim, action_dim)
+    def timestep_seconds(
+        self, batch_size: int, state_dim: int, action_dim: int, num_envs: int = 1
+    ) -> float:
+        """Total runtime time of one timestep (Fig. 9's "runtime" component).
+
+        With ``num_envs > 1`` the inference states and returned actions are
+        batched into the same three buffers, so only the payload grows — not
+        the per-timestep driver overhead.
+        """
+        payload = self.batch_bytes(batch_size, state_dim, action_dim, num_envs=num_envs)
+        payload += max(0, num_envs - 1) * action_dim * 4  # extra returned actions
         return (
             self.config.base_overhead_seconds
             + self.BUFFERS_PER_TIMESTEP * self.config.per_buffer_seconds

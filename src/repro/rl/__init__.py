@@ -4,6 +4,18 @@ Contains the replay buffer, exploration noise processes, the DDPG agent with
 explicit forward/backward/weight-update phases, Algorithm 1's QAT schedule
 and controller, the training loop, and the evaluation protocol used by the
 paper's Fig. 7 accuracy study.
+
+Experience collection is built on the vectorized rollout subsystem: a
+:class:`RolloutEngine` lock-steps a :class:`~repro.envs.VectorEnv`, selects
+actions for all ``num_envs`` environments with one batched actor forward
+pass, draws exploration noise in one batched call
+(:meth:`NoiseProcess.sample_batch`), and inserts transitions with one
+:meth:`ReplayBuffer.add_batch` write.  :func:`train` drives DDPG and TD3
+through that engine for any ``num_envs`` (``num_envs == 1`` reproduces the
+scalar loop — preserved as :func:`train_scalar_reference` — bit for bit).
+Future scaling layers (async collection workers, sharded accelerators,
+multi-backend inference) should slot in behind the engine's
+``act_batch``/``step`` seam rather than re-introducing per-transition calls.
 """
 
 from .checkpoint import checkpoint_metadata, load_agent_into, save_agent
@@ -12,8 +24,9 @@ from .evaluation import EvaluationPoint, LearningCurve, compare_curves, evaluate
 from .noise import DecayedNoise, GaussianNoise, NoiseProcess, OrnsteinUhlenbeckNoise
 from .qat import QATController, QATEvent, QATSchedule
 from .replay_buffer import ReplayBuffer, TransitionBatch
+from .rollout import RolloutEngine, RolloutStats, VectorTransitions
 from .td3 import TD3Agent, TD3Config
-from .training import TrainingConfig, TrainingResult, train
+from .training import TrainingConfig, TrainingResult, train, train_scalar_reference
 
 __all__ = [
     "DDPGAgent",
@@ -33,9 +46,13 @@ __all__ = [
     "QATSchedule",
     "QATController",
     "QATEvent",
+    "RolloutEngine",
+    "RolloutStats",
+    "VectorTransitions",
     "TrainingConfig",
     "TrainingResult",
     "train",
+    "train_scalar_reference",
     "evaluate_policy",
     "LearningCurve",
     "EvaluationPoint",

@@ -134,10 +134,18 @@ class DDPGAgent:
             action = action + np.asarray(noise, dtype=np.float64).ravel()
         return np.clip(action, -1.0, 1.0)
 
-    def act_batch(self, states: np.ndarray) -> np.ndarray:
-        """Deterministic actor inference for a batch of states."""
+    def act_batch(self, states: np.ndarray, noise: Optional[np.ndarray] = None) -> np.ndarray:
+        """Actor inference for a batch of states in one forward pass.
+
+        With ``noise`` (one row per state) this is the batched counterpart of
+        :meth:`act`: the noise is added before the saturating clip, so a
+        single-row call reproduces ``act`` bit for bit.
+        """
         states = np.atleast_2d(np.asarray(states, dtype=np.float64))
-        return np.clip(self.actor.forward(states), -1.0, 1.0)
+        actions = self.actor.forward(states)
+        if noise is not None:
+            actions = actions + np.asarray(noise, dtype=np.float64).reshape(actions.shape)
+        return np.clip(actions, -1.0, 1.0)
 
     def q_value(self, states: np.ndarray, actions: np.ndarray) -> np.ndarray:
         """Critic evaluation of state-action pairs."""

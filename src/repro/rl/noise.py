@@ -29,6 +29,19 @@ class NoiseProcess:
         """Draw one noise vector."""
         raise NotImplementedError
 
+    def sample_batch(self, num_samples: int) -> np.ndarray:
+        """Draw noise for N lock-stepped environments, shape ``(N, dim)``.
+
+        The default stacks ``num_samples`` sequential :meth:`sample` calls,
+        which preserves each process's temporal semantics and consumes the
+        RNG stream exactly like ``sample`` does when ``num_samples == 1``
+        (the rollout engine's bit-compatibility contract).  Uncorrelated
+        processes override this with a single vectorized draw.
+        """
+        if num_samples <= 0:
+            raise ValueError(f"num_samples must be positive, got {num_samples}")
+        return np.stack([self.sample() for _ in range(num_samples)])
+
     def reset(self) -> None:
         """Reset any internal state (called at episode boundaries)."""
 
@@ -47,6 +60,11 @@ class GaussianNoise(NoiseProcess):
 
     def sample(self) -> np.ndarray:
         return self._rng.normal(0.0, self.sigma, size=self.action_dim)
+
+    def sample_batch(self, num_samples: int) -> np.ndarray:
+        if num_samples <= 0:
+            raise ValueError(f"num_samples must be positive, got {num_samples}")
+        return self._rng.normal(0.0, self.sigma, size=(num_samples, self.action_dim))
 
 
 class OrnsteinUhlenbeckNoise(NoiseProcess):

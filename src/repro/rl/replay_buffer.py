@@ -93,6 +93,70 @@ class ReplayBuffer:
         self._next_index = (index + 1) % self.capacity
         self._size = min(self._size + 1, self.capacity)
 
+    def add_batch(
+        self,
+        states: np.ndarray,
+        actions: np.ndarray,
+        rewards: np.ndarray,
+        next_states: np.ndarray,
+        dones: np.ndarray,
+    ) -> None:
+        """Append N transitions at once with a vectorized circular write.
+
+        Equivalent to N sequential :meth:`add` calls (including overwrite
+        order when wrapping around the end of the buffer), but performed with
+        one fancy-indexed write per array.  Inputs are validated the same way
+        ``add`` coerces them: everything becomes ``float64``, states and
+        actions must be ``(n, state_dim)`` / ``(n, action_dim)``, rewards and
+        dones must flatten to ``n`` scalars.
+        """
+        states = np.asarray(states, dtype=np.float64)
+        actions = np.asarray(actions, dtype=np.float64)
+        next_states = np.asarray(next_states, dtype=np.float64)
+        rewards = np.asarray(rewards, dtype=np.float64).reshape(-1)
+        dones = np.asarray(dones, dtype=np.float64).reshape(-1)
+        if states.ndim != 2 or states.shape[1] != self.state_dim:
+            raise ValueError(
+                f"states must have shape (n, {self.state_dim}), got {states.shape}"
+            )
+        n = states.shape[0]
+        if actions.shape != (n, self.action_dim):
+            raise ValueError(
+                f"actions must have shape ({n}, {self.action_dim}), got {actions.shape}"
+            )
+        if next_states.shape != (n, self.state_dim):
+            raise ValueError(
+                f"next_states must have shape ({n}, {self.state_dim}), "
+                f"got {next_states.shape}"
+            )
+        if rewards.shape != (n,) or dones.shape != (n,):
+            raise ValueError(
+                f"rewards and dones must each hold {n} scalars, "
+                f"got {rewards.shape} and {dones.shape}"
+            )
+        if n == 0:
+            return
+        # When more rows arrive than the buffer holds, only the trailing
+        # ``capacity`` rows survive a sequential add; drop the rest up front
+        # so the fancy-indexed write never assigns one slot twice (numpy
+        # leaves the winner of duplicate indices unspecified).
+        offset = 0
+        if n > self.capacity:
+            offset = n - self.capacity
+            states = states[offset:]
+            actions = actions[offset:]
+            rewards = rewards[offset:]
+            next_states = next_states[offset:]
+            dones = dones[offset:]
+        indices = (self._next_index + offset + np.arange(n - offset)) % self.capacity
+        self._states[indices] = states
+        self._actions[indices] = actions
+        self._rewards[indices, 0] = rewards
+        self._next_states[indices] = next_states
+        self._dones[indices, 0] = (dones != 0.0).astype(np.float64)
+        self._next_index = (self._next_index + n) % self.capacity
+        self._size = min(self._size + n, self.capacity)
+
     def sample(self, batch_size: int) -> TransitionBatch:
         """Sample a uniform random batch of transitions (with replacement)."""
         if self._size == 0:

@@ -116,9 +116,12 @@ class TD3Agent:
             action = action + np.asarray(noise, dtype=np.float64).ravel()
         return np.clip(action, -1.0, 1.0)
 
-    def act_batch(self, states: np.ndarray) -> np.ndarray:
+    def act_batch(self, states: np.ndarray, noise: Optional[np.ndarray] = None) -> np.ndarray:
         states = np.atleast_2d(np.asarray(states, dtype=np.float64))
-        return np.clip(self.actor.forward(states), -1.0, 1.0)
+        actions = self.actor.forward(states)
+        if noise is not None:
+            actions = actions + np.asarray(noise, dtype=np.float64).reshape(actions.shape)
+        return np.clip(actions, -1.0, 1.0)
 
     def q_value(self, states: np.ndarray, actions: np.ndarray) -> np.ndarray:
         """Q-estimate of the first critic (TD3's convention for the actor)."""

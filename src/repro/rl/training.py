@@ -1,4 +1,4 @@
-"""The DDPG training loop used by every Fig. 7 experiment.
+"""The DDPG/TD3 training loop used by every Fig. 7 experiment.
 
 One loop iteration corresponds to one platform timestep (paper Fig. 3): the
 actor selects a (noisy) action for the current state, the environment
@@ -6,23 +6,35 @@ advances and returns the reward and next state, the transition is stored in
 the replay buffer, and a random batch is used to update the critic and actor
 networks.  A :class:`~repro.rl.qat.QATController` may be attached to switch
 the activation precision at the quantization delay.
+
+Since the vectorized-rollout refactor, :func:`train` drives a
+:class:`~repro.rl.rollout.RolloutEngine` over a
+:class:`~repro.envs.vector.VectorEnv`: each lock-step selects actions for
+all ``num_envs`` environments with one batched actor inference, then runs
+one agent update per collected environment step, so the update-to-data ratio
+matches the scalar loop at every ``num_envs``.  With ``num_envs == 1`` the
+loop consumes every RNG stream in exactly the scalar order —
+:func:`train_scalar_reference` preserves the pre-refactor loop verbatim as
+the oracle the regression tests compare against.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Union
 
 import numpy as np
 
 from ..envs.base import Environment
+from ..envs.vector import VectorEnv
 from .ddpg import DDPGAgent
 from .evaluation import LearningCurve, evaluate_policy
 from .noise import GaussianNoise, NoiseProcess
 from .qat import QATController, QATEvent
 from .replay_buffer import ReplayBuffer
+from .rollout import RolloutEngine
 
-__all__ = ["TrainingConfig", "TrainingResult", "train"]
+__all__ = ["TrainingConfig", "TrainingResult", "train", "train_scalar_reference"]
 
 
 @dataclass(frozen=True)
@@ -45,6 +57,11 @@ class TrainingConfig:
     exploration_noise: float = 0.1
     #: Random seed for the loop (exploration, replay sampling).
     seed: Optional[int] = 0
+    #: Environments rolled out in lock-step (1 = the paper's scalar loop).
+    #: The loop runs whole lock-steps, so ``total_timesteps`` is rounded up
+    #: to the next multiple of ``num_envs`` (the actual count is reported in
+    #: ``TrainingResult.total_timesteps``).
+    num_envs: int = 1
 
     def __post_init__(self) -> None:
         if self.total_timesteps <= 0:
@@ -61,6 +78,8 @@ class TrainingConfig:
             raise ValueError("evaluation_episodes must be positive")
         if self.exploration_noise < 0:
             raise ValueError("exploration_noise must be non-negative")
+        if self.num_envs <= 0:
+            raise ValueError("num_envs must be positive")
 
 
 @dataclass
@@ -72,6 +91,8 @@ class TrainingResult:
     qat_event: Optional[QATEvent] = None
     total_timesteps: int = 0
     total_updates: int = 0
+    num_envs: int = 1
+    replay_buffer: Optional[ReplayBuffer] = None
 
     def summary(self) -> dict:
         info = self.curve.summary()
@@ -80,6 +101,7 @@ class TrainingResult:
                 "episodes": len(self.episode_returns),
                 "total_timesteps": self.total_timesteps,
                 "total_updates": self.total_updates,
+                "num_envs": self.num_envs,
                 "quantization_switch_step": (
                     self.qat_event.timestep if self.qat_event else None
                 ),
@@ -88,7 +110,174 @@ class TrainingResult:
         return info
 
 
+def _resolve_vector_env(
+    env: Union[Environment, VectorEnv], config: TrainingConfig
+) -> VectorEnv:
+    """The vector environment the rollout engine will drive.
+
+    A :class:`VectorEnv` is used as-is.  A scalar environment is wrapped
+    unchanged for ``num_envs == 1`` (preserving any custom instance the
+    caller configured) and replicated into fresh ``seed + i`` siblings for
+    ``num_envs > 1``.
+    """
+    if isinstance(env, VectorEnv):
+        return env
+    if config.num_envs == 1:
+        return VectorEnv([env])
+    return VectorEnv.from_template(env, config.num_envs, seed=config.seed)
+
+
+def _resolve_evaluation_env(template: Environment, config: TrainingConfig):
+    """Evaluation environment plus whether it is shared with training."""
+    try:
+        evaluation_env = type(template)()
+        evaluation_env.seed(config.seed)
+        return evaluation_env, False
+    except TypeError:
+        return template, True
+
+
 def train(
+    env: Union[Environment, VectorEnv],
+    agent: DDPGAgent,
+    config: TrainingConfig,
+    *,
+    eval_env: Optional[Environment] = None,
+    qat_controller: Optional[QATController] = None,
+    noise: Optional[NoiseProcess] = None,
+    label: Optional[str] = None,
+    progress_callback: Optional[Callable[[int, dict], None]] = None,
+    platform=None,
+) -> TrainingResult:
+    """Run the training loop through the vectorized rollout engine.
+
+    Parameters
+    ----------
+    env:
+        Training environment — a scalar :class:`Environment` (wrapped, and
+        for ``config.num_envs > 1`` replicated into seeded siblings) or a
+        ready-made :class:`VectorEnv`.
+    agent:
+        The DDPG (or TD3) agent to train in place.
+    config:
+        Loop configuration, including ``num_envs``.
+    eval_env:
+        Separate environment for evaluations.  By default a fresh instance
+        of the training benchmark is created; when that is impossible the
+        first training environment is shared, exactly like the scalar loop.
+    qat_controller:
+        Optional Algorithm 1 controller switching activation precision.
+    noise:
+        Exploration noise process (defaults to Gaussian with the configured
+        standard deviation).
+    label:
+        Learning-curve label (defaults to the agent's numeric regime name).
+    progress_callback:
+        Optional ``callback(timestep, metrics)`` invoked after each evaluation.
+    platform:
+        Optional :class:`~repro.platform.FixarPlatform` whose
+        ``infer_batch`` prices each batched rollout inference (accumulated on
+        the returned engine statistics).
+
+    With ``num_envs == 1`` this reproduces :func:`train_scalar_reference`
+    bit for bit under a fixed seed.  With N environments each lock-step
+    collects N transitions with one batched inference and then performs one
+    agent update per transition collected past warmup, keeping the
+    update-to-data ratio of the scalar loop; evaluations fire whenever the
+    global step counter crosses an ``evaluation_interval`` boundary, and
+    ``total_timesteps`` rounds up to a whole number of lock-steps (the
+    actual count lands in ``result.total_timesteps``).
+    """
+    rng = np.random.default_rng(config.seed)
+    vec_env = _resolve_vector_env(env, config)
+    num_envs = vec_env.num_envs
+
+    shares_training_env = False
+    if eval_env is not None:
+        evaluation_env = eval_env
+    else:
+        # Prefer a fresh instance of the same benchmark so evaluations do not
+        # disturb the training episodes; fall back to sharing when the
+        # environment cannot be default-constructed.
+        evaluation_env, shares_training_env = _resolve_evaluation_env(
+            vec_env.envs[0], config
+        )
+    noise = noise or GaussianNoise(agent.action_dim, config.exploration_noise, seed=config.seed)
+    buffer = ReplayBuffer(
+        config.buffer_capacity, agent.state_dim, agent.action_dim, seed=config.seed
+    )
+    curve = LearningCurve(label or agent.numerics.name)
+    result = TrainingResult(curve=curve, num_envs=num_envs, replay_buffer=buffer)
+
+    engine = RolloutEngine(
+        vec_env,
+        agent,
+        buffer=buffer,
+        noise=noise,
+        warmup_timesteps=config.warmup_timesteps,
+        rng=rng,
+        platform=platform,
+    )
+    engine.reset()
+
+    iterations = -(-config.total_timesteps // num_envs)
+    for iteration in range(iterations):
+        global_step = iteration * num_envs
+
+        if qat_controller is not None:
+            for offset in range(num_envs):
+                qat_event = qat_controller.on_timestep(global_step + offset)
+                if qat_event is not None:
+                    result.qat_event = qat_event
+
+        # ----- Batched action selection + environment lock-step ----------- #
+        engine.step()
+        global_after = global_step + num_envs
+
+        # ----- Agent updates: one per collected post-warmup step ----------- #
+        if len(buffer) >= config.batch_size:
+            first_update_step = max(global_step, config.warmup_timesteps)
+            for _ in range(max(0, global_after - first_update_step)):
+                agent.update(buffer.sample(config.batch_size))
+                result.total_updates += 1
+
+        # ----- Periodic evaluation ---------------------------------------- #
+        crossings = global_after // config.evaluation_interval - global_step // config.evaluation_interval
+        if crossings > 0:
+            evaluated_step = (global_after // config.evaluation_interval) * config.evaluation_interval
+            average_return = evaluate_policy(
+                evaluation_env, agent, episodes=config.evaluation_episodes
+            )
+            curve.record(evaluated_step, average_return)
+            if shares_training_env:
+                # Evaluation consumed the shared environment's episode; start
+                # fresh training episodes from a clean state.
+                engine.restart_episodes(record=True)
+            if progress_callback is not None:
+                progress_callback(
+                    evaluated_step,
+                    {
+                        "average_return": average_return,
+                        "episodes": len(engine.episode_returns),
+                        "activation_bits": agent.numerics.activation_bits,
+                    },
+                )
+
+    result.episode_returns = engine.episode_returns
+
+    # If the run ended between evaluation points, add a final evaluation so
+    # short smoke-test runs still produce a non-empty curve.
+    if not curve.points:
+        curve.record(
+            iterations * num_envs,
+            evaluate_policy(evaluation_env, agent, episodes=config.evaluation_episodes),
+        )
+
+    result.total_timesteps = iterations * num_envs
+    return result
+
+
+def train_scalar_reference(
     env: Environment,
     agent: DDPGAgent,
     config: TrainingConfig,
@@ -99,51 +288,26 @@ def train(
     label: Optional[str] = None,
     progress_callback: Optional[Callable[[int, dict], None]] = None,
 ) -> TrainingResult:
-    """Run the DDPG training loop and return its learning curve.
+    """The pre-vectorization scalar training loop, preserved verbatim.
 
-    Parameters
-    ----------
-    env:
-        Training environment.
-    agent:
-        The DDPG agent to train in place.
-    config:
-        Loop configuration.
-    eval_env:
-        Separate environment for evaluations (defaults to ``env``'s class is
-        *not* re-instantiated; the same ``env`` object is reused, which keeps
-        the substrate dependency-free — pass a distinct instance to match the
-        paper's protocol exactly).
-    qat_controller:
-        Optional Algorithm 1 controller switching activation precision.
-    noise:
-        Exploration noise process (defaults to Gaussian with the configured
-        standard deviation).
-    label:
-        Learning-curve label (defaults to the agent's numeric regime name).
-    progress_callback:
-        Optional ``callback(timestep, metrics)`` invoked after each evaluation.
+    This is the behavioral oracle for the rollout-engine refactor: the
+    regression tests assert that :func:`train` with ``num_envs == 1``
+    reproduces this loop bit for bit (same learning curve, same episode
+    returns, same replay-buffer contents, same final weights).  Production
+    code should call :func:`train`.
     """
     rng = np.random.default_rng(config.seed)
     shares_training_env = False
     if eval_env is not None:
         evaluation_env = eval_env
     else:
-        # Prefer a fresh instance of the same benchmark so evaluations do not
-        # disturb the training episode; fall back to sharing when the
-        # environment cannot be default-constructed.
-        try:
-            evaluation_env = type(env)()
-            evaluation_env.seed(config.seed)
-        except TypeError:
-            evaluation_env = env
-            shares_training_env = True
+        evaluation_env, shares_training_env = _resolve_evaluation_env(env, config)
     noise = noise or GaussianNoise(agent.action_dim, config.exploration_noise, seed=config.seed)
     buffer = ReplayBuffer(
         config.buffer_capacity, agent.state_dim, agent.action_dim, seed=config.seed
     )
     curve = LearningCurve(label or agent.numerics.name)
-    result = TrainingResult(curve=curve)
+    result = TrainingResult(curve=curve, replay_buffer=buffer)
 
     observation = env.reset()
     episode_return = 0.0

@@ -116,3 +116,63 @@ class TestThroughput:
 
     def test_utilization_high(self, platform):
         assert platform.accelerator_utilization(512) > 0.85
+
+
+class TestBatchInference:
+    """Batched rollout inference: the FixarPlatform.infer_batch hook."""
+
+    def test_batched_latency_strictly_beats_serial(self, platform):
+        single = platform.infer_batch(1)
+        for num_states in (2, 8, 32, 128):
+            batched = platform.infer_batch(num_states)
+            # Weight loads and the PCIe round trip are amortised over the
+            # batch, so batch-of-N must be strictly cheaper than N serial
+            # single-state inferences — on the FPGA, on the runtime, and
+            # end to end.
+            assert batched.fpga_seconds < num_states * single.fpga_seconds
+            assert batched.runtime_seconds < num_states * single.runtime_seconds
+            assert batched.total_seconds < num_states * single.total_seconds
+
+    def test_pcie_bytes_equal_batched_payload(self, platform):
+        state_dim, action_dim = platform.workload.state_dim, platform.workload.action_dim
+        for num_states in (1, 8, 32):
+            report = platform.infer_batch(num_states)
+            assert report.pcie_bytes == num_states * (state_dim + action_dim) * 4
+            assert report.pcie_bytes == platform.pcie.inference_bytes(
+                num_states, state_dim, action_dim
+            )
+
+    def test_energy_accounting(self, platform):
+        single = platform.infer_batch(1)
+        batched = platform.infer_batch(32)
+        assert single.energy_joules > 0
+        # Energy follows FPGA time: board power x batched pass latency, so
+        # serving 32 states costs strictly less energy than 32 serial passes.
+        assert batched.energy_joules < 32 * single.energy_joules
+        assert batched.energy_joules == pytest.approx(
+            platform.power.average_watts() * batched.fpga_seconds
+        )
+
+    def test_throughput_grows_with_batch(self, platform):
+        rates = [platform.infer_batch(n).states_per_second for n in (1, 8, 32)]
+        assert rates == sorted(rates)
+
+    def test_invalid_batch_rejected(self, platform):
+        with pytest.raises(ValueError):
+            platform.infer_batch(0)
+
+    def test_timestep_num_envs_amortises_rollout(self, platform):
+        # A training timestep serving N envs is far cheaper than N scalar
+        # timesteps, and num_envs=1 reproduces the original accounting.
+        assert platform.timestep_seconds(64, num_envs=1) == platform.timestep_seconds(64)
+        assert (
+            platform.timestep_seconds(64, num_envs=32)
+            < 32 * platform.timestep_seconds(64)
+        )
+        assert platform.env_steps_per_second(64, 32) > 4 * platform.env_steps_per_second(64, 1)
+
+    def test_breakdown_num_envs_only_grows_components(self, platform):
+        scalar = platform.timestep_breakdown(64)
+        vector = platform.timestep_breakdown(64, num_envs=16)
+        for component in scalar:
+            assert vector[component] >= scalar[component]

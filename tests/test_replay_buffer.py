@@ -91,3 +91,85 @@ class TestReplayBuffer:
     def test_batch_nbytes_positive(self):
         buffer = self._filled_buffer()
         assert buffer.sample(4).nbytes > 0
+
+
+class TestAddBatch:
+    def _buffer(self, capacity=8):
+        return ReplayBuffer(capacity, state_dim=3, action_dim=2, seed=0)
+
+    @staticmethod
+    def _rows(n, offset=0):
+        states = np.arange(n * 3, dtype=np.float64).reshape(n, 3) + offset
+        actions = np.arange(n * 2, dtype=np.float64).reshape(n, 2) - offset
+        rewards = np.arange(n, dtype=np.float64) + 0.5
+        next_states = states + 100.0
+        dones = (np.arange(n) % 3 == 0).astype(np.float64)
+        return states, actions, rewards, next_states, dones
+
+    def test_matches_sequential_adds(self):
+        """add_batch == N sequential add() calls, including wraparound."""
+        bulk, serial = self._buffer(), self._buffer()
+        for offset in (0, 7, 19):  # 18 rows through an 8-slot buffer
+            rows = self._rows(6, offset)
+            bulk.add_batch(*rows)
+            for i in range(6):
+                serial.add(rows[0][i], rows[1][i], rows[2][i], rows[3][i], bool(rows[4][i]))
+        assert len(bulk) == len(serial) == 8
+        assert bulk._next_index == serial._next_index
+        for attr in ("_states", "_actions", "_rewards", "_next_states", "_dones"):
+            np.testing.assert_array_equal(getattr(bulk, attr), getattr(serial, attr))
+
+    def test_batch_larger_than_capacity_keeps_tail(self):
+        bulk, serial = self._buffer(capacity=4), self._buffer(capacity=4)
+        rows = self._rows(11)
+        bulk.add_batch(*rows)
+        for i in range(11):
+            serial.add(rows[0][i], rows[1][i], rows[2][i], rows[3][i], bool(rows[4][i]))
+        assert bulk.full and bulk._next_index == serial._next_index
+        np.testing.assert_array_equal(bulk._states, serial._states)
+        np.testing.assert_array_equal(bulk._rewards, serial._rewards)
+
+    def test_dones_stored_as_indicator(self):
+        buffer = self._buffer()
+        states, actions, rewards, next_states, _ = self._rows(3)
+        buffer.add_batch(states, actions, rewards, next_states, np.array([0.0, 2.5, 1.0]))
+        np.testing.assert_array_equal(buffer._dones[:3, 0], [0.0, 1.0, 1.0])
+
+    def test_validates_shapes(self):
+        buffer = self._buffer()
+        states, actions, rewards, next_states, dones = self._rows(4)
+        with pytest.raises(ValueError, match="states"):
+            buffer.add_batch(states[:, :2], actions, rewards, next_states, dones)
+        with pytest.raises(ValueError, match="actions"):
+            buffer.add_batch(states, actions[:3], rewards, next_states, dones)
+        with pytest.raises(ValueError, match="next_states"):
+            buffer.add_batch(states, actions, rewards, next_states[:, :1], dones)
+        with pytest.raises(ValueError, match="rewards"):
+            buffer.add_batch(states, actions, rewards[:2], next_states, dones)
+
+    def test_coerces_dtype_like_add(self):
+        buffer = self._buffer()
+        buffer.add_batch(
+            np.ones((2, 3), dtype=np.float32),
+            np.ones((2, 2), dtype=np.int64),
+            [1, 2],
+            np.zeros((2, 3), dtype=np.float32),
+            [True, False],
+        )
+        assert buffer._states.dtype == np.float64
+        assert len(buffer) == 2
+        np.testing.assert_array_equal(buffer._dones[:2, 0], [1.0, 0.0])
+
+    def test_empty_batch_is_noop(self):
+        buffer = self._buffer()
+        buffer.add_batch(
+            np.empty((0, 3)), np.empty((0, 2)), np.empty(0), np.empty((0, 3)), np.empty(0)
+        )
+        assert len(buffer) == 0
+
+    def test_sample_after_bulk_insert(self):
+        buffer = self._buffer(capacity=32)
+        buffer.add_batch(*self._rows(10))
+        batch = buffer.sample(6)
+        assert len(batch) == 6
+        assert batch.states.shape == (6, 3)
