@@ -11,8 +11,14 @@ switch, and then offloads the trained actor to the accelerator simulator to
 compare the fixed-point policy's behaviour against the software policy in
 the live environment.
 
+With ``--num-workers W`` experience collection fans out over W collection
+workers, each owning its own VectorEnv of ``--num-envs`` Hopper instances
+(worker ``w``'s environment ``i`` is seeded ``seed + w * num_envs + i``) and
+an actor replica that is refreshed from the learner every round; the workers
+are scheduled deterministically, so a run is reproducible for any topology.
+
 Run:
-    python examples/train_hopper_qat.py [--timesteps 4000] [--num-envs 4]
+    python examples/train_hopper_qat.py [--timesteps 4000] [--num-envs 4] [--num-workers 2]
 """
 
 from __future__ import annotations
@@ -56,14 +62,19 @@ def main() -> None:
     parser.add_argument("--timesteps", type=int, default=4_000)
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--num-envs", type=int, default=4,
-                        help="Hopper instances rolled out in lock-step")
+                        help="Hopper instances rolled out in lock-step per worker")
+    parser.add_argument("--num-workers", type=int, default=1,
+                        help="collection workers, each owning its own VectorEnv "
+                             "of --num-envs Hoppers and an actor replica")
     args = parser.parse_args()
 
     env = HopperEnv(seed=args.seed, max_episode_steps=400)
-    eval_env = HopperEnv(seed=args.seed + args.num_envs, max_episode_steps=400)
+    eval_env = HopperEnv(
+        seed=args.seed + args.num_workers * args.num_envs, max_episode_steps=400
+    )
     print("=== Hopper with quantization-aware training ===")
     print(f"state dim {env.state_dim}, action dim {env.action_dim}, fall threshold enabled; "
-          f"{args.num_envs} environments in lock-step")
+          f"{args.num_workers} worker(s) x {args.num_envs} environments in lock-step")
 
     numerics = DynamicFixedPointNumerics(num_bits=16)
     agent = DDPGAgent(
@@ -84,6 +95,7 @@ def main() -> None:
         exploration_noise=0.15,
         seed=args.seed,
         num_envs=args.num_envs,
+        num_workers=args.num_workers,
     )
 
     result = train(env, agent, config, eval_env=eval_env, qat_controller=controller, label="hopper-qat")

@@ -38,6 +38,21 @@ from .rl import save_agent
 __all__ = ["build_parser", "main"]
 
 
+def _positive_int(value: str) -> int:
+    """Argument type for counts that must be >= 1 (fail at the CLI boundary).
+
+    Values below 1 used to surface as deep ``VectorEnv``/engine errors; the
+    parser is the right place to reject them with a readable message.
+    """
+    try:
+        number = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {value!r}") from None
+    if number < 1:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {number}")
+    return number
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser with all sub-commands."""
     parser = argparse.ArgumentParser(
@@ -50,9 +65,19 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--benchmark", choices=BENCHMARK_SUITE, default="HalfCheetah")
     train.add_argument("--timesteps", type=int, default=3_000)
     train.add_argument("--batch-size", type=int, default=64)
-    train.add_argument("--num-envs", type=int, default=1,
+    train.add_argument("--num-envs", type=_positive_int, default=1,
                        help="environments rolled out in lock-step with batched "
                             "actor inference (1 = the paper's scalar loop)")
+    train.add_argument("--num-workers", type=_positive_int, default=1,
+                       help="collection workers, each owning its own VectorEnv of "
+                            "--num-envs environments (seeded seed + worker*num_envs + i) "
+                            "and an actor replica refreshed every --sync-interval steps; "
+                            "workers are scheduled deterministically so runs stay "
+                            "reproducible (1 = the single-engine loop)")
+    train.add_argument("--sync-interval", type=_positive_int, default=1,
+                       help="environment steps between actor-weight broadcasts to "
+                            "the collection workers (only meaningful with "
+                            "--num-workers > 1)")
     train.add_argument("--regime", default="fixar-dynamic",
                        choices=("float32", "fixed32", "fixed16", "fixar-dynamic"))
     train.add_argument("--hidden", type=int, nargs=2, default=(64, 48), metavar=("H1", "H2"))
@@ -86,16 +111,29 @@ def _command_train(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.cosim and args.num_workers != 1:
+        print(
+            "error: --cosim traces the scalar training loop and does not "
+            "support --num-workers > 1",
+            file=sys.stderr,
+        )
+        return 2
     config = smoke_test_config(
         benchmark=args.benchmark,
         total_timesteps=args.timesteps,
         batch_size=args.batch_size,
         hidden_sizes=tuple(args.hidden),
     ).with_regime(args.regime)
-    config = config.with_training(seed=args.seed, num_envs=args.num_envs)
+    config = config.with_training(
+        seed=args.seed,
+        num_envs=args.num_envs,
+        num_workers=args.num_workers,
+        sync_interval=args.sync_interval,
+    )
     system = FixarSystem(config)
     print(f"training {args.regime} on {args.benchmark} for {args.timesteps} timesteps "
           f"(batch {args.batch_size}, hidden {tuple(args.hidden)}, "
+          f"{args.num_workers} worker{'s' if args.num_workers != 1 else ''} x "
           f"{args.num_envs} env{'s' if args.num_envs != 1 else ''} in lock-step)")
 
     if args.cosim:

@@ -7,7 +7,13 @@ is what the paper's Figs. 8–10 report.
 
 from .cosim import CoSimulationResult, PlatformCoSimulation
 from .energy import CampaignEstimate, estimate_training_campaign
-from .fixar_platform import PAPER_BATCH_SIZES, BatchInferenceReport, FixarPlatform, WorkloadSpec
+from .fixar_platform import (
+    PAPER_BATCH_SIZES,
+    BatchInferenceReport,
+    CollectionInferenceReport,
+    FixarPlatform,
+    WorkloadSpec,
+)
 from .gpu_baseline import CpuGpuPlatform, GpuAcceleratorModel, GpuConfig
 from .host import HostConfig, HostModel
 from .metrics import (
@@ -23,6 +29,7 @@ from .pcie import PcieConfig, PcieModel
 __all__ = [
     "FixarPlatform",
     "BatchInferenceReport",
+    "CollectionInferenceReport",
     "WorkloadSpec",
     "PAPER_BATCH_SIZES",
     "PlatformCoSimulation",

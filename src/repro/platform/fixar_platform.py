@@ -33,7 +33,13 @@ from .host import HostModel
 from .metrics import ips_per_watt
 from .pcie import PcieModel
 
-__all__ = ["WorkloadSpec", "FixarPlatform", "BatchInferenceReport", "PAPER_BATCH_SIZES"]
+__all__ = [
+    "WorkloadSpec",
+    "FixarPlatform",
+    "BatchInferenceReport",
+    "CollectionInferenceReport",
+    "PAPER_BATCH_SIZES",
+]
 
 #: Batch sizes swept in the paper's evaluation.
 PAPER_BATCH_SIZES = (64, 128, 256, 512)
@@ -97,6 +103,50 @@ class BatchInferenceReport:
         return self.num_states / self.total_seconds
 
 
+@dataclass(frozen=True)
+class CollectionInferenceReport:
+    """Aggregated inference cost of one multi-worker collection round.
+
+    ``num_workers`` collection workers each present one batch-of-``num_envs``
+    actor inference per lock-step; the single accelerator serves those
+    batches back to back, so a full fleet round costs ``num_workers``
+    sequential :meth:`FixarPlatform.infer_batch` passes.  This mirrors the
+    accounting the :class:`~repro.rl.workers.AsyncCollector` aggregates from
+    its per-worker engines (each engine prices its own lock-step with
+    ``infer_batch(num_envs)``).
+    """
+
+    #: Workers in the fleet.
+    num_workers: int
+    #: Cost of one worker's batched inference.
+    per_worker: BatchInferenceReport
+
+    @property
+    def num_states(self) -> int:
+        """States inferred per fleet round."""
+        return self.num_workers * self.per_worker.num_states
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end latency of serving the whole fleet's round."""
+        return self.num_workers * self.per_worker.total_seconds
+
+    @property
+    def pcie_bytes(self) -> int:
+        """Bytes crossing PCIe per fleet round (one round trip per worker)."""
+        return self.num_workers * self.per_worker.pcie_bytes
+
+    @property
+    def energy_joules(self) -> float:
+        """FPGA board energy per fleet round."""
+        return self.num_workers * self.per_worker.energy_joules
+
+    @property
+    def states_per_second(self) -> float:
+        """Inference throughput across the fleet."""
+        return self.num_states / self.total_seconds
+
+
 class FixarPlatform:
     """Timing model of the full CPU-FPGA platform."""
 
@@ -129,10 +179,29 @@ class FixarPlatform:
             num_envs=num_envs,
         )
 
-    def runtime_seconds(self, batch_size: int, num_envs: int = 1) -> float:
-        """Xilinx run-time / PCIe time of one timestep."""
+    @property
+    def transfer_bytes_per_value(self) -> int:
+        """Width of one transferred value: 2 bytes once in half precision."""
+        return 2 if self.half_precision else 4
+
+    def runtime_seconds(
+        self, batch_size: int, num_envs: int = 1, bytes_per_value: Optional[int] = None
+    ) -> float:
+        """Xilinx run-time / PCIe time of one timestep.
+
+        ``bytes_per_value`` scales the transferred payload; by default it
+        follows the platform's precision mode (4 bytes full precision, 2
+        bytes after the half-precision switch), so half-precision transfer
+        studies are priced consistently with the datapath.
+        """
         return self.pcie.timestep_seconds(
-            batch_size, self.workload.state_dim, self.workload.action_dim, num_envs=num_envs
+            batch_size,
+            self.workload.state_dim,
+            self.workload.action_dim,
+            num_envs=num_envs,
+            bytes_per_value=(
+                self.transfer_bytes_per_value if bytes_per_value is None else bytes_per_value
+            ),
         )
 
     def cpu_seconds(self, batch_size: int, num_envs: int = 1) -> float:
@@ -175,10 +244,16 @@ class FixarPlatform:
             self.workload.actor_shapes, num_states, half_precision=self.half_precision
         )
         runtime = self.pcie.inference_seconds(
-            num_states, self.workload.state_dim, self.workload.action_dim
+            num_states,
+            self.workload.state_dim,
+            self.workload.action_dim,
+            bytes_per_value=self.transfer_bytes_per_value,
         )
         payload = self.pcie.inference_bytes(
-            num_states, self.workload.state_dim, self.workload.action_dim
+            num_states,
+            self.workload.state_dim,
+            self.workload.action_dim,
+            bytes_per_value=self.transfer_bytes_per_value,
         )
         energy = self.power.average_watts() * fpga
         return BatchInferenceReport(
@@ -187,6 +262,50 @@ class FixarPlatform:
             runtime_seconds=runtime,
             pcie_bytes=payload,
             energy_joules=energy,
+        )
+
+    def infer_collection(
+        self, num_envs: int, num_workers: int = 1
+    ) -> CollectionInferenceReport:
+        """Price one collection round of a ``num_workers``-worker fleet.
+
+        Each worker's lock-step batch of ``num_envs`` states is one
+        :meth:`infer_batch` pass; the accelerator serves the fleet's batches
+        sequentially, so the round costs ``num_workers`` such passes — the
+        quantity the async collection coordinator aggregates.
+        """
+        if num_workers <= 0:
+            raise ValueError(f"num_workers must be positive, got {num_workers}")
+        return CollectionInferenceReport(
+            num_workers=num_workers, per_worker=self.infer_batch(num_envs)
+        )
+
+    def collection_round_seconds(self, num_envs: int, num_workers: int = 1) -> float:
+        """Modelled time of one fleet collection round (``num_workers * num_envs`` steps).
+
+        Each worker alternates its host phase (stepping ``num_envs``
+        environments on its own Xeon core) with its accelerator phase (one
+        batched inference), so no worker can cycle faster than its serial
+        ``host + inference`` chain.  The fleet pipelines across workers —
+        while one batch is in flight the others run their host phases — but
+        the single accelerator serves the ``num_workers`` batches back to
+        back, so the steady-state round is whichever bound saturates first:
+        ``max(host + inference, num_workers * inference)``.
+        """
+        if num_workers <= 0:
+            raise ValueError(f"num_workers must be positive, got {num_workers}")
+        host = self.host.collection_step_seconds(self.workload.benchmark, num_envs)
+        inference = self.infer_batch(num_envs).total_seconds
+        return max(host + inference, num_workers * inference)
+
+    def collection_steps_per_second(self, num_envs: int, num_workers: int = 1) -> float:
+        """Modelled collection throughput of a ``num_workers``-worker fleet."""
+        if num_workers <= 0:
+            raise ValueError(f"num_workers must be positive, got {num_workers}")
+        return (
+            num_workers
+            * num_envs
+            / self.collection_round_seconds(num_envs, num_workers)
         )
 
     def env_steps_per_second(self, batch_size: int, num_envs: int = 1) -> float:

@@ -77,13 +77,25 @@ class HostModel:
         """
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
+        return (
+            self.collection_step_seconds(benchmark, num_envs)
+            + self.config.replay_sample_seconds_per_transition * batch_size
+        )
+
+    def collection_step_seconds(self, benchmark: str, num_envs: int = 1) -> float:
+        """Host-CPU time of one *collection* lock-step (no replay assembly).
+
+        A collection worker only steps its environments and stores the
+        transitions; the replay batch for the accelerator is assembled by the
+        learner, not the worker, so the per-sample replay term of
+        :meth:`timestep_seconds` does not apply.
+        """
         if num_envs <= 0:
             raise ValueError(f"num_envs must be positive, got {num_envs}")
         scale = 1.0 + self.config.vector_step_fraction * (num_envs - 1)
         return (
             self.env_step_seconds(benchmark) * scale
             + self.config.transition_store_seconds * scale
-            + self.config.replay_sample_seconds_per_transition * batch_size
         )
 
     # ------------------------------------------------------------------ #

@@ -67,6 +67,8 @@ class PcieModel:
             raise ValueError("batch_size, state_dim, and action_dim must be positive")
         if num_envs <= 0:
             raise ValueError(f"num_envs must be positive, got {num_envs}")
+        if bytes_per_value <= 0:
+            raise ValueError(f"bytes_per_value must be positive, got {bytes_per_value}")
         per_transition = (2 * state_dim + action_dim + 2) * bytes_per_value
         return batch_size * per_transition + num_envs * state_dim * bytes_per_value
 
@@ -76,9 +78,13 @@ class PcieModel:
         """Payload of one batched inference round trip: N states, N actions."""
         if num_states <= 0 or state_dim <= 0 or action_dim <= 0:
             raise ValueError("num_states, state_dim, and action_dim must be positive")
+        if bytes_per_value <= 0:
+            raise ValueError(f"bytes_per_value must be positive, got {bytes_per_value}")
         return num_states * (state_dim + action_dim) * bytes_per_value
 
-    def inference_seconds(self, num_states: int, state_dim: int, action_dim: int) -> float:
+    def inference_seconds(
+        self, num_states: int, state_dim: int, action_dim: int, bytes_per_value: int = 4
+    ) -> float:
         """Runtime time of one batched inference round trip.
 
         The batch of N states travels in one host→card buffer and the N
@@ -86,7 +92,7 @@ class PcieModel:
         overhead is paid once — the whole point of batching the rollout
         versus N serial single-state round trips.
         """
-        payload = self.inference_bytes(num_states, state_dim, action_dim)
+        payload = self.inference_bytes(num_states, state_dim, action_dim, bytes_per_value)
         return (
             self.config.base_overhead_seconds
             + 2 * self.config.per_buffer_seconds
@@ -100,16 +106,31 @@ class PcieModel:
         return payload_bytes / self.config.bandwidth_bytes_per_second
 
     def timestep_seconds(
-        self, batch_size: int, state_dim: int, action_dim: int, num_envs: int = 1
+        self,
+        batch_size: int,
+        state_dim: int,
+        action_dim: int,
+        num_envs: int = 1,
+        bytes_per_value: int = 4,
     ) -> float:
         """Total runtime time of one timestep (Fig. 9's "runtime" component).
 
         With ``num_envs > 1`` the inference states and returned actions are
         batched into the same three buffers, so only the payload grows — not
-        the per-timestep driver overhead.
+        the per-timestep driver overhead.  ``bytes_per_value`` scales *every*
+        payload term, including the extra returned actions (previously
+        hardcoded at 4 bytes, which silently mispriced half-precision
+        transfer studies).
         """
-        payload = self.batch_bytes(batch_size, state_dim, action_dim, num_envs=num_envs)
-        payload += max(0, num_envs - 1) * action_dim * 4  # extra returned actions
+        payload = self.batch_bytes(
+            batch_size,
+            state_dim,
+            action_dim,
+            bytes_per_value=bytes_per_value,
+            num_envs=num_envs,
+        )
+        # Extra returned actions of the additional lock-stepped envs.
+        payload += max(0, num_envs - 1) * action_dim * bytes_per_value
         return (
             self.config.base_overhead_seconds
             + self.BUFFERS_PER_TIMESTEP * self.config.per_buffer_seconds

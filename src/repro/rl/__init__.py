@@ -13,9 +13,15 @@ pass, draws exploration noise in one batched call
 :meth:`ReplayBuffer.add_batch` write.  :func:`train` drives DDPG and TD3
 through that engine for any ``num_envs`` (``num_envs == 1`` reproduces the
 scalar loop — preserved as :func:`train_scalar_reference` — bit for bit).
-Future scaling layers (async collection workers, sharded accelerators,
-multi-backend inference) should slot in behind the engine's
-``act_batch``/``step`` seam rather than re-introducing per-transition calls.
+Multi-worker collection builds on that seam: an :class:`AsyncCollector`
+coordinates :class:`CollectorWorker` replicas (each owning its own
+``VectorEnv`` + engine, seeded ``seed + worker_id * num_envs + i``) around
+one shared replay buffer, with a deterministic synchronous mode used by
+:func:`train` (``TrainingConfig.num_workers``) and a free-running
+multi-process mode for raw collection throughput.  Future scaling layers
+(sharded accelerators, multi-backend inference) should likewise slot in
+behind the engine's ``act_batch``/``step`` seam rather than re-introducing
+per-transition calls.
 """
 
 from .checkpoint import checkpoint_metadata, load_agent_into, save_agent
@@ -27,6 +33,13 @@ from .replay_buffer import ReplayBuffer, TransitionBatch
 from .rollout import RolloutEngine, RolloutStats, VectorTransitions
 from .td3 import TD3Agent, TD3Config
 from .training import TrainingConfig, TrainingResult, train, train_scalar_reference
+from .workers import (
+    ActorPolicy,
+    AsyncCollector,
+    AsyncCollectStats,
+    CollectorWorker,
+    worker_env_seed,
+)
 
 __all__ = [
     "DDPGAgent",
@@ -49,6 +62,11 @@ __all__ = [
     "RolloutEngine",
     "RolloutStats",
     "VectorTransitions",
+    "ActorPolicy",
+    "AsyncCollector",
+    "AsyncCollectStats",
+    "CollectorWorker",
+    "worker_env_seed",
     "TrainingConfig",
     "TrainingResult",
     "train",

@@ -30,7 +30,23 @@ from ..nn import (
 )
 from .replay_buffer import TransitionBatch
 
-__all__ = ["DDPGConfig", "DDPGAgent"]
+__all__ = ["DDPGConfig", "DDPGAgent", "batched_policy_actions"]
+
+
+def batched_policy_actions(actor, states, noise=None) -> np.ndarray:
+    """Saturated batched actor inference: forward, add noise, clip to ±1.
+
+    The one shared implementation behind ``DDPGAgent.act_batch``,
+    ``TD3Agent.act_batch``, and the collection workers'
+    :class:`~repro.rl.workers.ActorPolicy` replicas — replica inference must
+    match the learner's bit for bit, so the semantics live in exactly one
+    place.
+    """
+    states = np.atleast_2d(np.asarray(states, dtype=np.float64))
+    actions = actor.forward(states)
+    if noise is not None:
+        actions = actions + np.asarray(noise, dtype=np.float64).reshape(actions.shape)
+    return np.clip(actions, -1.0, 1.0)
 
 
 @dataclass(frozen=True)
@@ -141,11 +157,7 @@ class DDPGAgent:
         :meth:`act`: the noise is added before the saturating clip, so a
         single-row call reproduces ``act`` bit for bit.
         """
-        states = np.atleast_2d(np.asarray(states, dtype=np.float64))
-        actions = self.actor.forward(states)
-        if noise is not None:
-            actions = actions + np.asarray(noise, dtype=np.float64).reshape(actions.shape)
-        return np.clip(actions, -1.0, 1.0)
+        return batched_policy_actions(self.actor, states, noise)
 
     def q_value(self, states: np.ndarray, actions: np.ndarray) -> np.ndarray:
         """Critic evaluation of state-action pairs."""

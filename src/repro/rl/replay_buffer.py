@@ -4,10 +4,18 @@ The host CPU stores every transition (state, action, reward, next state,
 done) and samples a random batch of ``B`` transitions to send to the FPGA at
 each timestep.  This module is that storage: a flat, pre-allocated circular
 buffer with uniform sampling.
+
+The buffer is the single shared sink of the multi-worker collection
+subsystem: an :class:`~repro.rl.workers.AsyncCollector` drains worker
+transition batches into it via :meth:`ReplayBuffer.add_batch` while the
+learner concurrently calls :meth:`ReplayBuffer.sample`, so every mutating or
+reading method holds an internal lock — interleaved ``add_batch``/``sample``
+calls always observe whole transitions, never half-written rows.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Optional
 
@@ -66,14 +74,17 @@ class ReplayBuffer:
         self._rng = np.random.default_rng(seed)
         self._next_index = 0
         self._size = 0
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
-        return self._size
+        with self._lock:
+            return self._size
 
     @property
     def full(self) -> bool:
         """Whether the buffer has wrapped around at least once."""
-        return self._size == self.capacity
+        with self._lock:
+            return self._size == self.capacity
 
     def add(
         self,
@@ -84,14 +95,15 @@ class ReplayBuffer:
         done: bool,
     ) -> None:
         """Append one transition, overwriting the oldest when full."""
-        index = self._next_index
-        self._states[index] = np.asarray(state, dtype=np.float64).ravel()
-        self._actions[index] = np.asarray(action, dtype=np.float64).ravel()
-        self._rewards[index, 0] = float(reward)
-        self._next_states[index] = np.asarray(next_state, dtype=np.float64).ravel()
-        self._dones[index, 0] = 1.0 if done else 0.0
-        self._next_index = (index + 1) % self.capacity
-        self._size = min(self._size + 1, self.capacity)
+        with self._lock:
+            index = self._next_index
+            self._states[index] = np.asarray(state, dtype=np.float64).ravel()
+            self._actions[index] = np.asarray(action, dtype=np.float64).ravel()
+            self._rewards[index, 0] = float(reward)
+            self._next_states[index] = np.asarray(next_state, dtype=np.float64).ravel()
+            self._dones[index, 0] = 1.0 if done else 0.0
+            self._next_index = (index + 1) % self.capacity
+            self._size = min(self._size + 1, self.capacity)
 
     def add_batch(
         self,
@@ -148,31 +160,34 @@ class ReplayBuffer:
             rewards = rewards[offset:]
             next_states = next_states[offset:]
             dones = dones[offset:]
-        indices = (self._next_index + offset + np.arange(n - offset)) % self.capacity
-        self._states[indices] = states
-        self._actions[indices] = actions
-        self._rewards[indices, 0] = rewards
-        self._next_states[indices] = next_states
-        self._dones[indices, 0] = (dones != 0.0).astype(np.float64)
-        self._next_index = (self._next_index + n) % self.capacity
-        self._size = min(self._size + n, self.capacity)
+        with self._lock:
+            indices = (self._next_index + offset + np.arange(n - offset)) % self.capacity
+            self._states[indices] = states
+            self._actions[indices] = actions
+            self._rewards[indices, 0] = rewards
+            self._next_states[indices] = next_states
+            self._dones[indices, 0] = (dones != 0.0).astype(np.float64)
+            self._next_index = (self._next_index + n) % self.capacity
+            self._size = min(self._size + n, self.capacity)
 
     def sample(self, batch_size: int) -> TransitionBatch:
         """Sample a uniform random batch of transitions (with replacement)."""
-        if self._size == 0:
-            raise RuntimeError("cannot sample from an empty replay buffer")
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
-        indices = self._rng.integers(0, self._size, size=batch_size)
-        return TransitionBatch(
-            states=self._states[indices].copy(),
-            actions=self._actions[indices].copy(),
-            rewards=self._rewards[indices].copy(),
-            next_states=self._next_states[indices].copy(),
-            dones=self._dones[indices].copy(),
-        )
+        with self._lock:
+            if self._size == 0:
+                raise RuntimeError("cannot sample from an empty replay buffer")
+            indices = self._rng.integers(0, self._size, size=batch_size)
+            return TransitionBatch(
+                states=self._states[indices].copy(),
+                actions=self._actions[indices].copy(),
+                rewards=self._rewards[indices].copy(),
+                next_states=self._next_states[indices].copy(),
+                dones=self._dones[indices].copy(),
+            )
 
     def clear(self) -> None:
         """Drop all stored transitions."""
-        self._next_index = 0
-        self._size = 0
+        with self._lock:
+            self._next_index = 0
+            self._size = 0

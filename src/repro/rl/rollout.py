@@ -230,6 +230,11 @@ class RolloutEngine:
         for i in done_indices:
             self.episode_returns.append(float(self._running_returns[i]))
             self._running_returns[i] = 0.0
+        if done_indices.size:
+            # The noise process is shared across the lock-stepped envs, so an
+            # episode boundary resets it once per lock-step — not once per
+            # finished environment (K episodes ending together must not reset
+            # a stateful process, or an annealing schedule, K times).
             self.noise.reset()
 
         self._observations = result.observations

@@ -33,7 +33,7 @@ from ..nn import (
     mse_loss,
     policy_gradient_loss,
 )
-from .ddpg import UpdateMetrics
+from .ddpg import UpdateMetrics, batched_policy_actions
 from .replay_buffer import TransitionBatch
 
 __all__ = ["TD3Config", "TD3Agent"]
@@ -117,11 +117,7 @@ class TD3Agent:
         return np.clip(action, -1.0, 1.0)
 
     def act_batch(self, states: np.ndarray, noise: Optional[np.ndarray] = None) -> np.ndarray:
-        states = np.atleast_2d(np.asarray(states, dtype=np.float64))
-        actions = self.actor.forward(states)
-        if noise is not None:
-            actions = actions + np.asarray(noise, dtype=np.float64).reshape(actions.shape)
-        return np.clip(actions, -1.0, 1.0)
+        return batched_policy_actions(self.actor, states, noise)
 
     def q_value(self, states: np.ndarray, actions: np.ndarray) -> np.ndarray:
         """Q-estimate of the first critic (TD3's convention for the actor)."""

@@ -33,6 +33,7 @@ from .noise import GaussianNoise, NoiseProcess
 from .qat import QATController, QATEvent
 from .replay_buffer import ReplayBuffer
 from .rollout import RolloutEngine
+from .workers import AsyncCollector, CollectorWorker
 
 __all__ = ["TrainingConfig", "TrainingResult", "train", "train_scalar_reference"]
 
@@ -59,9 +60,21 @@ class TrainingConfig:
     seed: Optional[int] = 0
     #: Environments rolled out in lock-step (1 = the paper's scalar loop).
     #: The loop runs whole lock-steps, so ``total_timesteps`` is rounded up
-    #: to the next multiple of ``num_envs`` (the actual count is reported in
-    #: ``TrainingResult.total_timesteps``).
+    #: to the next multiple of ``num_envs * num_workers`` (the actual count
+    #: is reported in ``TrainingResult.total_timesteps``).
     num_envs: int = 1
+    #: Collection workers, each owning its own ``VectorEnv`` of ``num_envs``
+    #: environments (seeded ``seed + worker_id * num_envs + i``) and an actor
+    #: replica.  ``train`` schedules the workers deterministically
+    #: (round-robin synchronous mode), so runs stay reproducible; with
+    #: ``num_workers == 1`` the loop is bit-exact with the single-engine
+    #: path.  The free-running multi-process mode is exposed through
+    #: :class:`~repro.rl.workers.AsyncCollector` directly.
+    num_workers: int = 1
+    #: Environment steps between actor-weight broadcasts to the worker
+    #: replicas (ignored with ``num_workers == 1``, where the worker acts
+    #: through the learner's own agent).
+    sync_interval: int = 1
 
     def __post_init__(self) -> None:
         if self.total_timesteps <= 0:
@@ -80,6 +93,10 @@ class TrainingConfig:
             raise ValueError("exploration_noise must be non-negative")
         if self.num_envs <= 0:
             raise ValueError("num_envs must be positive")
+        if self.num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        if self.sync_interval <= 0:
+            raise ValueError("sync_interval must be positive")
 
 
 @dataclass
@@ -92,6 +109,7 @@ class TrainingResult:
     total_timesteps: int = 0
     total_updates: int = 0
     num_envs: int = 1
+    num_workers: int = 1
     replay_buffer: Optional[ReplayBuffer] = None
 
     def summary(self) -> dict:
@@ -102,6 +120,7 @@ class TrainingResult:
                 "total_timesteps": self.total_timesteps,
                 "total_updates": self.total_updates,
                 "num_envs": self.num_envs,
+                "num_workers": self.num_workers,
                 "quantization_switch_step": (
                     self.qat_event.timestep if self.qat_event else None
                 ),
@@ -179,18 +198,49 @@ def train(
         ``infer_batch`` prices each batched rollout inference (accumulated on
         the returned engine statistics).
 
-    With ``num_envs == 1`` this reproduces :func:`train_scalar_reference`
-    bit for bit under a fixed seed.  With N environments each lock-step
-    collects N transitions with one batched inference and then performs one
-    agent update per transition collected past warmup, keeping the
-    update-to-data ratio of the scalar loop; evaluations fire whenever the
-    global step counter crosses an ``evaluation_interval`` boundary, and
-    ``total_timesteps`` rounds up to a whole number of lock-steps (the
-    actual count lands in ``result.total_timesteps``).
+    With ``num_envs == 1`` (and one worker) this reproduces
+    :func:`train_scalar_reference` bit for bit under a fixed seed.  With N
+    environments each lock-step collects N transitions with one batched
+    inference and then performs one agent update per transition collected
+    past warmup, keeping the update-to-data ratio of the scalar loop;
+    evaluations fire whenever the global step counter crosses an
+    ``evaluation_interval`` boundary, and ``total_timesteps`` rounds up to a
+    whole number of rounds (the actual count lands in
+    ``result.total_timesteps``).
+
+    With ``config.num_workers > 1`` experience collection runs through an
+    :class:`~repro.rl.workers.AsyncCollector` fleet: worker ``w`` owns a
+    fresh ``VectorEnv`` of ``num_envs`` siblings of the (scalar) training
+    environment seeded ``seed + w * num_envs + i``, acts through its own
+    actor replica refreshed every ``config.sync_interval`` steps, and the
+    workers are stepped round-robin (the deterministic synchronous mode), so
+    the run is reproducible.  Warmup is split evenly across the fleet
+    (``ceil(warmup_timesteps / num_workers)`` per worker), and the replicas
+    share the learner's numerics object, so a QAT precision switch applies
+    to collection immediately.
     """
     rng = np.random.default_rng(config.seed)
-    vec_env = _resolve_vector_env(env, config)
-    num_envs = vec_env.num_envs
+    num_workers = config.num_workers
+
+    if num_workers == 1:
+        vec_env = _resolve_vector_env(env, config)
+        num_envs = vec_env.num_envs
+        evaluation_template = vec_env.envs[0]
+    else:
+        if isinstance(env, VectorEnv):
+            raise ValueError(
+                "num_workers > 1 replicates a scalar environment template "
+                "into per-worker VectorEnvs; pass the scalar environment "
+                "instead of a prebuilt VectorEnv"
+            )
+        if noise is not None:
+            raise ValueError(
+                "num_workers > 1 gives every worker an independent noise "
+                "process; a single shared noise instance cannot be "
+                "partitioned — configure exploration_noise instead"
+            )
+        num_envs = config.num_envs
+        evaluation_template = env
 
     shares_training_env = False
     if eval_env is not None:
@@ -200,39 +250,75 @@ def train(
         # disturb the training episodes; fall back to sharing when the
         # environment cannot be default-constructed.
         evaluation_env, shares_training_env = _resolve_evaluation_env(
-            vec_env.envs[0], config
+            evaluation_template, config
         )
-    noise = noise or GaussianNoise(agent.action_dim, config.exploration_noise, seed=config.seed)
+    if num_workers > 1:
+        # The workers step fresh replicas, never the template itself, so even
+        # a "shared" template is safe to evaluate on: no in-flight training
+        # episode is disturbed and no restart is needed.
+        shares_training_env = False
     buffer = ReplayBuffer(
         config.buffer_capacity, agent.state_dim, agent.action_dim, seed=config.seed
     )
     curve = LearningCurve(label or agent.numerics.name)
-    result = TrainingResult(curve=curve, num_envs=num_envs, replay_buffer=buffer)
-
-    engine = RolloutEngine(
-        vec_env,
-        agent,
-        buffer=buffer,
-        noise=noise,
-        warmup_timesteps=config.warmup_timesteps,
-        rng=rng,
-        platform=platform,
+    result = TrainingResult(
+        curve=curve, num_envs=num_envs, num_workers=num_workers, replay_buffer=buffer
     )
-    engine.reset()
 
-    iterations = -(-config.total_timesteps // num_envs)
+    if num_workers == 1:
+        # The single worker acts through the learner's own agent and noise —
+        # the exact PR-1 engine path, which is what keeps this mode bit-exact
+        # with train_scalar_reference at num_envs == 1.
+        noise = noise or GaussianNoise(
+            agent.action_dim, config.exploration_noise, seed=config.seed
+        )
+        engine = RolloutEngine(
+            vec_env,
+            agent,
+            buffer=None,
+            noise=noise,
+            warmup_timesteps=config.warmup_timesteps,
+            rng=rng,
+            platform=platform,
+        )
+        workers = [CollectorWorker(0, engine, shared_agent=True)]
+        source_agent = None  # broadcasts are pointless with a shared agent
+    else:
+        per_worker_warmup = -(-config.warmup_timesteps // num_workers)
+        workers = [
+            CollectorWorker.from_agent(
+                worker_id,
+                agent,
+                env,
+                num_envs,
+                seed=config.seed,
+                sigma=config.exploration_noise,
+                warmup_timesteps=per_worker_warmup,
+                platform=platform,
+            )
+            for worker_id in range(num_workers)
+        ]
+        source_agent = agent
+    collector = AsyncCollector(
+        workers, buffer, source_agent=source_agent, sync_interval=config.sync_interval
+    )
+    for worker in workers:
+        worker.engine.reset()
+
+    steps_per_round = collector.steps_per_round
+    iterations = -(-config.total_timesteps // steps_per_round)
     for iteration in range(iterations):
-        global_step = iteration * num_envs
+        global_step = iteration * steps_per_round
 
         if qat_controller is not None:
-            for offset in range(num_envs):
+            for offset in range(steps_per_round):
                 qat_event = qat_controller.on_timestep(global_step + offset)
                 if qat_event is not None:
                     result.qat_event = qat_event
 
-        # ----- Batched action selection + environment lock-step ----------- #
-        engine.step()
-        global_after = global_step + num_envs
+        # ----- One deterministic round: every worker steps once ----------- #
+        collector.step_sync()
+        global_after = global_step + steps_per_round
 
         # ----- Agent updates: one per collected post-warmup step ----------- #
         if len(buffer) >= config.batch_size:
@@ -252,28 +338,28 @@ def train(
             if shares_training_env:
                 # Evaluation consumed the shared environment's episode; start
                 # fresh training episodes from a clean state.
-                engine.restart_episodes(record=True)
+                collector.restart_episodes(record=True)
             if progress_callback is not None:
                 progress_callback(
                     evaluated_step,
                     {
                         "average_return": average_return,
-                        "episodes": len(engine.episode_returns),
+                        "episodes": len(collector.episode_returns),
                         "activation_bits": agent.numerics.activation_bits,
                     },
                 )
 
-    result.episode_returns = engine.episode_returns
+    result.episode_returns = collector.episode_returns
 
     # If the run ended between evaluation points, add a final evaluation so
     # short smoke-test runs still produce a non-empty curve.
     if not curve.points:
         curve.record(
-            iterations * num_envs,
+            iterations * steps_per_round,
             evaluate_policy(evaluation_env, agent, episodes=config.evaluation_episodes),
         )
 
-    result.total_timesteps = iterations * num_envs
+    result.total_timesteps = iterations * steps_per_round
     return result
 
 

@@ -1,0 +1,652 @@
+"""Asynchronous multi-worker experience collection.
+
+FIXAR's training throughput is bounded by how fast the host can feed the
+accelerator experience.  The vectorized :class:`~repro.rl.rollout.RolloutEngine`
+removed the per-transition overhead inside one process; this module removes
+the single-process ceiling: N :class:`CollectorWorker` replicas — each owning
+its *own* :class:`~repro.envs.vector.VectorEnv` and rollout engine — collect
+lock-step transition batches that an :class:`AsyncCollector` coordinator
+drains into **one** shared :class:`~repro.rl.replay_buffer.ReplayBuffer` via
+``add_batch``.
+
+Topology and seeding
+--------------------
+Worker ``w`` steps ``num_envs`` environments seeded
+``seed + w * num_envs + i`` (environment ``i`` of worker ``w``), so the
+worker fleet observes exactly the trajectories one wide ``VectorEnv`` of
+``num_workers * num_envs`` environments would have produced, partitioned
+into independent slices.  Each worker also owns an independent exploration
+noise process and warmup RNG (derived streams ``(seed, w, 0)`` and
+``(seed, w, 1)``), plus an :class:`ActorPolicy` replica of the learner's
+actor network that the coordinator refreshes every ``sync_interval``
+environment steps.
+
+Execution modes
+---------------
+* **synchronous** (deterministic) — the coordinator steps the workers
+  round-robin in-process, one lock-step each per round, draining every
+  worker's transitions into the shared buffer in worker order.  With one
+  worker this is *bit-exact* with driving the worker's
+  :class:`RolloutEngine` directly (the PR-1 oracle extends to the collector),
+  and :func:`~repro.rl.training.train` uses this mode so training runs stay
+  reproducible at any ``num_workers``.
+* **asynchronous** (throughput) — each worker free-runs in its own forked
+  process, streaming transition chunks through a bounded queue; the
+  coordinator drains arrivals into the shared buffer in arrival order and
+  broadcasts refreshed actor weights through per-worker pipes.  Collection
+  order is nondeterministic by construction; this is the mode
+  ``benchmarks/bench_async_collect.py`` measures.
+
+Platform accounting: every worker's engine prices each policy lock-step as
+one ``platform.infer_batch(num_envs)`` (the workers' batches serialize on
+the single accelerator — see :meth:`FixarPlatform.infer_collection`), and the
+coordinator aggregates the per-worker
+:class:`~repro.rl.rollout.RolloutStats` including those modelled seconds.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_module
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..envs.base import Environment
+from ..envs.vector import VectorEnv
+from ..nn.network import MLP, build_actor
+from .ddpg import batched_policy_actions
+from .noise import GaussianNoise, NoiseProcess
+from .replay_buffer import ReplayBuffer
+from .rollout import RolloutEngine, RolloutStats, VectorTransitions
+
+__all__ = [
+    "ActorPolicy",
+    "CollectorWorker",
+    "AsyncCollector",
+    "AsyncCollectStats",
+    "worker_env_seed",
+]
+
+
+def worker_env_seed(seed: Optional[int], worker_id: int, num_envs: int) -> Optional[int]:
+    """Base environment seed of one worker: ``seed + worker_id * num_envs``.
+
+    Environment ``i`` of the worker then gets ``base + i`` through
+    :meth:`VectorEnv.spawn_seeds`, realising the fleet-wide
+    ``seed + worker_id * num_envs + i`` scheme.
+    """
+    if seed is None:
+        return None
+    return seed + worker_id * num_envs
+
+
+def _derived_stream_seed(seed: Optional[int], worker_id: int, stream: int):
+    """Entropy for a worker-private RNG stream, independent across workers."""
+    if seed is None:
+        return None
+    return [seed, worker_id, stream]
+
+
+class ActorPolicy:
+    """A detached actor replica: selects actions, never learns.
+
+    Collection workers must not share the learner's mutable networks (an
+    async worker reading weights mid-update would act on torn parameters),
+    so each worker acts through its own copy of the actor MLP and receives
+    refreshed parameters via :meth:`load_parameters`.  The numerics object is
+    *shared* with the source agent, so an in-process QAT precision switch
+    applies to replicas immediately; forked async workers snapshot it.
+    """
+
+    def __init__(self, actor: MLP, action_dim: int):
+        self.actor = actor
+        self.action_dim = action_dim
+
+    @classmethod
+    def from_agent(cls, agent, rng: Union[np.random.Generator, int, None] = None) -> "ActorPolicy":
+        """Clone an agent's actor network (DDPG and TD3 both qualify)."""
+        replica = build_actor(
+            agent.state_dim,
+            agent.action_dim,
+            tuple(agent.config.hidden_sizes),
+            rng=rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng),
+            numerics=agent.numerics,
+        )
+        replica.copy_from(agent.actor)
+        return cls(replica, agent.action_dim)
+
+    def act_batch(self, states: np.ndarray, noise: Optional[np.ndarray] = None) -> np.ndarray:
+        """Batched actor inference — the agents' shared implementation."""
+        return batched_policy_actions(self.actor, states, noise)
+
+    def load_parameters(self, params) -> None:
+        """Overwrite the replica's weights with a broadcast parameter dict."""
+        self.actor.set_parameters(params)
+
+
+class CollectorWorker:
+    """One collection worker: its own ``VectorEnv`` plus engine replica.
+
+    Parameters
+    ----------
+    worker_id:
+        Position of the worker in the fleet (drives the seeding scheme).
+    engine:
+        The worker's private rollout engine.  Its buffer must be ``None`` —
+        transitions flow to the coordinator, which owns the single shared
+        replay buffer.
+    shared_agent:
+        ``True`` when the engine acts through the learner's own agent object
+        (the single-worker deterministic path); weight broadcasts are then
+        no-ops.
+    """
+
+    def __init__(self, worker_id: int, engine: RolloutEngine, *, shared_agent: bool = False):
+        if worker_id < 0:
+            raise ValueError(f"worker_id must be non-negative, got {worker_id}")
+        if engine.buffer is not None:
+            raise ValueError(
+                "a CollectorWorker's engine must not own a replay buffer; "
+                "the AsyncCollector drains transitions into the shared one"
+            )
+        self.worker_id = worker_id
+        self.engine = engine
+        self.shared_agent = shared_agent
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_agent(
+        cls,
+        worker_id: int,
+        agent,
+        env_template: Environment,
+        num_envs: int,
+        *,
+        seed: Optional[int] = 0,
+        sigma: float = 0.1,
+        warmup_timesteps: int = 0,
+        platform=None,
+    ) -> "CollectorWorker":
+        """Build a worker replica around a scalar environment template.
+
+        The worker's environments are fresh seeded siblings of the template
+        (``seed + worker_id * num_envs + i``); the policy is an
+        :class:`ActorPolicy` clone of ``agent``'s actor; the noise process
+        and warmup RNG use worker-private derived streams.
+        """
+        if num_envs <= 0:
+            raise ValueError(f"num_envs must be positive, got {num_envs}")
+        env = VectorEnv.from_template(
+            env_template, num_envs, seed=worker_env_seed(seed, worker_id, num_envs)
+        )
+        policy = ActorPolicy.from_agent(agent)
+        noise = GaussianNoise(
+            agent.action_dim, sigma, seed=_derived_stream_seed(seed, worker_id, 0)
+        )
+        engine = RolloutEngine(
+            env,
+            policy,
+            buffer=None,
+            noise=noise,
+            warmup_timesteps=warmup_timesteps,
+            rng=np.random.default_rng(_derived_stream_seed(seed, worker_id, 1)),
+            platform=platform,
+        )
+        return cls(worker_id, engine)
+
+    # ------------------------------------------------------------------ #
+    # Introspection / weight sync
+    # ------------------------------------------------------------------ #
+    @property
+    def num_envs(self) -> int:
+        return self.engine.num_envs
+
+    def sync_weights(self, params) -> None:
+        """Refresh the worker's actor replica from broadcast parameters."""
+        if self.shared_agent:
+            return
+        self.engine.agent.load_parameters(params)
+
+    def stats_snapshot(self, wall_seconds: float = 0.0) -> RolloutStats:
+        """The worker's lifetime rollout statistics."""
+        engine = self.engine
+        return RolloutStats(
+            num_envs=engine.num_envs,
+            total_steps=engine.total_env_steps,
+            iterations=engine.total_env_steps // engine.num_envs,
+            episodes=len(engine.episode_returns),
+            wall_seconds=wall_seconds,
+            modelled_platform_seconds=engine.modelled_platform_seconds,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Stepping
+    # ------------------------------------------------------------------ #
+    def step(self) -> VectorTransitions:
+        """One lock-step of this worker's environments."""
+        return self.engine.step()
+
+    def collect_chunk(self, lock_steps: int) -> dict:
+        """``lock_steps`` lock-steps stacked into one queue-sized payload."""
+        if lock_steps <= 0:
+            raise ValueError(f"lock_steps must be positive, got {lock_steps}")
+        episodes_before = len(self.engine.episode_returns)
+        modelled_before = self.engine.modelled_platform_seconds
+        batches = [self.engine.step() for _ in range(lock_steps)]
+        return {
+            "states": np.concatenate([b.states for b in batches]),
+            "actions": np.concatenate([b.actions for b in batches]),
+            "rewards": np.concatenate([b.rewards for b in batches]),
+            "next_states": np.concatenate([b.next_states for b in batches]),
+            "dones": np.concatenate([b.dones for b in batches]),
+            "steps": lock_steps * self.num_envs,
+            "episode_returns": self.engine.episode_returns[episodes_before:],
+            "modelled_platform_seconds": (
+                self.engine.modelled_platform_seconds - modelled_before
+            ),
+        }
+
+
+@dataclass
+class AsyncCollectStats(RolloutStats):
+    """Aggregate outcome of one :meth:`AsyncCollector.collect` run.
+
+    Extends :class:`RolloutStats` (throughput properties included) with the
+    fleet dimensions; ``num_envs`` is the per-worker lock-step width,
+    ``total_steps``/``episodes``/``modelled_platform_seconds`` aggregate the
+    whole fleet, and ``iterations`` counts synchronous rounds (0 in the
+    free-running async mode).
+    """
+
+    num_workers: int = 1
+    mode: str = "sync"
+    per_worker: List[RolloutStats] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        info = super().as_dict()
+        info.update({"num_workers": self.num_workers, "mode": self.mode})
+        return info
+
+
+class AsyncCollector:
+    """Coordinates N collection workers around one shared replay buffer.
+
+    Parameters
+    ----------
+    workers:
+        The worker fleet.  All workers must step the same number of
+        environments (the lock-step width of the fleet is uniform).
+    buffer:
+        The single shared replay buffer every worker feeds via ``add_batch``.
+    source_agent:
+        The learner whose actor weights are broadcast to the worker replicas.
+        ``None`` disables broadcasting (pure-collection runs with frozen
+        replicas).
+    sync_interval:
+        Environment steps between actor-weight broadcasts.  The synchronous
+        mode broadcasts at the first round boundary where the counter has
+        reached the interval; the asynchronous mode checks after each drained
+        chunk, so the interval is a lower bound there.
+    chunk_lock_steps:
+        Lock-steps per queue message in asynchronous mode (amortises the
+        inter-process transfer cost).
+    """
+
+    def __init__(
+        self,
+        workers: Sequence[CollectorWorker],
+        buffer: ReplayBuffer,
+        *,
+        source_agent=None,
+        sync_interval: int = 1,
+        chunk_lock_steps: int = 8,
+    ):
+        workers = list(workers)
+        if not workers:
+            raise ValueError("AsyncCollector needs at least one worker")
+        widths = {worker.num_envs for worker in workers}
+        if len(widths) > 1:
+            raise ValueError(f"workers must share one lock-step width, got {sorted(widths)}")
+        ids = [worker.worker_id for worker in workers]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"worker ids must be unique, got {ids}")
+        if sync_interval <= 0:
+            raise ValueError(f"sync_interval must be positive, got {sync_interval}")
+        if chunk_lock_steps <= 0:
+            raise ValueError(f"chunk_lock_steps must be positive, got {chunk_lock_steps}")
+        self.workers = workers
+        self.buffer = buffer
+        self.source_agent = source_agent
+        self.sync_interval = sync_interval
+        self.chunk_lock_steps = chunk_lock_steps
+        self._steps_since_sync = 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def num_workers(self) -> int:
+        return len(self.workers)
+
+    @property
+    def num_envs(self) -> int:
+        """Lock-step width of each worker."""
+        return self.workers[0].num_envs
+
+    @property
+    def steps_per_round(self) -> int:
+        """Environment steps of one synchronous round across the fleet."""
+        return self.num_workers * self.num_envs
+
+    @property
+    def episode_returns(self) -> List[float]:
+        """All finished episode returns, concatenated per worker in id order."""
+        returns: List[float] = []
+        for worker in sorted(self.workers, key=lambda w: w.worker_id):
+            returns.extend(worker.engine.episode_returns)
+        return returns
+
+    @property
+    def total_env_steps(self) -> int:
+        return sum(worker.engine.total_env_steps for worker in self.workers)
+
+    def restart_episodes(self, record: bool = True) -> None:
+        """Abandon every worker's in-flight episodes (shared-eval-env path)."""
+        for worker in self.workers:
+            worker.engine.restart_episodes(record=record)
+
+    # ------------------------------------------------------------------ #
+    # Weight broadcast
+    # ------------------------------------------------------------------ #
+    def _actor_parameters(self):
+        return {
+            name: value.copy()
+            for name, value in self.source_agent.actor.parameters().items()
+        }
+
+    def broadcast_weights(self) -> None:
+        """Push the learner's current actor weights to every worker replica.
+
+        The snapshot is taken on the coordinator's thread without locking the
+        learner: ``collect`` is a blocking call, so no agent update can run
+        concurrently in the supported schedules.  A future asynchronous
+        *training* schedule that updates the learner while ``collect`` runs
+        must synchronize (or double-buffer) the parameters before
+        broadcasting, or workers would receive torn half-updated layers.
+        """
+        if self.source_agent is None:
+            return
+        params = self._actor_parameters()
+        for worker in self.workers:
+            worker.sync_weights(params)
+        self._steps_since_sync = 0
+
+    # ------------------------------------------------------------------ #
+    # Synchronous (deterministic) mode
+    # ------------------------------------------------------------------ #
+    def step_sync(self) -> List[VectorTransitions]:
+        """One deterministic round: every worker steps once, in id order.
+
+        Weight broadcasts happen at round *boundaries* (before stepping),
+        so workers act on the weights produced by the updates of the
+        previous round once ``sync_interval`` steps have accumulated.  Each
+        worker's transitions are drained into the shared buffer immediately
+        after its lock-step, giving a reproducible insertion order.
+        """
+        if self._steps_since_sync >= self.sync_interval:
+            self.broadcast_weights()
+        rounds: List[VectorTransitions] = []
+        for worker in self.workers:
+            transitions = worker.step()
+            self.buffer.add_batch(
+                transitions.states,
+                transitions.actions,
+                transitions.rewards,
+                transitions.next_states,
+                transitions.dones,
+            )
+            rounds.append(transitions)
+        self._steps_since_sync += self.steps_per_round
+        return rounds
+
+    def _collect_sync(self, num_steps: int) -> AsyncCollectStats:
+        rounds = -(-num_steps // self.steps_per_round)
+        episodes_before = {w.worker_id: len(w.engine.episode_returns) for w in self.workers}
+        modelled_before = {
+            w.worker_id: w.engine.modelled_platform_seconds for w in self.workers
+        }
+        start = time.perf_counter()
+        for _ in range(rounds):
+            self.step_sync()
+        wall = time.perf_counter() - start
+        stats = AsyncCollectStats(
+            num_workers=self.num_workers,
+            num_envs=self.num_envs,
+            mode="sync",
+            total_steps=rounds * self.steps_per_round,
+            iterations=rounds,
+            wall_seconds=wall,
+        )
+        for worker in self.workers:
+            engine = worker.engine
+            worker_stats = RolloutStats(
+                num_envs=worker.num_envs,
+                total_steps=rounds * worker.num_envs,
+                iterations=rounds,
+                episodes=len(engine.episode_returns) - episodes_before[worker.worker_id],
+                wall_seconds=wall,
+                modelled_platform_seconds=(
+                    engine.modelled_platform_seconds - modelled_before[worker.worker_id]
+                ),
+            )
+            stats.per_worker.append(worker_stats)
+            stats.episodes += worker_stats.episodes
+            stats.modelled_platform_seconds += worker_stats.modelled_platform_seconds
+        return stats
+
+    # ------------------------------------------------------------------ #
+    # Asynchronous (multi-process) mode
+    # ------------------------------------------------------------------ #
+    def _collect_async(self, num_steps: int, timeout: float) -> AsyncCollectStats:
+        # Fork keeps the constructed workers (envs, replicas, RNG states)
+        # without a picklable-spec round trip; every platform this repo
+        # targets provides it.  The bounded queue gives backpressure: workers
+        # pause when the coordinator falls behind instead of ballooning RAM.
+        methods = mp.get_all_start_methods()
+        ctx = mp.get_context("fork" if "fork" in methods else None)
+        transition_queue = ctx.Queue(maxsize=4 * self.num_workers)
+        processes = []
+        pipes = {}
+        for worker in self.workers:
+            parent_conn, child_conn = ctx.Pipe()
+            process = ctx.Process(
+                target=_worker_loop,
+                args=(worker, self.chunk_lock_steps, transition_queue, child_conn),
+                daemon=True,
+            )
+            processes.append(process)
+            pipes[worker.worker_id] = parent_conn
+
+        stats = AsyncCollectStats(
+            num_workers=self.num_workers,
+            num_envs=self.num_envs,
+            mode="async",
+            per_worker=[None] * self.num_workers,
+        )
+        id_to_slot = {w.worker_id: slot for slot, w in enumerate(self.workers)}
+        start = time.perf_counter()
+        for process in processes:
+            process.start()
+
+        exits = 0
+        stop_sent = False
+        failure: Optional[str] = None
+        try:
+            while exits < self.num_workers:
+                try:
+                    kind, worker_id, payload = transition_queue.get(timeout=timeout)
+                except queue_module.Empty:
+                    dead = [p.pid for p in processes if not p.is_alive()]
+                    raise RuntimeError(
+                        f"async collection stalled for {timeout}s "
+                        f"(dead worker pids: {dead})"
+                    ) from None
+                if kind == "chunk":
+                    self.buffer.add_batch(
+                        payload["states"],
+                        payload["actions"],
+                        payload["rewards"],
+                        payload["next_states"],
+                        payload["dones"],
+                    )
+                    stats.total_steps += payload["steps"]
+                    stats.episodes += len(payload["episode_returns"])
+                    stats.modelled_platform_seconds += payload[
+                        "modelled_platform_seconds"
+                    ]
+                    self._steps_since_sync += payload["steps"]
+                    if (
+                        self.source_agent is not None
+                        and not stop_sent
+                        and self._steps_since_sync >= self.sync_interval
+                    ):
+                        params = self._actor_parameters()
+                        _send_to_all(pipes, ("weights", params))
+                        self._steps_since_sync = 0
+                    if stats.total_steps >= num_steps and not stop_sent:
+                        _send_to_all(pipes, ("stop", None))
+                        stop_sent = True
+                elif kind == "exit":
+                    exits += 1
+                    slot = id_to_slot[worker_id]
+                    stats.per_worker[slot] = payload["stats"]
+                    # Adopt the child's advanced engine (env/noise/warmup RNG
+                    # streams, step counters, episode returns) so a later
+                    # collect continues the trajectories instead of replaying
+                    # the pre-fork state.  Shared-agent workers keep acting
+                    # through the parent's learner, not the forked copy.
+                    worker = self.workers[slot]
+                    child_engine = payload["engine"]
+                    if worker.shared_agent:
+                        child_engine.agent = worker.engine.agent
+                    worker.engine = child_engine
+                elif kind == "error":
+                    failure = f"worker {worker_id} failed: {payload}"
+                    exits += 1
+                if failure and not stop_sent:
+                    _send_to_all(pipes, ("stop", None))
+                    stop_sent = True
+        finally:
+            for process in processes:
+                process.join(timeout=timeout)
+                if process.is_alive():  # pragma: no cover - defensive cleanup
+                    process.terminate()
+            transition_queue.close()
+            for conn in pipes.values():
+                conn.close()
+        if failure:
+            raise RuntimeError(failure)
+        stats.wall_seconds = time.perf_counter() - start
+        return stats
+
+    # ------------------------------------------------------------------ #
+    # Entry point
+    # ------------------------------------------------------------------ #
+    def collect(
+        self, num_steps: int, *, mode: str = "sync", timeout: float = 120.0
+    ) -> AsyncCollectStats:
+        """Collect at least ``num_steps`` environment steps into the buffer.
+
+        ``mode="sync"`` runs whole deterministic rounds (steps round up to a
+        multiple of ``num_workers * num_envs``); ``mode="async"`` free-runs
+        the workers in forked processes until the drained total reaches
+        ``num_steps`` (stragglers already in flight are drained too, so the
+        total can overshoot by a few chunks).
+        """
+        if num_steps <= 0:
+            raise ValueError(f"num_steps must be positive, got {num_steps}")
+        if mode == "sync":
+            return self._collect_sync(num_steps)
+        if mode == "async":
+            return self._collect_async(num_steps, timeout)
+        raise ValueError(f"mode must be 'sync' or 'async', got {mode!r}")
+
+
+def _send_to_all(pipes, message) -> None:
+    """Best-effort command broadcast: a worker may have exited concurrently."""
+    for conn in pipes.values():
+        try:
+            conn.send(message)
+        except (BrokenPipeError, OSError):  # worker already gone
+            pass
+
+
+def _worker_loop(worker: CollectorWorker, chunk_lock_steps, transition_queue, conn) -> None:
+    """Body of one forked collection worker process."""
+    stop = False
+
+    def drain_commands() -> None:
+        nonlocal stop
+        while conn.poll():
+            kind, payload = conn.recv()
+            if kind == "stop":
+                stop = True
+            elif kind == "weights":
+                worker.sync_weights(payload)
+
+    try:
+        if worker.engine.observations is None:
+            worker.engine.reset()
+        worker_start = time.perf_counter()
+        # Exit stats count only *delivered* chunks (a chunk in flight when
+        # "stop" lands is dropped), so per-worker totals always agree with
+        # what the coordinator drained into the shared buffer.
+        delivered_steps = 0
+        delivered_episodes = 0
+        delivered_modelled = 0.0
+        while True:
+            drain_commands()
+            if stop:
+                break
+            chunk = worker.collect_chunk(chunk_lock_steps)
+            # The bounded queue is the backpressure valve: when it is full we
+            # must keep draining the command pipe while waiting, or a weight
+            # broadcast would fill the pipe, block the coordinator's send,
+            # and deadlock the drain loop against this very put.
+            while not stop:
+                try:
+                    transition_queue.put(
+                        ("chunk", worker.worker_id, chunk), timeout=0.05
+                    )
+                    delivered_steps += chunk["steps"]
+                    delivered_episodes += len(chunk["episode_returns"])
+                    delivered_modelled += chunk["modelled_platform_seconds"]
+                    break
+                except queue_module.Full:
+                    drain_commands()
+            if stop:
+                break
+        wall = time.perf_counter() - worker_start
+        exit_stats = RolloutStats(
+            num_envs=worker.num_envs,
+            total_steps=delivered_steps,
+            iterations=delivered_steps // worker.num_envs,
+            episodes=delivered_episodes,
+            wall_seconds=wall,
+            modelled_platform_seconds=delivered_modelled,
+        )
+        # Ship the engine back so the coordinator can adopt the advanced
+        # env/noise/RNG state — a later collect must continue the worker's
+        # trajectories, not replay them from the pre-fork snapshot.
+        transition_queue.put(
+            ("exit", worker.worker_id, {"stats": exit_stats, "engine": worker.engine})
+        )
+    except Exception as exc:  # pragma: no cover - surfaced via the coordinator
+        transition_queue.put(("error", worker.worker_id, repr(exc)))
+    finally:
+        conn.close()

@@ -24,6 +24,24 @@ class TestParser:
         args = build_parser().parse_args(["throughput", "--batches", "32", "64"])
         assert args.batches == [32, 64]
 
+    def test_train_worker_defaults(self):
+        args = build_parser().parse_args(["train"])
+        assert args.num_envs == 1
+        assert args.num_workers == 1
+        assert args.sync_interval == 1
+
+    @pytest.mark.parametrize("flag", ["--num-envs", "--num-workers", "--sync-interval"])
+    @pytest.mark.parametrize("value", ["0", "-3", "two"])
+    def test_rejects_non_positive_counts_at_the_boundary(self, flag, value, capsys):
+        """Values < 1 fail fast in the parser with a readable message, not as
+        a deep VectorEnv/engine error."""
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["train", flag, value])
+        assert excinfo.value.code == 2
+        message = capsys.readouterr().err
+        assert flag in message
+        assert "positive integer" in message or "expected an integer" in message
+
 
 class TestCommands:
     def test_resources_command(self, capsys):
@@ -84,3 +102,27 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "co-simulated platform trace" in output
         assert "platform_ips" in output
+
+    def test_train_command_multi_worker(self, capsys):
+        exit_code = main(
+            [
+                "train",
+                "--timesteps", "240",
+                "--batch-size", "16",
+                "--hidden", "24", "16",
+                "--regime", "float32",
+                "--num-envs", "2",
+                "--num-workers", "2",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "2 workers x 2 envs in lock-step" in output
+        assert "reward curve" in output
+
+    def test_cosim_rejects_multiple_workers(self, capsys):
+        exit_code = main(
+            ["train", "--timesteps", "200", "--num-workers", "2", "--cosim"]
+        )
+        assert exit_code == 2
+        assert "--num-workers" in capsys.readouterr().err

@@ -108,6 +108,21 @@ class TestThroughput:
         half = FixarPlatform(spec, half_precision=True)
         assert half.platform_ips(256) > full.platform_ips(256)
 
+    def test_half_precision_prices_transfers_at_two_bytes(self):
+        """The precision mode reaches the PCIe payload pricing, not just the
+        datapath: half-precision values cross the link at 2 bytes each."""
+        spec = WorkloadSpec("HalfCheetah", 17, 6)
+        full = FixarPlatform(spec, half_precision=False)
+        half = FixarPlatform(spec, half_precision=True)
+        assert full.transfer_bytes_per_value == 4
+        assert half.transfer_bytes_per_value == 2
+        assert half.runtime_seconds(256) < full.runtime_seconds(256)
+        assert half.infer_batch(8).pcie_bytes * 2 == full.infer_batch(8).pcie_bytes
+        # An explicit override still wins over the platform's mode.
+        assert half.runtime_seconds(256, bytes_per_value=4) == pytest.approx(
+            full.runtime_seconds(256)
+        )
+
     def test_more_cores_increase_throughput(self):
         spec = WorkloadSpec("HalfCheetah", 17, 6)
         two = FixarPlatform(spec, AcceleratorConfig(num_cores=2))

@@ -72,3 +72,28 @@ class TestDecayedNoise:
             DecayedNoise(GaussianNoise(2), decay=0.0)
         with pytest.raises(ValueError):
             DecayedNoise(GaussianNoise(2), min_scale=2.0)
+
+
+class TestDecayedNoiseResetSemantics:
+    """Pin the deliberate reset contract the rollout engine relies on: an
+    episode boundary resets the *base* process, while the annealed scale
+    persists — annealing tracks total experience, not episode count."""
+
+    def test_reset_keeps_annealed_scale(self):
+        noise = DecayedNoise(GaussianNoise(2, 1.0, seed=0), decay=0.5, min_scale=0.05)
+        noise.sample()
+        noise.sample()
+        annealed = noise.scale
+        assert annealed == pytest.approx(0.25)
+        noise.reset()
+        assert noise.scale == annealed  # scale survives the episode boundary
+
+    def test_reset_restarts_base_process_state(self):
+        base = OrnsteinUhlenbeckNoise(2, seed=0)
+        noise = DecayedNoise(base, decay=0.9)
+        for _ in range(5):
+            noise.sample()
+        assert not np.allclose(base._state, 0.0)
+        noise.reset()
+        np.testing.assert_allclose(base._state, 0.0)
+        assert noise.scale == pytest.approx(0.9 ** 5)

@@ -118,6 +118,42 @@ class TestPcieModel:
             model.transfer_seconds(-1)
         with pytest.raises(ValueError):
             PcieConfig(bandwidth_bytes_per_second=0)
+        with pytest.raises(ValueError):
+            model.batch_bytes(64, 17, 6, bytes_per_value=0)
+        with pytest.raises(ValueError):
+            model.inference_bytes(8, 17, 6, bytes_per_value=-2)
+
+    def test_timestep_prices_extra_actions_at_bytes_per_value(self):
+        """Regression: the extra returned actions of the additional lock-stepped
+        envs were hardcoded at 4 bytes each, silently mispricing
+        half-precision transfer studies.  The whole payload — including that
+        term — must scale with ``bytes_per_value``."""
+        model = PcieModel()
+        batch, state_dim, action_dim, num_envs = 64, 17, 6, 4
+        for bytes_per_value in (2, 4, 8):
+            expected_payload = model.batch_bytes(
+                batch, state_dim, action_dim,
+                bytes_per_value=bytes_per_value, num_envs=num_envs,
+            ) + (num_envs - 1) * action_dim * bytes_per_value
+            expected = (
+                model.config.base_overhead_seconds
+                + model.BUFFERS_PER_TIMESTEP * model.config.per_buffer_seconds
+                + model.config.per_transition_seconds * batch
+                + model.transfer_seconds(expected_payload)
+            )
+            actual = model.timestep_seconds(
+                batch, state_dim, action_dim,
+                num_envs=num_envs, bytes_per_value=bytes_per_value,
+            )
+            assert actual == pytest.approx(expected)
+        # Half precision strictly undercuts full precision for the same shape.
+        assert model.timestep_seconds(
+            batch, state_dim, action_dim, num_envs=num_envs, bytes_per_value=2
+        ) < model.timestep_seconds(batch, state_dim, action_dim, num_envs=num_envs)
+        # The default stays the 4-byte pricing (the paper's Fig. 9 numbers).
+        assert model.timestep_seconds(batch, state_dim, action_dim) == pytest.approx(
+            model.timestep_seconds(batch, state_dim, action_dim, bytes_per_value=4)
+        )
 
 
 class TestGpuBaseline:

@@ -173,3 +173,98 @@ class TestAddBatch:
         batch = buffer.sample(6)
         assert len(batch) == 6
         assert batch.states.shape == (6, 3)
+
+
+class TestSharedBufferContract:
+    """The coordinator/learner contract of the multi-worker subsystem:
+    ``add_batch`` drains interleave with ``sample`` calls and every sampled
+    row is a whole transition, never a half-written one."""
+
+    @staticmethod
+    def _transition_rows(ids):
+        """Rows where every field of transition ``t`` encodes ``t`` itself."""
+        ids = np.asarray(ids, dtype=np.float64)
+        n = ids.size
+        states = np.repeat(ids[:, None], 3, axis=1)
+        actions = np.repeat(ids[:, None] + 0.25, 2, axis=1)
+        rewards = ids + 0.5
+        next_states = np.repeat(ids[:, None] + 0.75, 3, axis=1)
+        dones = np.zeros(n)
+        return states, actions, rewards, next_states, dones
+
+    @staticmethod
+    def _assert_rows_consistent(batch):
+        ids = batch.states[:, 0]
+        np.testing.assert_array_equal(batch.states, np.repeat(ids[:, None], 3, axis=1))
+        np.testing.assert_array_equal(batch.actions, np.repeat(ids[:, None] + 0.25, 2, axis=1))
+        np.testing.assert_array_equal(batch.rewards[:, 0], ids + 0.5)
+        np.testing.assert_array_equal(
+            batch.next_states, np.repeat(ids[:, None] + 0.75, 3, axis=1)
+        )
+
+    def test_interleaved_add_batch_and_sample(self):
+        """Single-thread interleave: every sample sees whole transitions."""
+        buffer = ReplayBuffer(64, state_dim=3, action_dim=2, seed=0)
+        next_id = 0
+        for round_index in range(40):
+            chunk = np.arange(next_id, next_id + 6)
+            next_id += 6
+            buffer.add_batch(*self._transition_rows(chunk))
+            self._assert_rows_consistent(buffer.sample(8))
+
+    def test_concurrent_add_batch_and_sample(self):
+        """Threaded collector-drain vs learner-sample: no torn rows, no races."""
+        import threading
+
+        buffer = ReplayBuffer(256, state_dim=3, action_dim=2, seed=0)
+        buffer.add_batch(*self._transition_rows(np.arange(16)))
+        errors = []
+        stop = threading.Event()
+
+        def producer():
+            next_id = 16
+            try:
+                while not stop.is_set():
+                    buffer.add_batch(*self._transition_rows(np.arange(next_id, next_id + 8)))
+                    next_id += 8
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        def consumer():
+            try:
+                for _ in range(400):
+                    self._assert_rows_consistent(buffer.sample(32))
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=producer) for _ in range(2)]
+        sampler = threading.Thread(target=consumer)
+        for thread in threads:
+            thread.start()
+        sampler.start()
+        sampler.join(timeout=60)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        assert not sampler.is_alive()
+        assert len(buffer) == 256  # long past capacity: fully wrapped
+
+    def test_oversized_batch_from_nonzero_cursor(self):
+        """n > capacity with a mid-ring cursor keeps exactly the trailing rows."""
+        bulk = ReplayBuffer(5, state_dim=3, action_dim=2, seed=0)
+        serial = ReplayBuffer(5, state_dim=3, action_dim=2, seed=0)
+        # Advance the write cursor off zero first.
+        head = self._transition_rows(np.arange(3))
+        bulk.add_batch(*head)
+        oversized = self._transition_rows(np.arange(100, 112))  # 12 rows through 5 slots
+        bulk.add_batch(*oversized)
+        for rows in (head, oversized):
+            for i in range(rows[0].shape[0]):
+                serial.add(rows[0][i], rows[1][i], rows[2][i], rows[3][i], bool(rows[4][i]))
+        assert bulk.full and bulk._next_index == serial._next_index
+        for attr in ("_states", "_actions", "_rewards", "_next_states", "_dones"):
+            np.testing.assert_array_equal(getattr(bulk, attr), getattr(serial, attr))
+        # Only the trailing `capacity` rows of the oversized batch survive.
+        surviving = sorted(bulk._states[:, 0].astype(int))
+        assert surviving == [107, 108, 109, 110, 111]

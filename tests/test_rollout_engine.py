@@ -292,6 +292,35 @@ class TestRolloutEngine:
         with pytest.raises(TypeError, match="VectorEnv"):
             RolloutEngine(env, _agent(env))
 
+    def test_noise_reset_once_per_lock_step(self):
+        """K episodes ending in one lock-step reset the shared process once.
+
+        The noise process is shared across the lock-stepped environments, so
+        a lock-step where several episodes finish together must reset it a
+        single time — resetting K times would, e.g., fast-forward an
+        annealing wrapper K times per boundary.
+        """
+
+        class CountingNoise(GaussianNoise):
+            resets = 0
+
+            def reset(self):
+                type(self).resets += 1
+                super().reset()
+
+        vec = VectorEnv.make("Swimmer", 4, seed=0, max_episode_steps=5)
+        agent = _agent(vec.envs[0])
+        engine = RolloutEngine(
+            vec, agent, noise=CountingNoise(vec.action_dim, 0.1, seed=0), rng=1
+        )
+        engine.reset()
+        # Swimmer never falls, so all 4 environments truncate together at
+        # step 5 — one lock-step with 4 simultaneous episode ends.
+        for _ in range(5):
+            transitions = engine.step()
+        assert int(transitions.dones.sum()) == 4
+        assert CountingNoise.resets == 1
+
 
 class TestGuards:
     def test_stateful_noise_rejected_for_multi_env(self):
