@@ -17,8 +17,15 @@ workers, each owning its own VectorEnv of ``--num-envs`` Hopper instances
 an actor replica that is refreshed from the learner every round; the workers
 are scheduled deterministically, so a run is reproducible for any topology.
 
+With ``--pipeline-depth D > 0`` the training schedule is *pipelined*: the
+worker fleet collects round k+1 while the learner drains round k and runs
+its updates, with collection acting on weights at most D rounds stale.  On
+the modelled platform the two phases overlap (``max`` instead of sum); the
+run itself stays deterministic, so results are still reproducible.
+
 Run:
-    python examples/train_hopper_qat.py [--timesteps 4000] [--num-envs 4] [--num-workers 2]
+    python examples/train_hopper_qat.py [--timesteps 4000] [--num-envs 4] \
+        [--num-workers 2] [--pipeline-depth 1]
 """
 
 from __future__ import annotations
@@ -66,6 +73,10 @@ def main() -> None:
     parser.add_argument("--num-workers", type=int, default=1,
                         help="collection workers, each owning its own VectorEnv "
                              "of --num-envs Hoppers and an actor replica")
+    parser.add_argument("--pipeline-depth", type=int, default=0,
+                        help="rounds the fleet may run ahead of the learner "
+                             "(0 = sequential schedule; 1 = classic overlapped "
+                             "pipeline with one round of weight staleness)")
     args = parser.parse_args()
 
     env = HopperEnv(seed=args.seed, max_episode_steps=400)
@@ -73,8 +84,12 @@ def main() -> None:
         seed=args.seed + args.num_workers * args.num_envs, max_episode_steps=400
     )
     print("=== Hopper with quantization-aware training ===")
+    schedule = (
+        f"pipelined (depth {args.pipeline_depth})" if args.pipeline_depth else "sequential"
+    )
     print(f"state dim {env.state_dim}, action dim {env.action_dim}, fall threshold enabled; "
-          f"{args.num_workers} worker(s) x {args.num_envs} environments in lock-step")
+          f"{args.num_workers} worker(s) x {args.num_envs} environments in lock-step, "
+          f"{schedule} schedule")
 
     numerics = DynamicFixedPointNumerics(num_bits=16)
     agent = DDPGAgent(
@@ -96,6 +111,7 @@ def main() -> None:
         seed=args.seed,
         num_envs=args.num_envs,
         num_workers=args.num_workers,
+        pipeline_depth=args.pipeline_depth,
     )
 
     result = train(env, agent, config, eval_env=eval_env, qat_controller=controller, label="hopper-qat")

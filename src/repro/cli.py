@@ -53,6 +53,17 @@ def _positive_int(value: str) -> int:
     return number
 
 
+def _non_negative_int(value: str) -> int:
+    """Argument type for counts that may be 0 (e.g. a disabled pipeline)."""
+    try:
+        number = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {value!r}") from None
+    if number < 0:
+        raise argparse.ArgumentTypeError(f"expected a non-negative integer, got {number}")
+    return number
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser with all sub-commands."""
     parser = argparse.ArgumentParser(
@@ -78,6 +89,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="environment steps between actor-weight broadcasts to "
                             "the collection workers (only meaningful with "
                             "--num-workers > 1)")
+    train.add_argument("--pipeline-depth", type=_non_negative_int, default=0,
+                       help="rounds the collector fleet may run ahead of the "
+                            "learner (the pipelined training schedule's bounded "
+                            "staleness window; 0 = the sequential schedule, "
+                            "bit-exact with the pre-pipeline loop)")
     train.add_argument("--regime", default="fixar-dynamic",
                        choices=("float32", "fixed32", "fixed16", "fixar-dynamic"))
     train.add_argument("--hidden", type=int, nargs=2, default=(64, 48), metavar=("H1", "H2"))
@@ -118,6 +134,13 @@ def _command_train(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.cosim and args.pipeline_depth != 0:
+        print(
+            "error: --cosim traces the sequential scalar training loop and "
+            "does not support --pipeline-depth > 0",
+            file=sys.stderr,
+        )
+        return 2
     config = smoke_test_config(
         benchmark=args.benchmark,
         total_timesteps=args.timesteps,
@@ -129,12 +152,17 @@ def _command_train(args: argparse.Namespace) -> int:
         num_envs=args.num_envs,
         num_workers=args.num_workers,
         sync_interval=args.sync_interval,
+        pipeline_depth=args.pipeline_depth,
     )
     system = FixarSystem(config)
+    schedule = (
+        f"pipelined depth {args.pipeline_depth}" if args.pipeline_depth else "sequential"
+    )
     print(f"training {args.regime} on {args.benchmark} for {args.timesteps} timesteps "
           f"(batch {args.batch_size}, hidden {tuple(args.hidden)}, "
           f"{args.num_workers} worker{'s' if args.num_workers != 1 else ''} x "
-          f"{args.num_envs} env{'s' if args.num_envs != 1 else ''} in lock-step)")
+          f"{args.num_envs} env{'s' if args.num_envs != 1 else ''} in lock-step, "
+          f"{schedule} schedule)")
 
     if args.cosim:
         result = system.cosimulate()

@@ -20,6 +20,16 @@ and one PCIe round trip per lock-step instead of N serial single-state
 round trips, and :meth:`FixarPlatform.infer_batch` reports the latency,
 payload, and energy of that batched inference on its own (the quantity the
 rollout engine accumulates).
+
+The pipelined training schedule extends the fleet accounting
+(:meth:`FixarPlatform.infer_collection` / ``collection_steps_per_second``)
+to full training rounds: :meth:`FixarPlatform.sequential_round_seconds`
+prices today's alternating schedule (collection *then* updates, each update
+a blocking runtime invocation) while
+:meth:`FixarPlatform.pipelined_round_seconds` prices the decoupled learner —
+the update stream overlaps collection, so the round costs
+``max(collection, update)`` instead of their sum, with the fixed runtime
+overhead amortized over the round's streamed updates.
 """
 
 from __future__ import annotations
@@ -311,6 +321,151 @@ class FixarPlatform:
     def env_steps_per_second(self, batch_size: int, num_envs: int = 1) -> float:
         """Environment steps collected per second with N lock-stepped envs."""
         return num_envs / self.timestep_seconds(batch_size, num_envs)
+
+    # ------------------------------------------------------------------ #
+    # Pipelined training schedule (overlapped collection + updates)
+    # ------------------------------------------------------------------ #
+    def train_pass_seconds(self, batch_size: int) -> float:
+        """FPGA time of one agent update (training passes only, no rollout
+        inference — the collection side prices inference separately through
+        :meth:`infer_batch`)."""
+        breakdown = self.timing.timestep_breakdown(
+            self.workload.actor_shapes,
+            self.workload.critic_shapes,
+            batch_size,
+            half_precision=self.half_precision,
+            num_envs=1,
+        )
+        cycles = breakdown.total_cycles - breakdown.phases["actor_inference"]
+        return cycles / self.timing.config.clock_hz
+
+    def update_step_seconds(self, batch_size: int) -> float:
+        """Modelled time of one *blocking* learner update.
+
+        The sequential schedule interleaves each update between collection
+        inferences on the same command queue, so every update is its own
+        runtime invocation: host replay assembly, a full PCIe invocation for
+        the batch, and the FPGA training passes, strictly in sequence.
+        """
+        return (
+            self.host.update_phase_seconds(batch_size)
+            + self.pcie.update_seconds(
+                batch_size,
+                self.workload.state_dim,
+                self.workload.action_dim,
+                bytes_per_value=self.transfer_bytes_per_value,
+            )
+            + self.train_pass_seconds(batch_size)
+        )
+
+    def update_round_seconds(
+        self, batch_size: int, updates: int, pipelined: bool = False
+    ) -> float:
+        """Modelled time of the learner's update phase for one round.
+
+        ``pipelined=False`` prices the sequential schedule: ``updates``
+        blocking invocations back to back.  ``pipelined=True`` prices the
+        decoupled learner, which owns an uninterrupted update stream per
+        round: the fixed runtime overhead is paid once per submission, and
+        each update's replay assembly and DMA transfer are double-buffered
+        behind the previous update's FPGA training passes, so the marginal
+        cost per update is whichever of the two is longer.
+        """
+        if updates < 0:
+            raise ValueError(f"updates must be non-negative, got {updates}")
+        if updates == 0:
+            return 0.0
+        if not pipelined:
+            return updates * self.update_step_seconds(batch_size)
+        per_update = max(
+            self.train_pass_seconds(batch_size),
+            self.host.update_phase_seconds(batch_size)
+            + self.pcie.update_marginal_seconds(
+                batch_size,
+                self.workload.state_dim,
+                self.workload.action_dim,
+                bytes_per_value=self.transfer_bytes_per_value,
+            ),
+        )
+        return self.pcie.invocation_overhead_seconds + updates * per_update
+
+    def _updates_per_round(self, num_envs: int, num_workers: int, updates_per_round):
+        """Default update quota of one round: one per collected env step."""
+        if updates_per_round is None:
+            return num_envs * num_workers
+        return updates_per_round
+
+    def sequential_round_seconds(
+        self,
+        num_envs: int,
+        num_workers: int = 1,
+        batch_size: int = 64,
+        updates_per_round: Optional[int] = None,
+    ) -> float:
+        """Modelled time of one round of today's sequential train() schedule:
+        the fleet collects ``num_workers * num_envs`` steps, *then* the
+        learner runs its updates — collection and updates strictly
+        alternate, so the round costs their sum.
+        """
+        updates = self._updates_per_round(num_envs, num_workers, updates_per_round)
+        return self.collection_round_seconds(
+            num_envs, num_workers
+        ) + self.update_round_seconds(batch_size, updates, pipelined=False)
+
+    def pipelined_round_seconds(
+        self,
+        num_envs: int,
+        num_workers: int = 1,
+        batch_size: int = 64,
+        updates_per_round: Optional[int] = None,
+    ) -> float:
+        """Modelled time of one *pipelined* training round.
+
+        While the fleet collects round ``k+1``, the learner streams round
+        ``k``'s updates, so the steady-state round is bounded by whichever
+        phase is longer — ``max(collection, update)`` instead of their sum.
+        The single accelerator still serves both phases: the fleet's
+        ``num_workers`` batched rollout inferences interleave with the
+        update stream's training passes, so their FPGA time is added to the
+        update phase before taking the max.
+        """
+        updates = self._updates_per_round(num_envs, num_workers, updates_per_round)
+        collection = self.collection_round_seconds(num_envs, num_workers)
+        update = self.update_round_seconds(batch_size, updates, pipelined=True)
+        inference_fpga = num_workers * self.infer_batch(num_envs).fpga_seconds
+        return max(collection, update + inference_fpga)
+
+    def training_steps_per_second(
+        self,
+        num_envs: int,
+        num_workers: int = 1,
+        batch_size: int = 64,
+        updates_per_round: Optional[int] = None,
+        pipelined: bool = False,
+    ) -> float:
+        """Modelled end-to-end training throughput (environment steps/sec)."""
+        round_seconds = (
+            self.pipelined_round_seconds(num_envs, num_workers, batch_size, updates_per_round)
+            if pipelined
+            else self.sequential_round_seconds(
+                num_envs, num_workers, batch_size, updates_per_round
+            )
+        )
+        return num_workers * num_envs / round_seconds
+
+    def pipelined_speedup(
+        self,
+        num_envs: int,
+        num_workers: int = 1,
+        batch_size: int = 64,
+        updates_per_round: Optional[int] = None,
+    ) -> float:
+        """Steps/sec of the pipelined schedule over the sequential one."""
+        return self.training_steps_per_second(
+            num_envs, num_workers, batch_size, updates_per_round, pipelined=True
+        ) / self.training_steps_per_second(
+            num_envs, num_workers, batch_size, updates_per_round, pipelined=False
+        )
 
     # ------------------------------------------------------------------ #
     # Throughput and efficiency (Figs. 8 and 10)

@@ -99,6 +99,26 @@ class HostModel:
         )
 
     # ------------------------------------------------------------------ #
+    # Learner update phase (pipelined training schedule)
+    # ------------------------------------------------------------------ #
+    def update_phase_seconds(self, batch_size: int, updates: int = 1) -> float:
+        """Host-CPU time of the learner's update phase: replay assembly.
+
+        The learner's only host-side work per update is assembling the
+        replay batch it sends to the accelerator — the collection-side terms
+        (environment stepping, transition stores) belong to the workers.
+        Under the pipelined schedule this runs on the learner's own Xeon
+        core, overlapping the workers' collection phases;
+        :meth:`FixarPlatform.pipelined_round_seconds` folds it into the
+        streamed update phase it prices against collection.
+        """
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        if updates < 0:
+            raise ValueError(f"updates must be non-negative, got {updates}")
+        return updates * self.config.replay_sample_seconds_per_transition * batch_size
+
+    # ------------------------------------------------------------------ #
     # Calibration against a real environment object
     # ------------------------------------------------------------------ #
     def calibrate(self, env, steps: int = 200) -> float:

@@ -105,6 +105,56 @@ class PcieModel:
             raise ValueError("payload_bytes must be non-negative")
         return payload_bytes / self.config.bandwidth_bytes_per_second
 
+    # ------------------------------------------------------------------ #
+    # Learner update transfers (pipelined training schedule)
+    # ------------------------------------------------------------------ #
+    @property
+    def invocation_overhead_seconds(self) -> float:
+        """Fixed cost of one runtime invocation (driver calls + 2 buffers).
+
+        One invocation moves a host→card payload and reads a card→host
+        result back; the per-buffer term is therefore paid twice.
+        """
+        return self.config.base_overhead_seconds + 2 * self.config.per_buffer_seconds
+
+    def update_bytes(
+        self, batch_size: int, state_dim: int, action_dim: int, bytes_per_value: int = 4
+    ) -> int:
+        """Payload of one learner update: a replay batch, no inference states."""
+        if batch_size <= 0 or state_dim <= 0 or action_dim <= 0:
+            raise ValueError("batch_size, state_dim, and action_dim must be positive")
+        if bytes_per_value <= 0:
+            raise ValueError(f"bytes_per_value must be positive, got {bytes_per_value}")
+        per_transition = (2 * state_dim + action_dim + 2) * bytes_per_value
+        return batch_size * per_transition
+
+    def update_marginal_seconds(
+        self, batch_size: int, state_dim: int, action_dim: int, bytes_per_value: int = 4
+    ) -> float:
+        """Marginal runtime cost of one update *inside* a streamed invocation.
+
+        Descriptor setup / pinning per transition plus the DMA transfer of
+        the batch — everything except the fixed invocation overhead, which a
+        streamed update queue pays once per submission rather than once per
+        update.
+        """
+        payload = self.update_bytes(batch_size, state_dim, action_dim, bytes_per_value)
+        return self.config.per_transition_seconds * batch_size + self.transfer_seconds(payload)
+
+    def update_seconds(
+        self, batch_size: int, state_dim: int, action_dim: int, bytes_per_value: int = 4
+    ) -> float:
+        """Runtime time of one *blocking* learner update invocation.
+
+        The sequential training schedule interleaves every update between
+        collection inferences on the same command queue, so each update is
+        its own runtime invocation and pays the full fixed overhead — the
+        same overhead structure the paper measures per timestep (Fig. 9).
+        """
+        return self.invocation_overhead_seconds + self.update_marginal_seconds(
+            batch_size, state_dim, action_dim, bytes_per_value
+        )
+
     def timestep_seconds(
         self,
         batch_size: int,

@@ -18,7 +18,13 @@ coordinates :class:`CollectorWorker` replicas (each owning its own
 ``VectorEnv`` + engine, seeded ``seed + worker_id * num_envs + i``) around
 one shared replay buffer, with a deterministic synchronous mode used by
 :func:`train` (``TrainingConfig.num_workers``) and a free-running
-multi-process mode for raw collection throughput.  Future scaling layers
+multi-process mode for raw collection throughput.  The training schedule
+itself can be *pipelined* (``TrainingConfig.pipeline_depth``): the fleet
+collects round k+1 while the learner drains round k and runs its updates,
+with a bounded staleness window and deterministic emulation — the platform
+layer prices the overlap as ``max(collection, update)`` per round
+(:meth:`~repro.platform.FixarPlatform.pipelined_round_seconds`).  Future
+scaling layers
 (sharded accelerators, multi-backend inference) should likewise slot in
 behind the engine's ``act_batch``/``step`` seam rather than re-introducing
 per-transition calls.

@@ -45,6 +45,16 @@ class NoiseProcess:
     def reset(self) -> None:
         """Reset any internal state (called at episode boundaries)."""
 
+    def reset_envs(self, indices) -> None:
+        """Reset state for the given lock-stepped environments (batch mode).
+
+        Called by the rollout engine with the indices of the environments
+        whose episodes just ended, so a process with per-environment state
+        restarts only those trajectories.  Processes without per-environment
+        state defer to :meth:`reset`.
+        """
+        self.reset()
+
     def __call__(self) -> np.ndarray:
         return self.sample()
 
@@ -68,7 +78,18 @@ class GaussianNoise(NoiseProcess):
 
 
 class OrnsteinUhlenbeckNoise(NoiseProcess):
-    """Temporally correlated OU noise, the classic DDPG exploration process."""
+    """Temporally correlated OU noise, the classic DDPG exploration process.
+
+    In batch mode (``sample_batch`` with ``num_samples > 1``) the process
+    keeps one OU state *per environment*: each lock-stepped environment sees
+    its own temporally correlated trajectory, advanced once per lock-step.
+    The previous default (inherited sequential stacking) advanced one shared
+    state N times per lock-step, which handed temporally *consecutive* noise
+    values to parallel environments — no single environment observed a
+    correlated trajectory.  ``sample_batch(1)`` delegates to :meth:`sample`,
+    so the single-environment RNG stream stays bit-compatible with the
+    scalar loop.
+    """
 
     def __init__(
         self,
@@ -87,6 +108,7 @@ class OrnsteinUhlenbeckNoise(NoiseProcess):
         self.sigma = sigma
         self.dt = dt
         self._state = np.full(action_dim, mu, dtype=np.float64)
+        self._batch_state: Optional[np.ndarray] = None
 
     def sample(self) -> np.ndarray:
         drift = self.theta * (self.mu - self._state) * self.dt
@@ -94,8 +116,40 @@ class OrnsteinUhlenbeckNoise(NoiseProcess):
         self._state = self._state + drift + diffusion
         return self._state.copy()
 
+    def sample_batch(self, num_samples: int) -> np.ndarray:
+        if num_samples <= 0:
+            raise ValueError(f"num_samples must be positive, got {num_samples}")
+        if num_samples == 1:
+            # The scalar path: same state, same RNG consumption as sample().
+            return self.sample()[None, :]
+        if self._batch_state is None or self._batch_state.shape[0] != num_samples:
+            # First batched draw (or a lock-step width change): every
+            # environment's process starts fresh at the mean.
+            self._batch_state = np.full(
+                (num_samples, self.action_dim), self.mu, dtype=np.float64
+            )
+        drift = self.theta * (self.mu - self._batch_state) * self.dt
+        diffusion = self.sigma * np.sqrt(self.dt) * self._rng.standard_normal(
+            (num_samples, self.action_dim)
+        )
+        self._batch_state = self._batch_state + drift + diffusion
+        return self._batch_state.copy()
+
     def reset(self) -> None:
         self._state = np.full(self.action_dim, self.mu, dtype=np.float64)
+        self._batch_state = None
+
+    def reset_envs(self, indices) -> None:
+        """Restart only the given environments' OU trajectories at the mean.
+
+        The other environments keep their accumulated state — a full
+        :meth:`reset` here would destroy every in-flight trajectory whenever
+        any single lock-stepped episode ended.
+        """
+        if self._batch_state is None:
+            self.reset()
+            return
+        self._batch_state[np.asarray(indices, dtype=int)] = self.mu
 
 
 class DecayedNoise(NoiseProcess):

@@ -110,7 +110,22 @@ class QATController:
         return self._event
 
     def activation_bits_at(self, timestep: int) -> int:
-        """Activation bit width in effect at a timestep under the schedule."""
+        """Activation bit width actually in effect at a timestep.
+
+        The schedule alone is not authoritative: :meth:`on_timestep` postpones
+        the switch past ``quantization_delay`` while the range tracker is
+        uninitialized, so the reported width consults :attr:`switched` (and
+        the recorded switch timestep) rather than assuming the delay was
+        honored.  Timesteps before the *actual* switch report the full
+        precision the numerics were really running at.
+        """
+        full_bits = self.numerics.full_activation_format.word_length
         if timestep < self.schedule.quantization_delay:
-            return self.numerics.full_activation_format.word_length
-        return self.schedule.num_bits
+            return full_bits
+        if self._event is not None:
+            return self.schedule.num_bits if timestep >= self._event.timestep else full_bits
+        # No switch recorded by this controller.  The numerics may still be
+        # in half mode already — a controller resumed on a restored
+        # checkpoint taken after the switch — so their current mode, not the
+        # schedule, is authoritative.
+        return self.schedule.num_bits if self.numerics.half_mode else full_bits

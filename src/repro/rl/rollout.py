@@ -143,14 +143,16 @@ class RolloutEngine:
         self.noise = noise or GaussianNoise(agent.action_dim, sigma)
         if env.num_envs > 1 and type(self.noise).sample_batch is NoiseProcess.sample_batch:
             # The default sample_batch stacks sequential sample() calls: a
-            # stateful process (OU, decayed) would hand temporally
+            # stateful process (e.g. DecayedNoise) would hand temporally
             # *consecutive* noise to parallel environments and be reset
             # whenever any one episode ends — not N independent processes.
+            # OrnsteinUhlenbeckNoise defines per-environment batch state and
+            # passes this check.
             raise ValueError(
                 f"{type(self.noise).__name__} does not define a batched "
                 "sample_batch; stateful exploration noise is not supported "
-                "with num_envs > 1 — use GaussianNoise or override "
-                "sample_batch with per-environment semantics"
+                "with num_envs > 1 — use GaussianNoise/OrnsteinUhlenbeckNoise "
+                "or override sample_batch with per-environment semantics"
             )
         self.warmup_timesteps = warmup_timesteps
         self._rng = (
@@ -231,11 +233,18 @@ class RolloutEngine:
             self.episode_returns.append(float(self._running_returns[i]))
             self._running_returns[i] = 0.0
         if done_indices.size:
-            # The noise process is shared across the lock-stepped envs, so an
-            # episode boundary resets it once per lock-step — not once per
-            # finished environment (K episodes ending together must not reset
-            # a stateful process, or an annealing schedule, K times).
-            self.noise.reset()
+            if n > 1:
+                # Only the finished environments' noise state restarts; a
+                # process with per-environment state (batched OU) keeps the
+                # other trajectories, and stateless processes defer to a
+                # single reset() — never one reset per finished episode (K
+                # episodes ending together must not reset an annealing
+                # schedule K times).
+                self.noise.reset_envs(done_indices)
+            else:
+                # The scalar path resets exactly like the scalar loop (the
+                # bit-compatibility contract).
+                self.noise.reset()
 
         self._observations = result.observations
         self.total_env_steps += n

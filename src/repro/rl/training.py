@@ -16,12 +16,24 @@ matches the scalar loop at every ``num_envs``.  With ``num_envs == 1`` the
 loop consumes every RNG stream in exactly the scalar order —
 :func:`train_scalar_reference` preserves the pre-refactor loop verbatim as
 the oracle the regression tests compare against.
+
+The *pipelined* schedule (``TrainingConfig.pipeline_depth > 0``) overlaps
+the two halves of a round the way the FIXAR platform does (paper Fig. 3):
+while the collector fleet gathers round ``k+1``, the learner drains round
+``k``'s transitions into the replay buffer and runs its updates.  The
+overlap is emulated deterministically in one thread — collection of round
+``k+1`` is scheduled *before* the learner phase of round ``k`` — so runs
+stay reproducible, and ``pipeline_depth`` bounds the staleness window: the
+fleet never runs more than that many rounds ahead of the learner.
+``pipeline_depth == 0`` is the sequential schedule, bit-exact with the
+pre-pipeline loop and therefore the oracle the regression tests pin.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Union
+from typing import Callable, Deque, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -75,6 +87,15 @@ class TrainingConfig:
     #: replicas (ignored with ``num_workers == 1``, where the worker acts
     #: through the learner's own agent).
     sync_interval: int = 1
+    #: Rounds the collector fleet may run ahead of the learner (the bounded
+    #: staleness window of the pipelined schedule).  ``0`` is the sequential
+    #: schedule — collect a round, then update on it — and stays bit-exact
+    #: with the pre-pipeline loop.  With depth ``d`` the fleet collects round
+    #: ``k+1 .. k+d`` while the learner is still consuming round ``k``, so
+    #: collection acts on weights up to ``d`` rounds stale (weight broadcasts
+    #: still honor ``sync_interval``); the learner drains the backlog at the
+    #: end of the run, so the update-to-data ratio is unchanged.
+    pipeline_depth: int = 0
 
     def __post_init__(self) -> None:
         if self.total_timesteps <= 0:
@@ -97,6 +118,8 @@ class TrainingConfig:
             raise ValueError("num_workers must be positive")
         if self.sync_interval <= 0:
             raise ValueError("sync_interval must be positive")
+        if self.pipeline_depth < 0:
+            raise ValueError("pipeline_depth must be non-negative")
 
 
 @dataclass
@@ -110,6 +133,7 @@ class TrainingResult:
     total_updates: int = 0
     num_envs: int = 1
     num_workers: int = 1
+    pipeline_depth: int = 0
     replay_buffer: Optional[ReplayBuffer] = None
 
     def summary(self) -> dict:
@@ -121,6 +145,7 @@ class TrainingResult:
                 "total_updates": self.total_updates,
                 "num_envs": self.num_envs,
                 "num_workers": self.num_workers,
+                "pipeline_depth": self.pipeline_depth,
                 "quantization_switch_step": (
                     self.qat_event.timestep if self.qat_event else None
                 ),
@@ -218,6 +243,27 @@ def train(
     (``ceil(warmup_timesteps / num_workers)`` per worker), and the replicas
     share the learner's numerics object, so a QAT precision switch applies
     to collection immediately.
+
+    With ``config.pipeline_depth > 0`` the loop runs the *pipelined*
+    schedule: the fleet collects round ``k+1`` (through ``k+depth``) while
+    the learner is still draining round ``k``'s transitions and running its
+    updates, so on the modelled platform the two phases overlap
+    (:meth:`~repro.platform.FixarPlatform.pipelined_round_seconds` prices a
+    round as ``max(collection, update)`` instead of their sum).  The overlap
+    is emulated deterministically in one thread, so runs stay reproducible;
+    the visible semantic difference from the sequential schedule is bounded
+    staleness — collection acts on actor weights up to ``pipeline_depth``
+    rounds older than the learner's (broadcasts still honor
+    ``sync_interval``), while updates see exactly the same replay data
+    availability as the sequential schedule (round ``k``'s transitions are
+    drained before round ``k``'s updates sample the buffer) and the
+    remaining in-flight rounds are drained at the end of the run.  A
+    training environment that would have to double as the evaluation
+    environment is rejected under this schedule (the post-evaluation episode
+    restarts cannot fire at the right point of the overlapped collection
+    timeline) — pass an explicit ``eval_env``.  ``pipeline_depth == 0``
+    remains bit-exact with the pre-pipeline loop and is the oracle the
+    pipelined regression tests compare against.
     """
     rng = np.random.default_rng(config.seed)
     num_workers = config.num_workers
@@ -257,12 +303,28 @@ def train(
         # a "shared" template is safe to evaluate on: no in-flight training
         # episode is disturbed and no restart is needed.
         shares_training_env = False
+    if shares_training_env and config.pipeline_depth > 0:
+        # Sharing the training env with evaluation forces an episode restart
+        # after every evaluation, but under the pipelined schedule the fleet
+        # has already collected up to ``pipeline_depth`` rounds past the
+        # evaluated boundary — those rounds would continue the disturbed
+        # episodes, diverging from the sequential schedule in ways beyond the
+        # documented weight staleness.  Refuse instead of silently diverging.
+        raise ValueError(
+            "pipeline_depth > 0 cannot share the training environment with "
+            "evaluation (the fleet collects past each evaluation boundary "
+            "before the restart fires); pass an explicit eval_env"
+        )
     buffer = ReplayBuffer(
         config.buffer_capacity, agent.state_dim, agent.action_dim, seed=config.seed
     )
     curve = LearningCurve(label or agent.numerics.name)
     result = TrainingResult(
-        curve=curve, num_envs=num_envs, num_workers=num_workers, replay_buffer=buffer
+        curve=curve,
+        num_envs=num_envs,
+        num_workers=num_workers,
+        pipeline_depth=config.pipeline_depth,
+        replay_buffer=buffer,
     )
 
     if num_workers == 1:
@@ -307,18 +369,27 @@ def train(
 
     steps_per_round = collector.steps_per_round
     iterations = -(-config.total_timesteps // steps_per_round)
-    for iteration in range(iterations):
-        global_step = iteration * steps_per_round
 
-        if qat_controller is not None:
-            for offset in range(steps_per_round):
-                qat_event = qat_controller.on_timestep(global_step + offset)
-                if qat_event is not None:
-                    result.qat_event = qat_event
+    def learner_round(
+        round_index: int, deferred, episodes_collected: Optional[int] = None
+    ) -> None:
+        """The learner phase of one round: drain, update, evaluate.
 
-        # ----- One deterministic round: every worker steps once ----------- #
-        collector.step_sync()
+        ``deferred`` is ``None`` in the sequential schedule (the collector
+        drained immediately) and the round's queued transitions in the
+        pipelined one.  Either way the buffer holds exactly rounds
+        ``0..round_index`` when the updates sample it, so the pipelined
+        learner sees the same data availability as the sequential learner —
+        the schedules differ only in how stale the *collection* weights are.
+        ``episodes_collected`` is the episode count snapshotted when this
+        round was collected; the pipelined schedule passes it so progress
+        callbacks report the count as of the evaluated round, not of the
+        rounds the fleet has already run ahead on.
+        """
+        global_step = round_index * steps_per_round
         global_after = global_step + steps_per_round
+        if deferred is not None:
+            collector.drain(deferred)
 
         # ----- Agent updates: one per collected post-warmup step ----------- #
         if len(buffer) >= config.batch_size:
@@ -327,10 +398,14 @@ def train(
                 agent.update(buffer.sample(config.batch_size))
                 result.total_updates += 1
 
-        # ----- Periodic evaluation ---------------------------------------- #
-        crossings = global_after // config.evaluation_interval - global_step // config.evaluation_interval
-        if crossings > 0:
-            evaluated_step = (global_after // config.evaluation_interval) * config.evaluation_interval
+        # ----- Periodic evaluation: one point per crossed boundary --------- #
+        # A round of num_envs * num_workers steps can cross several
+        # evaluation_interval boundaries at once; each one gets its own
+        # curve point, matching the scalar loop's cadence (which evaluates
+        # at every boundary) instead of collapsing them into one.
+        interval = config.evaluation_interval
+        for boundary in range(global_step // interval + 1, global_after // interval + 1):
+            evaluated_step = boundary * interval
             average_return = evaluate_policy(
                 evaluation_env, agent, episodes=config.evaluation_episodes
             )
@@ -344,10 +419,50 @@ def train(
                     evaluated_step,
                     {
                         "average_return": average_return,
-                        "episodes": len(collector.episode_returns),
+                        "episodes": (
+                            len(collector.episode_returns)
+                            if episodes_collected is None
+                            else episodes_collected
+                        ),
                         "activation_bits": agent.numerics.activation_bits,
                     },
                 )
+
+    # In-flight rounds the fleet has collected but the learner has not yet
+    # consumed (at most ``pipeline_depth`` long): (round index, transitions,
+    # episode count as of that round's collection).
+    pending: Deque[Tuple[int, List, int]] = deque()
+    for iteration in range(iterations):
+        global_step = iteration * steps_per_round
+
+        # QAT advances with the collection timeline: the controller counts
+        # environment steps, and the replicas share the learner's numerics
+        # object, so a precision switch applies to collection immediately —
+        # the (lagging) pipelined learner then runs its remaining updates at
+        # the new precision, exactly as a wall-clock switch would.
+        if qat_controller is not None:
+            for offset in range(steps_per_round):
+                qat_event = qat_controller.on_timestep(global_step + offset)
+                if qat_event is not None:
+                    result.qat_event = qat_event
+
+        if config.pipeline_depth == 0:
+            # Sequential schedule: collect a round, then consume it.
+            collector.step_sync()
+            learner_round(iteration, None)
+        else:
+            # Pipelined schedule: collect round k first — deterministically
+            # emulating "collection of round k runs while the learner is
+            # busy with round k - depth" — then let the learner catch up to
+            # within the staleness window.
+            rounds = collector.step_sync(drain=False)
+            pending.append((iteration, rounds, len(collector.episode_returns)))
+            if len(pending) > config.pipeline_depth:
+                learner_round(*pending.popleft())
+
+    # Drain the pipeline: the learner consumes the last in-flight rounds.
+    while pending:
+        learner_round(*pending.popleft())
 
     result.episode_returns = collector.episode_returns
 

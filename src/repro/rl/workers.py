@@ -29,7 +29,10 @@ Execution modes
   worker this is *bit-exact* with driving the worker's
   :class:`RolloutEngine` directly (the PR-1 oracle extends to the collector),
   and :func:`~repro.rl.training.train` uses this mode so training runs stay
-  reproducible at any ``num_workers``.
+  reproducible at any ``num_workers``.  The pipelined training schedule
+  (``TrainingConfig.pipeline_depth > 0``) runs the same deterministic rounds
+  but defers the buffer drain (``step_sync(drain=False)`` + :meth:`drain`)
+  so the learner consumes round *k* while the fleet collects round *k+1*.
 * **asynchronous** (throughput) — each worker free-runs in its own forked
   process, streaming transition chunks through a bounded queue; the
   coordinator drains arrivals into the shared buffer in arrival order and
@@ -373,11 +376,13 @@ class AsyncCollector:
         """Push the learner's current actor weights to every worker replica.
 
         The snapshot is taken on the coordinator's thread without locking the
-        learner: ``collect`` is a blocking call, so no agent update can run
-        concurrently in the supported schedules.  A future asynchronous
-        *training* schedule that updates the learner while ``collect`` runs
-        must synchronize (or double-buffer) the parameters before
-        broadcasting, or workers would receive torn half-updated layers.
+        learner: every supported schedule — including the *pipelined* one in
+        :func:`~repro.rl.training.train`, which emulates the overlap
+        deterministically in one thread — guarantees no agent update runs
+        concurrently with a broadcast.  A free-running multi-threaded
+        training schedule would have to synchronize (or double-buffer) the
+        parameters before broadcasting, or workers would receive torn
+        half-updated layers.
         """
         if self.source_agent is None:
             return
@@ -389,20 +394,40 @@ class AsyncCollector:
     # ------------------------------------------------------------------ #
     # Synchronous (deterministic) mode
     # ------------------------------------------------------------------ #
-    def step_sync(self) -> List[VectorTransitions]:
+    def step_sync(self, drain: bool = True) -> List[VectorTransitions]:
         """One deterministic round: every worker steps once, in id order.
 
         Weight broadcasts happen at round *boundaries* (before stepping),
         so workers act on the weights produced by the updates of the
-        previous round once ``sync_interval`` steps have accumulated.  Each
-        worker's transitions are drained into the shared buffer immediately
-        after its lock-step, giving a reproducible insertion order.
+        previous round once ``sync_interval`` steps have accumulated.  With
+        ``drain=True`` each worker's transitions are drained into the shared
+        buffer immediately after its lock-step, giving a reproducible
+        insertion order.  ``drain=False`` defers the buffer insertion to the
+        caller (see :meth:`drain`): the pipelined training schedule collects
+        round *k+1* while round *k*'s transitions are still queued for the
+        learner, so the learner — not the collector — decides when a round's
+        data becomes sampleable.
         """
         if self._steps_since_sync >= self.sync_interval:
             self.broadcast_weights()
         rounds: List[VectorTransitions] = []
         for worker in self.workers:
             transitions = worker.step()
+            rounds.append(transitions)
+        if drain:
+            self.drain(rounds)
+        self._steps_since_sync += self.steps_per_round
+        return rounds
+
+    def drain(self, rounds: Sequence[VectorTransitions]) -> None:
+        """Insert deferred lock-step transitions into the shared buffer.
+
+        Rounds are drained in the order given (worker id order within a
+        round, FIFO across rounds), so a pipelined schedule that defers the
+        drain reproduces exactly the insertion order of the immediate-drain
+        path.
+        """
+        for transitions in rounds:
             self.buffer.add_batch(
                 transitions.states,
                 transitions.actions,
@@ -410,9 +435,6 @@ class AsyncCollector:
                 transitions.next_states,
                 transitions.dones,
             )
-            rounds.append(transitions)
-        self._steps_since_sync += self.steps_per_round
-        return rounds
 
     def _collect_sync(self, num_steps: int) -> AsyncCollectStats:
         rounds = -(-num_steps // self.steps_per_round)

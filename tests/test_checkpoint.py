@@ -77,6 +77,95 @@ class TestQatState:
         assert restored.numerics.range_tracker.min_value == pytest.approx(-2.0)
         assert restored.numerics.range_tracker.max_value == pytest.approx(3.0)
 
+    def test_postponed_switch_roundtrip(self, rng, tmp_path):
+        """Checkpoint taken *between* the quantization delay and a postponed
+        switch: half_mode is still False but the range tracker is partially
+        filled — both must survive the round trip, and a controller resumed
+        on the restored agent must switch using the captured range."""
+        from repro.rl import QATController, QATSchedule
+
+        agent = _ddpg(rng, regime="fixar-dynamic")
+        controller = QATController(
+            agent.numerics, QATSchedule(num_bits=16, quantization_delay=10)
+        )
+        # Past the delay with no observed range: the switch is postponed.
+        assert controller.on_timestep(10) is None
+        agent.numerics.observe_activation(np.array([-1.5, 0.25, 2.5]))
+        metadata = checkpoint_metadata(agent)
+        assert metadata["qat"]["half_mode"] is False
+        assert metadata["qat"]["range_min"] == pytest.approx(-1.5)
+        path = save_agent(agent, tmp_path / "postponed.npz")
+
+        restored = _ddpg(np.random.default_rng(1), regime="fixar-dynamic")
+        load_agent_into(restored, path)
+        assert not restored.numerics.half_mode  # the switch has NOT happened
+        assert restored.numerics.range_tracker.initialized
+        assert restored.numerics.range_tracker.min_value == pytest.approx(-1.5)
+        assert restored.numerics.range_tracker.max_value == pytest.approx(2.5)
+        assert (
+            restored.numerics.range_tracker.count
+            == agent.numerics.range_tracker.count
+        )
+
+        # Resuming the schedule on the restored agent completes the switch
+        # with the checkpointed range, as the interrupted run would have.
+        resumed = QATController(
+            restored.numerics, QATSchedule(num_bits=16, quantization_delay=10)
+        )
+        event = resumed.on_timestep(11)
+        assert event is not None
+        assert restored.numerics.half_mode
+        assert event.activation_min == pytest.approx(-1.5)
+        assert event.activation_max == pytest.approx(2.5)
+
+
+class TestPipelinedTrainingRoundtrip:
+    @pytest.mark.pipelined
+    def test_pipelined_agent_save_restore_smoke(self, rng, tmp_path):
+        """An agent trained under the pipelined schedule checkpoints and
+        restores like any other: same policy, same update count."""
+        from repro.envs import HopperEnv
+        from repro.nn import make_numerics
+        from repro.rl import TrainingConfig, train
+
+        env = HopperEnv(seed=5, max_episode_steps=40)
+        agent = DDPGAgent(
+            env.state_dim,
+            env.action_dim,
+            DDPGConfig(hidden_sizes=(12, 8)),
+            numerics=make_numerics("float32"),
+            rng=rng,
+        )
+        config = TrainingConfig(
+            total_timesteps=120,
+            warmup_timesteps=24,
+            batch_size=16,
+            buffer_capacity=2_000,
+            evaluation_interval=120,
+            evaluation_episodes=1,
+            seed=3,
+            num_envs=2,
+            num_workers=2,
+            pipeline_depth=1,
+        )
+        result = train(
+            env, agent, config, eval_env=HopperEnv(seed=9, max_episode_steps=40)
+        )
+        assert result.pipeline_depth == 1
+        path = save_agent(agent, tmp_path / "pipelined.npz")
+
+        restored = DDPGAgent(
+            env.state_dim,
+            env.action_dim,
+            DDPGConfig(hidden_sizes=(12, 8)),
+            numerics=make_numerics("float32"),
+            rng=np.random.default_rng(99),
+        )
+        metadata = load_agent_into(restored, path)
+        assert metadata["update_count"] == agent.update_count
+        state = np.random.default_rng(0).normal(size=env.state_dim)
+        np.testing.assert_array_equal(agent.act(state), restored.act(state))
+
 
 class TestSaveLoadTD3:
     def test_roundtrip(self, rng, tmp_path):

@@ -29,6 +29,16 @@ class TestParser:
         assert args.num_envs == 1
         assert args.num_workers == 1
         assert args.sync_interval == 1
+        assert args.pipeline_depth == 0
+
+    @pytest.mark.parametrize("value", ["-1", "one"])
+    def test_rejects_bad_pipeline_depth_at_the_boundary(self, value, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["train", "--pipeline-depth", value])
+        assert excinfo.value.code == 2
+        message = capsys.readouterr().err
+        assert "--pipeline-depth" in message
+        assert "non-negative integer" in message or "expected an integer" in message
 
     @pytest.mark.parametrize("flag", ["--num-envs", "--num-workers", "--sync-interval"])
     @pytest.mark.parametrize("value", ["0", "-3", "two"])
@@ -126,3 +136,29 @@ class TestCommands:
         )
         assert exit_code == 2
         assert "--num-workers" in capsys.readouterr().err
+
+    @pytest.mark.pipelined
+    def test_train_command_pipelined(self, capsys):
+        exit_code = main(
+            [
+                "train",
+                "--timesteps", "240",
+                "--batch-size", "16",
+                "--hidden", "24", "16",
+                "--regime", "float32",
+                "--num-envs", "2",
+                "--num-workers", "2",
+                "--pipeline-depth", "1",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "pipelined depth 1 schedule" in output
+        assert "reward curve" in output
+
+    def test_cosim_rejects_pipelined_schedule(self, capsys):
+        exit_code = main(
+            ["train", "--timesteps", "200", "--pipeline-depth", "1", "--cosim"]
+        )
+        assert exit_code == 2
+        assert "--pipeline-depth" in capsys.readouterr().err

@@ -153,6 +153,63 @@ class TestTrainingLoop:
         result = train(env, agent, self._config(steps=120))
         assert result.curve.label == "fixed32"
 
+    def test_wide_rounds_record_every_evaluation_boundary(self, rng):
+        """A round of num_envs * num_workers steps that crosses several
+        evaluation_interval boundaries must record one curve point per
+        boundary — the scalar oracle's cadence — not collapse them into a
+        single point at the last boundary (the old under-reporting bug)."""
+        from repro.rl import train_scalar_reference
+
+        config = TrainingConfig(
+            total_timesteps=64,
+            warmup_timesteps=8,
+            batch_size=8,
+            buffer_capacity=1000,
+            evaluation_interval=4,  # < steps_per_round == 8: 2 crossings/round
+            evaluation_episodes=1,
+            exploration_noise=0.2,
+            seed=0,
+            num_envs=8,
+        )
+        env = HalfCheetahEnv(seed=0, max_episode_steps=20)
+        agent = _small_agent(rng, env)
+        scalar = train_scalar_reference(
+            HalfCheetahEnv(seed=0, max_episode_steps=20),
+            _small_agent(np.random.default_rng(7), env),
+            config,
+            eval_env=HalfCheetahEnv(seed=1, max_episode_steps=20),
+        )
+        vectorized = train(
+            env, agent, config, eval_env=HalfCheetahEnv(seed=2, max_episode_steps=20)
+        )
+        # Same evaluation cadence as the scalar oracle: every boundary gets
+        # its own point (16 of them), at identical timesteps.
+        np.testing.assert_array_equal(
+            vectorized.curve.timesteps, scalar.curve.timesteps
+        )
+        assert len(vectorized.curve.points) == 64 // 4
+
+    def test_single_crossing_cadence_unchanged(self, rng):
+        """With at most one boundary per round the fix is invisible: the
+        curve still gets exactly one point per interval."""
+        env = HalfCheetahEnv(seed=0, max_episode_steps=20)
+        agent = _small_agent(rng, env)
+        config = TrainingConfig(
+            total_timesteps=64,
+            warmup_timesteps=8,
+            batch_size=8,
+            buffer_capacity=1000,
+            evaluation_interval=16,
+            evaluation_episodes=1,
+            exploration_noise=0.2,
+            seed=0,
+            num_envs=4,
+        )
+        result = train(
+            env, agent, config, eval_env=HalfCheetahEnv(seed=1, max_episode_steps=20)
+        )
+        assert list(result.curve.timesteps) == [16, 32, 48, 64]
+
     def test_training_improves_over_random_policy(self, rng):
         """A slightly longer run must beat the untrained policy's return."""
         env = HalfCheetahEnv(seed=0, max_episode_steps=100)

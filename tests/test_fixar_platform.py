@@ -191,3 +191,78 @@ class TestBatchInference:
         vector = platform.timestep_breakdown(64, num_envs=16)
         for component in scalar:
             assert vector[component] >= scalar[component]
+
+
+class TestPipelinedSchedule:
+    """Pricing of the pipelined training schedule (max instead of sum)."""
+
+    def test_update_step_is_component_sum(self, platform):
+        state_dim = platform.workload.state_dim
+        action_dim = platform.workload.action_dim
+        expected = (
+            platform.host.update_phase_seconds(64)
+            + platform.pcie.update_seconds(64, state_dim, action_dim)
+            + platform.train_pass_seconds(64)
+        )
+        assert platform.update_step_seconds(64) == pytest.approx(expected)
+
+    def test_train_pass_excludes_rollout_inference(self, platform):
+        # The training-only FPGA pass plus the single-state inference must
+        # reassemble the full timestep's FPGA time.
+        inference = platform.timing.inference_seconds(
+            platform.workload.actor_shapes, 1, half_precision=platform.half_precision
+        )
+        assert platform.train_pass_seconds(64) + inference == pytest.approx(
+            platform.fpga_seconds(64)
+        )
+
+    def test_streamed_updates_amortise_invocation_overhead(self, platform):
+        blocking = platform.update_round_seconds(64, 32, pipelined=False)
+        streamed = platform.update_round_seconds(64, 32, pipelined=True)
+        # One invocation overhead per round instead of one per update.
+        assert streamed < blocking
+        assert streamed >= 32 * platform.train_pass_seconds(64)
+        assert platform.update_round_seconds(64, 0, pipelined=True) == 0.0
+        with pytest.raises(ValueError):
+            platform.update_round_seconds(64, -1)
+
+    def test_pipelined_round_is_max_of_phases(self, platform):
+        collection = platform.collection_round_seconds(8, 4)
+        update = platform.update_round_seconds(64, 32, pipelined=True)
+        inference_fpga = 4 * platform.infer_batch(8).fpga_seconds
+        assert platform.pipelined_round_seconds(8, 4, 64) == pytest.approx(
+            max(collection, update + inference_fpga)
+        )
+        # The sequential schedule pays the sum (with blocking invocations).
+        assert platform.sequential_round_seconds(8, 4, 64) == pytest.approx(
+            collection + platform.update_round_seconds(64, 32, pipelined=False)
+        )
+
+    def test_pipelined_never_slower_and_meets_contract(self, platform):
+        for num_workers in (1, 2, 4):
+            assert platform.pipelined_speedup(8, num_workers, 64) >= 1.0
+        # The bench contract: >= 1.5x modelled steps/sec at 4 workers x 8 envs.
+        assert platform.pipelined_speedup(8, 4, 64) >= 1.5
+
+    def test_default_update_quota_is_one_per_env_step(self, platform):
+        explicit = platform.pipelined_round_seconds(8, 4, 64, updates_per_round=32)
+        assert platform.pipelined_round_seconds(8, 4, 64) == pytest.approx(explicit)
+
+    def test_host_update_phase_accounting(self, platform):
+        host = platform.host
+        per_update = host.config.replay_sample_seconds_per_transition * 64
+        assert host.update_phase_seconds(64) == pytest.approx(per_update)
+        assert host.update_phase_seconds(64, updates=32) == pytest.approx(32 * per_update)
+        with pytest.raises(ValueError):
+            host.update_phase_seconds(0)
+        with pytest.raises(ValueError):
+            host.update_phase_seconds(64, updates=-1)
+
+    def test_pcie_update_invocation_components(self, platform):
+        pcie = platform.pcie
+        assert pcie.update_bytes(64, 17, 6) == 64 * (2 * 17 + 6 + 2) * 4
+        assert pcie.update_seconds(64, 17, 6) == pytest.approx(
+            pcie.invocation_overhead_seconds + pcie.update_marginal_seconds(64, 17, 6)
+        )
+        with pytest.raises(ValueError):
+            pcie.update_bytes(0, 17, 6)

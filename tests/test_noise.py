@@ -53,6 +53,111 @@ class TestOrnsteinUhlenbeck:
             OrnsteinUhlenbeckNoise(2, dt=0.0)
 
 
+class TestOrnsteinUhlenbeckBatch:
+    """Pin the per-environment batch semantics of the OU process.
+
+    ``sample_batch(N)`` advances one *independent* OU state per lock-stepped
+    environment — not one shared state N times, which handed temporally
+    consecutive values to parallel environments so that no single
+    environment saw a correlated trajectory.
+    """
+
+    def test_single_sample_stream_is_bit_compatible_with_scalar(self):
+        scalar = OrnsteinUhlenbeckNoise(3, sigma=0.2, seed=11)
+        batched = OrnsteinUhlenbeckNoise(3, sigma=0.2, seed=11)
+        for _ in range(20):
+            expected = scalar.sample()
+            np.testing.assert_array_equal(batched.sample_batch(1), expected[None, :])
+
+    def test_each_env_sees_a_correlated_trajectory(self):
+        noise = OrnsteinUhlenbeckNoise(1, sigma=0.2, theta=0.15, seed=0)
+        samples = np.array([noise.sample_batch(4)[:, 0] for _ in range(3000)])
+        for env in range(4):
+            trajectory = samples[:, env]
+            lag1 = np.corrcoef(trajectory[:-1], trajectory[1:])[0, 1]
+            assert lag1 > 0.9  # every env's process is strongly correlated
+
+    def test_envs_get_distinct_noise(self):
+        noise = OrnsteinUhlenbeckNoise(2, sigma=0.2, seed=3)
+        batch = noise.sample_batch(4)
+        assert batch.shape == (4, 2)
+        # Independent diffusion draws: no two environments coincide.
+        assert len({tuple(row) for row in np.round(batch, 12)}) == 4
+
+    def test_reset_restarts_every_env_at_the_mean(self):
+        noise = OrnsteinUhlenbeckNoise(2, mu=0.5, sigma=0.2, seed=0)
+        for _ in range(10):
+            noise.sample_batch(3)
+        noise.reset()
+        assert noise._batch_state is None
+        first = noise.sample_batch(3)
+        # One drift/diffusion step away from the mean, for every env.
+        assert np.all(np.abs(first - 0.5) < 1.0)
+        np.testing.assert_allclose(noise._state, 0.5)
+
+    def test_width_change_restarts_batch_state(self):
+        noise = OrnsteinUhlenbeckNoise(2, sigma=0.2, seed=0)
+        noise.sample_batch(4)
+        assert noise._batch_state.shape == (4, 2)
+        noise.sample_batch(6)
+        assert noise._batch_state.shape == (6, 2)
+
+    def test_reset_envs_restarts_only_finished_trajectories(self):
+        """One env's episode ending must not destroy the others' OU state."""
+        noise = OrnsteinUhlenbeckNoise(2, mu=0.5, sigma=0.2, seed=0)
+        for _ in range(5):
+            noise.sample_batch(3)
+        before = noise._batch_state.copy()
+        noise.reset_envs([1])
+        np.testing.assert_allclose(noise._batch_state[1], 0.5)  # restarted
+        np.testing.assert_array_equal(noise._batch_state[0], before[0])
+        np.testing.assert_array_equal(noise._batch_state[2], before[2])
+
+    def test_reset_envs_before_any_batch_falls_back_to_reset(self):
+        noise = OrnsteinUhlenbeckNoise(2, sigma=0.2, seed=0)
+        noise.sample()
+        noise.reset_envs([0])
+        np.testing.assert_allclose(noise._state, 0.0)
+
+    def test_stateless_reset_envs_defers_to_reset(self):
+        # GaussianNoise has no per-env state: reset_envs is the base default.
+        GaussianNoise(2, 0.1, seed=0).reset_envs([0, 1])  # must not raise
+
+    def test_rollout_engine_accepts_batched_ou(self):
+        """The engine's stateful-noise guard recognises OU's batch override
+        (DecayedNoise, which still stacks sequential samples, stays rejected)."""
+        from repro.envs import VectorEnv
+        from repro.nn import make_numerics
+        from repro.rl import DDPGAgent, DDPGConfig, RolloutEngine
+
+        env = VectorEnv.make("Hopper", 4, seed=0, max_episode_steps=30)
+        agent = DDPGAgent(
+            env.state_dim,
+            env.action_dim,
+            DDPGConfig(hidden_sizes=(12, 8)),
+            numerics=make_numerics("float32"),
+            rng=np.random.default_rng(0),
+        )
+        noise = OrnsteinUhlenbeckNoise(env.action_dim, seed=0)
+        engine = RolloutEngine(env, agent, noise=noise)
+        engine.reset()
+        transitions = engine.step()
+        assert len(transitions) == 4
+        # Drive past episode ends: the engine resets only the finished
+        # environments' trajectories (reset_envs), never the whole batch
+        # state — a full reset() would null it.
+        engine.collect(200)
+        assert len(engine.episode_returns) > 0  # 30-step horizon forced dones
+        assert noise._batch_state is not None
+        assert noise._batch_state.shape == (4, env.action_dim)
+        with pytest.raises(ValueError, match="sample_batch"):
+            RolloutEngine(
+                env,
+                agent,
+                noise=DecayedNoise(GaussianNoise(env.action_dim, 0.1, seed=0)),
+            )
+
+
 class TestDecayedNoise:
     def test_scale_decays_to_floor(self):
         noise = DecayedNoise(GaussianNoise(2, 1.0, seed=0), decay=0.5, min_scale=0.1)

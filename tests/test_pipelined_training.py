@@ -1,0 +1,307 @@
+"""Tests for the pipelined training schedule (``TrainingConfig.pipeline_depth``).
+
+The load-bearing guarantees:
+
+* ``pipeline_depth == 0`` is the sequential oracle: the loop is bit-exact
+  with the pre-pipeline ``train()`` (whose own oracle chain reaches back to
+  :func:`train_scalar_reference`);
+* with frozen collection replicas (``sync_interval`` beyond the run) the
+  pipelined schedule only *reorders* work, so the replay-buffer contents —
+  and in the deterministic emulation the entire run — match the sequential
+  schedule bit for bit;
+* when updates do feed back into collection, the pipelined schedule's one
+  visible semantic difference is bounded weight staleness;
+* the collector's deferred-drain path (``step_sync(drain=False)`` +
+  ``drain``) inserts exactly what the immediate-drain path inserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.envs import HopperEnv
+from repro.nn import DynamicFixedPointNumerics, make_numerics
+from repro.rl import (
+    AsyncCollector,
+    CollectorWorker,
+    DDPGAgent,
+    DDPGConfig,
+    QATController,
+    QATSchedule,
+    ReplayBuffer,
+    TrainingConfig,
+    train,
+)
+
+
+def _agent(env, seed=42, regime="float32"):
+    return DDPGAgent(
+        env.state_dim,
+        env.action_dim,
+        DDPGConfig(hidden_sizes=(24, 16)),
+        numerics=make_numerics(regime),
+        rng=np.random.default_rng(seed),
+    )
+
+
+def _config(**overrides):
+    base = TrainingConfig(
+        total_timesteps=240,
+        warmup_timesteps=48,
+        batch_size=16,
+        buffer_capacity=5_000,
+        evaluation_interval=120,
+        evaluation_episodes=2,
+        exploration_noise=0.2,
+        seed=3,
+        num_envs=2,
+        num_workers=2,
+    )
+    return replace(base, **overrides)
+
+
+def _run(config, env_seed=5, agent_seed=42, regime="float32", qat_controller=None):
+    env = HopperEnv(seed=env_seed, max_episode_steps=40)
+    agent = _agent(env, seed=agent_seed, regime=regime)
+    result = train(
+        env,
+        agent,
+        config,
+        eval_env=HopperEnv(seed=9, max_episode_steps=40),
+        qat_controller=qat_controller,
+    )
+    return result, agent
+
+
+def _buffer_rows(buffer):
+    """Every stored transition flattened to one sortable row."""
+    n = len(buffer)
+    return np.hstack(
+        [
+            buffer._states[:n],
+            buffer._actions[:n],
+            buffer._rewards[:n].reshape(n, -1),
+            buffer._next_states[:n],
+            buffer._dones[:n].reshape(n, -1).astype(float),
+        ]
+    )
+
+
+class TestConfig:
+    def test_pipeline_depth_validated(self):
+        with pytest.raises(ValueError, match="pipeline_depth"):
+            _config(pipeline_depth=-1)
+
+    def test_result_records_depth(self):
+        result, _ = _run(_config(pipeline_depth=1))
+        assert result.pipeline_depth == 1
+        assert result.summary()["pipeline_depth"] == 1
+
+
+class TestSequentialOracle:
+    @pytest.mark.smoke
+    @pytest.mark.pipelined
+    def test_depth_zero_is_bit_exact_with_scalar_oracle(self):
+        """depth 0 at 1 worker x 1 env still reproduces the scalar loop."""
+        from repro.rl import train_scalar_reference
+
+        config = _config(total_timesteps=200, num_envs=1, num_workers=1, pipeline_depth=0)
+        reference_agent = _agent(HopperEnv(seed=5))
+        reference = train_scalar_reference(
+            HopperEnv(seed=5, max_episode_steps=40),
+            reference_agent,
+            config,
+            eval_env=HopperEnv(seed=9, max_episode_steps=40),
+        )
+        sequential, sequential_agent = _run(
+            replace(config, pipeline_depth=0), env_seed=5
+        )
+        np.testing.assert_array_equal(
+            reference.curve.returns, sequential.curve.returns
+        )
+        assert reference.episode_returns == sequential.episode_returns
+        for attr in ("_states", "_actions", "_rewards", "_next_states", "_dones"):
+            np.testing.assert_array_equal(
+                getattr(reference.replay_buffer, attr),
+                getattr(sequential.replay_buffer, attr),
+            )
+        for name, value in reference_agent.actor.parameters().items():
+            np.testing.assert_array_equal(
+                value, sequential_agent.actor.parameters()[name]
+            )
+
+
+class TestPipelinedRegression:
+    @pytest.mark.smoke
+    @pytest.mark.pipelined
+    def test_depth_one_keeps_replay_contents_with_frozen_replicas(self):
+        """The issue's regression: identical replay-buffer contents (order
+        may differ) under a fixed seed.  With ``sync_interval`` beyond the
+        run the replicas never refresh, so pipelining only reorders work."""
+        frozen = _config(sync_interval=10**9)
+        sequential, sequential_agent = _run(replace(frozen, pipeline_depth=0))
+        pipelined, pipelined_agent = _run(replace(frozen, pipeline_depth=1))
+
+        assert len(sequential.replay_buffer) == len(pipelined.replay_buffer)
+        seq_rows = _buffer_rows(sequential.replay_buffer)
+        pipe_rows = _buffer_rows(pipelined.replay_buffer)
+        order = lambda rows: rows[np.lexsort(rows.T)]
+        np.testing.assert_array_equal(order(seq_rows), order(pipe_rows))
+
+        # The deterministic emulation in fact preserves the whole run: same
+        # insertion order, same curve, same updates, same final weights.
+        np.testing.assert_array_equal(seq_rows, pipe_rows)
+        np.testing.assert_array_equal(
+            sequential.curve.returns, pipelined.curve.returns
+        )
+        assert sequential.total_updates == pipelined.total_updates
+        for name, value in sequential_agent.actor.parameters().items():
+            np.testing.assert_array_equal(
+                value, pipelined_agent.actor.parameters()[name]
+            )
+
+    def test_depth_one_introduces_bounded_staleness(self):
+        """With updates feeding back into collection every round, the
+        pipelined schedule acts on one-round-stale weights, so post-warmup
+        trajectories legitimately diverge — while the work accounting
+        (steps, updates, curve cadence) stays identical."""
+        feedback = _config(sync_interval=1)
+        sequential, _ = _run(replace(feedback, pipeline_depth=0))
+        pipelined, _ = _run(replace(feedback, pipeline_depth=1))
+
+        assert sequential.total_timesteps == pipelined.total_timesteps
+        assert sequential.total_updates == pipelined.total_updates
+        np.testing.assert_array_equal(
+            sequential.curve.timesteps, pipelined.curve.timesteps
+        )
+        assert not np.array_equal(
+            _buffer_rows(sequential.replay_buffer),
+            _buffer_rows(pipelined.replay_buffer),
+        )
+
+    def test_deeper_pipelines_drain_fully(self):
+        """Any depth drains its backlog: every collected step is updated on."""
+        for depth in (2, 5):
+            result, _ = _run(_config(pipeline_depth=depth))
+            steps_per_round = 4
+            expected_steps = -(-240 // steps_per_round) * steps_per_round
+            assert result.total_timesteps == expected_steps
+            assert result.total_updates == expected_steps - 48
+            assert len(result.replay_buffer) == expected_steps
+
+    def test_progress_callback_metrics_match_sequential_with_frozen_replicas(self):
+        """The callback's episode count is snapshotted at the evaluated
+        round's collection, so the fleet running ahead must not inflate it:
+        with frozen replicas the pipelined metrics equal the sequential ones
+        boundary for boundary."""
+
+        def run(depth):
+            seen = []
+            env = HopperEnv(seed=5, max_episode_steps=40)
+            config = _config(
+                sync_interval=10**9, evaluation_interval=60, pipeline_depth=depth
+            )
+            train(
+                env,
+                _agent(env),
+                config,
+                eval_env=HopperEnv(seed=9, max_episode_steps=40),
+                progress_callback=lambda step, metrics: seen.append((step, metrics)),
+            )
+            return seen
+
+        sequential, pipelined = run(0), run(2)
+        assert len(sequential) == len(pipelined) == 4
+        for (seq_step, seq_metrics), (pipe_step, pipe_metrics) in zip(
+            sequential, pipelined
+        ):
+            assert seq_step == pipe_step
+            assert seq_metrics["episodes"] == pipe_metrics["episodes"]
+            assert seq_metrics["average_return"] == pipe_metrics["average_return"]
+
+    def test_pipelined_rejects_shared_evaluation_env(self):
+        """A training env that must double as the evaluation env forces
+        post-evaluation restarts, which the overlapped schedule cannot honor
+        at the right point in the collection timeline — refuse loudly."""
+
+        class PickyHopper(HopperEnv):
+            def __init__(self, seed, max_episode_steps=40):
+                super().__init__(seed=seed, max_episode_steps=max_episode_steps)
+
+        env = PickyHopper(seed=5)
+        config = _config(num_envs=2, num_workers=1, pipeline_depth=1)
+        with pytest.raises(ValueError, match="eval_env"):
+            train(env, _agent(env), config)  # no eval_env, not constructible
+        # An explicit eval_env makes the same setup legal.
+        result = train(
+            env, _agent(env), config, eval_env=HopperEnv(seed=9, max_episode_steps=40)
+        )
+        assert result.pipeline_depth == 1
+
+    def test_pipelined_run_is_reproducible(self):
+        first, first_agent = _run(_config(pipeline_depth=1))
+        second, second_agent = _run(_config(pipeline_depth=1))
+        np.testing.assert_array_equal(first.curve.returns, second.curve.returns)
+        assert first.episode_returns == second.episode_returns
+        for name, value in first_agent.actor.parameters().items():
+            np.testing.assert_array_equal(value, second_agent.actor.parameters()[name])
+
+
+class TestPipelinedQat:
+    @pytest.mark.pipelined
+    def test_qat_switch_fires_in_pipelined_mode(self):
+        env = HopperEnv(seed=5, max_episode_steps=40)
+        agent = _agent(env, regime="fixar-dynamic")
+        controller = QATController(
+            agent.numerics, QATSchedule(16, quantization_delay=100)
+        )
+        config = _config(total_timesteps=240, pipeline_depth=1)
+        result = train(
+            env,
+            agent,
+            config,
+            eval_env=HopperEnv(seed=9, max_episode_steps=40),
+            qat_controller=controller,
+        )
+        assert result.qat_event is not None
+        assert result.qat_event.timestep >= 100
+        assert agent.numerics.half_mode
+        # The controller's reported width agrees with the numerics in effect.
+        assert controller.activation_bits_at(result.qat_event.timestep) == 16
+
+
+class TestDeferredDrain:
+    def test_step_sync_drain_false_defers_buffer_insertion(self):
+        env = HopperEnv(seed=0, max_episode_steps=30)
+        agent = _agent(env)
+        immediate_buffer = ReplayBuffer(1_000, 11, 6, seed=0)
+        deferred_buffer = ReplayBuffer(1_000, 11, 6, seed=0)
+
+        def collector_for(buffer):
+            workers = [
+                CollectorWorker.from_agent(
+                    w, agent, HopperEnv(seed=0, max_episode_steps=30), 2, seed=10
+                )
+                for w in range(2)
+            ]
+            collector = AsyncCollector(workers, buffer, source_agent=agent)
+            for worker in workers:
+                worker.engine.reset()
+            return collector
+
+        immediate = collector_for(immediate_buffer)
+        deferred = collector_for(deferred_buffer)
+
+        immediate.step_sync()
+        rounds = deferred.step_sync(drain=False)
+        assert len(deferred_buffer) == 0  # nothing drained yet
+        assert len(immediate_buffer) == 4
+        deferred.drain(rounds)
+        assert len(deferred_buffer) == 4
+        for attr in ("_states", "_actions", "_rewards", "_next_states", "_dones"):
+            np.testing.assert_array_equal(
+                getattr(immediate_buffer, attr), getattr(deferred_buffer, attr)
+            )

@@ -73,8 +73,50 @@ class TestController:
         numerics.observe_activation(np.array([-1.0, 1.0]))
         assert controller.on_timestep(1) is not None
 
-    def test_activation_bits_at(self):
-        controller, _ = self._controller(delay=100)
+    def test_activation_bits_at(self, rng):
+        controller, numerics = self._controller(delay=100)
         assert controller.activation_bits_at(0) == 32
         assert controller.activation_bits_at(99) == 32
+        # The switch has not happened yet (the controller may still postpone
+        # it), so the numerics actually in effect at t >= delay are full
+        # precision until on_timestep really flips them.
+        assert controller.activation_bits_at(100) == 32
+        numerics.observe_activation(rng.uniform(-2, 2, size=50))
+        assert controller.on_timestep(100) is not None
         assert controller.activation_bits_at(100) == 16
+        assert controller.activation_bits_at(99) == 32
+
+    def test_activation_bits_track_postponed_switch(self, rng):
+        """A postponed switch must not be reported as half precision.
+
+        With an uninitialized range tracker the controller postpones the
+        switch past the delay; activation_bits_at has to report the full
+        width for those timesteps — they really ran at full precision —
+        and half width only from the actual switch timestep on.
+        """
+        controller, numerics = self._controller(delay=10)
+        # Steps 10..12 pass with no observed range: postponed, still 32-bit.
+        for step in (10, 11, 12):
+            assert controller.on_timestep(step) is None
+            assert controller.activation_bits_at(step) == 32
+        numerics.observe_activation(rng.uniform(-1, 1, size=20))
+        event = controller.on_timestep(13)
+        assert event is not None and event.timestep == 13
+        # The postponed window keeps reporting the precision it really had.
+        assert controller.activation_bits_at(10) == 32
+        assert controller.activation_bits_at(12) == 32
+        assert controller.activation_bits_at(13) == 16
+        assert controller.activation_bits_at(999) == 16
+
+    def test_activation_bits_trust_restored_half_mode_numerics(self, rng):
+        """A controller resumed on checkpoint-restored numerics that are
+        already in half mode must report half precision even though *it*
+        never performed the switch."""
+        _, numerics = self._controller(delay=10)
+        numerics.observe_activation(rng.uniform(-1, 1, size=20))
+        numerics.switch_to_half()  # what load_agent_into does on restore
+        resumed = QATController(numerics, QATSchedule(num_bits=16, quantization_delay=10))
+        assert not resumed.switched  # this controller recorded no event
+        assert resumed.activation_bits_at(9) == 32
+        assert resumed.activation_bits_at(10) == 16
+        assert resumed.activation_bits_at(500) == 16

@@ -324,13 +324,20 @@ class TestRolloutEngine:
 
 class TestGuards:
     def test_stateful_noise_rejected_for_multi_env(self):
-        from repro.rl import OrnsteinUhlenbeckNoise
+        from repro.rl import DecayedNoise, GaussianNoise, OrnsteinUhlenbeckNoise
 
         vec = VectorEnv.make("Hopper", 4, seed=0, max_episode_steps=30)
         agent = _agent(vec.envs[0])
+        # Stateful noise without a per-environment batch override (DecayedNoise
+        # inherits the sequential-stacking default) stays rejected.
         with pytest.raises(ValueError, match="sample_batch"):
-            RolloutEngine(vec, agent, noise=OrnsteinUhlenbeckNoise(vec.action_dim))
-        # Single-env keeps working with stateful noise (scalar semantics).
+            RolloutEngine(
+                vec, agent, noise=DecayedNoise(GaussianNoise(vec.action_dim, 0.1))
+            )
+        # OU now keeps one OU state per environment in batch mode, so the
+        # guard accepts it at num_envs > 1.
+        RolloutEngine(vec, agent, noise=OrnsteinUhlenbeckNoise(vec.action_dim))
+        # Single-env keeps working with any stateful noise (scalar semantics).
         single = VectorEnv.make("Hopper", 1, seed=0, max_episode_steps=30)
         RolloutEngine(single, _agent(single.envs[0]), noise=OrnsteinUhlenbeckNoise(single.action_dim))
 
