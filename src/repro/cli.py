@@ -17,6 +17,7 @@ Installed as the ``fixar-repro`` console script; also runnable with
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -94,6 +95,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "learner (the pipelined training schedule's bounded "
                             "staleness window; 0 = the sequential schedule, "
                             "bit-exact with the pre-pipeline loop)")
+    train.add_argument("--fleet", type=str, default=None, metavar="SPEC",
+                       help="heterogeneous collector fleet spec "
+                            "'Benchmark[:count],...' (e.g. 'HalfCheetah:2,Hopper:2'): "
+                            "each entry contributes count workers of --num-envs "
+                            "environments of that benchmark, with one learner "
+                            "agent and replay buffer per benchmark sharing one "
+                            "numerics object / QAT schedule; overrides "
+                            "--benchmark and replaces --num-workers as the "
+                            "fleet sizing")
     train.add_argument("--regime", default="fixar-dynamic",
                        choices=("float32", "fixed32", "fixed16", "fixar-dynamic"))
     train.add_argument("--hidden", type=int, nargs=2, default=(64, 48), metavar=("H1", "H2"))
@@ -119,6 +129,82 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _command_train_fleet(args: argparse.Namespace) -> int:
+    """The heterogeneous multi-benchmark branch of the train sub-command."""
+    import numpy as np
+
+    from .envs import benchmark_dimensions
+    from .nn import DynamicFixedPointNumerics, make_numerics
+    from .rl import DDPGAgent, QATController, parse_fleet_spec, train_fleet
+
+    from dataclasses import replace
+
+    try:
+        fleet_spec = parse_fleet_spec(args.fleet)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    # Same reduced-scale hyper-parameters as the homogeneous train path, so
+    # `--fleet Hopper:1` and `--benchmark Hopper` remain comparable runs.
+    base = smoke_test_config(
+        total_timesteps=args.timesteps,
+        batch_size=args.batch_size,
+        hidden_sizes=tuple(args.hidden),
+    ).with_regime(args.regime)
+
+    # One shared numerics object (and QAT schedule) across every benchmark's
+    # agent — a precision switch must hit the whole fleet at once.
+    numerics = make_numerics(base.numeric_regime, num_bits=base.qat.num_bits)
+    rng = np.random.default_rng(args.seed)
+    agents = {}
+    for benchmark, _count in fleet_spec:
+        dims = benchmark_dimensions(benchmark)
+        agents[benchmark] = DDPGAgent(
+            dims["state_dim"],
+            dims["action_dim"],
+            base.ddpg,
+            numerics=numerics,
+            rng=rng,
+        )
+    qat_controller = None
+    if isinstance(numerics, DynamicFixedPointNumerics):
+        qat_controller = QATController(numerics, base.qat)
+
+    config = replace(
+        base.training,
+        seed=args.seed,
+        num_envs=args.num_envs,
+        sync_interval=args.sync_interval,
+        pipeline_depth=args.pipeline_depth,
+        fleet=fleet_spec,
+    )
+    schedule = (
+        f"pipelined depth {args.pipeline_depth}" if args.pipeline_depth else "sequential"
+    )
+    fleet_text = ",".join(f"{benchmark}:{count}" for benchmark, count in fleet_spec)
+    print(f"training {args.regime} on fleet {fleet_text} for {args.timesteps} timesteps "
+          f"(batch {args.batch_size}, hidden {tuple(args.hidden)}, "
+          f"{args.num_envs} env{'s' if args.num_envs != 1 else ''} per worker in "
+          f"lock-step, {schedule} schedule)")
+
+    result = train_fleet(agents, config, qat_controller=qat_controller, label=args.regime)
+    for benchmark, benchmark_result in result.per_benchmark.items():
+        curve = benchmark_result.curve
+        print(format_curve(curve.timesteps, curve.returns, label=f"{benchmark} reward curve"))
+    if result.qat_event is not None:
+        print(f"precision switch at t={result.qat_event.timestep} "
+              f"(activations -> {result.qat_event.num_bits} bits, fleet-wide)")
+
+    if args.checkpoint:
+        base, extension = os.path.splitext(args.checkpoint)
+        extension = extension or ".npz"
+        for benchmark, agent in agents.items():
+            path = save_agent(agent, f"{base}.{benchmark}{extension}")
+            print(f"{benchmark} checkpoint written to {path}")
+    return 0
+
+
 def _command_train(args: argparse.Namespace) -> int:
     if args.cosim and args.num_envs != 1:
         print(
@@ -141,6 +227,23 @@ def _command_train(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.fleet is not None:
+        if args.cosim:
+            print(
+                "error: --cosim traces the scalar training loop and does not "
+                "support --fleet",
+                file=sys.stderr,
+            )
+            return 2
+        if args.num_workers != 1:
+            print(
+                "error: --fleet and --num-workers are alternative fleet "
+                "sizings; the spec's per-benchmark counts determine the "
+                "workers, so drop --num-workers",
+                file=sys.stderr,
+            )
+            return 2
+        return _command_train_fleet(args)
     config = smoke_test_config(
         benchmark=args.benchmark,
         total_timesteps=args.timesteps,

@@ -1,9 +1,26 @@
 """Benchmark registry: build environments by name.
 
 The paper evaluates on three MuJoCo locomotion benchmarks; this registry
-exposes them (and the generic parametric locomotion task) through a single
-``make`` factory so training scripts, benchmarks, and the platform model can
-select workloads by name.
+exposes them (and any environment a user adds) through a single ``make``
+factory so training scripts, benchmarks, and the platform model can select
+workloads by name.  Names are case-insensitive: ``make("hopper")`` and
+``make("Hopper")`` build the same benchmark.
+
+:func:`register` is the extension point the heterogeneous collector fleets
+rely on: a fleet spec such as ``"HalfCheetah:2,Hopper:2"``
+(:func:`repro.rl.workers.parse_fleet_spec`) resolves every benchmark name
+through this registry, so registering a new environment factory is all it
+takes for that benchmark to participate in mixed-fleet training runs,
+``VectorEnv.make``, and the CLI.
+
+:func:`benchmark_dimensions` answers the "what workload shape does this
+benchmark present?" question that fleet construction and the platform
+timing models ask per benchmark.  It is cheap: factories that expose
+class-level ``STATE_DIM`` / ``ACTION_DIM`` attributes (all built-in
+benchmarks do) are read without instantiating an environment — no RNG is
+created — and factories without them are instantiated once, with the result
+cached, so building an N-benchmark fleet does not pay N env builds up
+front.
 """
 
 from __future__ import annotations
@@ -19,16 +36,32 @@ __all__ = ["make", "register", "available_benchmarks", "BENCHMARK_SUITE", "bench
 
 _REGISTRY: Dict[str, Callable[..., Environment]] = {}
 
+#: Cache of :func:`benchmark_dimensions` results, keyed like ``_REGISTRY``.
+_DIMENSIONS_CACHE: Dict[str, Dict[str, int]] = {}
+
 #: The three benchmarks used throughout the paper's evaluation.
 BENCHMARK_SUITE = ("HalfCheetah", "Hopper", "Swimmer")
 
 
 def register(name: str, factory: Callable[..., Environment]) -> None:
-    """Register an environment factory under a (case-insensitive) name."""
+    """Register an environment factory under a (case-insensitive) name.
+
+    The factory must accept a ``seed`` keyword argument (all benchmark
+    classes do via their constructor).  Registration makes the benchmark
+    available to :func:`make`, ``VectorEnv.make``, the CLI's benchmark
+    options, and — through the fleet-spec grammar — heterogeneous collector
+    fleets; it is the supported way to open a new workload.
+
+    Raises ``ValueError`` if the name is already taken.
+    """
     key = name.lower()
     if key in _REGISTRY:
         raise ValueError(f"benchmark {name!r} is already registered")
     _REGISTRY[key] = factory
+    # A stale cache entry can only exist if the name was registered before;
+    # register() rejects that above, so dropping defensively keeps the cache
+    # coherent even if _REGISTRY was manipulated directly (tests do).
+    _DIMENSIONS_CACHE.pop(key, None)
 
 
 def make(name: str, seed: Optional[int] = None, **kwargs) -> Environment:
@@ -42,14 +75,36 @@ def make(name: str, seed: Optional[int] = None, **kwargs) -> Environment:
 
 
 def available_benchmarks() -> List[str]:
-    """Names of all registered benchmarks."""
+    """Names of all registered benchmarks (lowercase registry keys)."""
     return sorted(_REGISTRY)
 
 
 def benchmark_dimensions(name: str) -> Dict[str, int]:
-    """State / action dimensionality of a benchmark without instantiating it fully."""
-    env = make(name)
-    return {"state_dim": env.state_dim, "action_dim": env.action_dim}
+    """State / action dimensionality of a benchmark, without a full env build.
+
+    Factories exposing class-level ``STATE_DIM`` / ``ACTION_DIM`` integers
+    are read directly — no environment (and no RNG) is instantiated.  Other
+    factories are instantiated once and the result is cached, so repeated
+    queries (fleet construction asks once per benchmark per run) stay cheap.
+    """
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {sorted(available_benchmarks())}"
+        )
+    if key not in _DIMENSIONS_CACHE:
+        factory = _REGISTRY[key]
+        state_dim = getattr(factory, "STATE_DIM", None)
+        action_dim = getattr(factory, "ACTION_DIM", None)
+        if isinstance(state_dim, int) and isinstance(action_dim, int):
+            _DIMENSIONS_CACHE[key] = {"state_dim": state_dim, "action_dim": action_dim}
+        else:
+            env = factory(seed=None)
+            _DIMENSIONS_CACHE[key] = {
+                "state_dim": env.state_dim,
+                "action_dim": env.action_dim,
+            }
+    return dict(_DIMENSIONS_CACHE[key])
 
 
 register("HalfCheetah", HalfCheetahEnv)

@@ -12,6 +12,7 @@ from .fixar_platform import (
     BatchInferenceReport,
     CollectionInferenceReport,
     FixarPlatform,
+    FleetInferenceReport,
     WorkloadSpec,
 )
 from .gpu_baseline import CpuGpuPlatform, GpuAcceleratorModel, GpuConfig
@@ -30,6 +31,7 @@ __all__ = [
     "FixarPlatform",
     "BatchInferenceReport",
     "CollectionInferenceReport",
+    "FleetInferenceReport",
     "WorkloadSpec",
     "PAPER_BATCH_SIZES",
     "PlatformCoSimulation",

@@ -30,14 +30,27 @@ a blocking runtime invocation) while
 the update stream overlaps collection, so the round costs
 ``max(collection, update)`` instead of their sum, with the fixed runtime
 overhead amortized over the round's streamed updates.
+
+Heterogeneous fleets add the last dimension: collector workers that own
+*different benchmarks* present back-to-back batched inferences with
+**different layer dimensions** to the same single accelerator — the
+adaptive-parallelism scenario FIXAR's AAP core exists for.  The
+``fleet_*`` methods price those rounds: a fleet is a sequence of
+``(workload-or-benchmark, worker_count)`` entries, each priced under its
+own :class:`WorkloadSpec` (via :meth:`FixarPlatform.with_workload` /
+:meth:`FixarPlatform.for_benchmark`), with the accelerator serving every
+group's inferences serially and each benchmark's training passes
+(``train_pass_seconds`` differs per layer dimensions) folded into the
+pipelined update stream.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..accelerator import AcceleratorConfig, PowerModel, TimingModel
+from ..envs.registry import benchmark_dimensions
 from ..nn.network import DEFAULT_HIDDEN_SIZES
 from .host import HostModel
 from .metrics import ips_per_watt
@@ -48,6 +61,7 @@ __all__ = [
     "FixarPlatform",
     "BatchInferenceReport",
     "CollectionInferenceReport",
+    "FleetInferenceReport",
     "PAPER_BATCH_SIZES",
 ]
 
@@ -80,6 +94,25 @@ class WorkloadSpec:
     def from_environment(cls, env) -> "WorkloadSpec":
         """Build the spec from an environment (scalar or vector) instance."""
         return cls(benchmark=env.name, state_dim=env.state_dim, action_dim=env.action_dim)
+
+    @classmethod
+    def from_benchmark(
+        cls, name: str, hidden_sizes: Sequence[int] = DEFAULT_HIDDEN_SIZES
+    ) -> "WorkloadSpec":
+        """Build the spec for a registered benchmark by name.
+
+        Dimensions come from the registry's cached
+        :func:`~repro.envs.registry.benchmark_dimensions`, so no environment
+        is instantiated — heterogeneous fleet pricing resolves one spec per
+        benchmark without paying N env builds.
+        """
+        dims = benchmark_dimensions(name)
+        return cls(
+            benchmark=name,
+            state_dim=dims["state_dim"],
+            action_dim=dims["action_dim"],
+            hidden_sizes=tuple(hidden_sizes),
+        )
 
 
 @dataclass(frozen=True)
@@ -154,6 +187,60 @@ class CollectionInferenceReport:
     @property
     def states_per_second(self) -> float:
         """Inference throughput across the fleet."""
+        return self.num_states / self.total_seconds
+
+
+@dataclass(frozen=True)
+class FleetInferenceReport:
+    """Aggregated inference cost of one *heterogeneous* fleet round.
+
+    Produced by :meth:`FixarPlatform.infer_fleet`: each benchmark group's
+    workers present their batched inferences under their own layer
+    dimensions, and the single accelerator serves every group back to back
+    — so the totals are sums of per-group
+    :class:`CollectionInferenceReport` costs, not one report scaled by a
+    worker count.
+    """
+
+    #: Per-benchmark group costs, in fleet order: (benchmark name, report).
+    groups: Tuple[Tuple[str, CollectionInferenceReport], ...]
+
+    @property
+    def num_workers(self) -> int:
+        """Workers across the whole fleet."""
+        return sum(report.num_workers for _, report in self.groups)
+
+    @property
+    def num_states(self) -> int:
+        """States inferred per fleet round."""
+        return sum(report.num_states for _, report in self.groups)
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end latency of serving every group's round serially."""
+        return sum(report.total_seconds for _, report in self.groups)
+
+    @property
+    def fpga_seconds(self) -> float:
+        """Pure FPGA time of the fleet's inferences (update-stream term)."""
+        return sum(
+            report.num_workers * report.per_worker.fpga_seconds
+            for _, report in self.groups
+        )
+
+    @property
+    def pcie_bytes(self) -> int:
+        """Bytes crossing PCIe per fleet round."""
+        return sum(report.pcie_bytes for _, report in self.groups)
+
+    @property
+    def energy_joules(self) -> float:
+        """FPGA board energy per fleet round."""
+        return sum(report.energy_joules for _, report in self.groups)
+
+    @property
+    def states_per_second(self) -> float:
+        """Inference throughput across the heterogeneous fleet."""
         return self.num_states / self.total_seconds
 
 
@@ -465,6 +552,203 @@ class FixarPlatform:
             num_envs, num_workers, batch_size, updates_per_round, pipelined=True
         ) / self.training_steps_per_second(
             num_envs, num_workers, batch_size, updates_per_round, pipelined=False
+        )
+
+    # ------------------------------------------------------------------ #
+    # Heterogeneous fleets (mixed layer dimensions on one accelerator)
+    # ------------------------------------------------------------------ #
+    def with_workload(self, workload: WorkloadSpec) -> "FixarPlatform":
+        """A sibling platform pricing another workload on the same hardware.
+
+        The accelerator configuration, host and PCIe models (including any
+        host calibration), and the precision mode are shared; only the
+        layer dimensions change — which is exactly what happens when the
+        single accelerator turns from one benchmark's batch to another's.
+        """
+        return FixarPlatform(
+            workload,
+            self.accelerator_config,
+            host=self.host,
+            pcie=self.pcie,
+            half_precision=self.half_precision,
+        )
+
+    def for_benchmark(
+        self, benchmark: str, hidden_sizes: Optional[Sequence[int]] = None
+    ) -> "FixarPlatform":
+        """A sibling platform for a registered benchmark's workload.
+
+        ``hidden_sizes`` defaults to this platform's own hidden layer
+        sizes, so a fleet of agents built with one network architecture is
+        priced consistently across benchmarks.
+        """
+        if hidden_sizes is None:
+            hidden_sizes = self.workload.hidden_sizes
+        return self.with_workload(
+            WorkloadSpec.from_benchmark(benchmark, hidden_sizes=tuple(hidden_sizes))
+        )
+
+    def _resolve_fleet(
+        self, fleet: Sequence[Tuple[Union[str, WorkloadSpec], int]]
+    ) -> List[Tuple["FixarPlatform", int]]:
+        """Per-group sibling platforms for a fleet of (workload, count) entries.
+
+        Entries name either a registered benchmark (string) or an explicit
+        :class:`WorkloadSpec`; counts must be positive and the fleet
+        non-empty.
+        """
+        fleet = list(fleet)
+        if not fleet:
+            raise ValueError("fleet must contain at least one (workload, count) entry")
+        resolved: List[Tuple[FixarPlatform, int]] = []
+        for workload, count in fleet:
+            if count <= 0:
+                raise ValueError(f"fleet worker counts must be positive, got {count}")
+            if isinstance(workload, WorkloadSpec):
+                platform = self.with_workload(workload)
+            else:
+                platform = self.for_benchmark(str(workload))
+            resolved.append((platform, count))
+        return resolved
+
+    def infer_fleet(
+        self,
+        fleet: Sequence[Tuple[Union[str, WorkloadSpec], int]],
+        num_envs: int,
+    ) -> FleetInferenceReport:
+        """Price one collection round of a heterogeneous fleet.
+
+        Each entry ``(workload, count)`` contributes ``count`` workers whose
+        batch-of-``num_envs`` inferences are priced under *that* workload's
+        layer dimensions; the single accelerator serves all groups back to
+        back, so the fleet round is the serial concatenation of the
+        per-group :meth:`infer_collection` rounds.
+        """
+        groups = tuple(
+            (platform.workload.benchmark, platform.infer_collection(num_envs, count))
+            for platform, count in self._resolve_fleet(fleet)
+        )
+        return FleetInferenceReport(groups=groups)
+
+    def fleet_collection_round_seconds(
+        self,
+        fleet: Sequence[Tuple[Union[str, WorkloadSpec], int]],
+        num_envs: int,
+    ) -> float:
+        """Modelled time of one heterogeneous-fleet collection round.
+
+        The homogeneous bound structure of :meth:`collection_round_seconds`
+        generalizes per benchmark: every worker still alternates its own
+        host phase with its own batched inference, so no worker cycles
+        faster than its serial ``host_b + inference_b`` chain (the slowest
+        *benchmark* bounds the fleet — each worker runs on its own Xeon
+        core), while the single accelerator serves all groups' batches back
+        to back, paying each group's inference latency under its own layer
+        dimensions.  The steady-state round is whichever bound saturates
+        first.
+        """
+        resolved = self._resolve_fleet(fleet)
+        chains = []
+        accelerator = 0.0
+        for platform, count in resolved:
+            inference = platform.infer_batch(num_envs).total_seconds
+            host = platform.host.collection_step_seconds(
+                platform.workload.benchmark, num_envs
+            )
+            chains.append(host + inference)
+            accelerator += count * inference
+        return max(max(chains), accelerator)
+
+    def fleet_collection_steps_per_second(
+        self,
+        fleet: Sequence[Tuple[Union[str, WorkloadSpec], int]],
+        num_envs: int,
+    ) -> float:
+        """Modelled collection throughput of a heterogeneous fleet."""
+        # The round call resolves (and validates) the fleet; the worker sum
+        # needs only the raw counts.
+        round_seconds = self.fleet_collection_round_seconds(fleet, num_envs)
+        total_workers = sum(count for _, count in fleet)
+        return total_workers * num_envs / round_seconds
+
+    def fleet_sequential_round_seconds(
+        self,
+        fleet: Sequence[Tuple[Union[str, WorkloadSpec], int]],
+        num_envs: int,
+        batch_size: int = 64,
+    ) -> float:
+        """Modelled time of one *sequential* heterogeneous training round.
+
+        The fleet collects, then each benchmark's learner runs its updates
+        (one per environment step its workers collected) as blocking
+        runtime invocations priced under that benchmark's layer dimensions
+        — collection and the per-benchmark update phases strictly
+        alternate, so the round costs their sum.
+        """
+        resolved = self._resolve_fleet(fleet)
+        update_total = sum(
+            platform.update_round_seconds(batch_size, count * num_envs, pipelined=False)
+            for platform, count in resolved
+        )
+        return self.fleet_collection_round_seconds(fleet, num_envs) + update_total
+
+    def fleet_pipelined_round_seconds(
+        self,
+        fleet: Sequence[Tuple[Union[str, WorkloadSpec], int]],
+        num_envs: int,
+        batch_size: int = 64,
+    ) -> float:
+        """Modelled time of one *pipelined* heterogeneous training round.
+
+        The learners' update streams overlap the fleet's collection, so the
+        round is ``max(collection, update)``.  The update side runs one
+        streamed submission per benchmark back to back — each pays its own
+        invocation overhead once and its per-update marginal cost under its
+        own layer dimensions (``train_pass_seconds`` differs per benchmark)
+        — and the fleet's inference FPGA time (every group priced under its
+        own workload) is added to the update stream because the single
+        accelerator serves both sides.
+        """
+        resolved = self._resolve_fleet(fleet)
+        collection = self.fleet_collection_round_seconds(fleet, num_envs)
+        update_total = sum(
+            platform.update_round_seconds(batch_size, count * num_envs, pipelined=True)
+            for platform, count in resolved
+        )
+        inference_fpga = sum(
+            count * platform.infer_batch(num_envs).fpga_seconds
+            for platform, count in resolved
+        )
+        return max(collection, update_total + inference_fpga)
+
+    def fleet_training_steps_per_second(
+        self,
+        fleet: Sequence[Tuple[Union[str, WorkloadSpec], int]],
+        num_envs: int,
+        batch_size: int = 64,
+        pipelined: bool = False,
+    ) -> float:
+        """Modelled end-to-end training throughput of a heterogeneous fleet."""
+        round_seconds = (
+            self.fleet_pipelined_round_seconds(fleet, num_envs, batch_size)
+            if pipelined
+            else self.fleet_sequential_round_seconds(fleet, num_envs, batch_size)
+        )
+        # The round call already resolved and validated the fleet.
+        total_workers = sum(count for _, count in fleet)
+        return total_workers * num_envs / round_seconds
+
+    def fleet_pipelined_speedup(
+        self,
+        fleet: Sequence[Tuple[Union[str, WorkloadSpec], int]],
+        num_envs: int,
+        batch_size: int = 64,
+    ) -> float:
+        """Steps/sec of the pipelined fleet schedule over the sequential one."""
+        return self.fleet_training_steps_per_second(
+            fleet, num_envs, batch_size, pipelined=True
+        ) / self.fleet_training_steps_per_second(
+            fleet, num_envs, batch_size, pipelined=False
         )
 
     # ------------------------------------------------------------------ #

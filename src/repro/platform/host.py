@@ -89,6 +89,13 @@ class HostModel:
         transitions; the replay batch for the accelerator is assembled by the
         learner, not the worker, so the per-sample replay term of
         :meth:`timestep_seconds` does not apply.
+
+        This is the per-benchmark host term of the fleet pricing: in a
+        heterogeneous fleet every worker runs its own benchmark's host phase
+        on its own Xeon core, so the fleet's host bound is the *slowest
+        benchmark's* ``host + inference`` chain
+        (:meth:`~repro.platform.FixarPlatform.fleet_collection_round_seconds`
+        queries this method once per benchmark).
         """
         if num_envs <= 0:
             raise ValueError(f"num_envs must be positive, got {num_envs}")

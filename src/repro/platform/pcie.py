@@ -114,6 +114,13 @@ class PcieModel:
 
         One invocation moves a host→card payload and reads a card→host
         result back; the per-buffer term is therefore paid twice.
+
+        A streamed update queue pays this once per *submission*, not once
+        per update — and a heterogeneous fleet's learners submit one stream
+        per benchmark (the batch layout changes with the layer dimensions),
+        so the pipelined fleet pricing charges this overhead once per
+        benchmark group
+        (:meth:`~repro.platform.FixarPlatform.fleet_pipelined_round_seconds`).
         """
         return self.config.base_overhead_seconds + 2 * self.config.per_buffer_seconds
 

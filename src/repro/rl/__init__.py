@@ -18,7 +18,12 @@ coordinates :class:`CollectorWorker` replicas (each owning its own
 ``VectorEnv`` + engine, seeded ``seed + worker_id * num_envs + i``) around
 one shared replay buffer, with a deterministic synchronous mode used by
 :func:`train` (``TrainingConfig.num_workers``) and a free-running
-multi-process mode for raw collection throughput.  The training schedule
+multi-process mode for raw collection throughput.  A fleet can also span
+*heterogeneous benchmarks* (``TrainingConfig.fleet``, e.g.
+``"HalfCheetah:2,Hopper:2"``): :class:`HeteroFleet` groups the workers per
+benchmark (own replay buffer and learner agent each, one shared numerics
+object so QAT switches apply fleet-wide) and :func:`train_fleet` runs the
+deterministic round schedule across the groups.  The training schedule
 itself can be *pipelined* (``TrainingConfig.pipeline_depth``): the fleet
 collects round k+1 while the learner drains round k and runs its updates,
 with a bounded staleness window and deterministic emulation — the platform
@@ -38,12 +43,22 @@ from .qat import QATController, QATEvent, QATSchedule
 from .replay_buffer import ReplayBuffer, TransitionBatch
 from .rollout import RolloutEngine, RolloutStats, VectorTransitions
 from .td3 import TD3Agent, TD3Config
-from .training import TrainingConfig, TrainingResult, train, train_scalar_reference
+from .training import (
+    FleetTrainingResult,
+    TrainingConfig,
+    TrainingResult,
+    train,
+    train_fleet,
+    train_scalar_reference,
+)
 from .workers import (
     ActorPolicy,
     AsyncCollector,
     AsyncCollectStats,
     CollectorWorker,
+    FleetGroup,
+    HeteroFleet,
+    parse_fleet_spec,
     worker_env_seed,
 )
 
@@ -72,10 +87,15 @@ __all__ = [
     "AsyncCollector",
     "AsyncCollectStats",
     "CollectorWorker",
+    "FleetGroup",
+    "HeteroFleet",
+    "parse_fleet_spec",
     "worker_env_seed",
     "TrainingConfig",
     "TrainingResult",
+    "FleetTrainingResult",
     "train",
+    "train_fleet",
     "train_scalar_reference",
     "evaluate_policy",
     "LearningCurve",

@@ -33,11 +33,12 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, List, Optional, Tuple, Union
+from typing import Callable, Deque, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..envs.base import Environment
+from ..envs.registry import make as make_registered_env
 from ..envs.vector import VectorEnv
 from .ddpg import DDPGAgent
 from .evaluation import LearningCurve, evaluate_policy
@@ -45,9 +46,16 @@ from .noise import GaussianNoise, NoiseProcess
 from .qat import QATController, QATEvent
 from .replay_buffer import ReplayBuffer
 from .rollout import RolloutEngine
-from .workers import AsyncCollector, CollectorWorker
+from .workers import AsyncCollector, CollectorWorker, HeteroFleet, parse_fleet_spec
 
-__all__ = ["TrainingConfig", "TrainingResult", "train", "train_scalar_reference"]
+__all__ = [
+    "TrainingConfig",
+    "TrainingResult",
+    "FleetTrainingResult",
+    "train",
+    "train_fleet",
+    "train_scalar_reference",
+]
 
 
 @dataclass(frozen=True)
@@ -96,6 +104,15 @@ class TrainingConfig:
     #: still honor ``sync_interval``); the learner drains the backlog at the
     #: end of the run, so the update-to-data ratio is unchanged.
     pipeline_depth: int = 0
+    #: Heterogeneous fleet spec — ``"HalfCheetah:2,Hopper:2"`` or a parsed
+    #: ``[(benchmark, count), ...]`` sequence (grammar in
+    #: :func:`~repro.rl.workers.parse_fleet_spec`).  ``None`` (the default)
+    #: is the homogeneous path driven by ``num_workers``.  When set, the
+    #: spec determines the fleet's worker counts, ``num_workers`` must stay
+    #: at its default of 1, and training runs through :func:`train_fleet`
+    #: (one learner agent and replay buffer per benchmark) instead of
+    #: :func:`train`.
+    fleet: Optional[Union[str, Sequence]] = None
 
     def __post_init__(self) -> None:
         if self.total_timesteps <= 0:
@@ -120,6 +137,16 @@ class TrainingConfig:
             raise ValueError("sync_interval must be positive")
         if self.pipeline_depth < 0:
             raise ValueError("pipeline_depth must be non-negative")
+        if self.fleet is not None:
+            if self.num_workers != 1:
+                raise ValueError(
+                    "fleet and num_workers are alternative fleet sizings: the "
+                    "spec's per-benchmark counts determine the workers, so "
+                    "num_workers must stay at its default of 1"
+                )
+            # Surface grammar / unknown-benchmark errors at configuration
+            # time rather than deep inside fleet construction.
+            parse_fleet_spec(self.fleet)
 
 
 @dataclass
@@ -151,6 +178,57 @@ class TrainingResult:
                 ),
             }
         )
+        return info
+
+
+@dataclass
+class FleetTrainingResult:
+    """Outcome of one heterogeneous-fleet training run (:func:`train_fleet`).
+
+    ``per_benchmark`` maps each benchmark's display name (spec order) to a
+    full :class:`TrainingResult` — its learning curve, episode returns,
+    replay buffer, and per-benchmark step/update counts; the aggregate
+    fields describe the fleet round structure.  A shared QAT switch fires
+    once for the whole fleet and is recorded on every per-benchmark result
+    (the numerics object is shared).
+    """
+
+    per_benchmark: Dict[str, TrainingResult] = field(default_factory=dict)
+    fleet: List[Tuple[str, int]] = field(default_factory=list)
+    total_timesteps: int = 0
+    total_updates: int = 0
+    num_envs: int = 1
+    num_workers: int = 1
+    pipeline_depth: int = 0
+
+    @property
+    def benchmarks(self) -> List[str]:
+        """Display names of the fleet's benchmarks, in spec order."""
+        return list(self.per_benchmark)
+
+    @property
+    def qat_event(self) -> Optional[QATEvent]:
+        """The shared precision switch, if it fired (same on every result)."""
+        for result in self.per_benchmark.values():
+            if result.qat_event is not None:
+                return result.qat_event
+        return None
+
+    def summary(self) -> dict:
+        info = {
+            "fleet": list(self.fleet),
+            "total_timesteps": self.total_timesteps,
+            "total_updates": self.total_updates,
+            "num_envs": self.num_envs,
+            "num_workers": self.num_workers,
+            "pipeline_depth": self.pipeline_depth,
+            "quantization_switch_step": (
+                self.qat_event.timestep if self.qat_event else None
+            ),
+        }
+        info["per_benchmark"] = {
+            name: result.summary() for name, result in self.per_benchmark.items()
+        }
         return info
 
 
@@ -265,6 +343,12 @@ def train(
     remains bit-exact with the pre-pipeline loop and is the oracle the
     pipelined regression tests compare against.
     """
+    if config.fleet is not None:
+        raise ValueError(
+            "config.fleet maps workers to multiple benchmarks, which needs "
+            "one learner agent and replay buffer per benchmark — call "
+            "train_fleet(agents, config) instead of train(env, agent, config)"
+        )
     rng = np.random.default_rng(config.seed)
     num_workers = config.num_workers
 
@@ -475,6 +559,288 @@ def train(
         )
 
     result.total_timesteps = iterations * steps_per_round
+    return result
+
+
+def train_fleet(
+    agents: Mapping[str, DDPGAgent],
+    config: TrainingConfig,
+    *,
+    env_templates: Optional[Mapping[str, Environment]] = None,
+    eval_envs: Optional[Mapping[str, Environment]] = None,
+    qat_controller: Optional[QATController] = None,
+    label: Optional[str] = None,
+    progress_callback: Optional[Callable[[int, dict], None]] = None,
+    platform=None,
+) -> FleetTrainingResult:
+    """Train per-benchmark learners over one heterogeneous collector fleet.
+
+    ``config.fleet`` names the fleet (grammar in
+    :func:`~repro.rl.workers.parse_fleet_spec`): each spec entry
+    ``benchmark:count`` contributes ``count`` workers, each stepping its own
+    ``VectorEnv`` of ``config.num_envs`` environments of that benchmark.
+    Worker ids are global in spec order, so every worker keeps the
+    deterministic ``seed + worker_id * num_envs + i`` environment scheme and
+    the ``(seed, worker_id, stream)`` noise/warmup streams of the
+    homogeneous collector — a single-benchmark spec ``B:N`` is *bit-exact*
+    with ``train(env, agent, config(num_workers=N))`` for ``N >= 2`` (the
+    replica path; ``num_workers == 1`` takes the shared-agent fast path,
+    which consumes the learner's own noise/warmup streams instead).
+
+    Parameters
+    ----------
+    agents:
+        One learner agent per fleet benchmark (names matched
+        case-insensitively, no extras).  Each agent must match the
+        benchmark's registered ``(state_dim, action_dim)``, and all agents
+        must share **one numerics object** so a QAT precision switch applies
+        to every benchmark's networks (and collection replicas) at once.
+    config:
+        Loop configuration; ``config.fleet`` must be set and
+        ``config.num_workers`` left at 1.  ``total_timesteps`` rounds up to
+        whole fleet rounds of ``num_envs * total_workers`` steps.
+    env_templates:
+        Optional per-benchmark template environments (workers step fresh
+        seeded replicas); benchmarks without one use ``registry.make``.
+    eval_envs:
+        Optional per-benchmark evaluation environments; by default a fresh
+        instance of each benchmark is created, exactly like :func:`train`.
+    qat_controller:
+        Optional shared Algorithm 1 controller.  It counts fleet-wide
+        environment steps, so the precision switch lands on the same global
+        timestep as an equivalent homogeneous run.
+    label:
+        Learning-curve label prefix; each benchmark's curve is labelled
+        ``"<label>/<benchmark>"`` (default: the shared numerics name).
+    progress_callback:
+        Optional ``callback(timestep, metrics)`` invoked after each
+        evaluation boundary with per-benchmark
+        ``{"average_return", "episodes"}`` metrics plus the shared
+        ``"activation_bits"``.
+    platform:
+        Optional :class:`~repro.platform.FixarPlatform`.  Because layer
+        dimensions differ per benchmark, the platform is re-targeted per
+        benchmark (``platform.for_benchmark``) so every worker's batched
+        inferences are priced under its own workload — the heterogeneous
+        accounting :meth:`~repro.platform.FixarPlatform.infer_fleet`
+        aggregates.
+
+    The training schedule is the deterministic round schedule of
+    :func:`train`, generalized across benchmark groups: each round, groups
+    collect one lock-step per worker in spec order, then each group's
+    learner runs one update per environment step its workers collected past
+    warmup (sampling its own buffer), then evaluations fire at every crossed
+    ``evaluation_interval`` boundary — one curve point per benchmark.  With
+    ``config.pipeline_depth > 0`` the fleet runs up to that many rounds
+    ahead of the learners, exactly like the homogeneous pipelined schedule.
+    """
+    if config.fleet is None:
+        raise ValueError("train_fleet needs config.fleet; for homogeneous runs call train")
+    fleet_spec = parse_fleet_spec(config.fleet)
+
+    numerics_objects = {id(agent.numerics) for agent in dict(agents).values()}
+    if len(numerics_objects) > 1:
+        raise ValueError(
+            "fleet agents must share one numerics object (a QAT precision "
+            "switch has to apply to every benchmark at once) — construct the "
+            "agents with the same numerics instance"
+        )
+    if qat_controller is not None:
+        controller_numerics = getattr(qat_controller, "numerics", None)
+        if controller_numerics is not None and numerics_objects != {id(controller_numerics)}:
+            raise ValueError(
+                "qat_controller is bound to a different numerics object than "
+                "the fleet's agents; share one instance across both"
+            )
+
+    total_workers = sum(count for _, count in fleet_spec)
+    per_worker_warmup = -(-config.warmup_timesteps // total_workers)
+    agents_by_key = {str(name).lower(): agent for name, agent in dict(agents).items()}
+    platforms = None
+    if platform is not None:
+        # Re-target the platform per benchmark: each group's workers price
+        # their batched inferences under their own layer dimensions.  Keys
+        # missing from the agents mapping are skipped here so that
+        # HeteroFleet.from_agents raises its (clearer) coverage error.
+        platforms = {
+            key: platform.for_benchmark(
+                key, hidden_sizes=tuple(agents_by_key[key].config.hidden_sizes)
+            )
+            for key, _ in fleet_spec
+            if key in agents_by_key
+        }
+    fleet = HeteroFleet.from_agents(
+        fleet_spec,
+        agents,
+        num_envs=config.num_envs,
+        buffer_capacity=config.buffer_capacity,
+        seed=config.seed,
+        sigma=config.exploration_noise,
+        warmup_timesteps=per_worker_warmup,
+        sync_interval=config.sync_interval,
+        env_templates=env_templates,
+        platforms=platforms,
+    )
+    fleet.reset()
+
+    eval_envs_by_key: Dict[str, Environment] = {}
+    given_eval = {str(k).lower(): v for k, v in dict(eval_envs or {}).items()}
+    templates_by_key = {str(k).lower(): v for k, v in dict(env_templates or {}).items()}
+    for group in fleet.groups:
+        if group.key in given_eval:
+            eval_envs_by_key[group.key] = given_eval[group.key]
+        else:
+            template = templates_by_key.get(group.key)
+            if template is None:
+                # Never fall back to a live worker env: if the benchmark's
+                # class cannot be default-constructed, _resolve_evaluation_env
+                # would *share* the template, and sharing a worker's env would
+                # let evaluations step in-flight training episodes.  A fresh
+                # registry build is inert — no worker ever steps it — so even
+                # the sharing fallback is safe, same as train(num_workers > 1)
+                # with a caller-owned template.
+                template = make_registered_env(group.key)
+            eval_envs_by_key[group.key], _ = _resolve_evaluation_env(template, config)
+
+    steps_per_round = fleet.steps_per_round
+    iterations = -(-config.total_timesteps // steps_per_round)
+    offsets: Dict[str, int] = {}
+    accumulated = 0
+    for group in fleet.groups:
+        offsets[group.key] = accumulated
+        accumulated += group.steps_per_round
+
+    base_label = label
+    if base_label is None:
+        base_label = next(iter(agents_by_key.values())).numerics.name
+    curves = {
+        group.key: LearningCurve(f"{base_label}/{group.benchmark}")
+        for group in fleet.groups
+    }
+    updates_by_key = {group.key: 0 for group in fleet.groups}
+    qat_event: Optional[QATEvent] = None
+
+    def learner_round(
+        round_index: int, deferred, episodes_collected: Optional[Dict[str, int]] = None
+    ) -> None:
+        """One fleet learner phase: drain, per-group updates, evaluations.
+
+        Mirrors :func:`train`'s learner phase group by group: the round's
+        ``steps_per_round`` global steps are ordered by group (spec order),
+        each group updates once per step of its own slice past warmup, and
+        evaluation boundaries produce one curve point per benchmark.
+        """
+        global_step = round_index * steps_per_round
+        global_after = global_step + steps_per_round
+        if deferred is not None:
+            fleet.drain(deferred)
+
+        for group in fleet.groups:
+            buffer = group.buffer
+            if len(buffer) >= config.batch_size:
+                group_lo = global_step + offsets[group.key]
+                group_hi = group_lo + group.steps_per_round
+                first_update_step = max(group_lo, config.warmup_timesteps)
+                for _ in range(max(0, group_hi - first_update_step)):
+                    group.agent.update(buffer.sample(config.batch_size))
+                    updates_by_key[group.key] += 1
+
+        interval = config.evaluation_interval
+        for boundary in range(global_step // interval + 1, global_after // interval + 1):
+            evaluated_step = boundary * interval
+            metrics: Dict[str, dict] = {}
+            for group in fleet.groups:
+                average_return = evaluate_policy(
+                    eval_envs_by_key[group.key],
+                    group.agent,
+                    episodes=config.evaluation_episodes,
+                )
+                curves[group.key].record(evaluated_step, average_return)
+                metrics[group.benchmark] = {
+                    "average_return": average_return,
+                    "episodes": (
+                        len(group.collector.episode_returns)
+                        if episodes_collected is None
+                        else episodes_collected[group.key]
+                    ),
+                }
+            if progress_callback is not None:
+                activation_bits = next(
+                    iter(agents_by_key.values())
+                ).numerics.activation_bits
+                progress_callback(
+                    evaluated_step,
+                    {"benchmarks": metrics, "activation_bits": activation_bits},
+                )
+
+    pending: Deque[Tuple[int, List, Dict[str, int]]] = deque()
+    for iteration in range(iterations):
+        global_step = iteration * steps_per_round
+
+        if qat_controller is not None:
+            for offset in range(steps_per_round):
+                event = qat_controller.on_timestep(global_step + offset)
+                if event is not None:
+                    qat_event = event
+
+        if config.pipeline_depth == 0:
+            fleet.step_sync()
+            learner_round(iteration, None)
+        else:
+            rounds = fleet.step_sync(drain=False)
+            pending.append(
+                (
+                    iteration,
+                    rounds,
+                    {
+                        group.key: len(group.collector.episode_returns)
+                        for group in fleet.groups
+                    },
+                )
+            )
+            if len(pending) > config.pipeline_depth:
+                learner_round(*pending.popleft())
+
+    while pending:
+        learner_round(*pending.popleft())
+
+    result = FleetTrainingResult(
+        fleet=[(key, count) for key, count in fleet.spec],
+        total_timesteps=iterations * steps_per_round,
+        total_updates=sum(updates_by_key.values()),
+        num_envs=config.num_envs,
+        num_workers=total_workers,
+        pipeline_depth=config.pipeline_depth,
+    )
+    for group in fleet.groups:
+        curve = curves[group.key]
+        if not curve.points:
+            curve.record(
+                iterations * steps_per_round,
+                evaluate_policy(
+                    eval_envs_by_key[group.key],
+                    group.agent,
+                    episodes=config.evaluation_episodes,
+                ),
+            )
+        benchmark_result = TrainingResult(
+            curve=curve,
+            episode_returns=list(group.collector.episode_returns),
+            qat_event=qat_event,
+            total_timesteps=iterations * group.steps_per_round,
+            total_updates=updates_by_key[group.key],
+            num_envs=config.num_envs,
+            num_workers=group.num_workers,
+            pipeline_depth=config.pipeline_depth,
+            replay_buffer=group.buffer,
+        )
+        # Keyed by display name (nice for reports); a factory whose env
+        # display name collides with another group's falls back to the
+        # unique registry key rather than silently overwriting a result.
+        result_key = group.benchmark
+        if result_key in result.per_benchmark:
+            result_key = group.key
+        result.per_benchmark[result_key] = benchmark_result
     return result
 
 

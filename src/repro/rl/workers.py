@@ -21,6 +21,34 @@ noise process and warmup RNG (derived streams ``(seed, w, 0)`` and
 actor network that the coordinator refreshes every ``sync_interval``
 environment steps.
 
+Heterogeneous fleets
+--------------------
+A fleet need not replicate one benchmark: a **fleet spec** maps workers to
+registered benchmarks so one training run stresses the accelerator with
+mixed batch shapes (the adaptive-parallelism scenario the paper's
+multi-benchmark evaluation implies).  The grammar, parsed by
+:func:`parse_fleet_spec`, is::
+
+    spec     ::= entry ("," entry)*
+    entry    ::= benchmark [":" count]
+
+where ``benchmark`` is any name registered in :mod:`repro.envs.registry`
+(matched case-insensitively — ``register()`` there is the extension point
+new benchmarks use to join fleets) and ``count`` is a positive worker
+count, defaulting to 1.  ``"HalfCheetah:2,Hopper:2"`` is a four-worker
+fleet; a benchmark may appear only once per spec.
+
+:class:`HeteroFleet` realises a parsed spec as one :class:`AsyncCollector`
+**group per benchmark** — per-benchmark replay buffer (state/action shapes
+differ across benchmarks) and per-benchmark learner agent — while worker
+ids are assigned **globally** in spec order: entry ``(b, count)`` claims the
+next ``count`` ids.  Every worker then applies the exact
+``seed + worker_id * num_envs + i`` environment scheme and the
+``(seed, worker_id, stream)`` derived noise/warmup streams above.  A
+homogeneous spec (``"Hopper:2"``) therefore assigns ids 0..1 exactly as
+``num_workers=2`` does, which is what keeps the fleet path bit-exact with
+the PR-2/3 collector (pinned by ``tests/test_hetero_fleet.py``).
+
 Execution modes
 ---------------
 * **synchronous** (deterministic) — the coordinator steps the workers
@@ -50,6 +78,7 @@ coordinator aggregates the per-worker
 from __future__ import annotations
 
 import multiprocessing as mp
+import operator
 import queue as queue_module
 import time
 from dataclasses import dataclass, field
@@ -58,6 +87,8 @@ from typing import List, Optional, Sequence, Union
 import numpy as np
 
 from ..envs.base import Environment
+from ..envs.registry import available_benchmarks, benchmark_dimensions
+from ..envs.registry import make as make_env
 from ..envs.vector import VectorEnv
 from ..nn.network import MLP, build_actor
 from .ddpg import batched_policy_actions
@@ -70,8 +101,85 @@ __all__ = [
     "CollectorWorker",
     "AsyncCollector",
     "AsyncCollectStats",
+    "FleetGroup",
+    "HeteroFleet",
+    "parse_fleet_spec",
     "worker_env_seed",
 ]
+
+
+def parse_fleet_spec(spec: Union[str, Sequence]) -> List[tuple]:
+    """Parse a fleet spec into ``[(benchmark_key, worker_count), ...]``.
+
+    The grammar (see the module docstring) is a comma-separated list of
+    ``benchmark[:count]`` entries: ``"HalfCheetah:2,Hopper"`` means two
+    HalfCheetah workers followed by one Hopper worker.  Benchmark names are
+    resolved case-insensitively against :mod:`repro.envs.registry` and
+    returned as the lowercase registry keys; entry order is preserved
+    because it determines the fleet's global worker-id assignment (and with
+    it the deterministic seeding).  A pre-parsed sequence of
+    ``(name, count)`` pairs is validated and canonicalised the same way.
+
+    Raises ``ValueError`` for an empty spec, an empty entry, a non-integer
+    or non-positive count, an unregistered benchmark, or a benchmark that
+    appears more than once.
+    """
+    if isinstance(spec, str):
+        entries = []
+        for raw_entry in spec.split(","):
+            entry = raw_entry.strip()
+            if not entry:
+                raise ValueError(f"empty entry in fleet spec {spec!r}")
+            name, sep, count_text = entry.partition(":")
+            name = name.strip()
+            if not name:
+                raise ValueError(f"missing benchmark name in fleet entry {entry!r}")
+            if sep:
+                try:
+                    count = int(count_text.strip())
+                except ValueError:
+                    raise ValueError(
+                        f"worker count of {name!r} must be an integer, "
+                        f"got {count_text.strip()!r}"
+                    ) from None
+            else:
+                count = 1
+            entries.append((name, count))
+    else:
+        try:
+            # operator.index rejects non-integral counts (2.9 must not
+            # silently truncate to 2 workers — that would change the fleet's
+            # deterministic seeding layout).
+            entries = [(str(name), operator.index(count)) for name, count in spec]
+        except (TypeError, ValueError) as exc:
+            raise ValueError(
+                f"a pre-parsed fleet spec must be (name, integer count) pairs: {exc}"
+            ) from None
+    if not entries:
+        raise ValueError("fleet spec must name at least one benchmark")
+
+    registered = set(available_benchmarks())
+    resolved: List[tuple] = []
+    seen = set()
+    for name, count in entries:
+        key = name.lower()
+        if key not in registered:
+            raise ValueError(
+                f"unknown benchmark {name!r} in fleet spec; "
+                f"available: {sorted(registered)}"
+            )
+        if count <= 0:
+            raise ValueError(
+                f"worker count of {name!r} must be positive, got {count}"
+            )
+        if key in seen:
+            raise ValueError(
+                f"benchmark {name!r} appears more than once in the fleet spec; "
+                "merge its worker counts into one entry"
+            )
+        seen.add(key)
+        resolved.append((key, count))
+    return resolved
 
 
 def worker_env_seed(seed: Optional[int], worker_id: int, num_envs: int) -> Optional[int]:
@@ -597,6 +705,246 @@ class AsyncCollector:
         if mode == "async":
             return self._collect_async(num_steps, timeout)
         raise ValueError(f"mode must be 'sync' or 'async', got {mode!r}")
+
+
+@dataclass
+class FleetGroup:
+    """One benchmark's slice of a heterogeneous fleet.
+
+    ``benchmark`` is the display name (the environment's ``name``
+    attribute, e.g. ``"Hopper"``); ``key`` the lowercase registry key the
+    fleet spec resolved to.  The group's :class:`AsyncCollector` owns the
+    benchmark's workers and its private replay buffer — buffers cannot be
+    shared across benchmarks because the state/action shapes differ.
+    """
+
+    benchmark: str
+    key: str
+    collector: AsyncCollector
+
+    @property
+    def num_workers(self) -> int:
+        return self.collector.num_workers
+
+    @property
+    def steps_per_round(self) -> int:
+        """Environment steps this group contributes to one fleet round."""
+        return self.collector.steps_per_round
+
+    @property
+    def buffer(self) -> ReplayBuffer:
+        return self.collector.buffer
+
+    @property
+    def agent(self):
+        """The benchmark's learner agent (the group's broadcast source)."""
+        return self.collector.source_agent
+
+
+class HeteroFleet:
+    """A heterogeneous collector fleet: one collector group per benchmark.
+
+    Workers of different groups own *different registered benchmarks* but
+    share the training run: worker ids are global across the fleet (entry
+    order of the spec claims consecutive ids), so every worker applies the
+    standard ``seed + worker_id * num_envs + i`` environment scheme and the
+    ``(seed, worker_id, stream)`` derived noise/warmup streams — a
+    homogeneous spec reproduces the single-benchmark fleet bit for bit.
+    Each group drains into its own replay buffer and broadcasts its own
+    learner's actor weights; the deterministic round schedule steps the
+    groups in spec order, one :meth:`AsyncCollector.step_sync` each.
+    """
+
+    def __init__(self, groups: Sequence[FleetGroup]):
+        groups = list(groups)
+        if not groups:
+            raise ValueError("HeteroFleet needs at least one group")
+        keys = [group.key for group in groups]
+        if len(set(keys)) != len(keys):
+            raise ValueError(f"fleet groups must cover distinct benchmarks, got {keys}")
+        widths = {group.collector.num_envs for group in groups}
+        if len(widths) > 1:
+            raise ValueError(
+                f"all groups must share one lock-step width, got {sorted(widths)}"
+            )
+        ids = [
+            worker.worker_id for group in groups for worker in group.collector.workers
+        ]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"worker ids must be unique across the fleet, got {ids}")
+        self.groups = groups
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_agents(
+        cls,
+        fleet: Sequence,
+        agents,
+        *,
+        num_envs: int,
+        buffer_capacity: int,
+        seed: Optional[int] = 0,
+        sigma: float = 0.1,
+        warmup_timesteps: int = 0,
+        sync_interval: int = 1,
+        env_templates=None,
+        platforms=None,
+    ) -> "HeteroFleet":
+        """Build the fleet a parsed spec describes around per-benchmark agents.
+
+        Parameters
+        ----------
+        fleet:
+            Parsed spec from :func:`parse_fleet_spec` (a raw string is
+            accepted and parsed here).
+        agents:
+            Mapping of benchmark name (case-insensitive) to that
+            benchmark's learner agent.  Every spec benchmark must be
+            covered, and each agent's ``state_dim``/``action_dim`` must
+            match the registry's :func:`benchmark_dimensions`.
+        num_envs:
+            Lock-step width of every worker (uniform across the fleet).
+        buffer_capacity, seed, sync_interval:
+            Per-group replay capacity, the fleet-wide base seed, and the
+            per-group broadcast interval.
+        sigma, warmup_timesteps:
+            Exploration noise std-dev and the *per-worker* warmup budget
+            handed to each :meth:`CollectorWorker.from_agent`.
+        env_templates:
+            Optional mapping of benchmark name to a template environment
+            instance (the workers step fresh seeded replicas of it);
+            benchmarks without a template use ``registry.make``.
+        platforms:
+            Optional mapping of benchmark name to the
+            :class:`~repro.platform.FixarPlatform` pricing that benchmark's
+            batched inferences (layer dimensions differ per benchmark, so
+            each group needs its own workload's platform).
+        """
+        fleet = parse_fleet_spec(fleet)
+        agents_by_key = {str(name).lower(): agent for name, agent in dict(agents).items()}
+        if len(agents_by_key) != len(dict(agents)):
+            raise ValueError("agents mapping has case-colliding benchmark names")
+        spec_keys = [key for key, _ in fleet]
+        missing = [key for key in spec_keys if key not in agents_by_key]
+        if missing:
+            raise ValueError(f"agents mapping is missing fleet benchmarks: {missing}")
+        extra = sorted(set(agents_by_key) - set(spec_keys))
+        if extra:
+            raise ValueError(f"agents mapping names benchmarks outside the fleet: {extra}")
+        templates_by_key = {
+            str(name).lower(): env for name, env in dict(env_templates or {}).items()
+        }
+        platforms_by_key = {
+            str(name).lower(): platform
+            for name, platform in dict(platforms or {}).items()
+        }
+
+        groups: List[FleetGroup] = []
+        worker_id_base = 0
+        for key, count in fleet:
+            agent = agents_by_key[key]
+            dims = benchmark_dimensions(key)
+            if (agent.state_dim, agent.action_dim) != (
+                dims["state_dim"],
+                dims["action_dim"],
+            ):
+                raise ValueError(
+                    f"agent for {key!r} has dims "
+                    f"({agent.state_dim}, {agent.action_dim}); the benchmark needs "
+                    f"({dims['state_dim']}, {dims['action_dim']})"
+                )
+            template = templates_by_key.get(key)
+            if template is None:
+                template = make_env(key)
+            workers = [
+                CollectorWorker.from_agent(
+                    worker_id_base + offset,
+                    agent,
+                    template,
+                    num_envs,
+                    seed=seed,
+                    sigma=sigma,
+                    warmup_timesteps=warmup_timesteps,
+                    platform=platforms_by_key.get(key),
+                )
+                for offset in range(count)
+            ]
+            worker_id_base += count
+            buffer = ReplayBuffer(
+                buffer_capacity, agent.state_dim, agent.action_dim, seed=seed
+            )
+            collector = AsyncCollector(
+                workers, buffer, source_agent=agent, sync_interval=sync_interval
+            )
+            groups.append(
+                FleetGroup(benchmark=template.name, key=key, collector=collector)
+            )
+        return cls(groups)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def num_workers(self) -> int:
+        return sum(group.num_workers for group in self.groups)
+
+    @property
+    def num_envs(self) -> int:
+        """Lock-step width of every worker in the fleet."""
+        return self.groups[0].collector.num_envs
+
+    @property
+    def steps_per_round(self) -> int:
+        """Environment steps of one fleet round across all groups."""
+        return sum(group.steps_per_round for group in self.groups)
+
+    @property
+    def benchmarks(self) -> List[str]:
+        """Display names of the fleet's benchmarks, in spec order."""
+        return [group.benchmark for group in self.groups]
+
+    @property
+    def spec(self) -> List[tuple]:
+        """The fleet's ``(benchmark_key, worker_count)`` entries."""
+        return [(group.key, group.num_workers) for group in self.groups]
+
+    def episode_returns(self) -> dict:
+        """Finished episode returns per benchmark (display-name keys)."""
+        return {
+            group.benchmark: list(group.collector.episode_returns)
+            for group in self.groups
+        }
+
+    # ------------------------------------------------------------------ #
+    # Deterministic round schedule
+    # ------------------------------------------------------------------ #
+    def reset(self) -> None:
+        """Reset every worker's environments (fresh initial observations)."""
+        for group in self.groups:
+            for worker in group.collector.workers:
+                worker.engine.reset()
+
+    def step_sync(self, drain: bool = True) -> List[List[VectorTransitions]]:
+        """One fleet round: every group runs one deterministic round in order.
+
+        Returns each group's lock-step transitions (spec order) so a
+        pipelined schedule can defer the buffer drains; with ``drain=True``
+        each group drains into its own buffer immediately, exactly like the
+        homogeneous collector.
+        """
+        return [group.collector.step_sync(drain=drain) for group in self.groups]
+
+    def drain(self, rounds: Sequence[Sequence[VectorTransitions]]) -> None:
+        """Insert one deferred fleet round into the per-group buffers."""
+        if len(rounds) != len(self.groups):
+            raise ValueError(
+                f"expected one deferred round per group ({len(self.groups)}), "
+                f"got {len(rounds)}"
+            )
+        for group, group_rounds in zip(self.groups, rounds):
+            group.collector.drain(group_rounds)
 
 
 def _send_to_all(pipes, message) -> None:

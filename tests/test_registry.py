@@ -1,0 +1,137 @@
+"""Tests for the benchmark registry (the hetero-fleet extension point).
+
+The registry is what fleet specs, ``VectorEnv.make``, and the CLI resolve
+benchmark names through, so its contract is pinned here: case-insensitive
+round-trips, readable error paths, and — since fleet construction queries
+workload shapes per benchmark — that :func:`benchmark_dimensions` does not
+pay an environment build (with its RNG) for every query.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.envs import (
+    Environment,
+    HalfCheetahEnv,
+    HopperEnv,
+    SwimmerEnv,
+    available_benchmarks,
+    benchmark_dimensions,
+    make,
+    register,
+)
+from repro.envs import registry as registry_module
+from repro.envs.spaces import Box
+
+
+@pytest.fixture
+def scratch_registry():
+    """Snapshot the registry and dimension cache; restore after the test."""
+    saved_registry = dict(registry_module._REGISTRY)
+    saved_cache = dict(registry_module._DIMENSIONS_CACHE)
+    yield registry_module
+    registry_module._REGISTRY.clear()
+    registry_module._REGISTRY.update(saved_registry)
+    registry_module._DIMENSIONS_CACHE.clear()
+    registry_module._DIMENSIONS_CACHE.update(saved_cache)
+
+
+class _TinyEnv(Environment):
+    """Minimal registrable environment without class-level dims."""
+
+    name = "tiny"
+    instantiations = 0
+
+    def __init__(self, seed=None):
+        super().__init__(seed=seed)
+        type(self).instantiations += 1
+        self.observation_space = Box(low=-1.0, high=1.0, shape=(3,))
+        self.action_space = Box(low=-1.0, high=1.0, shape=(2,))
+
+    def _reset(self):
+        return self.observation_space.sample(self._rng)
+
+    def _step(self, action):
+        return self.observation_space.sample(self._rng), 0.0, False, {}
+
+
+class TestRoundTrip:
+    def test_suite_benchmarks_resolve_to_their_classes(self):
+        assert isinstance(make("HalfCheetah"), HalfCheetahEnv)
+        assert isinstance(make("Hopper"), HopperEnv)
+        assert isinstance(make("Swimmer"), SwimmerEnv)
+
+    @pytest.mark.parametrize("name", ["hopper", "HOPPER", "Hopper", "hOpPeR"])
+    def test_make_is_case_insensitive(self, name):
+        assert isinstance(make(name), HopperEnv)
+
+    def test_make_forwards_seed_and_kwargs(self):
+        env = make("hopper", seed=7, max_episode_steps=12)
+        assert env.max_episode_steps == 12
+        import numpy as np
+
+        np.testing.assert_array_equal(env.reset(), HopperEnv(seed=7).reset())
+
+    def test_unknown_benchmark_lists_available(self):
+        with pytest.raises(KeyError, match="unknown benchmark 'nope'"):
+            make("nope")
+        with pytest.raises(KeyError, match="halfcheetah"):
+            make("nope")
+
+    def test_register_then_make_and_list(self, scratch_registry):
+        register("Tiny", _TinyEnv)
+        assert "tiny" in available_benchmarks()
+        assert isinstance(make("TINY"), _TinyEnv)
+
+    def test_register_duplicate_rejected_case_insensitively(self, scratch_registry):
+        with pytest.raises(ValueError, match="already registered"):
+            register("hopper", HopperEnv)
+        with pytest.raises(ValueError, match="already registered"):
+            register("HOPPER", HopperEnv)
+
+    def test_available_benchmarks_sorted(self):
+        names = available_benchmarks()
+        assert names == sorted(names)
+        assert {"halfcheetah", "hopper", "swimmer"} <= set(names)
+
+
+class TestBenchmarkDimensions:
+    def test_matches_real_environments(self):
+        for name, cls in (
+            ("HalfCheetah", HalfCheetahEnv),
+            ("Hopper", HopperEnv),
+            ("Swimmer", SwimmerEnv),
+        ):
+            dims = benchmark_dimensions(name)
+            assert dims == {"state_dim": cls.STATE_DIM, "action_dim": cls.ACTION_DIM}
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            benchmark_dimensions("nope")
+
+    def test_class_level_dims_skip_instantiation(self, scratch_registry):
+        class Exploding(HopperEnv):
+            def __init__(self, seed=None, max_episode_steps=1000):  # pragma: no cover
+                raise AssertionError("benchmark_dimensions must not build the env")
+
+        register("Exploding", Exploding)
+        dims = benchmark_dimensions("exploding")
+        assert dims == {"state_dim": HopperEnv.STATE_DIM, "action_dim": HopperEnv.ACTION_DIM}
+
+    def test_factories_without_class_dims_instantiate_once(self, scratch_registry):
+        _TinyEnv.instantiations = 0
+
+        def factory(seed=None):
+            return _TinyEnv(seed=seed)
+
+        register("TinyFn", factory)
+        first = benchmark_dimensions("tinyfn")
+        second = benchmark_dimensions("TinyFn")
+        assert first == second == {"state_dim": 3, "action_dim": 2}
+        assert _TinyEnv.instantiations == 1
+
+    def test_result_is_a_copy(self):
+        dims = benchmark_dimensions("hopper")
+        dims["state_dim"] = -1
+        assert benchmark_dimensions("hopper")["state_dim"] == HopperEnv.STATE_DIM
