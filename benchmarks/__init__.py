@@ -1,0 +1,8 @@
+"""The benchmark harness package.
+
+Every ``bench_*.py`` module regenerates one of the paper's tables/figures
+(or one of this repo's scaling contracts) as a pytest module that writes a
+text report under ``benchmarks/reports/`` and *asserts* its threshold
+contract.  ``python -m benchmarks --all`` runs the whole harness and fails
+when any report's contract is violated (see ``__main__.py``).
+"""

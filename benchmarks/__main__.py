@@ -1,0 +1,114 @@
+"""Run the benchmark harness: regenerate reports, enforce their contracts.
+
+Every ``benchmarks/bench_*.py`` module is a pytest module that regenerates
+one of the paper's tables/figures (or one of this repo's scaling contracts)
+into ``benchmarks/reports/*.txt`` *and asserts the report's threshold
+contract* — so reports cannot silently rot.  This runner makes that a
+single command:
+
+    python -m benchmarks --all              # regenerate every report
+    python -m benchmarks hetero_fleet ...   # regenerate selected reports
+    python -m benchmarks --list             # show module -> report mapping
+
+The process exits non-zero when any contract assertion fails (or a report
+cannot be regenerated), which is what CI hooks into.  Wall-clock (as
+opposed to modelled) contracts skip themselves with a visible reason on
+single-core containers — a skip is not a failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+from typing import List
+
+BENCH_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+
+_REPORT_RE = re.compile(r"reports/([\w.]+)\.txt|save_report\(\s*[\"']([\w.]+)[\"']")
+
+
+def discover() -> List[Path]:
+    """Every bench module, sorted for a stable run order."""
+    return sorted(BENCH_DIR.glob("bench_*.py"))
+
+
+def reports_of(module: Path) -> List[str]:
+    """Report names a bench module writes (parsed from its save_report calls)."""
+    names = []
+    for match in _REPORT_RE.finditer(module.read_text()):
+        name = match.group(1) or match.group(2)
+        if name and name not in names:
+            names.append(name)
+    return names
+
+
+def resolve(names: List[str]) -> List[Path]:
+    """Map user-given names (``hetero_fleet`` or ``bench_hetero_fleet``) to modules."""
+    modules = []
+    available = {path.stem: path for path in discover()}
+    for name in names:
+        stem = name[: -len(".py")] if name.endswith(".py") else name
+        if not stem.startswith("bench_"):
+            stem = f"bench_{stem}"
+        if stem not in available:
+            known = ", ".join(sorted(key[len("bench_"):] for key in available))
+            raise SystemExit(f"unknown benchmark {name!r}; available: {known}")
+        modules.append(available[stem])
+    return modules
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m benchmarks", description=__doc__.split("\n\n")[0]
+    )
+    parser.add_argument("names", nargs="*", metavar="NAME",
+                        help="bench modules to run (e.g. 'hetero_fleet'); "
+                             "with --all, every module runs")
+    parser.add_argument("--all", action="store_true",
+                        help="regenerate every benchmarks/reports/*.txt")
+    parser.add_argument("--list", action="store_true",
+                        help="list bench modules and the reports they regenerate")
+    parser.add_argument("--pytest-args", default="",
+                        help="extra arguments forwarded to pytest (one string)")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for module in discover():
+            names = reports_of(module) or ["-"]
+            print(f"{module.stem:40s} -> {', '.join(names)}")
+        return 0
+
+    if args.all:
+        modules = discover()
+    elif args.names:
+        modules = resolve(args.names)
+    else:
+        parser.print_usage()
+        print("error: name at least one benchmark, or pass --all / --list",
+              file=sys.stderr)
+        return 2
+
+    # The harness needs the package on the path; mirror the documented
+    # `PYTHONPATH=src` invocation so the runner works from a bare checkout.
+    src = str(REPO_ROOT / "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+
+    import pytest
+
+    pytest_argv = [str(module) for module in modules]
+    pytest_argv += ["-q", f"--rootdir={REPO_ROOT}"]
+    if args.pytest_args:
+        pytest_argv += args.pytest_args.split()
+    code = pytest.main(pytest_argv)
+    if code == 0:
+        print(f"\nall {len(modules)} benchmark module(s) passed their "
+              f"report contracts (reports under {BENCH_DIR / 'reports'})")
+    return int(code)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

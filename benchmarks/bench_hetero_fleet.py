@@ -19,6 +19,14 @@ overhead *per benchmark* — so the subsystem's contract is an envelope:
 ``HOMOGENEOUS_ENVELOPE_FACTOR`` of the equivalent homogeneous fleets**
 (>= 0.9x the slowest homogeneous fleet and <= 1.1x the fastest).
 
+The round-scheduler subsystem adds a second contract: the
+**throughput-weighted schedule** (``ThroughputWeightedPolicy``) allocates
+extra collection lock-steps per round to the benchmark with the cheaper
+modelled host+inference chain, so on the mixed fleet its **modelled
+collection steps/sec must be >= the spec-order round-robin schedule** —
+the weighted rounds fill the slack the slowest benchmark's chain leaves
+under every other worker.
+
 A real (deterministically scheduled, single-threaded) ``train_fleet`` run
 of the mixed fleet is also timed against the homogeneous ``train`` runs —
 recorded to document the loop's overhead, not asserted, since the emulation
@@ -35,7 +43,14 @@ from repro.core import format_table
 from repro.envs import benchmark_dimensions
 from repro.nn import make_numerics
 from repro.platform import FixarPlatform, WorkloadSpec
-from repro.rl import DDPGAgent, DDPGConfig, TrainingConfig, train, train_fleet
+from repro.rl import (
+    DDPGAgent,
+    DDPGConfig,
+    ThroughputWeightedPolicy,
+    TrainingConfig,
+    train,
+    train_fleet,
+)
 
 NUM_ENVS = 8
 MIXED_FLEET = (("HalfCheetah", 2), ("Hopper", 2))
@@ -154,6 +169,46 @@ def test_hetero_fleet_modelled_contract(benchmark, save_report):
             f"(homogeneous {', '.join(f'{v:.1f}' for v in values)})"
         )
 
+    # ----- Throughput-weighted rounds vs spec-order round-robin ----------- #
+    # The scheduler's ThroughputWeightedPolicy prices each benchmark's
+    # host+inference chain through the platform oracle and allocates extra
+    # lock-steps per round to the cheaper chain; the contract is that its
+    # modelled collection throughput never falls below round-robin.
+    class _Group:
+        def __init__(self, key, workers, width):
+            self.key, self.num_workers, self.num_envs = key, workers, width
+
+    weighted_policy = ThroughputWeightedPolicy(platform=platform)
+    weights = weighted_policy.lock_steps(
+        [_Group(name.lower(), count, NUM_ENVS) for name, count in MIXED_FLEET]
+    )
+    round_robin_steps = platform.fleet_collection_steps_per_second(
+        list(MIXED_FLEET), NUM_ENVS
+    )
+    weighted_steps = platform.fleet_collection_steps_per_second(
+        list(MIXED_FLEET), NUM_ENVS, weights=weights
+    )
+    chain_lines = []
+    for name, _count in MIXED_FLEET:
+        chain = platform.fleet_collection_round_seconds([(name, 1)], NUM_ENVS)
+        chain_lines.append(f"  {name:12s} host+inference chain {chain * 1e3:7.3f} ms")
+    weighted_section = "\n".join(
+        [
+            "Throughput-weighted schedule vs spec-order round-robin "
+            "(modelled collection):",
+            *chain_lines,
+            "  lock-step allocation per round: "
+            + ", ".join(
+                f"{name}x{weight}"
+                for (name, _count), weight in zip(MIXED_FLEET, weights)
+            ),
+            f"  round-robin : {round_robin_steps:8.1f} steps/sec",
+            f"  weighted    : {weighted_steps:8.1f} steps/sec "
+            f"({weighted_steps / round_robin_steps:.3f}x)",
+            "  contract: weighted collection steps/sec >= round-robin",
+        ]
+    )
+
     # The fleet's mixed-dimension inference round on the single accelerator.
     inference = platform.infer_fleet(list(MIXED_FLEET), NUM_ENVS)
     inference_line = (
@@ -202,6 +257,7 @@ def test_hetero_fleet_modelled_contract(benchmark, save_report):
                     "modelled platform)"
                 ),
             ),
+            weighted_section,
             inference_line,
             format_table(
                 measured,
@@ -230,6 +286,9 @@ def test_hetero_fleet_modelled_contract(benchmark, save_report):
         assert mixed_value <= max(values) * HOMOGENEOUS_ENVELOPE_FACTOR, view
     # Overlap still pays on a mixed fleet.
     assert by_label[mixed_label]["pipelined"] >= by_label[mixed_label]["sequential"]
+    # The throughput-weighted schedule never loses to spec-order round-robin
+    # (and on this fleet the chains differ, so it strictly wins).
+    assert weighted_steps >= round_robin_steps
 
 
 def test_hetero_fleet_homogeneous_spec_matches_worker_path():

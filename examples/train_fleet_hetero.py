@@ -11,10 +11,14 @@ Each benchmark gets its own learner agent and replay buffer sized for its
 one Algorithm 1 QAT schedule, so the precision switch lands fleet-wide at
 the same timestep.
 
-Worker ids are global across the fleet (spec order), so every worker keeps
-the deterministic ``seed + worker_id * num_envs + i`` seeding of the
-homogeneous collector — a homogeneous spec such as ``Hopper:2`` reproduces
-``--num-workers 2`` bit for bit.
+Worker ids are global across the fleet (spec order), and environments are
+seeded by the worker's cumulative environment offset (``seed + env_offset +
+i`` — exactly ``seed + worker_id * num_envs + i`` at uniform widths), so a
+homogeneous spec such as ``Hopper:2`` reproduces ``--num-workers 2`` bit
+for bit while a three-field spec like ``HalfCheetah:2:16,Hopper:2:8`` gives
+each benchmark its own lock-step width.  ``--schedule weighted`` switches
+the round scheduler to throughput-weighted rounds: the benchmark with the
+cheaper modelled host+inference chain collects extra lock-steps per round.
 
 The run also prices the fleet on the modelled platform: the single
 accelerator serves back-to-back batched inferences with *different* layer
@@ -52,28 +56,36 @@ HIDDEN_SIZES = (64, 48)
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--fleet", type=str, default="HalfCheetah:1,Hopper:1",
-                        help="fleet spec 'Benchmark[:count],...' resolved against "
-                             "the benchmark registry (case-insensitive)")
+                        help="fleet spec 'Benchmark[:count[:num_envs]],...' "
+                             "resolved against the benchmark registry "
+                             "(case-insensitive); the third field is the "
+                             "benchmark's lock-step width (default --num-envs)")
     parser.add_argument("--timesteps", type=int, default=2_000)
     parser.add_argument("--num-envs", type=int, default=4,
-                        help="environments per worker, rolled out in lock-step")
+                        help="default environments per worker, rolled out in "
+                             "lock-step (spec entries may override per benchmark)")
     parser.add_argument("--pipeline-depth", type=int, default=0,
                         help="rounds the fleet may run ahead of the learners")
+    parser.add_argument("--schedule", choices=("sequential", "pipelined", "weighted"),
+                        default=None,
+                        help="round-scheduling policy (default: from "
+                             "--pipeline-depth); 'weighted' gives cheaper "
+                             "benchmarks extra lock-steps per round")
     parser.add_argument("--seed", type=int, default=1)
     args = parser.parse_args()
 
-    fleet_spec = parse_fleet_spec(args.fleet)
-    total_workers = sum(count for _, count in fleet_spec)
+    fleet_spec = parse_fleet_spec(args.fleet, default_width=args.num_envs)
+    total_workers = sum(count for _, count, _width in fleet_spec)
     print("=== Heterogeneous collector fleet ===")
-    print(f"fleet: {', '.join(f'{b}:{c}' for b, c in fleet_spec)} "
-          f"({total_workers} workers x {args.num_envs} envs in lock-step)")
+    print(f"fleet: {', '.join(f'{b}:{c}:{w}' for b, c, w in fleet_spec)} "
+          f"({total_workers} workers; widths are the per-benchmark num_envs)")
 
     # One shared numerics object: the QAT switch must hit every benchmark's
     # networks (and their collection replicas) at the same timestep.
     numerics = DynamicFixedPointNumerics(num_bits=16)
     rng = np.random.default_rng(args.seed)
     agents = {}
-    for benchmark, _count in fleet_spec:
+    for benchmark, _count, _width in fleet_spec:
         dims = benchmark_dimensions(benchmark)
         agents[benchmark] = DDPGAgent(
             dims["state_dim"],
@@ -101,9 +113,25 @@ def main() -> None:
         num_envs=args.num_envs,
         pipeline_depth=args.pipeline_depth,
         fleet=fleet_spec,
+        schedule=args.schedule,
     )
 
-    result = train_fleet(agents, config, qat_controller=controller, label="fleet-qat")
+    # The weighted schedule needs a cost oracle; hand train_fleet the
+    # modelled platform so the policy can price each benchmark's chain.
+    oracle = None
+    if args.schedule == "weighted":
+        oracle = FixarPlatform(
+            WorkloadSpec.from_benchmark(fleet_spec[0][0], hidden_sizes=HIDDEN_SIZES)
+        )
+
+    result = train_fleet(
+        agents, config, qat_controller=controller, label="fleet-qat",
+        platform=oracle,
+    )
+    if result.schedule == "weighted":
+        print(f"weighted lock-step allocation: "
+              + ", ".join(f"{key}x{weight}"
+                          for (key, _c, _w), weight in zip(result.fleet, result.weights)))
     print()
     for benchmark, benchmark_result in result.per_benchmark.items():
         curve = benchmark_result.curve
@@ -131,7 +159,7 @@ def main() -> None:
         fleet_spec, args.num_envs, 64, pipelined=args.pipeline_depth > 0
     )
     print(f"  mixed fleet training throughput : {mixed:8.1f} steps/sec")
-    for benchmark, _count in fleet_spec:
+    for benchmark, _count, _width in fleet_spec:
         homogeneous = platform.fleet_training_steps_per_second(
             [(benchmark, total_workers)], args.num_envs, 64,
             pipelined=args.pipeline_depth > 0,

@@ -97,13 +97,23 @@ def build_parser() -> argparse.ArgumentParser:
                             "bit-exact with the pre-pipeline loop)")
     train.add_argument("--fleet", type=str, default=None, metavar="SPEC",
                        help="heterogeneous collector fleet spec "
-                            "'Benchmark[:count],...' (e.g. 'HalfCheetah:2,Hopper:2'): "
-                            "each entry contributes count workers of --num-envs "
-                            "environments of that benchmark, with one learner "
-                            "agent and replay buffer per benchmark sharing one "
-                            "numerics object / QAT schedule; overrides "
-                            "--benchmark and replaces --num-workers as the "
-                            "fleet sizing")
+                            "'Benchmark[:count[:num_envs]],...' (e.g. "
+                            "'HalfCheetah:2:16,Hopper:2:8'): each entry "
+                            "contributes count workers of that benchmark, "
+                            "stepping num_envs environments in lock-step "
+                            "(default: --num-envs), with one learner agent and "
+                            "replay buffer per benchmark sharing one numerics "
+                            "object / QAT schedule; overrides --benchmark and "
+                            "replaces --num-workers as the fleet sizing")
+    train.add_argument("--schedule", choices=("sequential", "pipelined", "weighted"),
+                       default=None,
+                       help="round-scheduling policy (default: resolved from "
+                            "--pipeline-depth — 0 is sequential, otherwise "
+                            "pipelined); 'weighted' allocates extra collection "
+                            "lock-steps per round to fleet benchmarks with "
+                            "cheaper modelled host+inference chains (the "
+                            "throughput-weighted schedule, priced on the "
+                            "modelled platform)")
     train.add_argument("--regime", default="fixar-dynamic",
                        choices=("float32", "fixed32", "fixed16", "fixar-dynamic"))
     train.add_argument("--hidden", type=int, nargs=2, default=(64, 48), metavar=("H1", "H2"))
@@ -158,7 +168,7 @@ def _command_train_fleet(args: argparse.Namespace) -> int:
     numerics = make_numerics(base.numeric_regime, num_bits=base.qat.num_bits)
     rng = np.random.default_rng(args.seed)
     agents = {}
-    for benchmark, _count in fleet_spec:
+    for benchmark, _count, _width in fleet_spec:
         dims = benchmark_dimensions(benchmark)
         agents[benchmark] = DDPGAgent(
             dims["state_dim"],
@@ -171,24 +181,52 @@ def _command_train_fleet(args: argparse.Namespace) -> int:
     if isinstance(numerics, DynamicFixedPointNumerics):
         qat_controller = QATController(numerics, base.qat)
 
-    config = replace(
-        base.training,
-        seed=args.seed,
-        num_envs=args.num_envs,
-        sync_interval=args.sync_interval,
-        pipeline_depth=args.pipeline_depth,
-        fleet=fleet_spec,
-    )
-    schedule = (
+    try:
+        config = replace(
+            base.training,
+            seed=args.seed,
+            num_envs=args.num_envs,
+            sync_interval=args.sync_interval,
+            pipeline_depth=args.pipeline_depth,
+            fleet=fleet_spec,
+            schedule=args.schedule,
+        )
+    except ValueError as error:
+        # Config validation errors name the offending knobs themselves
+        # (e.g. the schedule/pipeline_depth conflict).
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    platform = None
+    if args.schedule == "weighted":
+        # The throughput-weighted policy prices each benchmark's host +
+        # inference chain on the modelled platform; without an oracle it
+        # would degrade to round-robin weights.
+        platform = FixarPlatform(
+            WorkloadSpec.from_benchmark(
+                fleet_spec[0][0], hidden_sizes=tuple(args.hidden)
+            )
+        )
+    schedule = args.schedule or (
         f"pipelined depth {args.pipeline_depth}" if args.pipeline_depth else "sequential"
     )
-    fleet_text = ",".join(f"{benchmark}:{count}" for benchmark, count in fleet_spec)
+    fleet_text = ",".join(
+        f"{benchmark}:{count}" + ("" if width is None else f":{width}")
+        for benchmark, count, width in fleet_spec
+    )
     print(f"training {args.regime} on fleet {fleet_text} for {args.timesteps} timesteps "
           f"(batch {args.batch_size}, hidden {tuple(args.hidden)}, "
-          f"{args.num_envs} env{'s' if args.num_envs != 1 else ''} per worker in "
-          f"lock-step, {schedule} schedule)")
+          f"{args.num_envs} env{'s' if args.num_envs != 1 else ''} per worker by "
+          f"default, {schedule} schedule)")
 
-    result = train_fleet(agents, config, qat_controller=qat_controller, label=args.regime)
+    result = train_fleet(
+        agents, config, qat_controller=qat_controller, label=args.regime,
+        platform=platform,
+    )
+    if result.schedule == "weighted" and any(w != 1 for w in result.weights):
+        allocation = ", ".join(
+            f"{key}x{weight}" for (key, _c, _w), weight in zip(result.fleet, result.weights)
+        )
+        print(f"weighted rounds: lock-step allocation {allocation}")
     for benchmark, benchmark_result in result.per_benchmark.items():
         curve = benchmark_result.curve
         print(format_curve(curve.timesteps, curve.returns, label=f"{benchmark} reward curve"))
@@ -227,6 +265,13 @@ def _command_train(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.cosim and args.schedule not in (None, "sequential"):
+        print(
+            "error: --cosim traces the sequential scalar training loop and "
+            f"does not support --schedule {args.schedule}",
+            file=sys.stderr,
+        )
+        return 2
     if args.fleet is not None:
         if args.cosim:
             print(
@@ -250,15 +295,22 @@ def _command_train(args: argparse.Namespace) -> int:
         batch_size=args.batch_size,
         hidden_sizes=tuple(args.hidden),
     ).with_regime(args.regime)
-    config = config.with_training(
-        seed=args.seed,
-        num_envs=args.num_envs,
-        num_workers=args.num_workers,
-        sync_interval=args.sync_interval,
-        pipeline_depth=args.pipeline_depth,
-    )
+    try:
+        config = config.with_training(
+            seed=args.seed,
+            num_envs=args.num_envs,
+            num_workers=args.num_workers,
+            sync_interval=args.sync_interval,
+            pipeline_depth=args.pipeline_depth,
+            schedule=args.schedule,
+        )
+    except ValueError as error:
+        # Config validation errors name the offending knobs themselves
+        # (e.g. the schedule/pipeline_depth conflict).
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     system = FixarSystem(config)
-    schedule = (
+    schedule = args.schedule or (
         f"pipelined depth {args.pipeline_depth}" if args.pipeline_depth else "sequential"
     )
     print(f"training {args.regime} on {args.benchmark} for {args.timesteps} timesteps "

@@ -195,6 +195,21 @@ class DynamicFixedPointNumerics(FixedPointNumerics):
         self._half_mode = False
         self.activation_format = self.full_activation_format
 
+    def adopt_quantizer(self, quantizer: AffineQuantizer) -> None:
+        """Enter half mode with a quantizer frozen *elsewhere*.
+
+        A forked collection replica owns a snapshot copy of the learner's
+        numerics, so the learner's precision switch cannot reach it through
+        the (shared-object) in-process path.  The coordinator instead ships
+        the learner's frozen :class:`AffineQuantizer` over the worker's
+        command pipe, and the replica adopts it verbatim — keeping the whole
+        fleet on one quantization grid rather than freezing each replica's
+        privately observed range.
+        """
+        self.quantizer = quantizer
+        self._half_mode = True
+        self.activation_format = self.half_activation_format
+
     # ------------------------------------------------------------------ #
     # Projection hooks
     # ------------------------------------------------------------------ #

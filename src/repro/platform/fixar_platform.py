@@ -589,51 +589,87 @@ class FixarPlatform:
         )
 
     def _resolve_fleet(
-        self, fleet: Sequence[Tuple[Union[str, WorkloadSpec], int]]
-    ) -> List[Tuple["FixarPlatform", int]]:
-        """Per-group sibling platforms for a fleet of (workload, count) entries.
+        self,
+        fleet: Sequence[Sequence],
+        num_envs: Optional[int] = None,
+        weights: Optional[Sequence[int]] = None,
+    ) -> List[Tuple["FixarPlatform", int, int, int]]:
+        """Per-group sibling platforms for a fleet's pricing entries.
 
-        Entries name either a registered benchmark (string) or an explicit
-        :class:`WorkloadSpec`; counts must be positive and the fleet
-        non-empty.
+        Each entry is ``(workload, count)`` or ``(workload, count, width)``
+        — a registered benchmark name or an explicit :class:`WorkloadSpec`,
+        a positive worker count, and an optional per-group lock-step width
+        (``None`` or omitted falls back to the ``num_envs`` argument, the
+        uniform-width fleet).  ``weights`` optionally gives each group's
+        lock-steps per round (the throughput-weighted schedule); the default
+        is one each.  Returns ``(platform, count, width, weight)`` tuples.
         """
-        fleet = list(fleet)
+        fleet = [tuple(entry) for entry in fleet]
         if not fleet:
             raise ValueError("fleet must contain at least one (workload, count) entry")
-        resolved: List[Tuple[FixarPlatform, int]] = []
-        for workload, count in fleet:
+        if weights is None:
+            weights = [1] * len(fleet)
+        else:
+            weights = list(weights)
+            if len(weights) != len(fleet):
+                raise ValueError(
+                    f"weights must match the fleet's {len(fleet)} entries, "
+                    f"got {len(weights)}"
+                )
+        resolved: List[Tuple[FixarPlatform, int, int, int]] = []
+        for entry, weight in zip(fleet, weights):
+            if len(entry) == 2:
+                workload, count = entry
+                width = None
+            elif len(entry) == 3:
+                workload, count, width = entry
+            else:
+                raise ValueError(
+                    f"fleet entries must be (workload, count[, width]), got {entry!r}"
+                )
             if count <= 0:
                 raise ValueError(f"fleet worker counts must be positive, got {count}")
+            if width is None:
+                width = num_envs
+            if width is None or width <= 0:
+                raise ValueError(
+                    f"fleet lock-step widths must be positive, got {width}"
+                )
+            if weight <= 0:
+                raise ValueError(f"fleet round weights must be positive, got {weight}")
             if isinstance(workload, WorkloadSpec):
                 platform = self.with_workload(workload)
             else:
                 platform = self.for_benchmark(str(workload))
-            resolved.append((platform, count))
+            resolved.append((platform, count, width, weight))
         return resolved
 
     def infer_fleet(
         self,
-        fleet: Sequence[Tuple[Union[str, WorkloadSpec], int]],
+        fleet: Sequence[Sequence],
         num_envs: int,
     ) -> FleetInferenceReport:
         """Price one collection round of a heterogeneous fleet.
 
-        Each entry ``(workload, count)`` contributes ``count`` workers whose
-        batch-of-``num_envs`` inferences are priced under *that* workload's
-        layer dimensions; the single accelerator serves all groups back to
-        back, so the fleet round is the serial concatenation of the
-        per-group :meth:`infer_collection` rounds.
+        Each entry ``(workload, count)`` — or ``(workload, count, width)``
+        for a mixed-width fleet — contributes ``count`` workers whose
+        batch-of-``width`` inferences are priced under *that* workload's
+        layer dimensions (``width`` defaults to ``num_envs``); the single
+        accelerator serves all groups back to back, so the fleet round is
+        the serial concatenation of the per-group :meth:`infer_collection`
+        rounds.
         """
         groups = tuple(
-            (platform.workload.benchmark, platform.infer_collection(num_envs, count))
-            for platform, count in self._resolve_fleet(fleet)
+            (platform.workload.benchmark, platform.infer_collection(width, count))
+            for platform, count, width, _weight in self._resolve_fleet(fleet, num_envs)
         )
         return FleetInferenceReport(groups=groups)
 
     def fleet_collection_round_seconds(
         self,
-        fleet: Sequence[Tuple[Union[str, WorkloadSpec], int]],
+        fleet: Sequence[Sequence],
         num_envs: int,
+        weights: Optional[Sequence[int]] = None,
     ) -> float:
         """Modelled time of one heterogeneous-fleet collection round.
 
@@ -644,38 +680,54 @@ class FixarPlatform:
         *benchmark* bounds the fleet — each worker runs on its own Xeon
         core), while the single accelerator serves all groups' batches back
         to back, paying each group's inference latency under its own layer
-        dimensions.  The steady-state round is whichever bound saturates
-        first.
+        dimensions and lock-step width.  The steady-state round is whichever
+        bound saturates first.
+
+        ``weights`` prices a *throughput-weighted* round: group ``g`` runs
+        ``weights[g]`` lock-steps per round, so its workers' serial chains
+        stretch by that factor and the accelerator serves that many more of
+        its batches — the cost oracle of
+        :class:`repro.rl.scheduler.ThroughputWeightedPolicy`, which fills
+        the slack under the slowest benchmark's chain with extra cheap
+        lock-steps.
         """
-        resolved = self._resolve_fleet(fleet)
+        return self._collection_round_from(self._resolve_fleet(fleet, num_envs, weights))
+
+    @staticmethod
+    def _collection_round_from(resolved) -> float:
+        """Collection-round time of an already-resolved fleet (no re-resolve)."""
         chains = []
         accelerator = 0.0
-        for platform, count in resolved:
-            inference = platform.infer_batch(num_envs).total_seconds
+        for platform, count, width, weight in resolved:
+            inference = platform.infer_batch(width).total_seconds
             host = platform.host.collection_step_seconds(
-                platform.workload.benchmark, num_envs
+                platform.workload.benchmark, width
             )
-            chains.append(host + inference)
-            accelerator += count * inference
+            chains.append(weight * (host + inference))
+            accelerator += count * weight * inference
         return max(max(chains), accelerator)
+
+    @staticmethod
+    def _round_steps_from(resolved) -> int:
+        """Environment steps of one round of an already-resolved fleet."""
+        return sum(count * weight * width for _p, count, width, weight in resolved)
 
     def fleet_collection_steps_per_second(
         self,
-        fleet: Sequence[Tuple[Union[str, WorkloadSpec], int]],
+        fleet: Sequence[Sequence],
         num_envs: int,
+        weights: Optional[Sequence[int]] = None,
     ) -> float:
         """Modelled collection throughput of a heterogeneous fleet."""
-        # The round call resolves (and validates) the fleet; the worker sum
-        # needs only the raw counts.
-        round_seconds = self.fleet_collection_round_seconds(fleet, num_envs)
-        total_workers = sum(count for _, count in fleet)
-        return total_workers * num_envs / round_seconds
+        resolved = self._resolve_fleet(fleet, num_envs, weights)
+        return self._round_steps_from(resolved) / self._collection_round_from(resolved)
 
     def fleet_sequential_round_seconds(
         self,
-        fleet: Sequence[Tuple[Union[str, WorkloadSpec], int]],
+        fleet: Sequence[Sequence],
         num_envs: int,
         batch_size: int = 64,
+        weights: Optional[Sequence[int]] = None,
     ) -> float:
         """Modelled time of one *sequential* heterogeneous training round.
 
@@ -685,18 +737,21 @@ class FixarPlatform:
         — collection and the per-benchmark update phases strictly
         alternate, so the round costs their sum.
         """
-        resolved = self._resolve_fleet(fleet)
+        resolved = self._resolve_fleet(fleet, num_envs, weights)
         update_total = sum(
-            platform.update_round_seconds(batch_size, count * num_envs, pipelined=False)
-            for platform, count in resolved
+            platform.update_round_seconds(
+                batch_size, count * weight * width, pipelined=False
+            )
+            for platform, count, width, weight in resolved
         )
-        return self.fleet_collection_round_seconds(fleet, num_envs) + update_total
+        return self._collection_round_from(resolved) + update_total
 
     def fleet_pipelined_round_seconds(
         self,
-        fleet: Sequence[Tuple[Union[str, WorkloadSpec], int]],
+        fleet: Sequence[Sequence],
         num_envs: int,
         batch_size: int = 64,
+        weights: Optional[Sequence[int]] = None,
     ) -> float:
         """Modelled time of one *pipelined* heterogeneous training round.
 
@@ -706,49 +761,59 @@ class FixarPlatform:
         invocation overhead once and its per-update marginal cost under its
         own layer dimensions (``train_pass_seconds`` differs per benchmark)
         — and the fleet's inference FPGA time (every group priced under its
-        own workload) is added to the update stream because the single
-        accelerator serves both sides.
+        own workload, width, and round weight) is added to the update
+        stream because the single accelerator serves both sides.
         """
-        resolved = self._resolve_fleet(fleet)
-        collection = self.fleet_collection_round_seconds(fleet, num_envs)
+        resolved = self._resolve_fleet(fleet, num_envs, weights)
+        collection = self._collection_round_from(resolved)
         update_total = sum(
-            platform.update_round_seconds(batch_size, count * num_envs, pipelined=True)
-            for platform, count in resolved
+            platform.update_round_seconds(
+                batch_size, count * weight * width, pipelined=True
+            )
+            for platform, count, width, weight in resolved
         )
         inference_fpga = sum(
-            count * platform.infer_batch(num_envs).fpga_seconds
-            for platform, count in resolved
+            count * weight * platform.infer_batch(width).fpga_seconds
+            for platform, count, width, weight in resolved
         )
         return max(collection, update_total + inference_fpga)
 
     def fleet_training_steps_per_second(
         self,
-        fleet: Sequence[Tuple[Union[str, WorkloadSpec], int]],
+        fleet: Sequence[Sequence],
         num_envs: int,
         batch_size: int = 64,
         pipelined: bool = False,
+        weights: Optional[Sequence[int]] = None,
     ) -> float:
         """Modelled end-to-end training throughput of a heterogeneous fleet."""
         round_seconds = (
-            self.fleet_pipelined_round_seconds(fleet, num_envs, batch_size)
+            self.fleet_pipelined_round_seconds(fleet, num_envs, batch_size, weights)
             if pipelined
-            else self.fleet_sequential_round_seconds(fleet, num_envs, batch_size)
+            else self.fleet_sequential_round_seconds(
+                fleet, num_envs, batch_size, weights
+            )
         )
-        # The round call already resolved and validated the fleet.
-        total_workers = sum(count for _, count in fleet)
-        return total_workers * num_envs / round_seconds
+        # The round call resolved (and validated) the fleet; resolve once
+        # more only for the step sum — sibling platforms are lightweight,
+        # but avoid a third/fourth resolution inside nested round calls.
+        round_steps = self._round_steps_from(
+            self._resolve_fleet(fleet, num_envs, weights)
+        )
+        return round_steps / round_seconds
 
     def fleet_pipelined_speedup(
         self,
-        fleet: Sequence[Tuple[Union[str, WorkloadSpec], int]],
+        fleet: Sequence[Sequence],
         num_envs: int,
         batch_size: int = 64,
+        weights: Optional[Sequence[int]] = None,
     ) -> float:
         """Steps/sec of the pipelined fleet schedule over the sequential one."""
         return self.fleet_training_steps_per_second(
-            fleet, num_envs, batch_size, pipelined=True
+            fleet, num_envs, batch_size, pipelined=True, weights=weights
         ) / self.fleet_training_steps_per_second(
-            fleet, num_envs, batch_size, pipelined=False
+            fleet, num_envs, batch_size, pipelined=False, weights=weights
         )
 
     # ------------------------------------------------------------------ #

@@ -23,12 +23,18 @@ multi-process mode for raw collection throughput.  A fleet can also span
 ``"HalfCheetah:2,Hopper:2"``): :class:`HeteroFleet` groups the workers per
 benchmark (own replay buffer and learner agent each, one shared numerics
 object so QAT switches apply fleet-wide) and :func:`train_fleet` runs the
-deterministic round schedule across the groups.  The training schedule
-itself can be *pipelined* (``TrainingConfig.pipeline_depth``): the fleet
-collects round k+1 while the learner drains round k and runs its updates,
-with a bounded staleness window and deterministic emulation — the platform
-layer prices the overlap as ``max(collection, update)`` per round
-(:meth:`~repro.platform.FixarPlatform.pipelined_round_seconds`).  Future
+deterministic round schedule across the groups.  The round schedules
+themselves live in the *scheduler subsystem* (:mod:`repro.rl.scheduler`):
+a :class:`RoundScheduler` drives the collector groups through a pluggable
+:class:`SchedulePolicy` — :class:`SequentialPolicy` (the bit-exact
+historical loop), :class:`PipelinedPolicy` (bounded staleness: the fleet
+collects round k+1 while the learner drains round k, priced by the
+platform as ``max(collection, update)`` per round via
+:meth:`~repro.platform.FixarPlatform.pipelined_round_seconds`), and
+:class:`ThroughputWeightedPolicy` (heterogeneous benchmarks with cheaper
+modelled host+inference chains collect extra lock-steps per round,
+``FixarPlatform.fleet_collection_round_seconds`` as cost oracle) —
+selected by ``TrainingConfig.schedule``.  Future
 scaling layers
 (sharded accelerators, multi-backend inference) should likewise slot in
 behind the engine's ``act_batch``/``step`` seam rather than re-introducing
@@ -42,6 +48,16 @@ from .noise import DecayedNoise, GaussianNoise, NoiseProcess, OrnsteinUhlenbeckN
 from .qat import QATController, QATEvent, QATSchedule
 from .replay_buffer import ReplayBuffer, TransitionBatch
 from .rollout import RolloutEngine, RolloutStats, VectorTransitions
+from .scheduler import (
+    PipelinedPolicy,
+    RoundScheduler,
+    ScheduledGroup,
+    ScheduleOutcome,
+    SchedulePolicy,
+    SequentialPolicy,
+    ThroughputWeightedPolicy,
+    resolve_policy,
+)
 from .td3 import TD3Agent, TD3Config
 from .training import (
     FleetTrainingResult,
@@ -83,6 +99,14 @@ __all__ = [
     "RolloutEngine",
     "RolloutStats",
     "VectorTransitions",
+    "RoundScheduler",
+    "ScheduledGroup",
+    "ScheduleOutcome",
+    "SchedulePolicy",
+    "SequentialPolicy",
+    "PipelinedPolicy",
+    "ThroughputWeightedPolicy",
+    "resolve_policy",
     "ActorPolicy",
     "AsyncCollector",
     "AsyncCollectStats",

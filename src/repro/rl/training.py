@@ -17,23 +17,22 @@ loop consumes every RNG stream in exactly the scalar order —
 :func:`train_scalar_reference` preserves the pre-refactor loop verbatim as
 the oracle the regression tests compare against.
 
-The *pipelined* schedule (``TrainingConfig.pipeline_depth > 0``) overlaps
-the two halves of a round the way the FIXAR platform does (paper Fig. 3):
-while the collector fleet gathers round ``k+1``, the learner drains round
-``k``'s transitions into the replay buffer and runs its updates.  The
-overlap is emulated deterministically in one thread — collection of round
-``k+1`` is scheduled *before* the learner phase of round ``k`` — so runs
-stay reproducible, and ``pipeline_depth`` bounds the staleness window: the
-fleet never runs more than that many rounds ahead of the learner.
-``pipeline_depth == 0`` is the sequential schedule, bit-exact with the
-pre-pipeline loop and therefore the oracle the regression tests pin.
+Since the round-scheduler refactor, the schedules themselves — sequential,
+pipelined (``TrainingConfig.pipeline_depth`` / ``schedule="pipelined"``),
+and throughput-weighted (``schedule="weighted"``) — live in
+:mod:`repro.rl.scheduler`: :func:`train` and :func:`train_fleet` are thin
+wrappers that build :class:`~repro.rl.scheduler.ScheduledGroup` s and run
+them through a :class:`~repro.rl.scheduler.RoundScheduler`.  Every
+schedule is emulated deterministically in one thread, the sequential
+policy stays bit-exact with the pre-scheduler loop (and through it with
+:func:`train_scalar_reference`), and ``pipeline_depth`` bounds the
+staleness window exactly as before.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -46,7 +45,12 @@ from .noise import GaussianNoise, NoiseProcess
 from .qat import QATController, QATEvent
 from .replay_buffer import ReplayBuffer
 from .rollout import RolloutEngine
+from .scheduler import RoundScheduler, ScheduledGroup, resolve_policy
 from .workers import AsyncCollector, CollectorWorker, HeteroFleet, parse_fleet_spec
+
+#: Round-scheduling policies ``TrainingConfig.schedule`` accepts (``None``
+#: resolves from ``pipeline_depth``; see :func:`repro.rl.scheduler.resolve_policy`).
+SCHEDULES = ("sequential", "pipelined", "weighted")
 
 __all__ = [
     "TrainingConfig",
@@ -104,15 +108,24 @@ class TrainingConfig:
     #: still honor ``sync_interval``); the learner drains the backlog at the
     #: end of the run, so the update-to-data ratio is unchanged.
     pipeline_depth: int = 0
-    #: Heterogeneous fleet spec — ``"HalfCheetah:2,Hopper:2"`` or a parsed
-    #: ``[(benchmark, count), ...]`` sequence (grammar in
-    #: :func:`~repro.rl.workers.parse_fleet_spec`).  ``None`` (the default)
-    #: is the homogeneous path driven by ``num_workers``.  When set, the
-    #: spec determines the fleet's worker counts, ``num_workers`` must stay
-    #: at its default of 1, and training runs through :func:`train_fleet`
-    #: (one learner agent and replay buffer per benchmark) instead of
-    #: :func:`train`.
+    #: Heterogeneous fleet spec — ``"HalfCheetah:2,Hopper:2:8"`` or a
+    #: parsed sequence of ``(benchmark, count)`` pairs / ``(benchmark,
+    #: count, num_envs)`` triples (grammar in
+    #: :func:`~repro.rl.workers.parse_fleet_spec`; a missing width defaults
+    #: to ``num_envs``).  ``None`` (the default) is the homogeneous path
+    #: driven by ``num_workers``.  When set, the spec determines the
+    #: fleet's worker counts and per-benchmark lock-step widths,
+    #: ``num_workers`` must stay at its default of 1, and training runs
+    #: through :func:`train_fleet` (one learner agent and replay buffer per
+    #: benchmark) instead of :func:`train`.
     fleet: Optional[Union[str, Sequence]] = None
+    #: Round-scheduling policy: ``"sequential"``, ``"pipelined"``, or
+    #: ``"weighted"`` (throughput-weighted rounds — heterogeneous fleets
+    #: with cheaper modelled host+inference chains collect extra lock-steps
+    #: per round).  ``None`` (the default) resolves from ``pipeline_depth``
+    #: — depth 0 is sequential, anything else pipelined — so every
+    #: pre-existing configuration keeps its exact behavior.
+    schedule: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.total_timesteps <= 0:
@@ -137,6 +150,17 @@ class TrainingConfig:
             raise ValueError("sync_interval must be positive")
         if self.pipeline_depth < 0:
             raise ValueError("pipeline_depth must be non-negative")
+        if self.schedule is not None:
+            if self.schedule not in SCHEDULES:
+                raise ValueError(
+                    f"schedule must be one of {SCHEDULES}, got {self.schedule!r}"
+                )
+            if self.schedule == "sequential" and self.pipeline_depth > 0:
+                raise ValueError(
+                    "schedule 'sequential' conflicts with pipeline_depth > 0; "
+                    "use schedule='pipelined' (or leave schedule unset) for a "
+                    "staleness window"
+                )
         if self.fleet is not None:
             if self.num_workers != 1:
                 raise ValueError(
@@ -194,12 +218,19 @@ class FleetTrainingResult:
     """
 
     per_benchmark: Dict[str, TrainingResult] = field(default_factory=dict)
-    fleet: List[Tuple[str, int]] = field(default_factory=list)
+    #: Resolved ``(benchmark_key, worker_count, num_envs)`` entries.
+    fleet: List[Tuple[str, int, int]] = field(default_factory=list)
     total_timesteps: int = 0
     total_updates: int = 0
     num_envs: int = 1
     num_workers: int = 1
     pipeline_depth: int = 0
+    #: Round-scheduling policy the run used (``sequential``/``pipelined``/
+    #: ``weighted``).
+    schedule: str = "sequential"
+    #: Lock-steps each benchmark group ran per round, in spec order (all 1
+    #: except under the throughput-weighted policy).
+    weights: List[int] = field(default_factory=list)
 
     @property
     def benchmarks(self) -> List[str]:
@@ -222,6 +253,8 @@ class FleetTrainingResult:
             "num_envs": self.num_envs,
             "num_workers": self.num_workers,
             "pipeline_depth": self.pipeline_depth,
+            "schedule": self.schedule,
+            "weights": list(self.weights),
             "quantization_switch_step": (
                 self.qat_event.timestep if self.qat_event else None
             ),
@@ -270,6 +303,7 @@ def train(
     label: Optional[str] = None,
     progress_callback: Optional[Callable[[int, dict], None]] = None,
     platform=None,
+    policy=None,
 ) -> TrainingResult:
     """Run the training loop through the vectorized rollout engine.
 
@@ -299,7 +333,12 @@ def train(
     platform:
         Optional :class:`~repro.platform.FixarPlatform` whose
         ``infer_batch`` prices each batched rollout inference (accumulated on
-        the returned engine statistics).
+        the returned engine statistics); also the weighted schedule's cost
+        oracle.
+    policy:
+        Optional explicit :class:`~repro.rl.scheduler.SchedulePolicy`
+        overriding the one ``config.schedule`` / ``config.pipeline_depth``
+        resolve to.
 
     With ``num_envs == 1`` (and one worker) this reproduces
     :func:`train_scalar_reference` bit for bit under a fixed seed.  With N
@@ -387,7 +426,9 @@ def train(
         # a "shared" template is safe to evaluate on: no in-flight training
         # episode is disturbed and no restart is needed.
         shares_training_env = False
-    if shares_training_env and config.pipeline_depth > 0:
+    if policy is None:
+        policy = resolve_policy(config, platform)
+    if shares_training_env and policy.depth > 0:
         # Sharing the training env with evaluation forces an episode restart
         # after every evaluation, but under the pipelined schedule the fleet
         # has already collected up to ``pipeline_depth`` rounds past the
@@ -451,114 +492,48 @@ def train(
     for worker in workers:
         worker.engine.reset()
 
-    steps_per_round = collector.steps_per_round
-    iterations = -(-config.total_timesteps // steps_per_round)
+    # All round/drain/update/evaluate bookkeeping lives in the scheduler
+    # subsystem; this wrapper only adapts the single-benchmark result shape.
+    group_key = str(getattr(evaluation_template, "name", "train")).lower()
+    group = ScheduledGroup(
+        key=group_key,
+        benchmark=getattr(evaluation_template, "name", group_key),
+        collector=collector,
+        agent=agent,
+        buffer=buffer,
+        curve=curve,
+        eval_env=evaluation_env,
+    )
 
-    def learner_round(
-        round_index: int, deferred, episodes_collected: Optional[int] = None
-    ) -> None:
-        """The learner phase of one round: drain, update, evaluate.
+    on_evaluation = None
+    if progress_callback is not None:
 
-        ``deferred`` is ``None`` in the sequential schedule (the collector
-        drained immediately) and the round's queued transitions in the
-        pipelined one.  Either way the buffer holds exactly rounds
-        ``0..round_index`` when the updates sample it, so the pipelined
-        learner sees the same data availability as the sequential learner —
-        the schedules differ only in how stale the *collection* weights are.
-        ``episodes_collected`` is the episode count snapshotted when this
-        round was collected; the pipelined schedule passes it so progress
-        callbacks report the count as of the evaluated round, not of the
-        rounds the fleet has already run ahead on.
-        """
-        global_step = round_index * steps_per_round
-        global_after = global_step + steps_per_round
-        if deferred is not None:
-            collector.drain(deferred)
-
-        # ----- Agent updates: one per collected post-warmup step ----------- #
-        if len(buffer) >= config.batch_size:
-            first_update_step = max(global_step, config.warmup_timesteps)
-            for _ in range(max(0, global_after - first_update_step)):
-                agent.update(buffer.sample(config.batch_size))
-                result.total_updates += 1
-
-        # ----- Periodic evaluation: one point per crossed boundary --------- #
-        # A round of num_envs * num_workers steps can cross several
-        # evaluation_interval boundaries at once; each one gets its own
-        # curve point, matching the scalar loop's cadence (which evaluates
-        # at every boundary) instead of collapsing them into one.
-        interval = config.evaluation_interval
-        for boundary in range(global_step // interval + 1, global_after // interval + 1):
-            evaluated_step = boundary * interval
-            average_return = evaluate_policy(
-                evaluation_env, agent, episodes=config.evaluation_episodes
+        def on_evaluation(evaluated_step: int, metrics: Dict[str, dict]) -> None:
+            group_metrics = metrics[group.key]
+            progress_callback(
+                evaluated_step,
+                {
+                    "average_return": group_metrics["average_return"],
+                    "episodes": group_metrics["episodes"],
+                    "activation_bits": agent.numerics.activation_bits,
+                },
             )
-            curve.record(evaluated_step, average_return)
-            if shares_training_env:
-                # Evaluation consumed the shared environment's episode; start
-                # fresh training episodes from a clean state.
-                collector.restart_episodes(record=True)
-            if progress_callback is not None:
-                progress_callback(
-                    evaluated_step,
-                    {
-                        "average_return": average_return,
-                        "episodes": (
-                            len(collector.episode_returns)
-                            if episodes_collected is None
-                            else episodes_collected
-                        ),
-                        "activation_bits": agent.numerics.activation_bits,
-                    },
-                )
 
-    # In-flight rounds the fleet has collected but the learner has not yet
-    # consumed (at most ``pipeline_depth`` long): (round index, transitions,
-    # episode count as of that round's collection).
-    pending: Deque[Tuple[int, List, int]] = deque()
-    for iteration in range(iterations):
-        global_step = iteration * steps_per_round
+    scheduler = RoundScheduler(
+        [group],
+        policy,
+        config,
+        qat_controller=qat_controller,
+        platform=platform,
+        on_evaluation=on_evaluation,
+        restart_shared_env=shares_training_env,
+    )
+    outcome = scheduler.run()
 
-        # QAT advances with the collection timeline: the controller counts
-        # environment steps, and the replicas share the learner's numerics
-        # object, so a precision switch applies to collection immediately —
-        # the (lagging) pipelined learner then runs its remaining updates at
-        # the new precision, exactly as a wall-clock switch would.
-        if qat_controller is not None:
-            for offset in range(steps_per_round):
-                qat_event = qat_controller.on_timestep(global_step + offset)
-                if qat_event is not None:
-                    result.qat_event = qat_event
-
-        if config.pipeline_depth == 0:
-            # Sequential schedule: collect a round, then consume it.
-            collector.step_sync()
-            learner_round(iteration, None)
-        else:
-            # Pipelined schedule: collect round k first — deterministically
-            # emulating "collection of round k runs while the learner is
-            # busy with round k - depth" — then let the learner catch up to
-            # within the staleness window.
-            rounds = collector.step_sync(drain=False)
-            pending.append((iteration, rounds, len(collector.episode_returns)))
-            if len(pending) > config.pipeline_depth:
-                learner_round(*pending.popleft())
-
-    # Drain the pipeline: the learner consumes the last in-flight rounds.
-    while pending:
-        learner_round(*pending.popleft())
-
+    result.qat_event = outcome.qat_event
+    result.total_updates = outcome.total_updates
     result.episode_returns = collector.episode_returns
-
-    # If the run ended between evaluation points, add a final evaluation so
-    # short smoke-test runs still produce a non-empty curve.
-    if not curve.points:
-        curve.record(
-            iterations * steps_per_round,
-            evaluate_policy(evaluation_env, agent, episodes=config.evaluation_episodes),
-        )
-
-    result.total_timesteps = iterations * steps_per_round
+    result.total_timesteps = outcome.total_timesteps
     return result
 
 
@@ -572,6 +547,7 @@ def train_fleet(
     label: Optional[str] = None,
     progress_callback: Optional[Callable[[int, dict], None]] = None,
     platform=None,
+    policy=None,
 ) -> FleetTrainingResult:
     """Train per-benchmark learners over one heterogeneous collector fleet.
 
@@ -623,7 +599,12 @@ def train_fleet(
         benchmark (``platform.for_benchmark``) so every worker's batched
         inferences are priced under its own workload — the heterogeneous
         accounting :meth:`~repro.platform.FixarPlatform.infer_fleet`
-        aggregates.
+        aggregates.  Also the throughput-weighted schedule's cost oracle.
+    policy:
+        Optional explicit :class:`~repro.rl.scheduler.SchedulePolicy`
+        overriding the one ``config.schedule`` / ``config.pipeline_depth``
+        resolve to (e.g. a :class:`ThroughputWeightedPolicy` with explicit
+        weights).
 
     The training schedule is the deterministic round schedule of
     :func:`train`, generalized across benchmark groups: each round, groups
@@ -636,7 +617,7 @@ def train_fleet(
     """
     if config.fleet is None:
         raise ValueError("train_fleet needs config.fleet; for homogeneous runs call train")
-    fleet_spec = parse_fleet_spec(config.fleet)
+    fleet_spec = parse_fleet_spec(config.fleet, default_width=config.num_envs)
 
     numerics_objects = {id(agent.numerics) for agent in dict(agents).values()}
     if len(numerics_objects) > 1:
@@ -653,7 +634,7 @@ def train_fleet(
                 "the fleet's agents; share one instance across both"
             )
 
-    total_workers = sum(count for _, count in fleet_spec)
+    total_workers = sum(count for _, count, _width in fleet_spec)
     per_worker_warmup = -(-config.warmup_timesteps // total_workers)
     agents_by_key = {str(name).lower(): agent for name, agent in dict(agents).items()}
     platforms = None
@@ -666,7 +647,7 @@ def train_fleet(
             key: platform.for_benchmark(
                 key, hidden_sizes=tuple(agents_by_key[key].config.hidden_sizes)
             )
-            for key, _ in fleet_spec
+            for key, _count, _width in fleet_spec
             if key in agents_by_key
         }
     fleet = HeteroFleet.from_agents(
@@ -702,14 +683,6 @@ def train_fleet(
                 template = make_registered_env(group.key)
             eval_envs_by_key[group.key], _ = _resolve_evaluation_env(template, config)
 
-    steps_per_round = fleet.steps_per_round
-    iterations = -(-config.total_timesteps // steps_per_round)
-    offsets: Dict[str, int] = {}
-    accumulated = 0
-    for group in fleet.groups:
-        offsets[group.key] = accumulated
-        accumulated += group.steps_per_round
-
     base_label = label
     if base_label is None:
         base_label = next(iter(agents_by_key.values())).numerics.name
@@ -717,119 +690,72 @@ def train_fleet(
         group.key: LearningCurve(f"{base_label}/{group.benchmark}")
         for group in fleet.groups
     }
-    updates_by_key = {group.key: 0 for group in fleet.groups}
-    qat_event: Optional[QATEvent] = None
 
-    def learner_round(
-        round_index: int, deferred, episodes_collected: Optional[Dict[str, int]] = None
-    ) -> None:
-        """One fleet learner phase: drain, per-group updates, evaluations.
+    # The round schedule itself — sequential, pipelined, or throughput
+    # weighted — lives in the scheduler subsystem; this wrapper only builds
+    # the per-benchmark groups and adapts the result/callback shapes.
+    groups = [
+        ScheduledGroup(
+            key=group.key,
+            benchmark=group.benchmark,
+            collector=group.collector,
+            agent=group.agent,
+            buffer=group.buffer,
+            curve=curves[group.key],
+            eval_env=eval_envs_by_key[group.key],
+        )
+        for group in fleet.groups
+    ]
+    display_names = {group.key: group.benchmark for group in fleet.groups}
 
-        Mirrors :func:`train`'s learner phase group by group: the round's
-        ``steps_per_round`` global steps are ordered by group (spec order),
-        each group updates once per step of its own slice past warmup, and
-        evaluation boundaries produce one curve point per benchmark.
-        """
-        global_step = round_index * steps_per_round
-        global_after = global_step + steps_per_round
-        if deferred is not None:
-            fleet.drain(deferred)
+    on_evaluation = None
+    if progress_callback is not None:
 
-        for group in fleet.groups:
-            buffer = group.buffer
-            if len(buffer) >= config.batch_size:
-                group_lo = global_step + offsets[group.key]
-                group_hi = group_lo + group.steps_per_round
-                first_update_step = max(group_lo, config.warmup_timesteps)
-                for _ in range(max(0, group_hi - first_update_step)):
-                    group.agent.update(buffer.sample(config.batch_size))
-                    updates_by_key[group.key] += 1
-
-        interval = config.evaluation_interval
-        for boundary in range(global_step // interval + 1, global_after // interval + 1):
-            evaluated_step = boundary * interval
-            metrics: Dict[str, dict] = {}
-            for group in fleet.groups:
-                average_return = evaluate_policy(
-                    eval_envs_by_key[group.key],
-                    group.agent,
-                    episodes=config.evaluation_episodes,
-                )
-                curves[group.key].record(evaluated_step, average_return)
-                metrics[group.benchmark] = {
-                    "average_return": average_return,
-                    "episodes": (
-                        len(group.collector.episode_returns)
-                        if episodes_collected is None
-                        else episodes_collected[group.key]
-                    ),
-                }
-            if progress_callback is not None:
-                activation_bits = next(
-                    iter(agents_by_key.values())
-                ).numerics.activation_bits
-                progress_callback(
-                    evaluated_step,
-                    {"benchmarks": metrics, "activation_bits": activation_bits},
-                )
-
-    pending: Deque[Tuple[int, List, Dict[str, int]]] = deque()
-    for iteration in range(iterations):
-        global_step = iteration * steps_per_round
-
-        if qat_controller is not None:
-            for offset in range(steps_per_round):
-                event = qat_controller.on_timestep(global_step + offset)
-                if event is not None:
-                    qat_event = event
-
-        if config.pipeline_depth == 0:
-            fleet.step_sync()
-            learner_round(iteration, None)
-        else:
-            rounds = fleet.step_sync(drain=False)
-            pending.append(
-                (
-                    iteration,
-                    rounds,
-                    {
-                        group.key: len(group.collector.episode_returns)
-                        for group in fleet.groups
+        def on_evaluation(evaluated_step: int, metrics: Dict[str, dict]) -> None:
+            activation_bits = next(
+                iter(agents_by_key.values())
+            ).numerics.activation_bits
+            progress_callback(
+                evaluated_step,
+                {
+                    "benchmarks": {
+                        display_names[key]: key_metrics
+                        for key, key_metrics in metrics.items()
                     },
-                )
+                    "activation_bits": activation_bits,
+                },
             )
-            if len(pending) > config.pipeline_depth:
-                learner_round(*pending.popleft())
 
-    while pending:
-        learner_round(*pending.popleft())
+    if policy is None:
+        policy = resolve_policy(config, platform)
+    scheduler = RoundScheduler(
+        groups,
+        policy,
+        config,
+        qat_controller=qat_controller,
+        platform=platform,
+        on_evaluation=on_evaluation,
+    )
+    outcome = scheduler.run()
 
     result = FleetTrainingResult(
-        fleet=[(key, count) for key, count in fleet.spec],
-        total_timesteps=iterations * steps_per_round,
-        total_updates=sum(updates_by_key.values()),
+        fleet=list(fleet.spec),
+        total_timesteps=outcome.total_timesteps,
+        total_updates=outcome.total_updates,
         num_envs=config.num_envs,
         num_workers=total_workers,
         pipeline_depth=config.pipeline_depth,
+        schedule=policy.name,
+        weights=list(outcome.weights),
     )
     for group in fleet.groups:
-        curve = curves[group.key]
-        if not curve.points:
-            curve.record(
-                iterations * steps_per_round,
-                evaluate_policy(
-                    eval_envs_by_key[group.key],
-                    group.agent,
-                    episodes=config.evaluation_episodes,
-                ),
-            )
         benchmark_result = TrainingResult(
-            curve=curve,
+            curve=curves[group.key],
             episode_returns=list(group.collector.episode_returns),
-            qat_event=qat_event,
-            total_timesteps=iterations * group.steps_per_round,
-            total_updates=updates_by_key[group.key],
-            num_envs=config.num_envs,
+            qat_event=outcome.qat_event,
+            total_timesteps=outcome.steps_by_key[group.key],
+            total_updates=outcome.updates_by_key[group.key],
+            num_envs=group.num_envs,
             num_workers=group.num_workers,
             pipeline_depth=config.pipeline_depth,
             replay_buffer=group.buffer,

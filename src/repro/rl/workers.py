@@ -30,24 +30,36 @@ multi-benchmark evaluation implies).  The grammar, parsed by
 :func:`parse_fleet_spec`, is::
 
     spec     ::= entry ("," entry)*
-    entry    ::= benchmark [":" count]
+    entry    ::= benchmark [":" count [":" num_envs]]
 
 where ``benchmark`` is any name registered in :mod:`repro.envs.registry`
 (matched case-insensitively — ``register()`` there is the extension point
-new benchmarks use to join fleets) and ``count`` is a positive worker
-count, defaulting to 1.  ``"HalfCheetah:2,Hopper:2"`` is a four-worker
-fleet; a benchmark may appear only once per spec.
+new benchmarks use to join fleets), ``count`` is a positive worker count
+defaulting to 1, and the optional third field is the benchmark's
+**lock-step width** — the ``num_envs`` of each of that benchmark's workers,
+defaulting to the run's ``config.num_envs``.  ``"HalfCheetah:2:16,Hopper:2:8"``
+is a four-worker fleet whose HalfCheetah workers step 16 environments in
+lock-step while the Hopper workers step 8; a benchmark may appear only once
+per spec.
 
+Mixed-width seeding
+~~~~~~~~~~~~~~~~~~~
 :class:`HeteroFleet` realises a parsed spec as one :class:`AsyncCollector`
 **group per benchmark** — per-benchmark replay buffer (state/action shapes
 differ across benchmarks) and per-benchmark learner agent — while worker
-ids are assigned **globally** in spec order: entry ``(b, count)`` claims the
-next ``count`` ids.  Every worker then applies the exact
-``seed + worker_id * num_envs + i`` environment scheme and the
-``(seed, worker_id, stream)`` derived noise/warmup streams above.  A
-homogeneous spec (``"Hopper:2"``) therefore assigns ids 0..1 exactly as
-``num_workers=2`` does, which is what keeps the fleet path bit-exact with
-the PR-2/3 collector (pinned by ``tests/test_hetero_fleet.py``).
+ids are assigned **globally** in spec order: entry ``(b, count, width)``
+claims the next ``count`` ids.  Environment seeding generalizes the uniform
+``seed + worker_id * num_envs + i`` scheme by giving every worker a **global
+environment offset**: worker ``w``'s offset is the sum of the lock-step
+widths of all workers before it in spec order, and its environment ``i`` is
+seeded ``seed + env_offset(w) + i``.  With a uniform width the offset
+collapses to ``worker_id * num_envs``, so every homogeneous fleet keeps the
+exact historical scheme — a homogeneous spec (``"Hopper:2"``) assigns ids
+0..1 and seeds exactly as ``num_workers=2`` does, which is what keeps the
+fleet path bit-exact with the PR-2/3 collector (pinned by
+``tests/test_hetero_fleet.py``; the mixed-width offsets are pinned by
+``tests/test_scheduler.py``).  Noise/warmup streams stay keyed by the
+*worker id* (``(seed, worker_id, stream)``), independent of widths.
 
 Execution modes
 ---------------
@@ -91,6 +103,7 @@ from ..envs.registry import available_benchmarks, benchmark_dimensions
 from ..envs.registry import make as make_env
 from ..envs.vector import VectorEnv
 from ..nn.network import MLP, build_actor
+from ..nn.numerics import DynamicFixedPointNumerics
 from .ddpg import batched_policy_actions
 from .noise import GaussianNoise, NoiseProcess
 from .replay_buffer import ReplayBuffer
@@ -108,21 +121,38 @@ __all__ = [
 ]
 
 
-def parse_fleet_spec(spec: Union[str, Sequence]) -> List[tuple]:
-    """Parse a fleet spec into ``[(benchmark_key, worker_count), ...]``.
+def _parse_count_field(name: str, what: str, text: str) -> int:
+    try:
+        return int(text.strip())
+    except ValueError:
+        raise ValueError(
+            f"{what} of {name!r} must be an integer, got {text.strip()!r}"
+        ) from None
+
+
+def parse_fleet_spec(
+    spec: Union[str, Sequence], default_width: Optional[int] = None
+) -> List[tuple]:
+    """Parse a fleet spec into ``[(benchmark_key, worker_count, width), ...]``.
 
     The grammar (see the module docstring) is a comma-separated list of
-    ``benchmark[:count]`` entries: ``"HalfCheetah:2,Hopper"`` means two
-    HalfCheetah workers followed by one Hopper worker.  Benchmark names are
+    ``benchmark[:count[:num_envs]]`` entries: ``"HalfCheetah:2:16,Hopper"``
+    means two HalfCheetah workers of 16 lock-stepped environments each,
+    followed by one Hopper worker at the default width.  Benchmark names are
     resolved case-insensitively against :mod:`repro.envs.registry` and
     returned as the lowercase registry keys; entry order is preserved
     because it determines the fleet's global worker-id assignment (and with
-    it the deterministic seeding).  A pre-parsed sequence of
-    ``(name, count)`` pairs is validated and canonicalised the same way.
+    it the deterministic seeding).  A pre-parsed sequence of ``(name,
+    count)`` pairs or ``(name, count, width)`` triples is validated and
+    canonicalised the same way.
+
+    ``width`` is ``default_width`` (usually the run's ``config.num_envs``;
+    ``None`` when no default applies yet) for entries that do not set the
+    third field.
 
     Raises ``ValueError`` for an empty spec, an empty entry, a non-integer
-    or non-positive count, an unregistered benchmark, or a benchmark that
-    appears more than once.
+    or non-positive count or width, an unregistered benchmark, or a
+    benchmark that appears more than once.
     """
     if isinstance(spec, str):
         entries = []
@@ -130,38 +160,52 @@ def parse_fleet_spec(spec: Union[str, Sequence]) -> List[tuple]:
             entry = raw_entry.strip()
             if not entry:
                 raise ValueError(f"empty entry in fleet spec {spec!r}")
-            name, sep, count_text = entry.partition(":")
-            name = name.strip()
+            fields = [field.strip() for field in entry.split(":")]
+            if len(fields) > 3:
+                raise ValueError(
+                    f"fleet entry {entry!r} has too many fields; the grammar "
+                    "is benchmark[:count[:num_envs]]"
+                )
+            name = fields[0]
             if not name:
                 raise ValueError(f"missing benchmark name in fleet entry {entry!r}")
-            if sep:
-                try:
-                    count = int(count_text.strip())
-                except ValueError:
-                    raise ValueError(
-                        f"worker count of {name!r} must be an integer, "
-                        f"got {count_text.strip()!r}"
-                    ) from None
-            else:
-                count = 1
-            entries.append((name, count))
+            count = (
+                _parse_count_field(name, "worker count", fields[1])
+                if len(fields) >= 2
+                else 1
+            )
+            width = (
+                _parse_count_field(name, "num_envs width", fields[2])
+                if len(fields) == 3
+                else None
+            )
+            entries.append((name, count, width))
     else:
-        try:
-            # operator.index rejects non-integral counts (2.9 must not
-            # silently truncate to 2 workers — that would change the fleet's
-            # deterministic seeding layout).
-            entries = [(str(name), operator.index(count)) for name, count in spec]
-        except (TypeError, ValueError) as exc:
-            raise ValueError(
-                f"a pre-parsed fleet spec must be (name, integer count) pairs: {exc}"
-            ) from None
+        entries = []
+        for item in spec:
+            try:
+                # operator.index rejects non-integral counts (2.9 must not
+                # silently truncate to 2 workers — that would change the
+                # fleet's deterministic seeding layout); same for widths.
+                if len(item) == 2:
+                    name, count = item
+                    width = None
+                else:
+                    name, count, width = item
+                    width = None if width is None else operator.index(width)
+                entries.append((str(name), operator.index(count), width))
+            except (TypeError, ValueError) as exc:
+                raise ValueError(
+                    "a pre-parsed fleet spec must be (name, integer count) "
+                    f"pairs or (name, count, width) triples: {exc}"
+                ) from None
     if not entries:
         raise ValueError("fleet spec must name at least one benchmark")
 
     registered = set(available_benchmarks())
     resolved: List[tuple] = []
     seen = set()
-    for name, count in entries:
+    for name, count, width in entries:
         key = name.lower()
         if key not in registered:
             raise ValueError(
@@ -172,26 +216,43 @@ def parse_fleet_spec(spec: Union[str, Sequence]) -> List[tuple]:
             raise ValueError(
                 f"worker count of {name!r} must be positive, got {count}"
             )
+        if width is None:
+            width = default_width
+        elif width <= 0:
+            raise ValueError(
+                f"num_envs width of {name!r} must be positive, got {width}"
+            )
         if key in seen:
             raise ValueError(
                 f"benchmark {name!r} appears more than once in the fleet spec; "
                 "merge its worker counts into one entry"
             )
         seen.add(key)
-        resolved.append((key, count))
+        resolved.append((key, count, width))
     return resolved
 
 
-def worker_env_seed(seed: Optional[int], worker_id: int, num_envs: int) -> Optional[int]:
-    """Base environment seed of one worker: ``seed + worker_id * num_envs``.
+def worker_env_seed(
+    seed: Optional[int],
+    worker_id: int,
+    num_envs: int,
+    env_offset: Optional[int] = None,
+) -> Optional[int]:
+    """Base environment seed of one worker: ``seed + env_offset``.
 
-    Environment ``i`` of the worker then gets ``base + i`` through
-    :meth:`VectorEnv.spawn_seeds`, realising the fleet-wide
-    ``seed + worker_id * num_envs + i`` scheme.
+    ``env_offset`` is the worker's global environment offset — the number of
+    environments owned by all workers before it in fleet order.  It defaults
+    to ``worker_id * num_envs`` (the uniform-width fleet), realising the
+    historical ``seed + worker_id * num_envs + i`` scheme; mixed-width
+    fleets pass the cumulative offset instead, so environment ``i`` of the
+    worker still gets ``base + i`` through :meth:`VectorEnv.spawn_seeds`
+    and every global environment index maps to exactly one seed.
     """
     if seed is None:
         return None
-    return seed + worker_id * num_envs
+    if env_offset is None:
+        env_offset = worker_id * num_envs
+    return seed + env_offset
 
 
 def _derived_stream_seed(seed: Optional[int], worker_id: int, stream: int):
@@ -282,18 +343,24 @@ class CollectorWorker:
         sigma: float = 0.1,
         warmup_timesteps: int = 0,
         platform=None,
+        env_offset: Optional[int] = None,
     ) -> "CollectorWorker":
         """Build a worker replica around a scalar environment template.
 
         The worker's environments are fresh seeded siblings of the template
-        (``seed + worker_id * num_envs + i``); the policy is an
-        :class:`ActorPolicy` clone of ``agent``'s actor; the noise process
-        and warmup RNG use worker-private derived streams.
+        (``seed + env_offset + i``, where ``env_offset`` defaults to
+        ``worker_id * num_envs`` — the uniform-width scheme — and
+        mixed-width fleets pass the worker's cumulative environment offset);
+        the policy is an :class:`ActorPolicy` clone of ``agent``'s actor;
+        the noise process and warmup RNG use worker-private derived streams
+        keyed by the worker id alone.
         """
         if num_envs <= 0:
             raise ValueError(f"num_envs must be positive, got {num_envs}")
         env = VectorEnv.from_template(
-            env_template, num_envs, seed=worker_env_seed(seed, worker_id, num_envs)
+            env_template,
+            num_envs,
+            seed=worker_env_seed(seed, worker_id, num_envs, env_offset=env_offset),
         )
         policy = ActorPolicy.from_agent(agent)
         noise = GaussianNoise(
@@ -322,6 +389,27 @@ class CollectorWorker:
         if self.shared_agent:
             return
         self.engine.agent.load_parameters(params)
+
+    def apply_precision_switch(self, quantizer=None) -> None:
+        """Apply the learner's QAT precision switch to this worker's replica.
+
+        In-process replicas *share* the learner's numerics object, so the
+        switch reaches them implicitly; a **forked** replica owns a snapshot
+        copy, and the coordinator propagates the switch through the command
+        pipe instead (see :meth:`AsyncCollector.collect`).  ``quantizer`` is
+        the learner's frozen activation quantizer — adopting it keeps the
+        whole fleet on one quantization grid; without one the replica
+        freezes its *own* observed range (a worker that has run policy
+        forwards has an initialized tracker).  Idempotent, and a no-op for
+        non-dynamic numerics.
+        """
+        numerics = getattr(self.engine.agent.actor, "numerics", None)
+        if not isinstance(numerics, DynamicFixedPointNumerics) or numerics.half_mode:
+            return
+        if quantizer is not None:
+            numerics.adopt_quantizer(quantizer)
+        elif numerics.range_tracker.initialized:
+            numerics.switch_to_half()
 
     def stats_snapshot(self, wall_seconds: float = 0.0) -> RolloutStats:
         """The worker's lifetime rollout statistics."""
@@ -406,6 +494,17 @@ class AsyncCollector:
     chunk_lock_steps:
         Lock-steps per queue message in asynchronous mode (amortises the
         inter-process transfer cost).
+    qat_controller:
+        Optional :class:`~repro.rl.qat.QATController` advanced on the
+        fleet-wide drained step count during **asynchronous** collection.
+        When its precision switch fires, the coordinator broadcasts a
+        ``("precision", quantizer)`` control message through every worker's
+        command pipe, so *forked* replicas — whose numerics are snapshot
+        copies, not the learner's shared object — pick up the switch
+        mid-flight (:meth:`CollectorWorker.apply_precision_switch`).  The
+        in-process synchronous modes never need this: their replicas share
+        the learner's numerics object, and the training loop drives the
+        controller itself.
     """
 
     def __init__(
@@ -416,6 +515,7 @@ class AsyncCollector:
         source_agent=None,
         sync_interval: int = 1,
         chunk_lock_steps: int = 8,
+        qat_controller=None,
     ):
         workers = list(workers)
         if not workers:
@@ -435,7 +535,12 @@ class AsyncCollector:
         self.source_agent = source_agent
         self.sync_interval = sync_interval
         self.chunk_lock_steps = chunk_lock_steps
+        self.qat_controller = qat_controller
         self._steps_since_sync = 0
+        # Fleet-wide drained async steps, cumulative across collect() calls:
+        # the QAT controller counts environment steps over the whole run, so
+        # a quantization delay spanning several collects must still fire.
+        self._qat_steps = 0
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -640,6 +745,19 @@ class AsyncCollector:
                         "modelled_platform_seconds"
                     ]
                     self._steps_since_sync += payload["steps"]
+                    self._qat_steps += payload["steps"]
+                    if self.qat_controller is not None and not self.qat_controller.switched:
+                        # The controller counts fleet-wide environment steps
+                        # (cumulative across collect() calls); when the delay
+                        # elapses, the switch must reach the forked replicas'
+                        # snapshot numerics through the command pipe (the
+                        # learner's object is not shared across the fork).
+                        event = self.qat_controller.on_timestep(self._qat_steps)
+                        if event is not None:
+                            _send_to_all(
+                                pipes,
+                                ("precision", self.qat_controller.numerics.quantizer),
+                            )
                     if (
                         self.source_agent is not None
                         and not stop_sent
@@ -727,6 +845,11 @@ class FleetGroup:
         return self.collector.num_workers
 
     @property
+    def num_envs(self) -> int:
+        """Lock-step width of this group's workers (uniform within a group)."""
+        return self.collector.num_envs
+
+    @property
     def steps_per_round(self) -> int:
         """Environment steps this group contributes to one fleet round."""
         return self.collector.steps_per_round
@@ -746,13 +869,18 @@ class HeteroFleet:
 
     Workers of different groups own *different registered benchmarks* but
     share the training run: worker ids are global across the fleet (entry
-    order of the spec claims consecutive ids), so every worker applies the
-    standard ``seed + worker_id * num_envs + i`` environment scheme and the
-    ``(seed, worker_id, stream)`` derived noise/warmup streams — a
+    order of the spec claims consecutive ids), and every worker seeds its
+    environments ``seed + env_offset + i`` where ``env_offset`` is the sum
+    of the lock-step widths of all prior workers in spec order — with a
+    uniform width this is exactly ``seed + worker_id * num_envs + i``, so a
     homogeneous spec reproduces the single-benchmark fleet bit for bit.
-    Each group drains into its own replay buffer and broadcasts its own
-    learner's actor weights; the deterministic round schedule steps the
-    groups in spec order, one :meth:`AsyncCollector.step_sync` each.
+    Noise/warmup use the ``(seed, worker_id, stream)`` derived streams,
+    keyed by worker id regardless of widths.  Each group drains into its
+    own replay buffer and broadcasts its own learner's actor weights; the
+    deterministic round schedule steps the groups in spec order, one
+    :meth:`AsyncCollector.step_sync` each.  Groups may have **different
+    lock-step widths** (the ``Benchmark:count:num_envs`` spec field); the
+    width is uniform only *within* a group.
     """
 
     def __init__(self, groups: Sequence[FleetGroup]):
@@ -762,11 +890,6 @@ class HeteroFleet:
         keys = [group.key for group in groups]
         if len(set(keys)) != len(keys):
             raise ValueError(f"fleet groups must cover distinct benchmarks, got {keys}")
-        widths = {group.collector.num_envs for group in groups}
-        if len(widths) > 1:
-            raise ValueError(
-                f"all groups must share one lock-step width, got {sorted(widths)}"
-            )
         ids = [
             worker.worker_id for group in groups for worker in group.collector.workers
         ]
@@ -797,15 +920,16 @@ class HeteroFleet:
         Parameters
         ----------
         fleet:
-            Parsed spec from :func:`parse_fleet_spec` (a raw string is
-            accepted and parsed here).
+            Parsed spec from :func:`parse_fleet_spec` (a raw string or a
+            sequence of pairs/triples is accepted and parsed here).
         agents:
             Mapping of benchmark name (case-insensitive) to that
             benchmark's learner agent.  Every spec benchmark must be
             covered, and each agent's ``state_dim``/``action_dim`` must
             match the registry's :func:`benchmark_dimensions`.
         num_envs:
-            Lock-step width of every worker (uniform across the fleet).
+            Default lock-step width for spec entries that do not set their
+            own ``Benchmark:count:num_envs`` width field.
         buffer_capacity, seed, sync_interval:
             Per-group replay capacity, the fleet-wide base seed, and the
             per-group broadcast interval.
@@ -822,11 +946,11 @@ class HeteroFleet:
             batched inferences (layer dimensions differ per benchmark, so
             each group needs its own workload's platform).
         """
-        fleet = parse_fleet_spec(fleet)
+        fleet = parse_fleet_spec(fleet, default_width=num_envs)
         agents_by_key = {str(name).lower(): agent for name, agent in dict(agents).items()}
         if len(agents_by_key) != len(dict(agents)):
             raise ValueError("agents mapping has case-colliding benchmark names")
-        spec_keys = [key for key, _ in fleet]
+        spec_keys = [key for key, _count, _width in fleet]
         missing = [key for key in spec_keys if key not in agents_by_key]
         if missing:
             raise ValueError(f"agents mapping is missing fleet benchmarks: {missing}")
@@ -843,7 +967,8 @@ class HeteroFleet:
 
         groups: List[FleetGroup] = []
         worker_id_base = 0
-        for key, count in fleet:
+        env_offset = 0
+        for key, count, width in fleet:
             agent = agents_by_key[key]
             dims = benchmark_dimensions(key)
             if (agent.state_dim, agent.action_dim) != (
@@ -858,19 +983,22 @@ class HeteroFleet:
             template = templates_by_key.get(key)
             if template is None:
                 template = make_env(key)
-            workers = [
-                CollectorWorker.from_agent(
-                    worker_id_base + offset,
-                    agent,
-                    template,
-                    num_envs,
-                    seed=seed,
-                    sigma=sigma,
-                    warmup_timesteps=warmup_timesteps,
-                    platform=platforms_by_key.get(key),
+            workers = []
+            for offset in range(count):
+                workers.append(
+                    CollectorWorker.from_agent(
+                        worker_id_base + offset,
+                        agent,
+                        template,
+                        width,
+                        seed=seed,
+                        sigma=sigma,
+                        warmup_timesteps=warmup_timesteps,
+                        platform=platforms_by_key.get(key),
+                        env_offset=env_offset,
+                    )
                 )
-                for offset in range(count)
-            ]
+                env_offset += width
             worker_id_base += count
             buffer = ReplayBuffer(
                 buffer_capacity, agent.state_dim, agent.action_dim, seed=seed
@@ -891,9 +1019,9 @@ class HeteroFleet:
         return sum(group.num_workers for group in self.groups)
 
     @property
-    def num_envs(self) -> int:
-        """Lock-step width of every worker in the fleet."""
-        return self.groups[0].collector.num_envs
+    def widths(self) -> List[int]:
+        """Per-group lock-step widths, in spec order (may be mixed)."""
+        return [group.num_envs for group in self.groups]
 
     @property
     def steps_per_round(self) -> int:
@@ -907,8 +1035,8 @@ class HeteroFleet:
 
     @property
     def spec(self) -> List[tuple]:
-        """The fleet's ``(benchmark_key, worker_count)`` entries."""
-        return [(group.key, group.num_workers) for group in self.groups]
+        """The fleet's resolved ``(benchmark_key, worker_count, width)`` entries."""
+        return [(group.key, group.num_workers, group.num_envs) for group in self.groups]
 
     def episode_returns(self) -> dict:
         """Finished episode returns per benchmark (display-name keys)."""
@@ -968,6 +1096,8 @@ def _worker_loop(worker: CollectorWorker, chunk_lock_steps, transition_queue, co
                 stop = True
             elif kind == "weights":
                 worker.sync_weights(payload)
+            elif kind == "precision":
+                worker.apply_precision_switch(payload)
 
     try:
         if worker.engine.observations is None:

@@ -162,3 +162,73 @@ class TestCommands:
         )
         assert exit_code == 2
         assert "--pipeline-depth" in capsys.readouterr().err
+
+    def test_cosim_rejects_schedule_flag(self, capsys):
+        exit_code = main(
+            ["train", "--timesteps", "200", "--schedule", "pipelined", "--cosim"]
+        )
+        assert exit_code == 2
+        assert "--schedule" in capsys.readouterr().err
+
+    def test_sequential_schedule_conflicts_with_depth(self, capsys):
+        exit_code = main(
+            [
+                "train",
+                "--timesteps", "200",
+                "--schedule", "sequential",
+                "--pipeline-depth", "2",
+            ]
+        )
+        assert exit_code == 2
+        assert "conflicts with pipeline_depth" in capsys.readouterr().err
+
+    def test_train_command_explicit_sequential_schedule(self, capsys):
+        exit_code = main(
+            [
+                "train",
+                "--timesteps", "120",
+                "--batch-size", "16",
+                "--hidden", "24", "16",
+                "--regime", "float32",
+                "--num-envs", "2",
+                "--schedule", "sequential",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "sequential schedule" in output
+        assert "reward curve" in output
+
+    def test_train_command_weighted_fleet_schedule(self, capsys):
+        exit_code = main(
+            [
+                "train",
+                "--fleet", "HalfCheetah:1,Hopper:1",
+                "--timesteps", "96",
+                "--batch-size", "16",
+                "--hidden", "16", "12",
+                "--regime", "float32",
+                "--num-envs", "2",
+                "--schedule", "weighted",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "weighted schedule" in output
+        assert "Hopper reward curve" in output
+
+    def test_fleet_accepts_mixed_width_spec(self, capsys):
+        exit_code = main(
+            [
+                "train",
+                "--fleet", "HalfCheetah:1:4,Hopper:1:2",
+                "--timesteps", "96",
+                "--batch-size", "16",
+                "--hidden", "16", "12",
+                "--regime", "float32",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "halfcheetah:1:4,hopper:1:2" in output
+        assert "HalfCheetah reward curve" in output

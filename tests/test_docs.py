@@ -125,6 +125,6 @@ def test_readme_cli_flags_match_the_parser():
     }
     text = README.read_text()
     for flag in ("--num-envs", "--num-workers", "--sync-interval",
-                 "--pipeline-depth", "--fleet", "--cosim"):
+                 "--pipeline-depth", "--fleet", "--schedule", "--cosim"):
         assert flag in text, f"README lost the {flag} row"
         assert flag in cli_flags, f"README documents {flag} but the CLI dropped it"

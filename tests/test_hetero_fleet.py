@@ -67,29 +67,42 @@ def _config(**overrides) -> TrainingConfig:
 class TestParseFleetSpec:
     def test_counts_and_defaults(self):
         assert parse_fleet_spec("HalfCheetah:2,Hopper") == [
-            ("halfcheetah", 2),
-            ("hopper", 1),
+            ("halfcheetah", 2, None),
+            ("hopper", 1, None),
+        ]
+
+    def test_default_width_fills_missing_third_field(self):
+        assert parse_fleet_spec("HalfCheetah:2:16,Hopper", default_width=8) == [
+            ("halfcheetah", 2, 16),
+            ("hopper", 1, 8),
         ]
 
     def test_whitespace_and_case(self):
-        assert parse_fleet_spec(" hopper : 2 , SWIMMER ") == [
-            ("hopper", 2),
-            ("swimmer", 1),
+        assert parse_fleet_spec(" hopper : 2 : 4 , SWIMMER ") == [
+            ("hopper", 2, 4),
+            ("swimmer", 1, None),
         ]
 
     def test_preparsed_sequence_is_canonicalised(self):
-        assert parse_fleet_spec([("Hopper", 2), ("Swimmer", 1)]) == [
-            ("hopper", 2),
-            ("swimmer", 1),
+        assert parse_fleet_spec([("Hopper", 2), ("Swimmer", 1, 4)]) == [
+            ("hopper", 2, None),
+            ("swimmer", 1, 4),
         ]
 
     def test_order_preserved(self):
-        assert parse_fleet_spec("Swimmer,Hopper") == [("swimmer", 1), ("hopper", 1)]
+        assert parse_fleet_spec("Swimmer,Hopper") == [
+            ("swimmer", 1, None),
+            ("hopper", 1, None),
+        ]
 
     def test_preparsed_float_count_rejected(self):
         """2.9 workers must not silently truncate to 2 (seeding layout!)."""
         with pytest.raises(ValueError, match="integer count"):
             parse_fleet_spec([("Hopper", 2.9)])
+
+    def test_preparsed_float_width_rejected(self):
+        with pytest.raises(ValueError, match="triples"):
+            parse_fleet_spec([("Hopper", 2, 4.5)])
 
     @pytest.mark.parametrize(
         "spec, message",
@@ -100,6 +113,10 @@ class TestParseFleetSpec:
             ("Hopper:two", "must be an integer"),
             ("Hopper:0", "must be positive"),
             ("Hopper:-1", "must be positive"),
+            ("Hopper:1:0", "width of 'Hopper' must be positive"),
+            ("Hopper:1:-4", "width of 'Hopper' must be positive"),
+            ("Hopper:1:two", "num_envs width of 'Hopper' must be an integer"),
+            ("Hopper:1:2:3", "too many fields"),
             ("Walker:1", "unknown benchmark"),
             ("Hopper:1,hopper:2", "more than once"),
             ([], "at least one benchmark"),
@@ -274,7 +291,7 @@ class TestHeterogeneousTraining:
     def test_per_benchmark_results_and_counts(self):
         result, _agents, _ = self._run()
         assert result.benchmarks == ["HalfCheetah", "Hopper"]
-        assert result.fleet == [("halfcheetah", 1), ("hopper", 2)]
+        assert result.fleet == [("halfcheetah", 1, 2), ("hopper", 2, 2)]
         assert result.num_workers == 3
         # 240 steps round up to whole rounds of 3 workers x 2 envs = 6 steps.
         assert result.total_timesteps == 240

@@ -289,6 +289,131 @@ class TestAsyncMode:
             collector.collect(0)
 
 
+class TestForkedReplicaQatPropagation:
+    """The PR-2/PR-4 open seam: a QAT switch must reach *forked* replicas.
+
+    In-process replicas share the learner's numerics object, so a precision
+    switch lands on them implicitly; a forked worker owns a snapshot copy.
+    The coordinator therefore drives the shared QAT controller on the
+    drained step count and, when the switch fires mid-flight, broadcasts a
+    ``("precision", quantizer)`` control message through every worker's
+    command pipe — the regression below pins that the adopted post-run
+    replicas really switched and adopted the *learner's* quantization grid.
+    """
+
+    def _dynamic_agent(self, env):
+        from repro.nn import DynamicFixedPointNumerics
+
+        return DDPGAgent(
+            env.state_dim,
+            env.action_dim,
+            DDPGConfig(hidden_sizes=(24, 16)),
+            numerics=DynamicFixedPointNumerics(num_bits=16),
+            rng=np.random.default_rng(42),
+        )
+
+    def test_precision_switch_reaches_forked_replicas_mid_flight(self):
+        from repro.rl import QATController, QATSchedule
+
+        env = HopperEnv(seed=0, max_episode_steps=30)
+        agent = self._dynamic_agent(env)
+        # The learner has observed activations (as any real training loop
+        # has, through its updates), so its range tracker is initialized and
+        # the controller can freeze a quantizer the fleet should adopt.
+        agent.act(env.reset())
+        assert agent.numerics.range_tracker.initialized
+
+        controller = QATController(
+            agent.numerics, QATSchedule(num_bits=16, quantization_delay=16)
+        )
+        buffer = ReplayBuffer(10_000, 11, 6, seed=0)
+        workers = [_worker(w, agent, num_envs=2) for w in range(2)]
+        for worker in workers:
+            replica_numerics = worker.engine.agent.actor.numerics
+            assert replica_numerics is agent.numerics  # shared until the fork
+        collector = AsyncCollector(
+            workers,
+            buffer,
+            source_agent=agent,
+            sync_interval=1_000_000,  # isolate the precision message
+            qat_controller=controller,
+        )
+        stats = collector.collect(128, mode="async", timeout=60)
+
+        assert stats.total_steps >= 128
+        assert controller.switched
+        assert agent.numerics.half_mode
+        for worker in workers:
+            replica_numerics = worker.engine.agent.actor.numerics
+            # The adopted engine is the child's copy — a different object —
+            # and it picked the switch up through the command pipe.
+            assert replica_numerics is not agent.numerics
+            assert replica_numerics.half_mode
+            # The replica adopted the learner's frozen quantizer, not a
+            # privately observed range: one quantization grid fleet-wide.
+            assert replica_numerics.quantizer is not None
+            assert replica_numerics.quantizer.delta == agent.numerics.quantizer.delta
+            assert (
+                replica_numerics.quantizer.zero_point
+                == agent.numerics.quantizer.zero_point
+            )
+
+    def test_switch_counts_steps_across_multiple_collects(self):
+        """The quantization delay spans collect() calls: the coordinator's
+        fleet-wide step counter must be cumulative, not per-call."""
+        from repro.rl import QATController, QATSchedule
+
+        env = HopperEnv(seed=0, max_episode_steps=30)
+        agent = self._dynamic_agent(env)
+        agent.act(env.reset())
+        # The delay is far beyond any single collect's worst-case overshoot
+        # (stragglers already queued when the stop lands), but within the
+        # two collects' combined minimum.
+        controller = QATController(
+            agent.numerics, QATSchedule(num_bits=16, quantization_delay=256)
+        )
+        buffer = ReplayBuffer(10_000, 11, 6, seed=0)
+        workers = [_worker(w, agent, num_envs=2) for w in range(2)]
+        collector = AsyncCollector(
+            workers,
+            buffer,
+            source_agent=agent,
+            sync_interval=1_000_000,
+            qat_controller=controller,
+        )
+        collector.collect(64, mode="async", timeout=60)
+        assert not controller.switched  # delay not reached yet
+        collector.collect(256, mode="async", timeout=60)
+        assert controller.switched  # cumulative 320+ steps crossed 256
+        for worker in workers:
+            assert worker.engine.agent.actor.numerics.half_mode
+
+    def test_apply_precision_switch_is_idempotent_and_guarded(self):
+        env = HopperEnv(seed=0, max_episode_steps=30)
+        dynamic_agent = self._dynamic_agent(env)
+        worker = _worker(0, dynamic_agent, num_envs=2)
+        numerics = worker.engine.agent.actor.numerics
+
+        # Without a quantizer and without an initialized tracker: no-op.
+        worker.apply_precision_switch(None)
+        assert not numerics.half_mode
+
+        # With the worker's own observed range: freezes locally.
+        worker.engine.reset()
+        worker.step()
+        worker.apply_precision_switch(None)
+        assert numerics.half_mode
+        first_quantizer = numerics.quantizer
+
+        # Already switched: a second message must not re-freeze.
+        worker.apply_precision_switch(None)
+        assert numerics.quantizer is first_quantizer
+
+        # Non-dynamic numerics: the message is ignored entirely.
+        float_worker = _worker(1, _agent(env), num_envs=2)
+        float_worker.apply_precision_switch(None)  # must not raise
+
+
 class TestTrainWithWorkers:
     @pytest.mark.smoke
     def test_num_workers_1_is_bit_exact_with_engine_path(self):
