@@ -33,7 +33,13 @@ from .core import (
     smoke_test_config,
 )
 from .envs import BENCHMARK_SUITE
-from .platform import PAPER_BATCH_SIZES, CpuGpuPlatform, FixarPlatform, WorkloadSpec
+from .platform import (
+    PAPER_BATCH_SIZES,
+    AcceleratorPool,
+    CpuGpuPlatform,
+    FixarPlatform,
+    WorkloadSpec,
+)
 from .rl import save_agent
 
 __all__ = ["build_parser", "main"]
@@ -114,6 +120,20 @@ def build_parser() -> argparse.ArgumentParser:
                             "cheaper modelled host+inference chains (the "
                             "throughput-weighted schedule, priced on the "
                             "modelled platform)")
+    train.add_argument("--devices", type=_positive_int, default=1,
+                       help="accelerators in the device pool serving the run "
+                            "(1 = the single-FPGA path); fleet benchmark "
+                            "groups are dealt over the pool's collection "
+                            "devices (round-robin by default) and a wide "
+                            "homogeneous batch shards across them — devices "
+                            "change only the modelled pricing, never the "
+                            "training numerics")
+    train.add_argument("--placement", choices=("colocated", "disaggregated"),
+                       default="colocated",
+                       help="where the learners' update streams run: "
+                            "'colocated' shares each group's collection "
+                            "device, 'disaggregated' dedicates the pool's "
+                            "last device to updates (needs --devices >= 2)")
     train.add_argument("--regime", default="fixar-dynamic",
                        choices=("float32", "fixed32", "fixed16", "fixar-dynamic"))
     train.add_argument("--hidden", type=int, nargs=2, default=(64, 48), metavar=("H1", "H2"))
@@ -190,6 +210,8 @@ def _command_train_fleet(args: argparse.Namespace) -> int:
             pipeline_depth=args.pipeline_depth,
             fleet=fleet_spec,
             schedule=args.schedule,
+            devices=args.devices,
+            placement=args.placement,
         )
     except ValueError as error:
         # Config validation errors name the offending knobs themselves
@@ -197,17 +219,27 @@ def _command_train_fleet(args: argparse.Namespace) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     platform = None
-    if args.schedule == "weighted":
+    if args.schedule == "weighted" or args.devices > 1:
         # The throughput-weighted policy prices each benchmark's host +
         # inference chain on the modelled platform; without an oracle it
-        # would degrade to round-robin weights.
+        # would degrade to round-robin weights.  A multi-accelerator run
+        # prices on (and assigns benchmarks over) a device pool instead.
         platform = FixarPlatform(
             WorkloadSpec.from_benchmark(
                 fleet_spec[0][0], hidden_sizes=tuple(args.hidden)
             )
         )
+        if args.devices > 1:
+            platform = AcceleratorPool(
+                platform, args.devices, placement=args.placement
+            )
     schedule = args.schedule or (
         f"pipelined depth {args.pipeline_depth}" if args.pipeline_depth else "sequential"
+    )
+    pool_text = (
+        f", {args.devices}-device pool ({args.placement})"
+        if args.devices > 1
+        else ""
     )
     fleet_text = ",".join(
         f"{benchmark}:{count}" + ("" if width is None else f":{width}")
@@ -216,7 +248,7 @@ def _command_train_fleet(args: argparse.Namespace) -> int:
     print(f"training {args.regime} on fleet {fleet_text} for {args.timesteps} timesteps "
           f"(batch {args.batch_size}, hidden {tuple(args.hidden)}, "
           f"{args.num_envs} env{'s' if args.num_envs != 1 else ''} per worker by "
-          f"default, {schedule} schedule)")
+          f"default, {schedule} schedule{pool_text})")
 
     result = train_fleet(
         agents, config, qat_controller=qat_controller, label=args.regime,
@@ -227,6 +259,11 @@ def _command_train_fleet(args: argparse.Namespace) -> int:
             f"{key}x{weight}" for (key, _c, _w), weight in zip(result.fleet, result.weights)
         )
         print(f"weighted rounds: lock-step allocation {allocation}")
+    if result.assignment:
+        affinity = ", ".join(
+            f"{key}->dev{device}" for key, device in result.assignment.items()
+        )
+        print(f"device affinity: {affinity}")
     for benchmark, benchmark_result in result.per_benchmark.items():
         curve = benchmark_result.curve
         print(format_curve(curve.timesteps, curve.returns, label=f"{benchmark} reward curve"))
@@ -272,6 +309,13 @@ def _command_train(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.cosim and (args.devices != 1 or args.placement != "colocated"):
+        print(
+            "error: --cosim traces the single-accelerator scalar training "
+            "loop and does not support --devices > 1 or --placement",
+            file=sys.stderr,
+        )
+        return 2
     if args.fleet is not None:
         if args.cosim:
             print(
@@ -303,6 +347,8 @@ def _command_train(args: argparse.Namespace) -> int:
             sync_interval=args.sync_interval,
             pipeline_depth=args.pipeline_depth,
             schedule=args.schedule,
+            devices=args.devices,
+            placement=args.placement,
         )
     except ValueError as error:
         # Config validation errors name the offending knobs themselves
@@ -313,11 +359,16 @@ def _command_train(args: argparse.Namespace) -> int:
     schedule = args.schedule or (
         f"pipelined depth {args.pipeline_depth}" if args.pipeline_depth else "sequential"
     )
+    pool_text = (
+        f", {args.devices}-device pool ({args.placement})"
+        if args.devices > 1
+        else ""
+    )
     print(f"training {args.regime} on {args.benchmark} for {args.timesteps} timesteps "
           f"(batch {args.batch_size}, hidden {tuple(args.hidden)}, "
           f"{args.num_workers} worker{'s' if args.num_workers != 1 else ''} x "
           f"{args.num_envs} env{'s' if args.num_envs != 1 else ''} in lock-step, "
-          f"{schedule} schedule)")
+          f"{schedule} schedule{pool_text})")
 
     if args.cosim:
         result = system.cosimulate()

@@ -26,6 +26,7 @@ from ..envs import make as make_env
 from ..nn import DynamicFixedPointNumerics, make_numerics
 from ..platform import (
     PAPER_BATCH_SIZES,
+    AcceleratorPool,
     CoSimulationResult,
     CpuGpuPlatform,
     FixarPlatform,
@@ -145,7 +146,20 @@ class FixarSystem:
         When the QAT switch fires, the accelerator's PE datapaths are
         reconfigured to the half-precision mode so subsequent timing queries
         reflect the doubled streaming rate.
+
+        With ``config.training.devices > 1`` the run is priced on an
+        :class:`~repro.platform.AcceleratorPool` built over this system's
+        platform: the rollout engine's batched inferences shard across the
+        pool's collection devices (the training numerics are unchanged —
+        only the modelled platform accounting differs).
         """
+        platform_hook = None
+        if self.config.training.devices > 1:
+            platform_hook = AcceleratorPool(
+                self.platform,
+                self.config.training.devices,
+                placement=self.config.training.placement,
+            )
         result = train(
             self.env,
             self.agent,
@@ -153,6 +167,7 @@ class FixarSystem:
             eval_env=self.eval_env,
             qat_controller=self.qat_controller,
             label=label or self.config.numeric_regime,
+            platform=platform_hook,
         )
         if result.qat_event is not None:
             self.accelerator.set_precision(PrecisionMode.HALF)

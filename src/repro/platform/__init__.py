@@ -12,11 +12,18 @@ from .fixar_platform import (
     BatchInferenceReport,
     CollectionInferenceReport,
     FixarPlatform,
+    FleetGroupInference,
     FleetInferenceReport,
     WorkloadSpec,
 )
 from .gpu_baseline import CpuGpuPlatform, GpuAcceleratorModel, GpuConfig
 from .host import HostConfig, HostModel
+from .pool import (
+    PLACEMENTS,
+    AcceleratorPool,
+    PoolInferenceReport,
+    ShardedInferenceReport,
+)
 from .metrics import (
     average_ips,
     geometric_mean,
@@ -31,7 +38,12 @@ __all__ = [
     "FixarPlatform",
     "BatchInferenceReport",
     "CollectionInferenceReport",
+    "FleetGroupInference",
     "FleetInferenceReport",
+    "AcceleratorPool",
+    "PoolInferenceReport",
+    "ShardedInferenceReport",
+    "PLACEMENTS",
     "WorkloadSpec",
     "PAPER_BATCH_SIZES",
     "PlatformCoSimulation",

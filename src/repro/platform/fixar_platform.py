@@ -46,6 +46,7 @@ pipelined update stream.
 
 from __future__ import annotations
 
+import operator
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -61,6 +62,7 @@ __all__ = [
     "FixarPlatform",
     "BatchInferenceReport",
     "CollectionInferenceReport",
+    "FleetGroupInference",
     "FleetInferenceReport",
     "PAPER_BATCH_SIZES",
 ]
@@ -191,52 +193,96 @@ class CollectionInferenceReport:
 
 
 @dataclass(frozen=True)
+class FleetGroupInference:
+    """One benchmark group's slice of a fleet inference round.
+
+    ``report`` prices a single lock-step of the group (``num_workers``
+    batched inferences); ``weight`` is the group's lock-steps per scheduled
+    round, so a throughput-weighted round's report describes the round the
+    scheduler actually runs instead of the round-robin one.  The weighted
+    accessors scale the lock-step costs accordingly (``weight == 1``
+    reproduces the unweighted accounting exactly).
+    """
+
+    #: Benchmark display name.
+    benchmark: str
+    #: Cost of one of this group's lock-steps.
+    report: CollectionInferenceReport
+    #: Lock-steps this group runs per scheduled round.
+    weight: int = 1
+
+    @property
+    def num_states(self) -> int:
+        """States this group infers per scheduled round."""
+        return self.weight * self.report.num_states
+
+    @property
+    def total_seconds(self) -> float:
+        """Accelerator-serial latency of this group's round slice."""
+        return self.weight * self.report.total_seconds
+
+    @property
+    def fpga_seconds(self) -> float:
+        """Pure FPGA time of this group's round slice."""
+        return self.weight * (
+            self.report.num_workers * self.report.per_worker.fpga_seconds
+        )
+
+    @property
+    def pcie_bytes(self) -> int:
+        """Bytes this group moves over PCIe per scheduled round."""
+        return self.weight * self.report.pcie_bytes
+
+    @property
+    def energy_joules(self) -> float:
+        """FPGA board energy of this group's round slice."""
+        return self.weight * self.report.energy_joules
+
+
+@dataclass(frozen=True)
 class FleetInferenceReport:
     """Aggregated inference cost of one *heterogeneous* fleet round.
 
     Produced by :meth:`FixarPlatform.infer_fleet`: each benchmark group's
     workers present their batched inferences under their own layer
     dimensions, and the single accelerator serves every group back to back
-    — so the totals are sums of per-group
-    :class:`CollectionInferenceReport` costs, not one report scaled by a
-    worker count.
+    — so the totals are sums of per-group :class:`FleetGroupInference`
+    costs (each a :class:`CollectionInferenceReport` scaled by the group's
+    round weight), not one report scaled by a worker count.
     """
 
-    #: Per-benchmark group costs, in fleet order: (benchmark name, report).
-    groups: Tuple[Tuple[str, CollectionInferenceReport], ...]
+    #: Per-benchmark group costs, in fleet order.
+    groups: Tuple[FleetGroupInference, ...]
 
     @property
     def num_workers(self) -> int:
-        """Workers across the whole fleet."""
-        return sum(report.num_workers for _, report in self.groups)
+        """Workers across the whole fleet (independent of round weights)."""
+        return sum(group.report.num_workers for group in self.groups)
 
     @property
     def num_states(self) -> int:
         """States inferred per fleet round."""
-        return sum(report.num_states for _, report in self.groups)
+        return sum(group.num_states for group in self.groups)
 
     @property
     def total_seconds(self) -> float:
         """End-to-end latency of serving every group's round serially."""
-        return sum(report.total_seconds for _, report in self.groups)
+        return sum(group.total_seconds for group in self.groups)
 
     @property
     def fpga_seconds(self) -> float:
         """Pure FPGA time of the fleet's inferences (update-stream term)."""
-        return sum(
-            report.num_workers * report.per_worker.fpga_seconds
-            for _, report in self.groups
-        )
+        return sum(group.fpga_seconds for group in self.groups)
 
     @property
     def pcie_bytes(self) -> int:
         """Bytes crossing PCIe per fleet round."""
-        return sum(report.pcie_bytes for _, report in self.groups)
+        return sum(group.pcie_bytes for group in self.groups)
 
     @property
     def energy_joules(self) -> float:
         """FPGA board energy per fleet round."""
-        return sum(report.energy_joules for _, report in self.groups)
+        return sum(group.energy_joules for group in self.groups)
 
     @property
     def states_per_second(self) -> float:
@@ -635,6 +681,16 @@ class FixarPlatform:
                 raise ValueError(
                     f"fleet lock-step widths must be positive, got {width}"
                 )
+            try:
+                # operator.index rejects non-integral weights: the scheduler
+                # already refuses 2.9 lock-steps per round, and the pricing
+                # side must agree with it instead of silently accepting a
+                # fractional round.
+                weight = operator.index(weight)
+            except TypeError:
+                raise ValueError(
+                    f"fleet round weights must be integers, got {weight!r}"
+                ) from None
             if weight <= 0:
                 raise ValueError(f"fleet round weights must be positive, got {weight}")
             if isinstance(workload, WorkloadSpec):
@@ -648,6 +704,7 @@ class FixarPlatform:
         self,
         fleet: Sequence[Sequence],
         num_envs: int,
+        weights: Optional[Sequence[int]] = None,
     ) -> FleetInferenceReport:
         """Price one collection round of a heterogeneous fleet.
 
@@ -657,11 +714,20 @@ class FixarPlatform:
         layer dimensions (``width`` defaults to ``num_envs``); the single
         accelerator serves all groups back to back, so the fleet round is
         the serial concatenation of the per-group :meth:`infer_collection`
-        rounds.
+        rounds.  ``weights`` gives each group's lock-steps per round (the
+        throughput-weighted schedule) and is stamped on each
+        :class:`FleetGroupInference`, so the report describes the round the
+        scheduler actually runs.
         """
         groups = tuple(
-            (platform.workload.benchmark, platform.infer_collection(width, count))
-            for platform, count, width, _weight in self._resolve_fleet(fleet, num_envs)
+            FleetGroupInference(
+                benchmark=platform.workload.benchmark,
+                report=platform.infer_collection(width, count),
+                weight=weight,
+            )
+            for platform, count, width, weight in self._resolve_fleet(
+                fleet, num_envs, weights
+            )
         )
         return FleetInferenceReport(groups=groups)
 

@@ -1,0 +1,554 @@
+"""Multi-accelerator device pools: N FIXAR accelerators behind one seam.
+
+Every pricing path so far serialized the whole fleet onto a *single*
+accelerator — the main blocker on scaling the adaptive-parallelism story
+past one FPGA.  An :class:`AcceleratorPool` holds ``num_devices`` identical
+:class:`~repro.platform.FixarPlatform` devices behind the same duck-typed
+oracle surface the single platform exposes (``infer_batch`` plus the
+``fleet_*`` pricing pair), so the rollout engine and the round scheduler
+never learn about devices — only the pricing joints do.
+
+Three placement/assignment dimensions are modelled:
+
+* **Per-benchmark device affinity** — each fleet group's workers present
+  their batched inferences to one device of the pool (round-robin over the
+  collection devices by default, or an explicit ``{benchmark: device}``
+  mapping).  Devices serve their assigned groups' batches serially but run
+  in *parallel* with each other, so the accelerator-serial bound of a
+  collection round becomes a per-device maximum instead of one global sum.
+* **Sharded batches** — :meth:`AcceleratorPool.infer_batch` splits one wide
+  batch across the collection devices (near-equal shards, conserving the
+  state count) and returns a :class:`ShardedInferenceReport` whose latency
+  is the slowest shard: the homogeneous wide-group path of ``train()``
+  shards transparently through the engine's existing ``infer_batch`` joint.
+* **Placement** — ``"colocated"`` runs each group's update stream on the
+  device its collection is assigned to (streams on different devices
+  overlap; each stream still contends with its own device's rollout
+  inferences).  ``"disaggregated"`` reserves the pool's last device for the
+  update streams: collection spreads over the remaining devices and the
+  update side pays no rollout-inference contention, at the price of one
+  fewer collection device.
+
+Determinism pin (the extended oracle chain): a 1-device colocated pool
+accumulates its per-device sums in exactly the order the single platform's
+``fleet_*`` methods do, so every pool price — and a training run that uses
+the pool as its platform hook — is **bit-exact** with the single-platform
+path.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from .fixar_platform import (
+    BatchInferenceReport,
+    FixarPlatform,
+    FleetGroupInference,
+    FleetInferenceReport,
+)
+
+__all__ = [
+    "PLACEMENTS",
+    "AcceleratorPool",
+    "PoolInferenceReport",
+    "ShardedInferenceReport",
+]
+
+#: Update-stream placements the pool models.
+PLACEMENTS = ("colocated", "disaggregated")
+
+
+@dataclass(frozen=True)
+class ShardedInferenceReport:
+    """Cost of one batch inference sharded across a pool's devices.
+
+    Each shard is a ``(device index, per-shard report)`` pair; the devices
+    run their shards concurrently, so the pool-level latency is the slowest
+    shard while payload and energy are resource totals across shards.  With
+    a single shard every accessor reduces to the underlying
+    :class:`~repro.platform.BatchInferenceReport` exactly — the 1-device
+    bit-exactness pin of the engine's ``infer_batch`` joint.
+    """
+
+    #: Per-device shards, ordered by device index: (device, report).
+    shards: Tuple[Tuple[int, BatchInferenceReport], ...]
+
+    @property
+    def num_states(self) -> int:
+        """States inferred across all shards (conserved by construction)."""
+        return sum(report.num_states for _device, report in self.shards)
+
+    @property
+    def fpga_seconds(self) -> float:
+        """FPGA time of the sharded pass (slowest device bounds it)."""
+        return max(report.fpga_seconds for _device, report in self.shards)
+
+    @property
+    def runtime_seconds(self) -> float:
+        """Runtime/PCIe time of the sharded pass (slowest device)."""
+        return max(report.runtime_seconds for _device, report in self.shards)
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end latency of the sharded inference (slowest shard)."""
+        return max(report.total_seconds for _device, report in self.shards)
+
+    @property
+    def pcie_bytes(self) -> int:
+        """Bytes crossing PCIe across all devices."""
+        return sum(report.pcie_bytes for _device, report in self.shards)
+
+    @property
+    def energy_joules(self) -> float:
+        """FPGA board energy across all devices."""
+        return sum(report.energy_joules for _device, report in self.shards)
+
+    @property
+    def states_per_second(self) -> float:
+        """Inference throughput of the sharded batch."""
+        return self.num_states / self.total_seconds
+
+
+@dataclass(frozen=True)
+class PoolInferenceReport:
+    """Per-device breakdown of one fleet inference round on a pool.
+
+    Each entry pairs a collection device with the
+    :class:`~repro.platform.FleetInferenceReport` of the groups assigned to
+    it; devices serve their groups serially but run in parallel, so the
+    pool round is the slowest device's round while payload and energy are
+    totals.  A 1-device pool's single entry is exactly the single-platform
+    fleet report.
+    """
+
+    #: Update-stream placement the pool was priced under.
+    placement: str
+    #: Per-device fleet reports: (device index, report), devices with
+    #: assigned groups only.
+    per_device: Tuple[Tuple[int, FleetInferenceReport], ...]
+
+    @property
+    def num_workers(self) -> int:
+        """Workers across the whole pool."""
+        return sum(report.num_workers for _device, report in self.per_device)
+
+    @property
+    def num_states(self) -> int:
+        """States inferred per pool round."""
+        return sum(report.num_states for _device, report in self.per_device)
+
+    @property
+    def round_seconds(self) -> float:
+        """Latency of the pool round (slowest device's serial round)."""
+        return max(report.total_seconds for _device, report in self.per_device)
+
+    @property
+    def total_seconds(self) -> float:
+        """Alias of :attr:`round_seconds` (single-platform report parity)."""
+        return self.round_seconds
+
+    @property
+    def pcie_bytes(self) -> int:
+        """Bytes crossing PCIe per pool round, across devices."""
+        return sum(report.pcie_bytes for _device, report in self.per_device)
+
+    @property
+    def energy_joules(self) -> float:
+        """FPGA board energy per pool round, across devices."""
+        return sum(report.energy_joules for _device, report in self.per_device)
+
+    @property
+    def states_per_second(self) -> float:
+        """Inference throughput across the pool."""
+        return self.num_states / self.round_seconds
+
+
+class AcceleratorPool:
+    """``num_devices`` identical FIXAR accelerators priced as one pool.
+
+    ``template`` supplies the hardware models (accelerator configuration,
+    host, PCIe, precision mode); the pool's devices are sibling platforms
+    sharing those models, exactly like :meth:`FixarPlatform.with_workload`
+    siblings.  ``assignment`` optionally binds a default per-benchmark
+    device affinity (lowercase benchmark keys to collection-device
+    indices); per-call ``assignment=`` arguments override it.
+    """
+
+    def __init__(
+        self,
+        template: FixarPlatform,
+        num_devices: int = 1,
+        placement: str = "colocated",
+        assignment: Optional[Mapping[str, int]] = None,
+    ):
+        try:
+            num_devices = operator.index(num_devices)
+        except TypeError:
+            raise ValueError(
+                f"num_devices must be an integer, got {num_devices!r}"
+            ) from None
+        if num_devices < 1:
+            raise ValueError(f"num_devices must be >= 1, got {num_devices}")
+        if placement not in PLACEMENTS:
+            raise ValueError(
+                f"placement must be one of {PLACEMENTS}, got {placement!r}"
+            )
+        if placement == "disaggregated" and num_devices < 2:
+            raise ValueError(
+                "disaggregated placement dedicates one device to the update "
+                "streams, so the pool needs at least 2 devices"
+            )
+        self.template = template
+        self.num_devices = num_devices
+        self.placement = placement
+        # Device 0 *is* the template; the rest are siblings sharing its
+        # hardware models — identical timing, so any device prices any
+        # workload the same way (assignment matters for contention, not
+        # per-batch latency).
+        self.devices: Tuple[FixarPlatform, ...] = (template,) + tuple(
+            template.with_workload(template.workload)
+            for _ in range(num_devices - 1)
+        )
+        self.assignment = self._normalize_assignment(assignment)
+
+    # ------------------------------------------------------------------ #
+    # Topology
+    # ------------------------------------------------------------------ #
+    @property
+    def collection_devices(self) -> Tuple[int, ...]:
+        """Indices of the devices that serve rollout inferences."""
+        if self.placement == "disaggregated":
+            return tuple(range(self.num_devices - 1))
+        return tuple(range(self.num_devices))
+
+    @property
+    def update_device(self) -> Optional[int]:
+        """The dedicated update device, or ``None`` when colocated."""
+        if self.placement == "disaggregated":
+            return self.num_devices - 1
+        return None
+
+    def device(self, index: int) -> FixarPlatform:
+        """The pool's ``index``-th device platform."""
+        index = operator.index(index)
+        if not 0 <= index < self.num_devices:
+            raise ValueError(
+                f"device index {index} out of range for a "
+                f"{self.num_devices}-device pool"
+            )
+        return self.devices[index]
+
+    def with_assignment(
+        self, assignment: Optional[Mapping[str, int]]
+    ) -> "AcceleratorPool":
+        """A pool over the *same* devices with another default affinity."""
+        sibling = AcceleratorPool.__new__(AcceleratorPool)
+        sibling.template = self.template
+        sibling.num_devices = self.num_devices
+        sibling.placement = self.placement
+        sibling.devices = self.devices
+        sibling.assignment = sibling._normalize_assignment(assignment)
+        return sibling
+
+    def describe(self) -> str:
+        return f"pool(devices={self.num_devices}, placement={self.placement})"
+
+    # ------------------------------------------------------------------ #
+    # Assignment resolution
+    # ------------------------------------------------------------------ #
+    def _normalize_assignment(
+        self, assignment: Optional[Mapping[str, int]]
+    ) -> Optional[Dict[str, int]]:
+        if assignment is None:
+            return None
+        collection = self.collection_devices
+        normalized: Dict[str, int] = {}
+        for key, index in dict(assignment).items():
+            try:
+                index = operator.index(index)
+            except TypeError:
+                raise ValueError(
+                    f"device assignments must be integer device indices, "
+                    f"got {key!r}: {index!r}"
+                ) from None
+            if index not in collection:
+                raise ValueError(
+                    f"benchmark {key!r} assigned to device {index}, but the "
+                    f"{self.describe()} collection devices are {collection}"
+                )
+            normalized[str(key).lower()] = index
+        return normalized
+
+    def resolve_assignment(
+        self,
+        keys: Sequence[str],
+        assignment: Optional[Mapping[str, int]] = None,
+    ) -> List[int]:
+        """Collection-device index per fleet entry.
+
+        Entries named by the effective affinity mapping (the per-call
+        ``assignment`` or the pool's bound default) take their pinned
+        device; the rest round-robin over the collection devices in entry
+        order.  Mapping keys that match no fleet entry raise — the same
+        unknown-key contract as the scheduler's explicit lock-step weights.
+        """
+        mapping = (
+            self._normalize_assignment(assignment)
+            if assignment is not None
+            else self.assignment
+        )
+        collection = self.collection_devices
+        keys = [str(key).lower() for key in keys]
+        if mapping:
+            unknown = sorted(key for key in mapping if key not in set(keys))
+            if unknown:
+                raise ValueError(
+                    f"device assignment names benchmarks that match no fleet "
+                    f"entry: {unknown}; fleet keys are {sorted(set(keys))}"
+                )
+        devices = []
+        cursor = 0
+        for key in keys:
+            if mapping is not None and key in mapping:
+                devices.append(mapping[key])
+            else:
+                devices.append(collection[cursor % len(collection)])
+                cursor += 1
+        return devices
+
+    # ------------------------------------------------------------------ #
+    # Sharded batch inference (the engine's ``infer_batch`` joint)
+    # ------------------------------------------------------------------ #
+    def shard_widths(self, num_states: int) -> List[Tuple[int, int]]:
+        """``(device, shard size)`` split of one batch over the pool.
+
+        Near-equal shards in collection-device order; the first
+        ``num_states % len(collection_devices)`` shards take the extra
+        state, devices whose shard would be empty are skipped, and the
+        shard sizes always sum to ``num_states`` (step-count conservation).
+        """
+        if num_states <= 0:
+            raise ValueError(f"num_states must be positive, got {num_states}")
+        collection = self.collection_devices
+        base, extra = divmod(num_states, len(collection))
+        shards = []
+        for rank, device in enumerate(collection):
+            width = base + (1 if rank < extra else 0)
+            if width > 0:
+                shards.append((device, width))
+        return shards
+
+    def infer_batch(self, num_states: int) -> ShardedInferenceReport:
+        """Price one batch-of-N inference sharded over the collection devices.
+
+        Drop-in for :meth:`FixarPlatform.infer_batch` at the rollout
+        engine's pricing joint: the shards run concurrently, so
+        ``total_seconds`` is the slowest shard's latency.  A 1-device pool
+        reproduces the single platform's report values exactly.
+        """
+        return ShardedInferenceReport(
+            shards=tuple(
+                (device, self.devices[device].infer_batch(width))
+                for device, width in self.shard_widths(num_states)
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    # Fleet pricing oracles (device-aware ``fleet_*`` surface)
+    # ------------------------------------------------------------------ #
+    def _resolve(
+        self,
+        fleet: Sequence[Sequence],
+        num_envs: Optional[int],
+        weights: Optional[Sequence[int]],
+        assignment: Optional[Mapping[str, int]],
+    ) -> List[Tuple[FixarPlatform, int, int, int, int]]:
+        """``(platform, count, width, weight, device)`` per fleet entry."""
+        resolved = self.template._resolve_fleet(fleet, num_envs, weights)
+        devices = self.resolve_assignment(
+            [platform.workload.benchmark for platform, *_rest in resolved],
+            assignment,
+        )
+        return [entry + (device,) for entry, device in zip(resolved, devices)]
+
+    def _collection_round(self, resolved) -> float:
+        """Collection-round time of an already-resolved, device-assigned fleet.
+
+        The per-worker ``host + inference`` chains are device-independent
+        (each worker runs on its own host core); the accelerator-serial
+        bound becomes per-device — every collection device serves only its
+        assigned groups' batches, and the devices run in parallel.
+        """
+        chains = []
+        accelerator = {index: 0.0 for index in self.collection_devices}
+        for platform, count, width, weight, device in resolved:
+            inference = platform.infer_batch(width).total_seconds
+            host = platform.host.collection_step_seconds(
+                platform.workload.benchmark, width
+            )
+            chains.append(weight * (host + inference))
+            accelerator[device] += count * weight * inference
+        return max(max(chains), max(accelerator.values()))
+
+    @staticmethod
+    def _round_steps(resolved) -> int:
+        """Environment steps of one round of a resolved fleet."""
+        return sum(
+            count * weight * width
+            for _platform, count, width, weight, _device in resolved
+        )
+
+    def fleet_collection_round_seconds(
+        self,
+        fleet: Sequence[Sequence],
+        num_envs: int,
+        weights: Optional[Sequence[int]] = None,
+        assignment: Optional[Mapping[str, int]] = None,
+    ) -> float:
+        """Modelled time of one fleet collection round on the pool."""
+        return self._collection_round(
+            self._resolve(fleet, num_envs, weights, assignment)
+        )
+
+    def fleet_collection_steps_per_second(
+        self,
+        fleet: Sequence[Sequence],
+        num_envs: int,
+        weights: Optional[Sequence[int]] = None,
+        assignment: Optional[Mapping[str, int]] = None,
+    ) -> float:
+        """Modelled collection throughput of a fleet on the pool."""
+        resolved = self._resolve(fleet, num_envs, weights, assignment)
+        return self._round_steps(resolved) / self._collection_round(resolved)
+
+    def _update_streams(
+        self, resolved, batch_size: int, pipelined: bool
+    ) -> Dict[int, float]:
+        """Per-device update-phase seconds of a resolved fleet.
+
+        Colocated: each group's learner streams to the group's collection
+        device, so streams on different devices run in parallel.
+        Disaggregated: every stream runs on the dedicated update device,
+        back to back (keyed under that single device).
+        """
+        if self.placement == "disaggregated":
+            total = sum(
+                platform.update_round_seconds(
+                    batch_size, count * weight * width, pipelined=pipelined
+                )
+                for platform, count, width, weight, _device in resolved
+            )
+            return {self.update_device: total}
+        streams = {index: 0.0 for index in self.collection_devices}
+        for platform, count, width, weight, device in resolved:
+            streams[device] += platform.update_round_seconds(
+                batch_size, count * weight * width, pipelined=pipelined
+            )
+        return streams
+
+    def fleet_sequential_round_seconds(
+        self,
+        fleet: Sequence[Sequence],
+        num_envs: int,
+        batch_size: int = 64,
+        weights: Optional[Sequence[int]] = None,
+        assignment: Optional[Mapping[str, int]] = None,
+    ) -> float:
+        """Modelled time of one *sequential* training round on the pool.
+
+        Collection and updates strictly alternate, but update phases on
+        different devices run concurrently — the update term is the
+        slowest device's blocking-update total (disaggregated pools run
+        every update on the dedicated device, so the term is the full sum,
+        unchanged from the single platform).
+        """
+        resolved = self._resolve(fleet, num_envs, weights, assignment)
+        update = max(self._update_streams(resolved, batch_size, False).values())
+        return self._collection_round(resolved) + update
+
+    def fleet_pipelined_round_seconds(
+        self,
+        fleet: Sequence[Sequence],
+        num_envs: int,
+        batch_size: int = 64,
+        weights: Optional[Sequence[int]] = None,
+        assignment: Optional[Mapping[str, int]] = None,
+    ) -> float:
+        """Modelled time of one *pipelined* training round on the pool.
+
+        The update streams overlap collection.  Colocated, each device's
+        stream contends with that device's rollout inferences (its
+        assigned groups' FPGA inference time joins its stream), and the
+        round is ``max(collection, slowest device stream)``.
+        Disaggregated, the dedicated update device serves no rollout
+        inferences, so the update term is the bare stream total.
+        """
+        resolved = self._resolve(fleet, num_envs, weights, assignment)
+        collection = self._collection_round(resolved)
+        streams = self._update_streams(resolved, batch_size, True)
+        if self.placement == "disaggregated":
+            return max(collection, streams[self.update_device])
+        inference_fpga = {index: 0.0 for index in self.collection_devices}
+        for platform, count, width, weight, device in resolved:
+            inference_fpga[device] += (
+                count * weight * platform.infer_batch(width).fpga_seconds
+            )
+        return max(
+            collection,
+            max(
+                streams[index] + inference_fpga[index]
+                for index in self.collection_devices
+            ),
+        )
+
+    def fleet_training_steps_per_second(
+        self,
+        fleet: Sequence[Sequence],
+        num_envs: int,
+        batch_size: int = 64,
+        pipelined: bool = False,
+        weights: Optional[Sequence[int]] = None,
+        assignment: Optional[Mapping[str, int]] = None,
+    ) -> float:
+        """Modelled end-to-end training throughput of a fleet on the pool."""
+        round_seconds = (
+            self.fleet_pipelined_round_seconds(
+                fleet, num_envs, batch_size, weights, assignment
+            )
+            if pipelined
+            else self.fleet_sequential_round_seconds(
+                fleet, num_envs, batch_size, weights, assignment
+            )
+        )
+        return (
+            self._round_steps(self._resolve(fleet, num_envs, weights, assignment))
+            / round_seconds
+        )
+
+    def infer_fleet(
+        self,
+        fleet: Sequence[Sequence],
+        num_envs: int,
+        weights: Optional[Sequence[int]] = None,
+        assignment: Optional[Mapping[str, int]] = None,
+    ) -> PoolInferenceReport:
+        """Per-device fleet inference report of one pool round."""
+        resolved = self._resolve(fleet, num_envs, weights, assignment)
+        per_device = []
+        for index in self.collection_devices:
+            groups = tuple(
+                FleetGroupInference(
+                    benchmark=platform.workload.benchmark,
+                    report=platform.infer_collection(width, count),
+                    weight=weight,
+                )
+                for platform, count, width, weight, device in resolved
+                if device == index
+            )
+            if groups:
+                per_device.append((index, FleetInferenceReport(groups=groups)))
+        return PoolInferenceReport(
+            placement=self.placement, per_device=tuple(per_device)
+        )

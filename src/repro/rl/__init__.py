@@ -49,13 +49,19 @@ from .qat import QATController, QATEvent, QATSchedule
 from .replay_buffer import ReplayBuffer, TransitionBatch
 from .rollout import RolloutEngine, RolloutStats, VectorTransitions
 from .scheduler import (
+    ASSIGNMENTS,
+    AffinityAssignment,
+    DeviceAssignmentPolicy,
+    LoadBalancedAssignment,
     PipelinedPolicy,
+    RoundRobinAssignment,
     RoundScheduler,
     ScheduledGroup,
     ScheduleOutcome,
     SchedulePolicy,
     SequentialPolicy,
     ThroughputWeightedPolicy,
+    resolve_assignment,
     resolve_policy,
 )
 from .td3 import TD3Agent, TD3Config
@@ -107,6 +113,12 @@ __all__ = [
     "PipelinedPolicy",
     "ThroughputWeightedPolicy",
     "resolve_policy",
+    "DeviceAssignmentPolicy",
+    "RoundRobinAssignment",
+    "AffinityAssignment",
+    "LoadBalancedAssignment",
+    "ASSIGNMENTS",
+    "resolve_assignment",
     "ActorPolicy",
     "AsyncCollector",
     "AsyncCollectStats",

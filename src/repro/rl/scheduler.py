@@ -42,6 +42,14 @@ the cost oracle arrives as a duck-typed object (anything exposing the
 ``fleet_collection_round_seconds`` / ``fleet_collection_steps_per_second``
 pricing pair).  Without an oracle the weighted policy degrades to uniform
 weights rather than guessing.
+
+The *device-assignment* seam is the pool analogue of the schedule seam: a
+:class:`DeviceAssignmentPolicy` (round-robin, explicit affinity, or
+greedy load balancing) maps each benchmark group onto one accelerator of
+a duck-typed device pool (:class:`~repro.platform.AcceleratorPool`),
+resolved once per run via :func:`resolve_assignment` — symmetric with
+:func:`resolve_policy`.  Assignment changes only which modelled device
+pays for each group's batches, never the training numerics.
 """
 
 from __future__ import annotations
@@ -64,6 +72,12 @@ __all__ = [
     "ScheduleOutcome",
     "RoundScheduler",
     "resolve_policy",
+    "DeviceAssignmentPolicy",
+    "RoundRobinAssignment",
+    "AffinityAssignment",
+    "LoadBalancedAssignment",
+    "ASSIGNMENTS",
+    "resolve_assignment",
 ]
 
 
@@ -235,6 +249,16 @@ class ThroughputWeightedPolicy(SchedulePolicy):
 
     def lock_steps(self, groups: Sequence[ScheduledGroup], platform=None) -> List[int]:
         if self.weights is not None:
+            group_keys = {group.key for group in groups}
+            unknown = sorted(key for key in self.weights if key not in group_keys)
+            if unknown:
+                # A typo'd key must not silently degrade that benchmark to
+                # the default weight of 1 (a round-robin slice of the round).
+                raise ValueError(
+                    f"explicit weights name benchmarks that match no "
+                    f"scheduled group: {unknown}; scheduled keys are "
+                    f"{sorted(group_keys)}"
+                )
             try:
                 # operator.index rejects non-integral weights: 2.9 lock-steps
                 # must not silently truncate to 2 (same convention as
@@ -306,6 +330,167 @@ def resolve_policy(config, platform=None) -> SchedulePolicy:
     raise ValueError(
         f"unknown schedule {name!r}; expected sequential, pipelined, or weighted"
     )
+
+
+class DeviceAssignmentPolicy:
+    """How a fleet's benchmark groups map onto a device pool's accelerators.
+
+    The device-pool analogue of :class:`SchedulePolicy`: where a schedule
+    policy shapes *when* each group's lock-steps run inside a round, an
+    assignment policy decides *which accelerator* serves each group's
+    batched inferences.  :meth:`assign` returns one collection-device index
+    per group (duck-typed groups expose ``key`` / ``num_workers`` /
+    ``num_envs``, same shape the weighted schedule prices); the pool
+    arrives duck-typed too (anything exposing ``collection_devices`` and
+    the ``fleet_*`` pricing pair), because ``repro.platform`` sits
+    downstream of ``repro.rl`` in the layer map.  Assignments are resolved
+    once per run and stay fixed, so device affinity never introduces
+    nondeterminism — it only changes which modelled accelerator pays for
+    each group's batches.
+    """
+
+    name = "round-robin"
+
+    def assign(self, groups: Sequence, pool) -> List[int]:
+        """Collection-device index per group (default: round-robin)."""
+        devices = list(pool.collection_devices)
+        return [devices[index % len(devices)] for index in range(len(groups))]
+
+    def describe(self) -> str:
+        return self.name
+
+
+class RoundRobinAssignment(DeviceAssignmentPolicy):
+    """Deal the groups over the collection devices in spec order.
+
+    The default policy: group ``g`` lands on collection device ``g mod D``.
+    With one device it degenerates to the single-accelerator serialization
+    — the assignment half of the 1-device bit-exactness pin.
+    """
+
+    name = "round-robin"
+
+
+class AffinityAssignment(DeviceAssignmentPolicy):
+    """Pin benchmarks to devices with an explicit ``{key: device}`` mapping.
+
+    Keys are matched case-insensitively against the group keys; mapping
+    keys that match no group raise (the same unknown-key contract as the
+    weighted policy's explicit lock-step weights — a typo'd benchmark must
+    not silently fall back to round-robin).  Groups the mapping does not
+    name round-robin over the collection devices.
+    """
+
+    name = "affinity"
+
+    def __init__(self, mapping: Dict[str, int]):
+        if not mapping:
+            raise ValueError("AffinityAssignment needs a non-empty mapping")
+        try:
+            self.mapping = {
+                str(key).lower(): operator.index(device)
+                for key, device in dict(mapping).items()
+            }
+        except TypeError as exc:
+            raise ValueError(
+                f"device assignments must be integers: {exc}"
+            ) from None
+
+    def assign(self, groups: Sequence, pool) -> List[int]:
+        keys = [group.key for group in groups]
+        unknown = sorted(key for key in self.mapping if key not in set(keys))
+        if unknown:
+            raise ValueError(
+                f"device assignment names benchmarks that match no scheduled "
+                f"group: {unknown}; scheduled keys are {sorted(set(keys))}"
+            )
+        collection = list(pool.collection_devices)
+        for key, device in self.mapping.items():
+            if device not in collection:
+                raise ValueError(
+                    f"benchmark {key!r} assigned to device {device}, but the "
+                    f"pool's collection devices are {tuple(collection)}"
+                )
+        devices = []
+        cursor = 0
+        for key in keys:
+            if key in self.mapping:
+                devices.append(self.mapping[key])
+            else:
+                devices.append(collection[cursor % len(collection)])
+                cursor += 1
+        return devices
+
+    def describe(self) -> str:
+        return f"{self.name}({self.mapping})"
+
+
+class LoadBalancedAssignment(DeviceAssignmentPolicy):
+    """Greedily even out the modelled accelerator load across devices.
+
+    Groups are placed heaviest-first (each group's load priced as its
+    single-group accelerator-serial time through the pool's
+    ``fleet_collection_round_seconds`` oracle) onto the device with the
+    least accumulated load.  Groups the oracle cannot price (custom
+    benchmarks) fall back to round-robin — balancing is a pure
+    optimization, so it degrades instead of failing the run, mirroring
+    :class:`ThroughputWeightedPolicy`.
+    """
+
+    name = "balanced"
+
+    def assign(self, groups: Sequence, pool) -> List[int]:
+        collection = list(pool.collection_devices)
+        if len(collection) == 1:
+            return [collection[0]] * len(groups)
+        try:
+            costs = [
+                group.num_workers
+                * pool.fleet_collection_round_seconds(
+                    [(group.key, 1, group.num_envs)], group.num_envs
+                )
+                for group in groups
+            ]
+        except (KeyError, ValueError):
+            return RoundRobinAssignment().assign(groups, pool)
+        load = {device: 0.0 for device in collection}
+        devices: List[Optional[int]] = [None] * len(groups)
+        # Heaviest groups first; ties broken by spec order so the
+        # assignment stays deterministic.
+        for index in sorted(
+            range(len(groups)), key=lambda i: (-costs[i], i)
+        ):
+            device = min(collection, key=lambda d: (load[d], d))
+            devices[index] = device
+            load[device] += costs[index]
+        return devices
+
+
+#: Named device-assignment policies ``TrainingConfig.assignment`` accepts
+#: (a mapping selects :class:`AffinityAssignment` instead).
+ASSIGNMENTS = ("round-robin", "balanced")
+
+
+def resolve_assignment(config, pool=None) -> DeviceAssignmentPolicy:
+    """The :class:`DeviceAssignmentPolicy` a :class:`TrainingConfig` asks for.
+
+    Mirrors :func:`resolve_policy`: ``config.assignment`` of ``None`` (or a
+    config without the knob) resolves to round-robin, a policy name from
+    ``ASSIGNMENTS`` picks the named policy, and a ``{benchmark: device}``
+    mapping builds an :class:`AffinityAssignment`.  ``pool`` is accepted
+    for signature symmetry; the policies receive it at :meth:`assign` time.
+    """
+    assignment = getattr(config, "assignment", None)
+    if assignment is None or assignment == "round-robin":
+        return RoundRobinAssignment()
+    if assignment == "balanced":
+        return LoadBalancedAssignment()
+    if isinstance(assignment, str):
+        raise ValueError(
+            f"unknown assignment {assignment!r}; expected one of "
+            f"{ASSIGNMENTS} or a {{benchmark: device}} mapping"
+        )
+    return AffinityAssignment(dict(assignment))
 
 
 @dataclass

@@ -45,12 +45,22 @@ from .noise import GaussianNoise, NoiseProcess
 from .qat import QATController, QATEvent
 from .replay_buffer import ReplayBuffer
 from .rollout import RolloutEngine
-from .scheduler import RoundScheduler, ScheduledGroup, resolve_policy
+from .scheduler import (
+    ASSIGNMENTS,
+    RoundScheduler,
+    ScheduledGroup,
+    resolve_assignment,
+    resolve_policy,
+)
 from .workers import AsyncCollector, CollectorWorker, HeteroFleet, parse_fleet_spec
 
 #: Round-scheduling policies ``TrainingConfig.schedule`` accepts (``None``
 #: resolves from ``pipeline_depth``; see :func:`repro.rl.scheduler.resolve_policy`).
 SCHEDULES = ("sequential", "pipelined", "weighted")
+
+#: Update-stream placements ``TrainingConfig.placement`` accepts (mirrors
+#: :data:`repro.platform.PLACEMENTS` without importing the platform layer).
+PLACEMENTS = ("colocated", "disaggregated")
 
 __all__ = [
     "TrainingConfig",
@@ -126,6 +136,24 @@ class TrainingConfig:
     #: — depth 0 is sequential, anything else pipelined — so every
     #: pre-existing configuration keeps its exact behavior.
     schedule: Optional[str] = None
+    #: Accelerators in the device pool serving the run.  ``1`` (the
+    #: default) is the single-platform path; ``> 1`` requires passing an
+    #: :class:`~repro.platform.AcceleratorPool` of that size as the
+    #: ``platform`` hook (the rl layer never constructs platform objects).
+    #: Devices change only the modelled pricing and per-benchmark device
+    #: affinity — the training numerics are identical at every pool size.
+    devices: int = 1
+    #: Where the learners' update streams run: ``"colocated"`` (each
+    #: group's updates share its collection device) or ``"disaggregated"``
+    #: (the pool's last device is dedicated to updates; needs
+    #: ``devices >= 2``).  Must match the pool's placement.
+    placement: str = "colocated"
+    #: Device-assignment policy for fleet groups: ``None`` /
+    #: ``"round-robin"`` (spec-order dealing over the collection devices),
+    #: ``"balanced"`` (greedy modelled-load balancing), or an explicit
+    #: ``{benchmark: device}`` mapping (unknown benchmarks raise).  See
+    #: :func:`repro.rl.scheduler.resolve_assignment`.
+    assignment: Optional[Union[str, Mapping[str, int]]] = None
 
     def __post_init__(self) -> None:
         if self.total_timesteps <= 0:
@@ -161,6 +189,22 @@ class TrainingConfig:
                     "use schedule='pipelined' (or leave schedule unset) for a "
                     "staleness window"
                 )
+        if self.devices < 1:
+            raise ValueError(f"devices must be >= 1, got {self.devices}")
+        if self.placement not in PLACEMENTS:
+            raise ValueError(
+                f"placement must be one of {PLACEMENTS}, got {self.placement!r}"
+            )
+        if self.placement == "disaggregated" and self.devices < 2:
+            raise ValueError(
+                "disaggregated placement dedicates one device to the update "
+                "streams, so it needs devices >= 2"
+            )
+        if isinstance(self.assignment, str) and self.assignment not in ASSIGNMENTS:
+            raise ValueError(
+                f"assignment must be one of {ASSIGNMENTS} or a "
+                f"{{benchmark: device}} mapping, got {self.assignment!r}"
+            )
         if self.fleet is not None:
             if self.num_workers != 1:
                 raise ValueError(
@@ -231,6 +275,13 @@ class FleetTrainingResult:
     #: Lock-steps each benchmark group ran per round, in spec order (all 1
     #: except under the throughput-weighted policy).
     weights: List[int] = field(default_factory=list)
+    #: Accelerators in the device pool the run was priced on (1 = the
+    #: single-platform path).
+    devices: int = 1
+    #: Update-stream placement (``colocated``/``disaggregated``).
+    placement: str = "colocated"
+    #: Resolved per-benchmark device affinity (empty without a pool).
+    assignment: Dict[str, int] = field(default_factory=dict)
 
     @property
     def benchmarks(self) -> List[str]:
@@ -255,6 +306,9 @@ class FleetTrainingResult:
             "pipeline_depth": self.pipeline_depth,
             "schedule": self.schedule,
             "weights": list(self.weights),
+            "devices": self.devices,
+            "placement": self.placement,
+            "assignment": dict(self.assignment),
             "quantization_switch_step": (
                 self.qat_event.timestep if self.qat_event else None
             ),
@@ -280,6 +334,53 @@ def _resolve_vector_env(
     if config.num_envs == 1:
         return VectorEnv([env])
     return VectorEnv.from_template(env, config.num_envs, seed=config.seed)
+
+
+@dataclass(frozen=True)
+class _FleetGroupSpec:
+    """Lightweight group descriptor the assignment policies price.
+
+    Device assignment must be resolved *before* the fleet's workers (and
+    their platform hooks) are constructed, so the policies see these spec
+    descriptors instead of live :class:`ScheduledGroup` s — same duck shape
+    (``key`` / ``num_workers`` / ``num_envs``).
+    """
+
+    key: str
+    num_workers: int
+    num_envs: int
+
+
+def _resolve_device_pool(config: TrainingConfig, platform) -> bool:
+    """Whether the platform hook is a device pool, validated against config.
+
+    The rl layer never imports ``repro.platform``, so a pool is detected
+    duck-typed (``collection_devices`` + ``device``).  ``config.devices`` /
+    ``config.placement`` must agree with the pool actually passed — a
+    config asking for 2 accelerators priced on a single platform (or vice
+    versa) would silently report the wrong modelled numbers.
+    """
+    is_pool = hasattr(platform, "collection_devices") and hasattr(platform, "device")
+    if config.devices > 1 and not is_pool:
+        raise ValueError(
+            "config.devices > 1 prices the run on a multi-accelerator pool; "
+            "pass a repro.platform.AcceleratorPool of that size as the "
+            "platform hook"
+        )
+    if is_pool:
+        pool_devices = getattr(platform, "num_devices", 1)
+        if pool_devices != config.devices:
+            raise ValueError(
+                f"config.devices={config.devices} does not match the "
+                f"{pool_devices}-device pool passed as the platform hook"
+            )
+        pool_placement = getattr(platform, "placement", "colocated")
+        if pool_placement != config.placement:
+            raise ValueError(
+                f"config.placement={config.placement!r} does not match the "
+                f"pool's placement {pool_placement!r}"
+            )
+    return is_pool
 
 
 def _resolve_evaluation_env(template: Environment, config: TrainingConfig):
@@ -388,6 +489,11 @@ def train(
             "one learner agent and replay buffer per benchmark — call "
             "train_fleet(agents, config) instead of train(env, agent, config)"
         )
+    # A device pool drops in at the same hook: the engine's batched
+    # inferences shard across the pool's collection devices through the
+    # unchanged ``infer_batch`` joint (a 1-device pool is bit-exact with
+    # the single platform).
+    _resolve_device_pool(config, platform)
     rng = np.random.default_rng(config.seed)
     num_workers = config.num_workers
 
@@ -600,6 +706,15 @@ def train_fleet(
         inferences are priced under its own workload — the heterogeneous
         accounting :meth:`~repro.platform.FixarPlatform.infer_fleet`
         aggregates.  Also the throughput-weighted schedule's cost oracle.
+        An :class:`~repro.platform.AcceleratorPool` drops in at the same
+        hook (``config.devices`` / ``config.placement`` must match it):
+        the per-benchmark device affinity is resolved through the
+        :class:`~repro.rl.scheduler.DeviceAssignmentPolicy` the
+        ``config.assignment`` knob selects, each group's workers price
+        their batches on their assigned device, and the resolved affinity
+        lands in ``FleetTrainingResult.assignment``.  Devices change only
+        the modelled pricing — training numerics are identical at every
+        pool size.
     policy:
         Optional explicit :class:`~repro.rl.scheduler.SchedulePolicy`
         overriding the one ``config.schedule`` / ``config.pipeline_depth``
@@ -638,7 +753,34 @@ def train_fleet(
     per_worker_warmup = -(-config.warmup_timesteps // total_workers)
     agents_by_key = {str(name).lower(): agent for name, agent in dict(agents).items()}
     platforms = None
-    if platform is not None:
+    assignment_by_key: Dict[str, int] = {}
+    is_pool = _resolve_device_pool(config, platform)
+    if is_pool:
+        # Resolve the per-benchmark device affinity once, up front (from
+        # the spec descriptors — the workers are not built yet), then bind
+        # it onto the pool so the weighted policy's oracle and every
+        # fleet_* report price the round actually scheduled.
+        assignment_policy = resolve_assignment(config, platform)
+        descriptors = [
+            _FleetGroupSpec(key, count, width if width else config.num_envs)
+            for key, count, width in fleet_spec
+        ]
+        device_indices = assignment_policy.assign(descriptors, platform)
+        assignment_by_key = {
+            key: device
+            for (key, _count, _width), device in zip(fleet_spec, device_indices)
+        }
+        platform = platform.with_assignment(assignment_by_key)
+        # Each group's workers price their inferences on their *assigned*
+        # device, re-targeted to their own layer dimensions.
+        platforms = {
+            key: platform.device(assignment_by_key[key]).for_benchmark(
+                key, hidden_sizes=tuple(agents_by_key[key].config.hidden_sizes)
+            )
+            for key, _count, _width in fleet_spec
+            if key in agents_by_key
+        }
+    elif platform is not None:
         # Re-target the platform per benchmark: each group's workers price
         # their batched inferences under their own layer dimensions.  Keys
         # missing from the agents mapping are skipped here so that
@@ -747,6 +889,9 @@ def train_fleet(
         pipeline_depth=config.pipeline_depth,
         schedule=policy.name,
         weights=list(outcome.weights),
+        devices=config.devices,
+        placement=config.placement,
+        assignment=dict(assignment_by_key),
     )
     for group in fleet.groups:
         benchmark_result = TrainingResult(

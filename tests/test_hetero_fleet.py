@@ -457,6 +457,45 @@ class TestFleetPlatformPricing:
         with pytest.raises(KeyError, match="unknown benchmark"):
             platform.infer_fleet([("Walker", 1)], self.NUM_ENVS)
 
+    def test_float_round_weights_rejected(self, platform):
+        """1.5 lock-steps must not silently truncate (round accounting!)."""
+        mixed = [("HalfCheetah", 2), ("Hopper", 2)]
+        for oracle in (
+            platform.fleet_collection_round_seconds,
+            platform.fleet_collection_steps_per_second,
+        ):
+            with pytest.raises(ValueError, match="must be integers"):
+                oracle(mixed, self.NUM_ENVS, weights=[1.5, 1])
+        with pytest.raises(ValueError, match="must be integers"):
+            platform.infer_fleet(mixed, self.NUM_ENVS, weights=[1, 2.0001])
+        # Integral values in float clothing are still rejected: the weights
+        # come from the scheduler as ints, anything else is a caller bug.
+        with pytest.raises(ValueError, match="must be integers"):
+            platform.fleet_collection_round_seconds(
+                mixed, self.NUM_ENVS, weights=[2.0, 1]
+            )
+
+    def test_infer_fleet_stamps_round_weights(self, platform):
+        """The weighted schedule's inference payload: weight w multiplies a
+        group's states, time, payload, and energy — and is recorded on the
+        per-group report."""
+        mixed = [("HalfCheetah", 2), ("Hopper", 2)]
+        weighted = platform.infer_fleet(mixed, self.NUM_ENVS, weights=[2, 1])
+        uniform = platform.infer_fleet(mixed, self.NUM_ENVS)
+        assert [group.weight for group in weighted.groups] == [2, 1]
+        assert [group.weight for group in uniform.groups] == [1, 1]
+        cheetah_w, hopper_w = weighted.groups
+        cheetah_u, hopper_u = uniform.groups
+        assert cheetah_w.num_states == 2 * cheetah_u.num_states
+        assert cheetah_w.total_seconds == 2 * cheetah_u.total_seconds
+        assert cheetah_w.pcie_bytes == 2 * cheetah_u.pcie_bytes
+        assert cheetah_w.energy_joules == 2 * cheetah_u.energy_joules
+        assert hopper_w.num_states == hopper_u.num_states
+        # Aggregates follow: one extra HalfCheetah lock-step per round.
+        assert weighted.num_states == uniform.num_states + cheetah_u.num_states
+        # Worker counts stay physical (weights repeat rounds, not hardware).
+        assert weighted.num_workers == uniform.num_workers == 4
+
 
 class TestFleetCli:
     def test_fleet_flag_round_trip(self, capsys):
