@@ -46,6 +46,7 @@ from repro.rl import (
     TrainingConfig,
     evaluate_policy,
     train,
+    worker_env_seed,
 )
 
 
@@ -80,8 +81,11 @@ def main() -> None:
     args = parser.parse_args()
 
     env = HopperEnv(seed=args.seed, max_episode_steps=400)
+    # The evaluation env takes the seed of the fleet's (nonexistent)
+    # next worker — the blessed scheme's first seed past every collector.
     eval_env = HopperEnv(
-        seed=args.seed + args.num_workers * args.num_envs, max_episode_steps=400
+        seed=worker_env_seed(args.seed, args.num_workers, args.num_envs),
+        max_episode_steps=400,
     )
     print("=== Hopper with quantization-aware training ===")
     schedule = (

@@ -1,0 +1,171 @@
+"""The invariant linter's engine: collect sources, run rules, suppress.
+
+The engine walks the requested paths, parses every ``.py`` file once into a
+:class:`SourceModule`, runs each registered rule — module-scoped rules see
+one module at a time, project rules see the whole parsed set (that is how
+the cross-file parity rules compare ``FixarPlatform`` against
+``AcceleratorPool``, and ``TrainingConfig`` against the CLI) — and then
+applies the inline suppression pragmas, producing an
+:class:`AnalysisReport`.
+
+Everything here is :mod:`ast`-based and import-free: the linter never
+executes the code it checks, so it runs identically in CI, on broken
+branches, and on files with heavy import-time dependencies.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .findings import Finding
+from .pragmas import suppressed_lines
+
+__all__ = ["SourceModule", "AnalysisReport", "collect_sources", "analyze"]
+
+
+@dataclass
+class SourceModule:
+    """One parsed source file, as every rule sees it."""
+
+    #: Path as passed on the command line (repo-relative from the repo root).
+    file: str
+    #: Normalized posix path used for scope matching (``repro/envs/...``).
+    posix: str
+    #: Raw source text.
+    source: str
+    #: Parsed module AST.
+    tree: ast.Module
+
+    def in_scope(self, *fragments: str) -> bool:
+        """Whether this module lives under any of the given path fragments.
+
+        Fragments are posix path substrings like ``"repro/envs/"`` — rules
+        use them to scope themselves to the layers whose invariants they
+        enforce.
+        """
+        return any(fragment in self.posix for fragment in fragments)
+
+
+@dataclass
+class AnalysisReport:
+    """Outcome of one linter run."""
+
+    #: Unsuppressed findings, ordered by file then line.
+    findings: List[Finding] = field(default_factory=list)
+    #: Findings silenced by a justified pragma (kept for reporting).
+    suppressed: List[Finding] = field(default_factory=list)
+    #: Files analyzed.
+    files: List[str] = field(default_factory=list)
+    #: Rule ids that ran.
+    rules: List[str] = field(default_factory=list)
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [finding for finding in self.findings if finding.severity == "error"]
+
+    def exit_code(self, strict: bool = False) -> int:
+        """Process exit code: errors always fail, warnings only under strict."""
+        if self.errors:
+            return 1
+        if strict and self.findings:
+            return 1
+        return 0
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form of the whole report."""
+        return {
+            "files": list(self.files),
+            "rules": list(self.rules),
+            "findings": [finding.to_dict() for finding in self.findings],
+            "suppressed": [finding.to_dict() for finding in self.suppressed],
+        }
+
+
+def _iter_python_files(path: Path) -> List[Path]:
+    if path.is_file():
+        return [path] if path.suffix == ".py" else []
+    return sorted(candidate for candidate in path.rglob("*.py"))
+
+
+def collect_sources(paths: Sequence) -> List[SourceModule]:
+    """Parse every ``.py`` file under the given files/directories.
+
+    Paths are kept as given (so findings print repo-relative paths when the
+    CLI runs from the repo root); a file that does not parse raises
+    ``SyntaxError`` — the linter has nothing useful to say about code the
+    interpreter itself would reject.
+    """
+    modules = []
+    seen = set()
+    for raw in paths:
+        root = Path(raw)
+        if not root.exists():
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+        for file_path in _iter_python_files(root):
+            posix = file_path.as_posix()
+            if posix in seen:
+                continue
+            seen.add(posix)
+            source = file_path.read_text()
+            modules.append(
+                SourceModule(
+                    file=str(file_path),
+                    posix=posix,
+                    source=source,
+                    tree=ast.parse(source, filename=str(file_path)),
+                )
+            )
+    return modules
+
+
+def analyze(
+    paths: Sequence,
+    rules: Optional[Sequence] = None,
+) -> AnalysisReport:
+    """Run the invariant linter over the given paths.
+
+    ``rules`` defaults to every registered rule (see
+    :data:`repro.analysis.rules.RULES`); pass a sequence of rule instances
+    to run a subset — the fixture tests use this to probe one rule at a
+    time.
+    """
+    from .rules import default_rules
+
+    active = list(default_rules() if rules is None else rules)
+    modules = collect_sources(paths)
+
+    raw: List[Finding] = []
+    for rule in active:
+        if rule.project_scope:
+            raw.extend(rule.check_project(modules))
+        else:
+            for module in modules:
+                raw.extend(rule.check(module))
+
+    # Pragma pass: justified pragmas move findings to the suppressed list;
+    # malformed pragmas contribute findings of their own.
+    allowed_by_file: Dict[str, Dict[str, set]] = {}
+    for module in modules:
+        allowed, meta = suppressed_lines(module.source, module.file)
+        allowed_by_file[module.file] = allowed
+        raw.extend(meta)
+
+    findings: List[Finding] = []
+    suppressed: List[Finding] = []
+    for finding in raw:
+        allowed = allowed_by_file.get(finding.file, {})
+        if finding.line in allowed.get(finding.rule, ()):
+            suppressed.append(finding)
+        else:
+            findings.append(finding)
+
+    order = lambda f: (f.file, f.line, f.rule)  # noqa: E731 - local sort key
+    return AnalysisReport(
+        findings=sorted(findings, key=order),
+        suppressed=sorted(suppressed, key=order),
+        files=[module.file for module in modules],
+        rules=[rule.rule_id for rule in active],
+    )

@@ -1,0 +1,61 @@
+"""Structured findings of the repro's static-analysis pass.
+
+A :class:`Finding` is one rule violation anchored to a file and line — the
+unit the engine collects, the pragma layer suppresses, and the CLI renders
+as text or JSON.  Findings are plain data (no AST references), so a report
+round-trips through JSON losslessly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+__all__ = ["SEVERITIES", "Finding"]
+
+#: Finding severities, most severe first.  ``error`` findings fail the run
+#: unconditionally; ``warning`` findings fail it only under ``--strict``.
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    #: Path of the offending file, as passed to the engine (repo-relative
+    #: when the CLI is invoked from the repo root).
+    file: str
+    #: 1-based source line the finding anchors to.
+    line: int
+    #: Identifier of the rule that produced the finding (``Rule.rule_id``).
+    rule: str
+    #: ``"error"`` or ``"warning"`` (see :data:`SEVERITIES`).
+    severity: str
+    #: Human-readable description of the violation and the expected fix.
+    message: str
+
+    def __post_init__(self):
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"severity must be one of {SEVERITIES}, got {self.severity!r}"
+            )
+        if self.line < 1:
+            raise ValueError(f"line must be >= 1, got {self.line}")
+
+    def to_dict(self) -> dict:
+        """JSON-serializable mapping (inverse of :meth:`from_dict`)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Finding":
+        """Rebuild a finding from :meth:`to_dict` output."""
+        return cls(
+            file=str(data["file"]),
+            line=int(data["line"]),
+            rule=str(data["rule"]),
+            severity=str(data["severity"]),
+            message=str(data["message"]),
+        )
+
+    def render(self) -> str:
+        """One-line text form: ``file:line: severity[rule] message``."""
+        return f"{self.file}:{self.line}: {self.severity}[{self.rule}] {self.message}"

@@ -1,0 +1,109 @@
+"""Inline suppression pragmas for the invariant linter.
+
+A finding is suppressed by an inline comment on the finding's line (or a
+standalone comment on the line directly above it)::
+
+    elapsed = time.perf_counter() - start  # repro-lint: allow[deterministic-oracles]: measures real wall clock
+
+The grammar is::
+
+    pragma        ::= "# repro-lint: allow[" rule-id "]" separator justification
+    separator     ::= ":" | "--"
+
+The justification text is **required**: a suppression is a reviewed,
+documented exception to a durable invariant, not an escape hatch.  A pragma
+without one does not suppress anything — it instead produces its own
+``pragma-justification`` finding, so an undocumented ``allow`` can never
+slip through CI silently.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .findings import Finding
+
+__all__ = ["Pragma", "PRAGMA_RULE_ID", "scan_pragmas", "suppressed_lines"]
+
+#: Rule id of the meta-findings emitted for malformed pragmas.
+PRAGMA_RULE_ID = "pragma-justification"
+
+_PRAGMA = re.compile(
+    r"#\s*repro-lint:\s*allow\[(?P<rule>[A-Za-z0-9_-]+)\]"
+    r"(?:\s*(?::|--)\s*(?P<why>.*))?"
+)
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """One parsed ``repro-lint: allow`` comment."""
+
+    #: 1-based line the pragma comment sits on.
+    line: int
+    #: Rule id the pragma allows.
+    rule: str
+    #: Required justification text ("" when missing — an invalid pragma).
+    justification: str
+
+    @property
+    def valid(self) -> bool:
+        return bool(self.justification.strip())
+
+
+def scan_pragmas(source: str) -> List[Pragma]:
+    """All ``repro-lint: allow`` pragmas in a source text, in line order.
+
+    Purely lexical (a regex over raw lines), so pragmas inside string
+    literals are matched too; in practice the linter's own fixture tests are
+    the only place that writes pragma text into strings, and those build
+    sources from concatenation precisely to stay invisible here.
+    """
+    pragmas = []
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        for match in _PRAGMA.finditer(text):
+            pragmas.append(
+                Pragma(
+                    line=lineno,
+                    rule=match.group("rule"),
+                    justification=(match.group("why") or "").strip(),
+                )
+            )
+    return pragmas
+
+
+def suppressed_lines(
+    source: str, file: str
+) -> Tuple[Dict[str, set], List[Finding]]:
+    """Suppression map and pragma meta-findings of one source file.
+
+    Returns ``(allowed, meta)`` where ``allowed`` maps a rule id to the set
+    of line numbers that rule is suppressed on — the pragma's own line plus
+    the line below it, so a standalone pragma comment covers the following
+    statement — and ``meta`` holds one ``pragma-justification`` error per
+    pragma missing its justification text.
+    """
+    allowed: Dict[str, set] = {}
+    meta: List[Finding] = []
+    for pragma in scan_pragmas(source):
+        if not pragma.valid:
+            meta.append(
+                Finding(
+                    file=file,
+                    line=pragma.line,
+                    rule=PRAGMA_RULE_ID,
+                    severity="error",
+                    message=(
+                        f"suppression pragma allow[{pragma.rule}] has no "
+                        "justification; write '# repro-lint: "
+                        f"allow[{pragma.rule}]: <why this exception is "
+                        "sound>' — unjustified pragmas suppress nothing"
+                    ),
+                )
+            )
+            continue
+        allowed.setdefault(pragma.rule, set()).update(
+            (pragma.line, pragma.line + 1)
+        )
+    return allowed, meta

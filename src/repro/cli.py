@@ -44,6 +44,25 @@ from .rl import save_agent
 
 __all__ = ["build_parser", "main"]
 
+#: ``TrainingConfig`` fields whose CLI flag is not the mechanical
+#: ``--field-name`` spelling.  The ``config-cli-parity`` lint rule reads
+#: this mapping statically, so renaming a flag without updating it fails CI.
+CONFIG_FLAG_ALIASES = {
+    "total_timesteps": "--timesteps",
+}
+
+#: ``TrainingConfig`` fields deliberately not exposed as CLI flags, with
+#: the reason.  The ``config-cli-parity`` lint rule treats these as the
+#: documented exclusion list; removing a field's entry without adding its
+#: flag fails CI, and stale entries are flagged too.
+CONFIG_FIELDS_WITHOUT_FLAGS = {
+    "warmup_timesteps": "derived from --timesteps by smoke_test_config (capped quarter of the budget)",
+    "buffer_capacity": "derived from --timesteps by smoke_test_config (never smaller than the run)",
+    "evaluation_interval": "derived from --timesteps by smoke_test_config (quarter-budget curve points)",
+    "evaluation_episodes": "preset-owned: 3 episodes keep CI-scale runs fast, 10 is the paper preset",
+    "exploration_noise": "paper constant (sigma 0.1); the presets own it across every regime",
+}
+
 
 def _positive_int(value: str) -> int:
     """Argument type for counts that must be >= 1 (fail at the CLI boundary).
@@ -69,6 +88,48 @@ def _non_negative_int(value: str) -> int:
     if number < 0:
         raise argparse.ArgumentTypeError(f"expected a non-negative integer, got {number}")
     return number
+
+
+#: Valid ``--assignment`` forms, enumerated by the rejection message.
+_ASSIGNMENT_CHOICES = ("round-robin", "balanced", "Benchmark=device,... mapping")
+
+
+def _assignment_spec(value: str):
+    """Argument type for ``--assignment``: policy name or affinity mapping.
+
+    Accepts ``round-robin`` / ``balanced`` (the registered
+    ``DeviceAssignmentPolicy`` names) or an explicit per-benchmark device
+    mapping ``Benchmark=device,...`` (e.g. ``Hopper=0,HalfCheetah=1``).
+    Rejections happen at the parser boundary and enumerate the valid
+    choices, consistent with the positive-int validators above.
+    """
+    text = value.strip()
+    if text in ("round-robin", "balanced"):
+        return text
+    if "=" not in text:
+        raise argparse.ArgumentTypeError(
+            f"invalid assignment {value!r}; choose from "
+            f"{', '.join(repr(choice) for choice in _ASSIGNMENT_CHOICES)}"
+        )
+    mapping = {}
+    for raw_entry in text.split(","):
+        entry = raw_entry.strip()
+        name, separator, device = entry.partition("=")
+        name = name.strip()
+        device = device.strip()
+        if not separator or not name or not device:
+            raise argparse.ArgumentTypeError(
+                f"invalid assignment entry {entry!r}; the mapping form is "
+                "Benchmark=device,... (or choose 'round-robin'/'balanced')"
+            )
+        try:
+            mapping[name] = int(device)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"device of assignment entry {entry!r} must be an integer "
+                "device index (the mapping form is Benchmark=device,...)"
+            ) from None
+    return mapping
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -134,6 +195,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "'colocated' shares each group's collection "
                             "device, 'disaggregated' dedicates the pool's "
                             "last device to updates (needs --devices >= 2)")
+    train.add_argument("--assignment", type=_assignment_spec, default=None,
+                       metavar="POLICY|MAPPING",
+                       help="device-assignment policy for fleet benchmark "
+                            "groups on a --devices pool: 'round-robin' "
+                            "(spec-order dealing, the default), 'balanced' "
+                            "(greedy modelled-load balancing), or an "
+                            "explicit affinity mapping 'Benchmark=device,...' "
+                            "(e.g. 'Hopper=0,HalfCheetah=1'; unknown "
+                            "benchmarks are rejected)")
     train.add_argument("--regime", default="fixar-dynamic",
                        choices=("float32", "fixed32", "fixed16", "fixar-dynamic"))
     train.add_argument("--hidden", type=int, nargs=2, default=(64, 48), metavar=("H1", "H2"))
@@ -212,6 +282,7 @@ def _command_train_fleet(args: argparse.Namespace) -> int:
             schedule=args.schedule,
             devices=args.devices,
             placement=args.placement,
+            assignment=args.assignment,
         )
     except ValueError as error:
         # Config validation errors name the offending knobs themselves
@@ -309,10 +380,15 @@ def _command_train(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    if args.cosim and (args.devices != 1 or args.placement != "colocated"):
+    if args.cosim and (
+        args.devices != 1
+        or args.placement != "colocated"
+        or args.assignment is not None
+    ):
         print(
             "error: --cosim traces the single-accelerator scalar training "
-            "loop and does not support --devices > 1 or --placement",
+            "loop and does not support --devices > 1, --placement, or "
+            "--assignment",
             file=sys.stderr,
         )
         return 2
@@ -349,6 +425,7 @@ def _command_train(args: argparse.Namespace) -> int:
             schedule=args.schedule,
             devices=args.devices,
             placement=args.placement,
+            assignment=args.assignment,
         )
     except ValueError as error:
         # Config validation errors name the offending knobs themselves

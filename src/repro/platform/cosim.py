@@ -109,6 +109,7 @@ class PlatformCoSimulation:
         result = CoSimulationResult()
         result.component_seconds = {"cpu_environment": 0.0, "runtime": 0.0, "fpga": 0.0}
 
+        # repro-lint: allow[deterministic-oracles]: co-simulation reports real wall clock *alongside* modelled time, never inside a price
         wall_start = time.perf_counter()
         observation = self.env.reset()
         episode_return = 0.0
@@ -166,5 +167,6 @@ class PlatformCoSimulation:
                 result.transitions_processed += config.batch_size
             result.timesteps += 1
 
+        # repro-lint: allow[deterministic-oracles]: closes the wall-clock measurement opened above; not a modelled price
         result.wall_clock_seconds = time.perf_counter() - wall_start
         return result

@@ -139,6 +139,7 @@ class HostModel:
         observation = env.reset()
         del observation
         rng_action = env.action_space
+        # repro-lint: allow[deterministic-oracles]: calibrate() *measures* a real env to feed the model; the oracles consume the stored constant
         start = time.perf_counter()
         done_resets = 0
         for _ in range(steps):
@@ -146,6 +147,7 @@ class HostModel:
             if result.done:
                 env.reset()
                 done_resets += 1
+        # repro-lint: allow[deterministic-oracles]: closes the calibration measurement; only the averaged constant enters pricing
         elapsed = time.perf_counter() - start
         per_step = elapsed / steps
         self._calibrated[env.name.lower()] = per_step

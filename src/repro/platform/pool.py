@@ -356,6 +356,140 @@ class AcceleratorPool:
         )
 
     # ------------------------------------------------------------------ #
+    # Homogeneous collection / training oracles (single-platform surface)
+    #
+    # ``FixarPlatform`` and the pool are duck-typed interchangeably at the
+    # pricing joints, so the pool mirrors the platform's whole public
+    # ``infer_*`` / ``fleet_*`` / ``*_round_seconds`` surface — pinned
+    # statically by the ``oracle-surface-parity`` lint rule.  A homogeneous
+    # ``num_workers``-worker run deals its workers round-robin over the
+    # collection devices (the same dealing order ``resolve_assignment``
+    # uses for fleet groups), so a 1-device colocated pool reproduces every
+    # single-platform price exactly.
+    # ------------------------------------------------------------------ #
+    def _deal_workers(self, num_workers: int) -> List[Tuple[int, int]]:
+        """``(device, worker count)`` round-robin deal over collection devices.
+
+        Worker ``w`` lands on collection device ``w % len(collection)``;
+        devices that would receive no workers are skipped, and the counts
+        always sum to ``num_workers``.
+        """
+        if num_workers <= 0:
+            raise ValueError(f"num_workers must be positive, got {num_workers}")
+        collection = self.collection_devices
+        dealt = []
+        for rank, device in enumerate(collection):
+            count = (num_workers + len(collection) - 1 - rank) // len(collection)
+            if count > 0:
+                dealt.append((device, count))
+        return dealt
+
+    def infer_collection(
+        self, num_envs: int, num_workers: int = 1
+    ) -> PoolInferenceReport:
+        """Price one homogeneous collection round dealt over the pool.
+
+        Drop-in for :meth:`FixarPlatform.infer_collection`: each collection
+        device serves its dealt workers' batches back to back
+        (:class:`~repro.platform.CollectionInferenceReport` per device) and
+        the devices run in parallel, so the pool round is the slowest
+        device's serial round.  A 1-device pool's totals equal the single
+        platform's report exactly.
+        """
+        benchmark = self.template.workload.benchmark
+        per_device = tuple(
+            (
+                device,
+                FleetInferenceReport(
+                    groups=(
+                        FleetGroupInference(
+                            benchmark=benchmark,
+                            report=self.devices[device].infer_collection(
+                                num_envs, count
+                            ),
+                            weight=1,
+                        ),
+                    )
+                ),
+            )
+            for device, count in self._deal_workers(num_workers)
+        )
+        return PoolInferenceReport(placement=self.placement, per_device=per_device)
+
+    def collection_round_seconds(self, num_envs: int, num_workers: int = 1) -> float:
+        """Modelled time of one homogeneous collection round on the pool.
+
+        Per dealt device, the single-platform bound
+        ``max(host + inference, count * inference)`` applies to that
+        device's worker share; the pool round is the slowest device.
+        """
+        return max(
+            self.devices[device].collection_round_seconds(num_envs, count)
+            for device, count in self._deal_workers(num_workers)
+        )
+
+    def update_round_seconds(
+        self, batch_size: int, updates: int, pipelined: bool = False
+    ) -> float:
+        """Modelled time of the learner's update phase on the pool.
+
+        A homogeneous run has one learner, hence one update stream: it runs
+        on the dedicated update device when disaggregated, on device 0
+        (its collection device under the round-robin deal) when colocated.
+        The devices are identical siblings, so the stream prices exactly as
+        on the single platform; what placement changes is the *contention*
+        term in :meth:`pipelined_round_seconds`.
+        """
+        device = self.update_device if self.update_device is not None else 0
+        return self.devices[device].update_round_seconds(
+            batch_size, updates, pipelined=pipelined
+        )
+
+    def sequential_round_seconds(
+        self,
+        num_envs: int,
+        num_workers: int = 1,
+        batch_size: int = 64,
+        updates_per_round: Optional[int] = None,
+    ) -> float:
+        """Modelled time of one sequential training round on the pool
+        (collection and the blocking update phase strictly alternate)."""
+        updates = self.template._updates_per_round(
+            num_envs, num_workers, updates_per_round
+        )
+        return self.collection_round_seconds(
+            num_envs, num_workers
+        ) + self.update_round_seconds(batch_size, updates, pipelined=False)
+
+    def pipelined_round_seconds(
+        self,
+        num_envs: int,
+        num_workers: int = 1,
+        batch_size: int = 64,
+        updates_per_round: Optional[int] = None,
+    ) -> float:
+        """Modelled time of one pipelined training round on the pool.
+
+        ``max(collection, update stream)`` — colocated, the stream shares
+        device 0 with that device's dealt rollout inferences (their FPGA
+        time joins the stream, exactly the single platform's contention
+        term scaled to device 0's worker share); disaggregated, the update
+        device serves no rollout inferences, so the stream runs bare.
+        """
+        updates = self.template._updates_per_round(
+            num_envs, num_workers, updates_per_round
+        )
+        collection = self.collection_round_seconds(num_envs, num_workers)
+        update = self.update_round_seconds(batch_size, updates, pipelined=True)
+        if self.placement == "disaggregated":
+            return max(collection, update)
+        dealt = dict(self._deal_workers(num_workers))
+        contention = dealt.get(0, 0) * self.devices[0].infer_batch(
+            num_envs
+        ).fpga_seconds
+        return max(collection, update + contention)
+
+    # ------------------------------------------------------------------ #
     # Fleet pricing oracles (device-aware ``fleet_*`` surface)
     # ------------------------------------------------------------------ #
     def _resolve(
@@ -525,6 +659,23 @@ class AcceleratorPool:
         return (
             self._round_steps(self._resolve(fleet, num_envs, weights, assignment))
             / round_seconds
+        )
+
+    def fleet_pipelined_speedup(
+        self,
+        fleet: Sequence[Sequence],
+        num_envs: int,
+        batch_size: int = 64,
+        weights: Optional[Sequence[int]] = None,
+        assignment: Optional[Mapping[str, int]] = None,
+    ) -> float:
+        """Steps/sec of the pipelined pool schedule over the sequential one."""
+        return self.fleet_training_steps_per_second(
+            fleet, num_envs, batch_size, pipelined=True,
+            weights=weights, assignment=assignment,
+        ) / self.fleet_training_steps_per_second(
+            fleet, num_envs, batch_size, pipelined=False,
+            weights=weights, assignment=assignment,
         )
 
     def infer_fleet(

@@ -232,3 +232,105 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "halfcheetah:1:4,hopper:1:2" in output
         assert "HalfCheetah reward curve" in output
+
+
+class TestChoiceEnumeratingRejections:
+    """Rejection errors for --placement/--assignment/--schedule enumerate
+    the valid choices at the parser boundary (PR-7 validation sweep) —
+    consistent with the positive-int validators, the user never needs the
+    docs to learn what would have been accepted."""
+
+    def test_placement_rejection_enumerates_choices(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["train", "--placement", "remote"])
+        assert excinfo.value.code == 2
+        message = capsys.readouterr().err
+        assert "--placement" in message
+        for choice in ("colocated", "disaggregated"):
+            assert choice in message
+
+    def test_schedule_rejection_enumerates_choices(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["train", "--schedule", "fifo"])
+        assert excinfo.value.code == 2
+        message = capsys.readouterr().err
+        assert "--schedule" in message
+        for choice in ("sequential", "pipelined", "weighted"):
+            assert choice in message
+
+    @pytest.mark.parametrize("value", ["fastest", "Hopper", "Hopper=,"])
+    def test_assignment_rejection_enumerates_choices(self, value, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["train", "--assignment", value])
+        assert excinfo.value.code == 2
+        message = capsys.readouterr().err
+        assert "--assignment" in message
+        assert "round-robin" in message
+        assert "balanced" in message
+        assert "Benchmark=device" in message
+
+    def test_assignment_rejects_non_integer_device(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["train", "--assignment", "Hopper=first"])
+        assert excinfo.value.code == 2
+        message = capsys.readouterr().err
+        assert "--assignment" in message
+        assert "integer" in message
+        assert "Benchmark=device" in message
+
+    def test_assignment_policy_names_parse(self):
+        args = build_parser().parse_args(["train", "--assignment", "balanced"])
+        assert args.assignment == "balanced"
+        args = build_parser().parse_args(["train", "--assignment", "round-robin"])
+        assert args.assignment == "round-robin"
+
+    def test_assignment_mapping_parses_to_devices(self):
+        args = build_parser().parse_args(
+            ["train", "--assignment", "Hopper=0, HalfCheetah=1"]
+        )
+        assert args.assignment == {"Hopper": 0, "HalfCheetah": 1}
+
+    def test_cosim_rejects_assignment(self, capsys):
+        exit_code = main(
+            ["train", "--cosim", "--assignment", "balanced", "--timesteps", "8"]
+        )
+        assert exit_code == 2
+        assert "--assignment" in capsys.readouterr().err
+
+
+class TestAssignmentFlag:
+    """--assignment reaches the training path (not just the parser)."""
+
+    def test_fleet_run_with_explicit_affinity(self, capsys):
+        exit_code = main(
+            [
+                "train",
+                "--fleet", "HalfCheetah:1,Hopper:1",
+                "--timesteps", "96",
+                "--batch-size", "16",
+                "--hidden", "16", "12",
+                "--regime", "float32",
+                "--devices", "2",
+                "--assignment", "Hopper=0,HalfCheetah=1",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "hopper->dev0" in output
+        assert "halfcheetah->dev1" in output
+
+    def test_fleet_run_with_balanced_assignment(self, capsys):
+        exit_code = main(
+            [
+                "train",
+                "--fleet", "HalfCheetah:1,Hopper:1",
+                "--timesteps", "96",
+                "--batch-size", "16",
+                "--hidden", "16", "12",
+                "--regime", "float32",
+                "--devices", "2",
+                "--assignment", "balanced",
+            ]
+        )
+        assert exit_code == 0
+        assert "device affinity:" in capsys.readouterr().out

@@ -125,6 +125,25 @@ def test_readme_cli_flags_match_the_parser():
     }
     text = README.read_text()
     for flag in ("--num-envs", "--num-workers", "--sync-interval",
-                 "--pipeline-depth", "--fleet", "--schedule", "--cosim"):
+                 "--pipeline-depth", "--fleet", "--schedule", "--devices",
+                 "--placement", "--assignment", "--cosim"):
         assert flag in text, f"README lost the {flag} row"
         assert flag in cli_flags, f"README documents {flag} but the CLI dropped it"
+
+
+def test_readme_documents_the_linter_command():
+    """The README advertises the exact command the CI lint job runs."""
+    text = README.read_text()
+    assert "python -m repro.analysis --strict src benchmarks examples" in text
+    ci = (REPO_ROOT / ".github" / "workflows" / "ci.yml").read_text()
+    assert "python -m repro.analysis --strict src benchmarks examples" in ci
+
+
+def test_architecture_documents_every_lint_rule():
+    """ARCHITECTURE's static-analysis section lists every registered rule."""
+    from repro.analysis import RULES
+
+    text = ARCHITECTURE.read_text()
+    assert "repro-lint" in text, "ARCHITECTURE lost the suppression policy"
+    for rule_id in RULES:
+        assert rule_id in text, f"ARCHITECTURE's rule table lost {rule_id}"
