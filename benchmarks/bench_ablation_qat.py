@@ -11,6 +11,13 @@ reduction.  This ablation trains (at reduced scale) with:
 
 and reports the resulting rewards, confirming that the delayed 16-bit
 schedule preserves accuracy while aggressive schedules degrade it.
+
+A second sweep exercises the per-layer precision-policy seam: all-32,
+all-16, a mixed actor-16/critic-32 plan, and the range-driven policy train
+at reduced scale through ``TrainingConfig.precision``, and each converged
+plan is re-priced on the full-size modelled platform via
+``FixarPlatform.with_precision_state`` — the reward/modelled-throughput
+table the per-layer related work (Dai et al., QuaRL) reports.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ import pytest
 from repro.core import format_curve, format_table
 from repro.envs import make
 from repro.nn import DynamicFixedPointNumerics
+from repro.platform import FixarPlatform, WorkloadSpec
 from repro.rl import (
     DDPGAgent,
     DDPGConfig,
@@ -106,3 +114,120 @@ def test_ablation_qat_schedule(benchmark, schedule_results, save_report):
     # All schedules actually switched precision.
     for result in schedule_results.values():
         assert result.qat_event is not None
+
+
+# --------------------------------------------------------------------- #
+# Per-layer precision sweep (the PrecisionPolicy seam, priced end to end)
+# --------------------------------------------------------------------- #
+SWEEP_TIMESTEPS = 1_200
+
+#: (label, TrainingConfig.precision, TrainingConfig.precision_spec)
+PER_LAYER_VARIANTS = (
+    ("all-32", None, None),
+    (
+        "all-16, delay 50%",
+        "per-layer",
+        f"actor=16@{SWEEP_TIMESTEPS // 2},critic=16@{SWEEP_TIMESTEPS // 2}",
+    ),
+    (
+        "actor-16 / critic-32",
+        "per-layer",
+        f"actor=16@{SWEEP_TIMESTEPS // 2},critic=32",
+    ),
+    ("range-driven", "range-driven", "interval=200,patience=2"),
+)
+
+
+def _train_variant(label: str, precision, spec, seed: int = 0):
+    env = make("HalfCheetah", seed=seed, max_episode_steps=200)
+    eval_env = make("HalfCheetah", seed=seed + 1, max_episode_steps=200)
+    numerics = DynamicFixedPointNumerics(num_bits=16)
+    agent = DDPGAgent(
+        env.state_dim,
+        env.action_dim,
+        DDPGConfig(hidden_sizes=HIDDEN_SIZES, actor_learning_rate=1e-3, critic_learning_rate=1e-3),
+        numerics=numerics,
+        rng=np.random.default_rng(seed),
+    )
+    config = TrainingConfig(
+        total_timesteps=SWEEP_TIMESTEPS,
+        warmup_timesteps=250,
+        batch_size=64,
+        buffer_capacity=20_000,
+        evaluation_interval=SWEEP_TIMESTEPS // 4,
+        evaluation_episodes=3,
+        exploration_noise=0.2,
+        seed=seed,
+        precision=precision,
+        precision_spec=spec,
+    )
+    result = train(env, agent, config, eval_env=eval_env, label=label)
+    return agent, result
+
+
+@pytest.fixture(scope="module")
+def per_layer_results():
+    return {
+        label: _train_variant(label, precision, spec)
+        for label, precision, spec in PER_LAYER_VARIANTS
+    }
+
+
+def test_ablation_per_layer_precision(benchmark, per_layer_results, save_report):
+    # Timed kernel: re-pricing the full-size platform under a mixed plan.
+    platform = FixarPlatform(WorkloadSpec.from_benchmark("HalfCheetah"))
+    mixed_state = {
+        "default": 32,
+        "layers": {"actor_fc0": 16, "actor_fc1": 16, "actor_out": 16},
+    }
+    benchmark(
+        lambda: platform.with_precision_state(mixed_state).training_steps_per_second(64)
+    )
+
+    rows = []
+    modelled = {}
+    for label, (agent, result) in per_layer_results.items():
+        state = agent.numerics.precision_profile()
+        modelled[label] = platform.with_precision_state(
+            state
+        ).training_steps_per_second(64)
+        switched = sorted(agent.numerics.layer_bits)
+        rows.append(
+            {
+                "Plan": label,
+                "Final return": round(result.curve.final_return, 1),
+                "Best return": round(result.curve.best_return(), 1),
+                "Switched layers": len(switched),
+                "Modelled steps/sec": round(modelled[label], 1),
+            }
+        )
+    report = format_table(
+        rows,
+        title=(
+            "Per-layer precision sweep (reduced-scale HalfCheetah; "
+            "modelled steps/sec on the full-size platform via "
+            "with_precision_state)"
+        ),
+    )
+    save_report("ablation_per_layer", report)
+
+    for _label, (_agent, result) in per_layer_results.items():
+        assert np.isfinite(result.curve.final_return)
+    # The mixed plan prices strictly between the uniform extremes, and the
+    # reduced widths only ever speed the modelled platform up.
+    assert modelled["all-32"] < modelled["actor-16 / critic-32"]
+    assert modelled["actor-16 / critic-32"] < modelled["all-16, delay 50%"]
+    # The static per-layer table actually fired during training.
+    mixed_agent, mixed_result = per_layer_results["actor-16 / critic-32"]
+    assert mixed_result.qat_event is not None
+    assert set(mixed_agent.numerics.layer_bits.values()) == {16}
+    assert all(
+        name.startswith("actor") for name in mixed_agent.numerics.layer_bits
+    )
+    # The range-driven policy switched the layers whose observed spans
+    # stabilized within the reduced run (the rest keep tracking), and its
+    # partial plan never prices below the full-precision baseline.
+    range_agent, _range_result = per_layer_results["range-driven"]
+    assert range_agent.numerics.layer_bits, "no layer's range ever stabilized"
+    assert set(range_agent.numerics.layer_bits.values()) == {16}
+    assert modelled["range-driven"] >= modelled["all-32"]

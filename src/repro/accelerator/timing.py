@@ -24,16 +24,34 @@ passes plus one single-state actor inference.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple, Union
 
 from .config import AcceleratorConfig
 from .dataflow import TileSchedule, inference_schedule, training_schedule
 
-__all__ = ["CycleBreakdown", "TimingModel", "LayerShape"]
+__all__ = ["CycleBreakdown", "TimingModel", "LayerShape", "HalfFlags"]
 
 #: A dense layer described as ``(input_dim, output_dim)`` — the repository's
 #: ``MLP.layer_shapes`` convention.
 LayerShape = Tuple[int, int]
+
+#: Precision of a network's MVM passes: one bool for every layer, or a
+#: per-layer sequence (mixed per-layer precision plans) matched positionally
+#: against the layer shapes.
+HalfFlags = Union[bool, Sequence[bool]]
+
+
+def _layer_flags(half_precision: HalfFlags, num_layers: int) -> List[bool]:
+    """Per-layer half-precision flags, broadcast from a scalar bool."""
+    if isinstance(half_precision, bool):
+        return [half_precision] * num_layers
+    flags = [bool(flag) for flag in half_precision]
+    if len(flags) != num_layers:
+        raise ValueError(
+            f"per-layer half_precision has {len(flags)} flags for "
+            f"{num_layers} layers"
+        )
+    return flags
 
 
 @dataclass
@@ -94,19 +112,25 @@ class TimingModel:
     # Layer- and network-level costs
     # ------------------------------------------------------------------ #
     def forward_cycles(
-        self, layer_shapes: Sequence[LayerShape], batch_size: int, half_precision: bool
+        self, layer_shapes: Sequence[LayerShape], batch_size: int, half_precision: HalfFlags
     ) -> int:
-        """Forward propagation of a whole network for a batch."""
+        """Forward propagation of a whole network for a batch.
+
+        ``half_precision`` is a single bool for the whole network or a
+        per-layer flag sequence (mixed precision plans), matched
+        positionally against ``layer_shapes``.
+        """
+        flags = _layer_flags(half_precision, len(layer_shapes))
         cycles = 0
-        for input_dim, output_dim in layer_shapes:
+        for (input_dim, output_dim), half in zip(layer_shapes, flags):
             if batch_size == 1:
                 schedule = inference_schedule(
-                    output_dim, input_dim, self.config.geometry, self.config.num_cores, half_precision
+                    output_dim, input_dim, self.config.geometry, self.config.num_cores, half
                 )
             else:
                 schedule = training_schedule(
                     output_dim, input_dim, batch_size, self.config.geometry,
-                    self.config.num_cores, half_precision,
+                    self.config.num_cores, half,
                 )
             cycles += self.schedule_cycles(schedule)
         return cycles
@@ -115,7 +139,7 @@ class TimingModel:
         self,
         layer_shapes: Sequence[LayerShape],
         batch_size: int,
-        half_precision: bool,
+        half_precision: HalfFlags,
         include_weight_gradient: bool = True,
     ) -> int:
         """Backward propagation: input-gradient MVM plus weight-gradient pass.
@@ -124,13 +148,15 @@ class TimingModel:
         schedule swaps the layer dimensions.  The weight-gradient outer
         product streams the same vectors through the same tiles and never
         benefits from the half-precision datapath because gradients stay in
-        32-bit fixed point.
+        32-bit fixed point.  ``half_precision`` broadcasts like
+        :meth:`forward_cycles`.
         """
+        flags = _layer_flags(half_precision, len(layer_shapes))
         cycles = 0
-        for input_dim, output_dim in layer_shapes:
+        for (input_dim, output_dim), half in zip(layer_shapes, flags):
             dx_schedule = training_schedule(
                 input_dim, output_dim, batch_size, self.config.geometry,
-                self.config.num_cores, half_precision,
+                self.config.num_cores, half,
             )
             cycles += self.schedule_cycles(dx_schedule)
             if include_weight_gradient:
@@ -152,7 +178,7 @@ class TimingModel:
         self,
         layer_shapes: Sequence[LayerShape],
         num_states: int = 1,
-        half_precision: bool = False,
+        half_precision: HalfFlags = False,
     ) -> int:
         """Forward-only cycles for a batch of ``num_states`` inferences.
 
@@ -170,7 +196,7 @@ class TimingModel:
         self,
         layer_shapes: Sequence[LayerShape],
         num_states: int = 1,
-        half_precision: bool = False,
+        half_precision: HalfFlags = False,
     ) -> float:
         """Latency of one batched inference pass in seconds."""
         cycles = self.inference_cycles(layer_shapes, num_states, half_precision)
@@ -186,6 +212,9 @@ class TimingModel:
         batch_size: int,
         half_precision: bool = False,
         num_envs: int = 1,
+        *,
+        actor_half_precision: HalfFlags | None = None,
+        critic_half_precision: HalfFlags | None = None,
     ) -> CycleBreakdown:
         """Cycles of one full training timestep on the accelerator.
 
@@ -195,11 +224,17 @@ class TimingModel:
         inference whose result is returned to the host — a single state in
         the paper's loop, or a batch of ``num_envs`` states when the host
         rolls out a vectorized environment.
+
+        ``actor_half_precision`` / ``critic_half_precision`` override the
+        uniform ``half_precision`` flag per network — as a bool or a
+        per-layer flag sequence (mixed precision plans).
         """
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
         if num_envs <= 0:
             raise ValueError(f"num_envs must be positive, got {num_envs}")
+        actor_half = half_precision if actor_half_precision is None else actor_half_precision
+        critic_half = half_precision if critic_half_precision is None else critic_half_precision
         actor_params = _parameter_count(actor_shapes)
         critic_params = _parameter_count(critic_shapes)
 
@@ -207,40 +242,40 @@ class TimingModel:
         # Critic update: target-network evaluations, Q evaluation, BP, WU.
         breakdown.add(
             "critic_target_forward",
-            self.forward_cycles(actor_shapes, batch_size, half_precision)
-            + self.forward_cycles(critic_shapes, batch_size, half_precision),
+            self.forward_cycles(actor_shapes, batch_size, actor_half)
+            + self.forward_cycles(critic_shapes, batch_size, critic_half),
         )
         breakdown.add(
-            "critic_forward", self.forward_cycles(critic_shapes, batch_size, half_precision)
+            "critic_forward", self.forward_cycles(critic_shapes, batch_size, critic_half)
         )
         breakdown.add(
-            "critic_backward", self.backward_cycles(critic_shapes, batch_size, half_precision)
+            "critic_backward", self.backward_cycles(critic_shapes, batch_size, critic_half)
         )
         breakdown.add("critic_weight_update", self.weight_update_cycles(critic_params))
 
         # Actor update: policy forward, critic evaluation of the policy
         # action, input-gradient-only pass through the critic, actor BP, WU.
         breakdown.add(
-            "actor_forward", self.forward_cycles(actor_shapes, batch_size, half_precision)
+            "actor_forward", self.forward_cycles(actor_shapes, batch_size, actor_half)
         )
         breakdown.add(
-            "policy_q_forward", self.forward_cycles(critic_shapes, batch_size, half_precision)
+            "policy_q_forward", self.forward_cycles(critic_shapes, batch_size, critic_half)
         )
         breakdown.add(
             "policy_q_backward",
             self.backward_cycles(
-                critic_shapes, batch_size, half_precision, include_weight_gradient=False
+                critic_shapes, batch_size, critic_half, include_weight_gradient=False
             ),
         )
         breakdown.add(
-            "actor_backward", self.backward_cycles(actor_shapes, batch_size, half_precision)
+            "actor_backward", self.backward_cycles(actor_shapes, batch_size, actor_half)
         )
         breakdown.add("actor_weight_update", self.weight_update_cycles(actor_params))
 
         # Actor inference for the environments' next actions (batch of
         # ``num_envs`` states; the paper's scalar loop is num_envs == 1).
         breakdown.add(
-            "actor_inference", self.inference_cycles(actor_shapes, num_envs, half_precision)
+            "actor_inference", self.inference_cycles(actor_shapes, num_envs, actor_half)
         )
         return breakdown
 
@@ -251,10 +286,15 @@ class TimingModel:
         batch_size: int,
         half_precision: bool = False,
         num_envs: int = 1,
+        *,
+        actor_half_precision: HalfFlags | None = None,
+        critic_half_precision: HalfFlags | None = None,
     ) -> float:
         """Latency of one accelerator timestep in seconds."""
         breakdown = self.timestep_breakdown(
-            actor_shapes, critic_shapes, batch_size, half_precision, num_envs
+            actor_shapes, critic_shapes, batch_size, half_precision, num_envs,
+            actor_half_precision=actor_half_precision,
+            critic_half_precision=critic_half_precision,
         )
         return breakdown.seconds(self.config.clock_hz)
 
@@ -274,19 +314,20 @@ class TimingModel:
         return batch_size / seconds
 
     def forward_useful_cycles(
-        self, layer_shapes: Sequence[LayerShape], batch_size: int, half_precision: bool
+        self, layer_shapes: Sequence[LayerShape], batch_size: int, half_precision: HalfFlags
     ) -> int:
         """Useful MAC cycles of a forward pass (same structure as forward_cycles)."""
+        flags = _layer_flags(half_precision, len(layer_shapes))
         cycles = 0
-        for input_dim, output_dim in layer_shapes:
+        for (input_dim, output_dim), half in zip(layer_shapes, flags):
             if batch_size == 1:
                 schedule = inference_schedule(
-                    output_dim, input_dim, self.config.geometry, self.config.num_cores, half_precision
+                    output_dim, input_dim, self.config.geometry, self.config.num_cores, half
                 )
             else:
                 schedule = training_schedule(
                     output_dim, input_dim, batch_size, self.config.geometry,
-                    self.config.num_cores, half_precision,
+                    self.config.num_cores, half,
                 )
             cycles += self.schedule_useful_cycles(schedule)
         return cycles
@@ -295,15 +336,16 @@ class TimingModel:
         self,
         layer_shapes: Sequence[LayerShape],
         batch_size: int,
-        half_precision: bool,
+        half_precision: HalfFlags,
         include_weight_gradient: bool = True,
     ) -> int:
         """Useful MAC cycles of a backward pass (mirrors backward_cycles)."""
+        flags = _layer_flags(half_precision, len(layer_shapes))
         cycles = 0
-        for input_dim, output_dim in layer_shapes:
+        for (input_dim, output_dim), half in zip(layer_shapes, flags):
             dx_schedule = training_schedule(
                 input_dim, output_dim, batch_size, self.config.geometry,
-                self.config.num_cores, half_precision,
+                self.config.num_cores, half,
             )
             cycles += self.schedule_useful_cycles(dx_schedule)
             if include_weight_gradient:
@@ -321,6 +363,9 @@ class TimingModel:
         batch_size: int,
         half_precision: bool = False,
         num_envs: int = 1,
+        *,
+        actor_half_precision: HalfFlags | None = None,
+        critic_half_precision: HalfFlags | None = None,
     ) -> float:
         """PE-array utilization over one training timestep.
 
@@ -330,23 +375,27 @@ class TimingModel:
         overheads, weight updates, and the rollout inference all count
         against utilization.
         """
+        actor_half = half_precision if actor_half_precision is None else actor_half_precision
+        critic_half = half_precision if critic_half_precision is None else critic_half_precision
         breakdown = self.timestep_breakdown(
-            actor_shapes, critic_shapes, batch_size, half_precision, num_envs
+            actor_shapes, critic_shapes, batch_size, half_precision, num_envs,
+            actor_half_precision=actor_half_precision,
+            critic_half_precision=critic_half_precision,
         )
         useful = 0
         # Critic update passes.
-        useful += self.forward_useful_cycles(actor_shapes, batch_size, half_precision)
-        useful += 2 * self.forward_useful_cycles(critic_shapes, batch_size, half_precision)
-        useful += self.backward_useful_cycles(critic_shapes, batch_size, half_precision)
+        useful += self.forward_useful_cycles(actor_shapes, batch_size, actor_half)
+        useful += 2 * self.forward_useful_cycles(critic_shapes, batch_size, critic_half)
+        useful += self.backward_useful_cycles(critic_shapes, batch_size, critic_half)
         # Actor update passes.
-        useful += self.forward_useful_cycles(actor_shapes, batch_size, half_precision)
-        useful += self.forward_useful_cycles(critic_shapes, batch_size, half_precision)
+        useful += self.forward_useful_cycles(actor_shapes, batch_size, actor_half)
+        useful += self.forward_useful_cycles(critic_shapes, batch_size, critic_half)
         useful += self.backward_useful_cycles(
-            critic_shapes, batch_size, half_precision, include_weight_gradient=False
+            critic_shapes, batch_size, critic_half, include_weight_gradient=False
         )
-        useful += self.backward_useful_cycles(actor_shapes, batch_size, half_precision)
+        useful += self.backward_useful_cycles(actor_shapes, batch_size, actor_half)
         # Rollout inference (batch of num_envs states).
-        useful += self.forward_useful_cycles(actor_shapes, num_envs, half_precision)
+        useful += self.forward_useful_cycles(actor_shapes, num_envs, actor_half)
         return min(1.0, useful / breakdown.total_cycles)
 
 

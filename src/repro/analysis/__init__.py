@@ -33,6 +33,7 @@ from .rules import (
     DeterministicOracles,
     LockDiscipline,
     OracleSurfaceParity,
+    PrecisionPolicyParity,
     Rule,
     SeedingScheme,
     default_rules,
@@ -62,4 +63,5 @@ __all__ = [
     "SeedingScheme",
     "OracleSurfaceParity",
     "ConfigCliParity",
+    "PrecisionPolicyParity",
 ]

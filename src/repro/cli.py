@@ -40,7 +40,7 @@ from .platform import (
     FixarPlatform,
     WorkloadSpec,
 )
-from .rl import save_agent
+from .rl import PRECISION_POLICIES, save_agent
 
 __all__ = ["build_parser", "main"]
 
@@ -49,6 +49,7 @@ __all__ = ["build_parser", "main"]
 #: this mapping statically, so renaming a flag without updating it fails CI.
 CONFIG_FLAG_ALIASES = {
     "total_timesteps": "--timesteps",
+    "precision": "--precision-policy",
 }
 
 #: ``TrainingConfig`` fields deliberately not exposed as CLI flags, with
@@ -172,7 +173,8 @@ def build_parser() -> argparse.ArgumentParser:
                             "replay buffer per benchmark sharing one numerics "
                             "object / QAT schedule; overrides --benchmark and "
                             "replaces --num-workers as the fleet sizing")
-    train.add_argument("--schedule", choices=("sequential", "pipelined", "weighted"),
+    train.add_argument("--schedule",
+                       choices=("sequential", "pipelined", "weighted", "adaptive"),
                        default=None,
                        help="round-scheduling policy (default: resolved from "
                             "--pipeline-depth — 0 is sequential, otherwise "
@@ -180,7 +182,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "lock-steps per round to fleet benchmarks with "
                             "cheaper modelled host+inference chains (the "
                             "throughput-weighted schedule, priced on the "
-                            "modelled platform)")
+                            "modelled platform); 'adaptive' additionally "
+                            "re-prices those lock-step weights when a "
+                            "precision switch changes the modelled platform "
+                            "(pair with --precision-policy)")
     train.add_argument("--devices", type=_positive_int, default=1,
                        help="accelerators in the device pool serving the run "
                             "(1 = the single-FPGA path); fleet benchmark "
@@ -204,6 +209,22 @@ def build_parser() -> argparse.ArgumentParser:
                             "explicit affinity mapping 'Benchmark=device,...' "
                             "(e.g. 'Hopper=0,HalfCheetah=1'; unknown "
                             "benchmarks are rejected)")
+    train.add_argument("--precision-policy", choices=sorted(PRECISION_POLICIES),
+                       default=None,
+                       help="precision policy replacing the built-in QAT "
+                            "controller (fixar-dynamic regime only): "
+                            "'global-switch' is Algorithm 1's single switch, "
+                            "'per-layer' switches layers on a static "
+                            "bitwidth table, 'range-driven' switches each "
+                            "layer once its activation-range statistics "
+                            "stabilize")
+    train.add_argument("--precision-spec", type=str, default=None, metavar="SPEC",
+                       help="spec string for --precision-policy "
+                            "(global-switch: '[bits][@delay]'; per-layer: "
+                            "'pattern=bits[@delay],...' matching layer names "
+                            "like actor_fc0/critic_out by prefix; "
+                            "range-driven: 'bits=16,interval=1000,"
+                            "patience=2,tolerance=0.05' key=value pairs)")
     train.add_argument("--regime", default="fixar-dynamic",
                        choices=("float32", "fixed32", "fixed16", "fixar-dynamic"))
     train.add_argument("--hidden", type=int, nargs=2, default=(64, 48), metavar=("H1", "H2"))
@@ -235,7 +256,13 @@ def _command_train_fleet(args: argparse.Namespace) -> int:
 
     from .envs import benchmark_dimensions
     from .nn import DynamicFixedPointNumerics, make_numerics
-    from .rl import DDPGAgent, QATController, parse_fleet_spec, train_fleet
+    from .rl import (
+        DDPGAgent,
+        QATController,
+        parse_fleet_spec,
+        resolve_precision,
+        train_fleet,
+    )
 
     from dataclasses import replace
 
@@ -269,7 +296,23 @@ def _command_train_fleet(args: argparse.Namespace) -> int:
         )
     qat_controller = None
     if isinstance(numerics, DynamicFixedPointNumerics):
-        qat_controller = QATController(numerics, base.qat)
+        if args.precision_policy is not None:
+            try:
+                qat_controller = resolve_precision(
+                    args.precision_policy, numerics, args.precision_spec
+                )
+            except ValueError as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+        else:
+            qat_controller = QATController(numerics, base.qat)
+    elif args.precision_policy is not None:
+        print(
+            f"error: --precision-policy needs the fixar-dynamic regime, "
+            f"got --regime {args.regime}",
+            file=sys.stderr,
+        )
+        return 2
 
     try:
         config = replace(
@@ -290,7 +333,7 @@ def _command_train_fleet(args: argparse.Namespace) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     platform = None
-    if args.schedule == "weighted" or args.devices > 1:
+    if args.schedule in ("weighted", "adaptive") or args.devices > 1:
         # The throughput-weighted policy prices each benchmark's host +
         # inference chain on the modelled platform; without an oracle it
         # would degrade to round-robin weights.  A multi-accelerator run
@@ -392,6 +435,20 @@ def _command_train(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.cosim and args.precision_policy is not None:
+        print(
+            "error: --cosim traces the built-in QAT controller and does not "
+            "support --precision-policy",
+            file=sys.stderr,
+        )
+        return 2
+    if args.precision_policy is not None and args.regime != "fixar-dynamic":
+        print(
+            f"error: --precision-policy needs the fixar-dynamic regime, "
+            f"got --regime {args.regime}",
+            file=sys.stderr,
+        )
+        return 2
     if args.fleet is not None:
         if args.cosim:
             print(
@@ -426,6 +483,8 @@ def _command_train(args: argparse.Namespace) -> int:
             devices=args.devices,
             placement=args.placement,
             assignment=args.assignment,
+            precision=args.precision_policy,
+            precision_spec=args.precision_spec,
         )
     except ValueError as error:
         # Config validation errors name the offending knobs themselves

@@ -118,8 +118,14 @@ class FixarSystem:
         )
 
         # Algorithm 1 controller (only meaningful for the dynamic regime).
+        # A configured precision *policy* (``training.precision``) replaces
+        # the controller: train() resolves it over the shared numerics, so
+        # building one here would configure two competing drivers.
         self.qat_controller: Optional[QATController] = None
-        if isinstance(self.numerics, DynamicFixedPointNumerics):
+        if (
+            isinstance(self.numerics, DynamicFixedPointNumerics)
+            and self.config.training.precision is None
+        ):
             self.qat_controller = QATController(self.numerics, self.config.qat)
 
         # FPGA accelerator with the agent's networks resident on chip.

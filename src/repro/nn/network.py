@@ -51,12 +51,20 @@ class MLP:
     # Propagation
     # ------------------------------------------------------------------ #
     def forward(self, inputs: np.ndarray) -> np.ndarray:
-        """Forward propagation with per-layer activation projection."""
+        """Forward propagation with per-layer activation projection.
+
+        Each projection is keyed by the most recent dense layer's name, so a
+        per-layer precision policy quantizes a Linear's output *and* the
+        activation function applied to it under one layer name.
+        """
         activation = np.atleast_2d(np.asarray(inputs, dtype=np.float64))
+        current: Optional[str] = None
         for layer in self.layers:
+            if isinstance(layer, Linear):
+                current = layer.name
             activation = layer.forward(activation)
-            self.numerics.observe_activation(activation)
-            activation = self.numerics.project_activation(activation)
+            self.numerics.observe_activation(activation, layer=current)
+            activation = self.numerics.project_activation(activation, layer=current)
         return activation
 
     def __call__(self, inputs: np.ndarray) -> np.ndarray:

@@ -49,15 +49,24 @@ class Numerics:
         """Representation applied to weights before they are used."""
         return weight
 
-    def project_activation(self, activation: np.ndarray) -> np.ndarray:
-        """Representation applied to every layer's output activation."""
+    def project_activation(
+        self, activation: np.ndarray, layer: Optional[str] = None
+    ) -> np.ndarray:
+        """Representation applied to every layer's output activation.
+
+        ``layer`` names the dense layer whose output is being projected
+        (``actor_fc0``, ``critic_out``, ...); per-layer precision regimes key
+        their quantizer maps on it, uniform regimes ignore it.
+        """
         return activation
 
     def project_gradient(self, gradient: np.ndarray) -> np.ndarray:
         """Representation applied to gradients during back-propagation."""
         return gradient
 
-    def observe_activation(self, activation: np.ndarray) -> None:
+    def observe_activation(
+        self, activation: np.ndarray, layer: Optional[str] = None
+    ) -> None:
         """Hook for monitoring activation statistics (no-op by default)."""
 
     @property
@@ -87,7 +96,9 @@ class FloatNumerics(Numerics):
     def project_weight(self, weight: np.ndarray) -> np.ndarray:
         return weight.astype(np.float32).astype(np.float64)
 
-    def project_activation(self, activation: np.ndarray) -> np.ndarray:
+    def project_activation(
+        self, activation: np.ndarray, layer: Optional[str] = None
+    ) -> np.ndarray:
         return activation.astype(np.float32).astype(np.float64)
 
     def project_gradient(self, gradient: np.ndarray) -> np.ndarray:
@@ -117,7 +128,9 @@ class FixedPointNumerics(Numerics):
     def project_weight(self, weight: np.ndarray) -> np.ndarray:
         return self.weight_format.quantize(weight)
 
-    def project_activation(self, activation: np.ndarray) -> np.ndarray:
+    def project_activation(
+        self, activation: np.ndarray, layer: Optional[str] = None
+    ) -> np.ndarray:
         return self.activation_format.quantize(activation)
 
     def project_gradient(self, gradient: np.ndarray) -> np.ndarray:
@@ -174,6 +187,12 @@ class DynamicFixedPointNumerics(FixedPointNumerics):
         self.range_tracker = RangeTracker()
         self.quantizer: Optional[AffineQuantizer] = None
         self._half_mode = False
+        # Per-layer precision state (the PrecisionPolicy seam): quantizers
+        # keyed by dense-layer name override the global mode layer by layer,
+        # with trackers accumulating each layer's own observed range.
+        self.layer_trackers: Dict[str, RangeTracker] = {}
+        self.layer_quantizers: Dict[str, AffineQuantizer] = {}
+        self.layer_bits: Dict[str, int] = {}
 
     # ------------------------------------------------------------------ #
     # Mode control
@@ -210,17 +229,72 @@ class DynamicFixedPointNumerics(FixedPointNumerics):
         self._half_mode = True
         self.activation_format = self.half_activation_format
 
+    def switch_layer_to_half(
+        self, layer: str, num_bits: Optional[int] = None
+    ) -> AffineQuantizer:
+        """Freeze one layer's observed range and quantize that layer only.
+
+        The per-layer analogue of :meth:`switch_to_half`: builds an affine
+        quantizer from the *layer's own* range tracker and installs it in the
+        per-layer quantizer map, leaving every other layer in its current
+        mode.  Layers are identified by their dense-layer name
+        (``actor_fc0``, ``critic_out``, ...).
+        """
+        bits = int(num_bits) if num_bits is not None else self.num_bits
+        tracker = self.layer_trackers.get(layer)
+        if tracker is None or not tracker.initialized:
+            raise ValueError(
+                f"layer {layer!r} has no observed activation range to freeze"
+            )
+        quantizer = AffineQuantizer.from_tracker(bits, tracker)
+        self.layer_quantizers[layer] = quantizer
+        self.layer_bits[layer] = bits
+        return quantizer
+
+    def adopt_plan(self, plan) -> None:
+        """Adopt per-layer precision state frozen *elsewhere*.
+
+        The plan is duck-typed: either a mapping of layer name →
+        :class:`AffineQuantizer`, or a ``PrecisionPlan``-shaped object with
+        ``layer_quantizers`` / ``layer_bits`` mappings and an optional
+        ``global_quantizer``.  This is :meth:`adopt_quantizer` generalized —
+        the broadcast seam forked collection replicas receive plans through.
+        """
+        layer_quantizers = getattr(plan, "layer_quantizers", plan)
+        layer_bits = dict(getattr(plan, "layer_bits", None) or {})
+        for name, quantizer in dict(layer_quantizers or {}).items():
+            self.layer_quantizers[name] = quantizer
+            self.layer_bits[name] = int(layer_bits.get(name, quantizer.num_bits))
+        global_quantizer = getattr(plan, "global_quantizer", None)
+        if global_quantizer is not None:
+            self.adopt_quantizer(global_quantizer)
+
     # ------------------------------------------------------------------ #
     # Projection hooks
     # ------------------------------------------------------------------ #
-    def observe_activation(self, activation: np.ndarray) -> None:
-        if not self._half_mode:
-            self.range_tracker.update(activation)
+    def observe_activation(
+        self, activation: np.ndarray, layer: Optional[str] = None
+    ) -> None:
+        if self._half_mode:
+            return
+        self.range_tracker.update(activation)
+        if layer is not None and layer not in self.layer_quantizers:
+            tracker = self.layer_trackers.get(layer)
+            if tracker is None:
+                tracker = self.layer_trackers[layer] = RangeTracker()
+            tracker.update(activation)
 
-    def project_activation(self, activation: np.ndarray) -> np.ndarray:
+    def project_activation(
+        self, activation: np.ndarray, layer: Optional[str] = None
+    ) -> np.ndarray:
         if self._half_mode and self.quantizer is not None:
             quantized = self.quantizer.apply(activation)
             return self.half_activation_format.quantize(quantized)
+        if layer is not None:
+            quantizer = self.layer_quantizers.get(layer)
+            if quantizer is not None:
+                quantized = quantizer.apply(activation)
+                return self.half_activation_format.quantize(quantized)
         return self.full_activation_format.quantize(activation)
 
     @property
@@ -228,6 +302,20 @@ class DynamicFixedPointNumerics(FixedPointNumerics):
         if self._half_mode:
             return self.half_activation_format.word_length
         return self.full_activation_format.word_length
+
+    def layer_activation_bits(self, layer: str) -> int:
+        """The activation bit width currently in effect for one layer."""
+        if self._half_mode:
+            return self.half_activation_format.word_length
+        return self.layer_bits.get(layer, self.full_activation_format.word_length)
+
+    def precision_profile(self) -> Dict[str, object]:
+        """The resolved per-layer precision state, for pricing and reports.
+
+        Normalized shape ``{"default": bits, "layers": {name: bits}}`` — the
+        same profile :meth:`FixarPlatform.with_precision_state` prices.
+        """
+        return {"default": self.activation_bits, "layers": dict(self.layer_bits)}
 
     def describe(self) -> Dict[str, object]:
         desc = super().describe()
@@ -240,6 +328,7 @@ class DynamicFixedPointNumerics(FixedPointNumerics):
                     if self.range_tracker.initialized
                     else None
                 ),
+                "layer_bits": dict(self.layer_bits),
             }
         )
         return desc

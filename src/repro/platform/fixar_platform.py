@@ -71,6 +71,17 @@ __all__ = [
 PAPER_BATCH_SIZES = (64, 128, 256, 512)
 
 
+def _normalize_precision_state(state: Optional[Dict]) -> Optional[Dict]:
+    """Canonical ``{"default": bits, "layers": {name: bits}}`` form (or None)."""
+    if state is None:
+        return None
+    default = int(state.get("default", 32))
+    layers = {str(name): int(bits) for name, bits in dict(state.get("layers") or {}).items()}
+    if default <= 0 or any(bits <= 0 for bits in layers.values()):
+        raise ValueError(f"precision_state bitwidths must be positive, got {state!r}")
+    return {"default": default, "layers": layers}
+
+
 @dataclass(frozen=True)
 class WorkloadSpec:
     """The DDPG workload a benchmark presents to the accelerator."""
@@ -300,6 +311,7 @@ class FixarPlatform:
         host: Optional[HostModel] = None,
         pcie: Optional[PcieModel] = None,
         half_precision: bool = False,
+        precision_state: Optional[Dict] = None,
     ):
         self.workload = workload
         self.accelerator_config = accelerator_config or AcceleratorConfig()
@@ -308,24 +320,119 @@ class FixarPlatform:
         self.host = host or HostModel()
         self.pcie = pcie or PcieModel()
         self.half_precision = half_precision
+        #: Mixed per-layer precision plan (``{"default": bits, "layers":
+        #: {layer: bits}}``) — ``None`` means the uniform legacy modes
+        #: selected by ``half_precision``.  Set through
+        #: :meth:`with_precision_state`.
+        self.precision_state = _normalize_precision_state(precision_state)
+
+    # ------------------------------------------------------------------ #
+    # Mixed per-layer precision (precision-policy pricing seam)
+    # ------------------------------------------------------------------ #
+    def with_precision_state(self, state: Optional[Dict]) -> "FixarPlatform":
+        """A sibling platform priced under a precision policy's state.
+
+        ``state`` is the normalized ``precision_state()`` of a
+        :class:`~repro.rl.precision.PrecisionPolicy` (or
+        :class:`~repro.rl.qat.QATController`): ``{"default": bits,
+        "layers": {layer: bits}}``.  ``None`` returns this platform
+        unchanged (nothing to re-price).  A *uniform* state collapses onto
+        the legacy modes — all-32 prices exactly like
+        ``half_precision=False`` and all-16 exactly like
+        ``half_precision=True`` — while a mixed state prices each layer's
+        MVM passes at its own width and the PCIe payload at the
+        layer-width-weighted average bytes per value.
+        """
+        state = _normalize_precision_state(state)
+        if state is None:
+            return self
+        widths = {state["default"], *state["layers"].values()}
+        if len(widths) == 1:
+            half = next(iter(widths)) <= 16
+            if half == self.half_precision and self.precision_state is None:
+                return self
+            return FixarPlatform(
+                self.workload,
+                self.accelerator_config,
+                host=self.host,
+                pcie=self.pcie,
+                half_precision=half,
+            )
+        return FixarPlatform(
+            self.workload,
+            self.accelerator_config,
+            host=self.host,
+            pcie=self.pcie,
+            half_precision=False,
+            precision_state=state,
+        )
+
+    def _layer_half_flags(self):
+        """Per-layer half flags ``(actor, critic)`` under the current plan.
+
+        Layer names follow the repository's canonical MLP naming —
+        ``actor_fc0..actor_fc{n-2}``/``actor_out`` and the ``critic_``
+        equivalents — resolved against this workload's layer shapes; a
+        layer absent from the plan inherits the plan's default width.
+        With no plan both networks collapse to the uniform
+        ``half_precision`` bool (identical pricing to the legacy path).
+        """
+        if self.precision_state is None:
+            return self.half_precision, self.half_precision
+        default = self.precision_state["default"]
+        layers = self.precision_state["layers"]
+
+        def flags(prefix: str, shapes) -> List[bool]:
+            names = [f"{prefix}_fc{i}" for i in range(len(shapes) - 1)]
+            names.append(f"{prefix}_out")
+            return [layers.get(name, default) <= 16 for name in names]
+
+        return (
+            flags("actor", self.workload.actor_shapes),
+            flags("critic", self.workload.critic_shapes),
+        )
 
     # ------------------------------------------------------------------ #
     # Per-component times (Fig. 9a)
     # ------------------------------------------------------------------ #
     def fpga_seconds(self, batch_size: int, num_envs: int = 1) -> float:
         """FPGA accelerator time of one timestep."""
+        actor_half, critic_half = self._layer_half_flags()
         return self.timing.timestep_seconds(
             self.workload.actor_shapes,
             self.workload.critic_shapes,
             batch_size,
             half_precision=self.half_precision,
             num_envs=num_envs,
+            actor_half_precision=actor_half,
+            critic_half_precision=critic_half,
         )
 
     @property
-    def transfer_bytes_per_value(self) -> int:
-        """Width of one transferred value: 2 bytes once in half precision."""
-        return 2 if self.half_precision else 4
+    def transfer_bytes_per_value(self) -> float:
+        """Width of one transferred value.
+
+        Uniform modes keep the legacy widths (4 bytes full precision, 2
+        bytes after the half-precision switch).  Under a mixed per-layer
+        plan the host payload carries values produced by layers of
+        different widths, so transfers are priced at the
+        out-features-weighted average bytes per value across both
+        networks' layers — a 2.x-byte effective width between the two
+        uniform extremes.
+        """
+        if self.precision_state is None:
+            return 2 if self.half_precision else 4
+        actor_half, critic_half = self._layer_half_flags()
+        total_features = 0
+        total_bytes = 0.0
+        for flags, shapes in (
+            (actor_half, self.workload.actor_shapes),
+            (critic_half, self.workload.critic_shapes),
+        ):
+            for (_input_dim, output_dim), half in zip(shapes, flags):
+                total_features += output_dim
+                total_bytes += output_dim * (2 if half else 4)
+        return total_bytes / total_features
 
     def runtime_seconds(
         self, batch_size: int, num_envs: int = 1, bytes_per_value: Optional[int] = None
@@ -383,8 +490,9 @@ class FixarPlatform:
         """
         if num_states <= 0:
             raise ValueError(f"num_states must be positive, got {num_states}")
+        actor_half, _critic_half = self._layer_half_flags()
         fpga = self.timing.inference_seconds(
-            self.workload.actor_shapes, num_states, half_precision=self.half_precision
+            self.workload.actor_shapes, num_states, half_precision=actor_half
         )
         runtime = self.pcie.inference_seconds(
             num_states,
@@ -462,12 +570,15 @@ class FixarPlatform:
         """FPGA time of one agent update (training passes only, no rollout
         inference — the collection side prices inference separately through
         :meth:`infer_batch`)."""
+        actor_half, critic_half = self._layer_half_flags()
         breakdown = self.timing.timestep_breakdown(
             self.workload.actor_shapes,
             self.workload.critic_shapes,
             batch_size,
             half_precision=self.half_precision,
             num_envs=1,
+            actor_half_precision=actor_half,
+            critic_half_precision=critic_half,
         )
         cycles = breakdown.total_cycles - breakdown.phases["actor_inference"]
         return cycles / self.timing.config.clock_hz
@@ -607,9 +718,10 @@ class FixarPlatform:
         """A sibling platform pricing another workload on the same hardware.
 
         The accelerator configuration, host and PCIe models (including any
-        host calibration), and the precision mode are shared; only the
-        layer dimensions change — which is exactly what happens when the
-        single accelerator turns from one benchmark's batch to another's.
+        host calibration), and the precision mode — uniform *and* any mixed
+        per-layer plan — are shared; only the layer dimensions change,
+        which is exactly what happens when the single accelerator turns
+        from one benchmark's batch to another's.
         """
         return FixarPlatform(
             workload,
@@ -617,6 +729,7 @@ class FixarPlatform:
             host=self.host,
             pcie=self.pcie,
             half_precision=self.half_precision,
+            precision_state=self.precision_state,
         )
 
     def for_benchmark(
@@ -895,11 +1008,14 @@ class FixarPlatform:
 
     def accelerator_utilization(self, batch_size: int) -> float:
         """PE-array utilization of the accelerator for this workload."""
+        actor_half, critic_half = self._layer_half_flags()
         return self.timing.hardware_utilization(
             self.workload.actor_shapes,
             self.workload.critic_shapes,
             batch_size,
             half_precision=self.half_precision,
+            actor_half_precision=actor_half,
+            critic_half_precision=critic_half,
         )
 
     def accelerator_watts(self, batch_size: int) -> float:

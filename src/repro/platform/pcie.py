@@ -54,14 +54,17 @@ class PcieModel:
         batch_size: int,
         state_dim: int,
         action_dim: int,
-        bytes_per_value: int = 4,
+        bytes_per_value: float = 4,
         num_envs: int = 1,
-    ) -> int:
+    ) -> float:
         """Payload size of a replay batch of transitions.
 
         A transition carries state, action, reward, next state, and done
         flag; the current states for inference (one per lock-stepped
         environment) add ``num_envs`` more state vectors.
+        ``bytes_per_value`` may be fractional: a mixed per-layer precision
+        plan prices transfers at the layer-width-weighted average bytes per
+        value.
         """
         if batch_size <= 0 or state_dim <= 0 or action_dim <= 0:
             raise ValueError("batch_size, state_dim, and action_dim must be positive")
@@ -73,8 +76,8 @@ class PcieModel:
         return batch_size * per_transition + num_envs * state_dim * bytes_per_value
 
     def inference_bytes(
-        self, num_states: int, state_dim: int, action_dim: int, bytes_per_value: int = 4
-    ) -> int:
+        self, num_states: int, state_dim: int, action_dim: int, bytes_per_value: float = 4
+    ) -> float:
         """Payload of one batched inference round trip: N states, N actions."""
         if num_states <= 0 or state_dim <= 0 or action_dim <= 0:
             raise ValueError("num_states, state_dim, and action_dim must be positive")
@@ -83,7 +86,7 @@ class PcieModel:
         return num_states * (state_dim + action_dim) * bytes_per_value
 
     def inference_seconds(
-        self, num_states: int, state_dim: int, action_dim: int, bytes_per_value: int = 4
+        self, num_states: int, state_dim: int, action_dim: int, bytes_per_value: float = 4
     ) -> float:
         """Runtime time of one batched inference round trip.
 
@@ -125,8 +128,8 @@ class PcieModel:
         return self.config.base_overhead_seconds + 2 * self.config.per_buffer_seconds
 
     def update_bytes(
-        self, batch_size: int, state_dim: int, action_dim: int, bytes_per_value: int = 4
-    ) -> int:
+        self, batch_size: int, state_dim: int, action_dim: int, bytes_per_value: float = 4
+    ) -> float:
         """Payload of one learner update: a replay batch, no inference states."""
         if batch_size <= 0 or state_dim <= 0 or action_dim <= 0:
             raise ValueError("batch_size, state_dim, and action_dim must be positive")
@@ -136,7 +139,7 @@ class PcieModel:
         return batch_size * per_transition
 
     def update_marginal_seconds(
-        self, batch_size: int, state_dim: int, action_dim: int, bytes_per_value: int = 4
+        self, batch_size: int, state_dim: int, action_dim: int, bytes_per_value: float = 4
     ) -> float:
         """Marginal runtime cost of one update *inside* a streamed invocation.
 
@@ -149,7 +152,7 @@ class PcieModel:
         return self.config.per_transition_seconds * batch_size + self.transfer_seconds(payload)
 
     def update_seconds(
-        self, batch_size: int, state_dim: int, action_dim: int, bytes_per_value: int = 4
+        self, batch_size: int, state_dim: int, action_dim: int, bytes_per_value: float = 4
     ) -> float:
         """Runtime time of one *blocking* learner update invocation.
 
@@ -168,7 +171,7 @@ class PcieModel:
         state_dim: int,
         action_dim: int,
         num_envs: int = 1,
-        bytes_per_value: int = 4,
+        bytes_per_value: float = 4,
     ) -> float:
         """Total runtime time of one timestep (Fig. 9's "runtime" component).
 

@@ -252,6 +252,26 @@ class AcceleratorPool:
         sibling.assignment = sibling._normalize_assignment(assignment)
         return sibling
 
+    def with_precision_state(self, state) -> "AcceleratorPool":
+        """A pool of the same shape priced under a precision policy's state.
+
+        Rebuilds every device from
+        :meth:`FixarPlatform.with_precision_state` siblings of the
+        template, preserving the pool's size, placement, and bound
+        assignment — the pool-level half of the precision re-pricing seam
+        (``None`` or an identical-pricing state returns this pool
+        unchanged, mirroring the platform).
+        """
+        template = self.template.with_precision_state(state)
+        if template is self.template:
+            return self
+        return AcceleratorPool(
+            template,
+            num_devices=self.num_devices,
+            placement=self.placement,
+            assignment=self.assignment,
+        )
+
     def describe(self) -> str:
         return f"pool(devices={self.num_devices}, placement={self.placement})"
 

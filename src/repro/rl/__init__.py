@@ -34,7 +34,15 @@ platform as ``max(collection, update)`` per round via
 :class:`ThroughputWeightedPolicy` (heterogeneous benchmarks with cheaper
 modelled host+inference chains collect extra lock-steps per round,
 ``FixarPlatform.fleet_collection_round_seconds`` as cost oracle) —
-selected by ``TrainingConfig.schedule``.  Future
+selected by ``TrainingConfig.schedule``.  Activation precision is driven
+by the *precision subsystem* (:mod:`repro.rl.precision`): a pluggable
+:class:`PrecisionPolicy` — :class:`GlobalSwitchPolicy` (Algorithm 1's
+single fleet-wide switch, bit-exact with :class:`QATController`),
+:class:`PerLayerSchedulePolicy` (static per-layer bitwidth table), and
+:class:`RangeDrivenPolicy` (switches each layer once its activation-range
+statistics stabilise) — resolves to per-layer
+:class:`PrecisionPlan` state that the numerics, collector broadcast,
+checkpoint, and platform pricing layers all consume.  Future
 scaling layers
 (sharded accelerators, multi-backend inference) should likewise slot in
 behind the engine's ``act_batch``/``step`` seam rather than re-introducing
@@ -45,6 +53,18 @@ from .checkpoint import checkpoint_metadata, load_agent_into, save_agent
 from .ddpg import DDPGAgent, DDPGConfig, UpdateMetrics
 from .evaluation import EvaluationPoint, LearningCurve, compare_curves, evaluate_policy
 from .noise import DecayedNoise, GaussianNoise, NoiseProcess, OrnsteinUhlenbeckNoise
+from .precision import (
+    PRECISION_POLICIES,
+    GlobalSwitchPolicy,
+    LayerSwitch,
+    PerLayerSchedulePolicy,
+    PrecisionEvent,
+    PrecisionPlan,
+    PrecisionPolicy,
+    RangeDrivenPolicy,
+    register_precision_policy,
+    resolve_precision,
+)
 from .qat import QATController, QATEvent, QATSchedule
 from .replay_buffer import ReplayBuffer, TransitionBatch
 from .rollout import RolloutEngine, RolloutStats, VectorTransitions
@@ -102,6 +122,16 @@ __all__ = [
     "QATSchedule",
     "QATController",
     "QATEvent",
+    "PrecisionPolicy",
+    "PrecisionPlan",
+    "PrecisionEvent",
+    "LayerSwitch",
+    "GlobalSwitchPolicy",
+    "PerLayerSchedulePolicy",
+    "RangeDrivenPolicy",
+    "PRECISION_POLICIES",
+    "register_precision_policy",
+    "resolve_precision",
     "RolloutEngine",
     "RolloutStats",
     "VectorTransitions",

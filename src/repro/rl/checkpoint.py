@@ -16,6 +16,7 @@ from typing import Dict, Union
 
 import numpy as np
 
+from ..fixedpoint import AffineQuantizer, RangeTracker
 from ..nn import MLP, DynamicFixedPointNumerics
 from .ddpg import DDPGAgent
 from .td3 import TD3Agent
@@ -59,12 +60,36 @@ def checkpoint_metadata(agent: Union[DDPGAgent, TD3Agent]) -> Dict[str, object]:
     }
     numerics = agent.numerics
     if isinstance(numerics, DynamicFixedPointNumerics):
+        layers: Dict[str, object] = {}
+        for layer in sorted(numerics.layer_trackers):
+            tracker = numerics.layer_trackers[layer]
+            quantizer = numerics.layer_quantizers.get(layer)
+            layers[layer] = {
+                "switched": quantizer is not None,
+                "bits": numerics.layer_bits.get(layer),
+                # The quantizer (if frozen) rebuilds bit-exactly from its
+                # recorded range; unswitched layers carry the live tracker.
+                "min": (
+                    quantizer.min_value
+                    if quantizer is not None
+                    else (tracker.min_value if tracker.initialized else None)
+                ),
+                "max": (
+                    quantizer.max_value
+                    if quantizer is not None
+                    else (tracker.max_value if tracker.initialized else None)
+                ),
+                "tracker_min": tracker.min_value if tracker.initialized else None,
+                "tracker_max": tracker.max_value if tracker.initialized else None,
+                "tracker_count": tracker.count,
+            }
         metadata["qat"] = {
             "half_mode": numerics.half_mode,
             "num_bits": numerics.num_bits,
             "range_min": numerics.range_tracker.min_value if numerics.range_tracker.initialized else None,
             "range_max": numerics.range_tracker.max_value if numerics.range_tracker.initialized else None,
             "range_count": numerics.range_tracker.count,
+            "layers": layers,
         }
     return metadata
 
@@ -122,6 +147,25 @@ def load_agent_into(agent: Union[DDPGAgent, TD3Agent], path: Union[str, Path]) -
             numerics.range_tracker.min_value = float(qat_state["range_min"])
             numerics.range_tracker.max_value = float(qat_state["range_max"])
             numerics.range_tracker.count = int(qat_state["range_count"])
+        for layer, layer_state in (qat_state.get("layers") or {}).items():
+            tracker = numerics.layer_trackers.get(layer)
+            if tracker is None:
+                tracker = numerics.layer_trackers[layer] = RangeTracker()
+            if layer_state.get("tracker_min") is not None:
+                tracker.min_value = float(layer_state["tracker_min"])
+                tracker.max_value = float(layer_state["tracker_max"])
+                tracker.count = int(layer_state["tracker_count"])
+            if layer_state.get("switched"):
+                bits = int(layer_state["bits"])
+                # Rebuilding from the recorded range reproduces the frozen
+                # quantizer exactly (delta / zero_point are pure functions
+                # of bits and range).
+                numerics.layer_quantizers[layer] = AffineQuantizer(
+                    bits,
+                    float(layer_state["min"]),
+                    float(layer_state["max"]),
+                )
+                numerics.layer_bits[layer] = bits
         if qat_state["half_mode"] and not numerics.half_mode:
             numerics.switch_to_half()
     return metadata

@@ -1,0 +1,580 @@
+"""Pluggable per-layer precision policies (the QAT switch, generalized).
+
+FIXAR's Algorithm 1 is *one* precision schedule: train every activation at
+32 bits for a delay, then quantize them all to 16 with the captured range.
+The related work goes further — per-layer fixed-point configs (Dai et al.,
+arXiv:2401.17544), adaptive-precision backprop (Zhang et al.,
+arXiv:1911.00361), and the wide post-training sweeps of QuaRL
+(arXiv:1910.01055) — so this module makes the precision schedule a
+first-class policy seam, symmetric with the round scheduler's
+:class:`~repro.rl.scheduler.SchedulePolicy` and
+:class:`~repro.rl.scheduler.DeviceAssignmentPolicy`: a small class
+hierarchy, a registry, and a resolve function.
+
+A :class:`PrecisionPolicy` drives a
+:class:`~repro.nn.numerics.DynamicFixedPointNumerics` object through the
+same ``on_timestep`` surface :class:`~repro.rl.qat.QATController` exposes,
+so the training loop, the round scheduler, and the async coordinator treat
+both interchangeably:
+
+* ``on_timestep(t)`` advances the schedule and returns an event when one or
+  more layers switch precision (``None`` otherwise);
+* ``switched`` is *terminal* — ``True`` only once no further events are
+  possible (the async coordinator stops advancing the schedule then);
+* ``broadcast_payload()`` is what the coordinator ships through the worker
+  command pipes — a bare quantizer for the global switch, a
+  :class:`PrecisionPlan` for per-layer policies;
+* ``precision_state()`` is the normalized ``{"default": bits, "layers":
+  {name: bits}}`` profile the platform layer prices via
+  ``FixarPlatform.with_precision_state`` and the adaptive weighted
+  scheduler re-prices rounds with.
+
+The resolved state of any policy is a :class:`PrecisionPlan` — per-layer
+bit widths and frozen quantizers keyed by dense-layer name
+(``actor_fc0`` ... ``actor_out``, ``critic_fc0`` ... ``critic_out``) —
+which forked collection replicas adopt via
+:meth:`~repro.nn.numerics.DynamicFixedPointNumerics.adopt_plan`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+from ..fixedpoint import AffineQuantizer
+from ..nn.numerics import DynamicFixedPointNumerics
+from .qat import QATController, QATEvent, QATSchedule
+
+__all__ = [
+    "LayerSwitch",
+    "PrecisionEvent",
+    "PrecisionPlan",
+    "PrecisionPolicy",
+    "GlobalSwitchPolicy",
+    "PerLayerSchedulePolicy",
+    "RangeDrivenPolicy",
+    "PRECISION_POLICIES",
+    "register_precision_policy",
+    "resolve_precision",
+]
+
+
+# --------------------------------------------------------------------- #
+# Events and plans
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class LayerSwitch:
+    """One layer's precision switch: the frozen quantizer's parameters."""
+
+    layer: str
+    num_bits: int
+    activation_min: float
+    activation_max: float
+    delta: float
+    zero_point: int
+
+
+@dataclass(frozen=True)
+class PrecisionEvent:
+    """One or more layers switching precision at a timestep.
+
+    Exposes ``timestep`` and ``num_bits`` like
+    :class:`~repro.rl.qat.QATEvent`, so result summaries and the CLI print
+    either event shape without caring which policy produced it.
+    """
+
+    timestep: int
+    switches: Tuple[LayerSwitch, ...]
+
+    @property
+    def num_bits(self) -> int:
+        """The smallest bit width this event switched a layer to."""
+        return min(switch.num_bits for switch in self.switches)
+
+    @property
+    def layers(self) -> Tuple[str, ...]:
+        return tuple(switch.layer for switch in self.switches)
+
+
+@dataclass(frozen=True)
+class PrecisionPlan:
+    """A policy's resolved precision state, keyed by dense-layer name.
+
+    Picklable (frozen quantizers are plain objects), so the async
+    coordinator can ship it through a worker command pipe; forked replicas
+    adopt it via ``DynamicFixedPointNumerics.adopt_plan``.  ``weight_bits``
+    and ``gradient_bits`` record that FIXAR keeps weights and gradients in
+    32-bit fixed point regardless of the activation schedule.
+    """
+
+    default_bits: int = 32
+    layer_quantizers: Dict[str, AffineQuantizer] = field(default_factory=dict)
+    layer_bits: Dict[str, int] = field(default_factory=dict)
+    global_quantizer: Optional[AffineQuantizer] = None
+    weight_bits: int = 32
+    gradient_bits: int = 32
+
+    def activation_bits(self, layer: str) -> int:
+        """The activation bit width the plan assigns to one layer."""
+        return self.layer_bits.get(layer, self.default_bits)
+
+    def precision_state(self) -> Dict[str, object]:
+        """Normalized ``{"default": bits, "layers": {name: bits}}`` profile."""
+        return {"default": self.default_bits, "layers": dict(self.layer_bits)}
+
+
+# --------------------------------------------------------------------- #
+# The policy seam
+# --------------------------------------------------------------------- #
+class PrecisionPolicy:
+    """Base precision policy: drives one dynamic numerics object.
+
+    Subclasses implement :meth:`on_timestep`; everything else (plan
+    extraction, broadcast payload, normalized state) derives from the
+    numerics object's per-layer maps.  Register new policies with
+    :func:`register_precision_policy` so ``--precision-policy`` and
+    :func:`resolve_precision` can find them (the ``precision-policy-parity``
+    lint rule enforces this).
+    """
+
+    #: Registry key and the ``--precision-policy`` spelling.
+    name = "precision"
+
+    def __init__(self, numerics: DynamicFixedPointNumerics):
+        if not isinstance(numerics, DynamicFixedPointNumerics):
+            raise TypeError(
+                f"{type(self).__name__} requires DynamicFixedPointNumerics, "
+                f"got {type(numerics).__name__}"
+            )
+        self.numerics = numerics
+        self._events: List[PrecisionEvent] = []
+        self._done = False
+
+    # -- the QATController-shaped surface ------------------------------- #
+    @property
+    def switched(self) -> bool:
+        """Terminal: ``True`` once no further precision events are possible."""
+        return self._done
+
+    @property
+    def event(self):
+        """The most recent event, if any (result-summary compatibility)."""
+        return self._events[-1] if self._events else None
+
+    @property
+    def events(self) -> Tuple[PrecisionEvent, ...]:
+        """Every event the policy has emitted, in order."""
+        return tuple(self._events)
+
+    def on_timestep(self, timestep: int):
+        """Advance the schedule; returns an event when layers switch."""
+        raise NotImplementedError
+
+    def broadcast_payload(self):
+        """What the coordinator ships to forked replicas after an event."""
+        return self.plan()
+
+    # -- resolved state -------------------------------------------------- #
+    def plan(self) -> PrecisionPlan:
+        """The numerics' current precision state as a shippable plan."""
+        numerics = self.numerics
+        return PrecisionPlan(
+            default_bits=numerics.activation_bits,
+            layer_quantizers=dict(numerics.layer_quantizers),
+            layer_bits=dict(numerics.layer_bits),
+            global_quantizer=numerics.quantizer if numerics.half_mode else None,
+        )
+
+    def precision_state(self) -> Dict[str, object]:
+        """Normalized profile for the pricing oracles and the scheduler."""
+        return self.numerics.precision_profile()
+
+    def describe(self) -> Dict[str, object]:
+        return {"policy": self.name, "precision_state": self.precision_state()}
+
+    # -- construction from a CLI spec ------------------------------------ #
+    @classmethod
+    def from_spec(
+        cls, numerics: DynamicFixedPointNumerics, spec: Optional[str] = None
+    ) -> "PrecisionPolicy":
+        if spec:
+            raise ValueError(f"precision policy {cls.name!r} takes no spec, got {spec!r}")
+        return cls(numerics)
+
+
+#: Registry of shipped precision policies, keyed by policy name.
+PRECISION_POLICIES: Dict[str, Type[PrecisionPolicy]] = {}
+
+
+def register_precision_policy(cls: Type[PrecisionPolicy]) -> Type[PrecisionPolicy]:
+    """Class decorator adding a policy to :data:`PRECISION_POLICIES`."""
+    if not cls.name or cls.name == PrecisionPolicy.name:
+        raise ValueError(f"{cls.__name__} must set a distinct policy name")
+    if cls.name in PRECISION_POLICIES:
+        raise ValueError(f"duplicate precision policy name {cls.name!r}")
+    PRECISION_POLICIES[cls.name] = cls
+    return cls
+
+
+def resolve_precision(
+    name: str,
+    numerics: DynamicFixedPointNumerics,
+    spec: Optional[str] = None,
+) -> PrecisionPolicy:
+    """A registered policy instance from its name and optional spec string."""
+    if name not in PRECISION_POLICIES:
+        raise ValueError(
+            f"unknown precision policy {name!r}; registered policies are "
+            f"{sorted(PRECISION_POLICIES)}"
+        )
+    return PRECISION_POLICIES[name].from_spec(numerics, spec)
+
+
+# --------------------------------------------------------------------- #
+# Policy 1: the paper's global switch (Algorithm 1, bit-exact)
+# --------------------------------------------------------------------- #
+@register_precision_policy
+class GlobalSwitchPolicy(PrecisionPolicy):
+    """Algorithm 1's single global switch, behind the policy seam.
+
+    Delegates to an internal :class:`~repro.rl.qat.QATController`, so every
+    timestep decision — the delay test, the postponement while the range
+    tracker is uninitialized, the one-shot event — is *the same code path*
+    as the pre-refactor controller; the equivalence pin in
+    ``tests/test_precision.py`` holds ``==``-exact by construction.
+    """
+
+    name = "global-switch"
+
+    def __init__(
+        self,
+        numerics: DynamicFixedPointNumerics,
+        schedule: Optional[QATSchedule] = None,
+    ):
+        super().__init__(numerics)
+        self._controller = QATController(
+            numerics, schedule or QATSchedule(num_bits=numerics.num_bits)
+        )
+
+    @property
+    def schedule(self) -> QATSchedule:
+        return self._controller.schedule
+
+    @property
+    def switched(self) -> bool:
+        return self._controller.switched
+
+    @property
+    def event(self) -> Optional[QATEvent]:
+        return self._controller.event
+
+    @property
+    def events(self) -> Tuple[QATEvent, ...]:
+        return (self._controller.event,) if self._controller.event else ()
+
+    def on_timestep(self, timestep: int) -> Optional[QATEvent]:
+        return self._controller.on_timestep(timestep)
+
+    def activation_bits_at(self, timestep: int) -> int:
+        return self._controller.activation_bits_at(timestep)
+
+    def broadcast_payload(self):
+        # Identical pipe payload to the bare controller: the frozen global
+        # quantizer, adopted verbatim by every forked replica.
+        return self.numerics.quantizer
+
+    def describe(self) -> Dict[str, object]:
+        desc = super().describe()
+        desc.update(
+            {
+                "num_bits": self.schedule.num_bits,
+                "quantization_delay": self.schedule.quantization_delay,
+            }
+        )
+        return desc
+
+    @classmethod
+    def from_spec(
+        cls, numerics: DynamicFixedPointNumerics, spec: Optional[str] = None
+    ) -> "GlobalSwitchPolicy":
+        """Spec grammar: ``[bits][@delay]`` — e.g. ``16@1000``, ``@500``."""
+        if not spec:
+            return cls(numerics)
+        bits_part, _, delay_part = spec.partition("@")
+        num_bits = int(bits_part) if bits_part else numerics.num_bits
+        delay = int(delay_part) if delay_part else QATSchedule().quantization_delay
+        return cls(
+            numerics, QATSchedule(num_bits=num_bits, quantization_delay=delay)
+        )
+
+
+# --------------------------------------------------------------------- #
+# Policy 2: static per-layer bitwidth table
+# --------------------------------------------------------------------- #
+@register_precision_policy
+class PerLayerSchedulePolicy(PrecisionPolicy):
+    """A static per-layer bitwidth table, applied on per-layer delays.
+
+    The table is an ordered sequence of ``(pattern, bits, delay)`` entries:
+    ``pattern`` matches a dense-layer name exactly or as a prefix
+    (``"actor"`` covers ``actor_fc0``/``actor_fc1``/``actor_out``), ``bits``
+    is the activation width the matching layers switch to (32 = keep full
+    precision), and ``delay`` is the earliest timestep the switch may fire.
+    First matching entry wins; a layer switches once its delay has elapsed
+    *and* its own range tracker has observed activations — the per-layer
+    analogue of the global controller's postponement rule — so switches are
+    deterministic given the seeded rollout streams.
+    """
+
+    name = "per-layer"
+
+    def __init__(
+        self,
+        numerics: DynamicFixedPointNumerics,
+        table: Sequence[Tuple[str, int, int]],
+    ):
+        super().__init__(numerics)
+        entries = []
+        for pattern, bits, delay in table:
+            pattern, bits, delay = str(pattern), int(bits), int(delay)
+            if not pattern:
+                raise ValueError("per-layer table patterns must be non-empty")
+            if bits < 2:
+                raise ValueError(f"num_bits must be >= 2, got {bits}")
+            if delay < 0:
+                raise ValueError(f"delay must be non-negative, got {delay}")
+            entries.append((pattern, bits, delay))
+        if not entries:
+            raise ValueError("per-layer schedule needs at least one table entry")
+        self.table: Tuple[Tuple[str, int, int], ...] = tuple(entries)
+        self._max_delay = max(delay for _pattern, _bits, delay in entries)
+
+    def _match(self, layer: str) -> Optional[Tuple[int, int]]:
+        """(bits, delay) of the first table entry covering a layer."""
+        for pattern, bits, delay in self.table:
+            if layer == pattern or layer.startswith(pattern):
+                return bits, delay
+        return None
+
+    def _pending_layers(self) -> List[str]:
+        """Observed layers still awaiting a reduced-precision switch."""
+        numerics = self.numerics
+        full_bits = numerics.full_activation_format.word_length
+        pending = []
+        for layer in sorted(numerics.layer_trackers):
+            if layer in numerics.layer_quantizers:
+                continue
+            entry = self._match(layer)
+            if entry is not None and entry[0] < full_bits:
+                pending.append(layer)
+        return pending
+
+    def on_timestep(self, timestep: int) -> Optional[PrecisionEvent]:
+        if self._done:
+            return None
+        numerics = self.numerics
+        full_bits = numerics.full_activation_format.word_length
+        switches = []
+        for layer in sorted(numerics.layer_trackers):
+            if layer in numerics.layer_quantizers:
+                continue
+            entry = self._match(layer)
+            if entry is None:
+                continue
+            bits, delay = entry
+            if bits >= full_bits or timestep < delay:
+                continue
+            if not numerics.layer_trackers[layer].initialized:
+                continue
+            quantizer = numerics.switch_layer_to_half(layer, bits)
+            switches.append(
+                LayerSwitch(
+                    layer=layer,
+                    num_bits=bits,
+                    activation_min=quantizer.min_value,
+                    activation_max=quantizer.max_value,
+                    delta=quantizer.delta,
+                    zero_point=quantizer.zero_point,
+                )
+            )
+        if (
+            timestep >= self._max_delay
+            and numerics.layer_trackers
+            and not self._pending_layers()
+        ):
+            self._done = True
+        if not switches:
+            return None
+        event = PrecisionEvent(timestep=timestep, switches=tuple(switches))
+        self._events.append(event)
+        return event
+
+    def describe(self) -> Dict[str, object]:
+        desc = super().describe()
+        desc["table"] = [list(entry) for entry in self.table]
+        return desc
+
+    @classmethod
+    def from_spec(
+        cls, numerics: DynamicFixedPointNumerics, spec: Optional[str] = None
+    ) -> "PerLayerSchedulePolicy":
+        """Spec grammar: ``pattern=bits[@delay],...``.
+
+        ``"actor=16@1000,critic=32"`` switches every actor layer to 16 bits
+        at t=1000 and keeps the critic at full precision.
+        """
+        if not spec:
+            raise ValueError(
+                "per-layer policy needs a spec: pattern=bits[@delay],..."
+            )
+        table = []
+        for raw in spec.split(","):
+            entry = raw.strip()
+            if not entry:
+                continue
+            pattern, separator, rest = entry.partition("=")
+            if not separator or not pattern or not rest:
+                raise ValueError(
+                    f"bad per-layer spec entry {entry!r}; "
+                    "expected pattern=bits[@delay]"
+                )
+            bits_part, _, delay_part = rest.partition("@")
+            table.append(
+                (pattern.strip(), int(bits_part), int(delay_part) if delay_part else 0)
+            )
+        return cls(numerics, table)
+
+
+# --------------------------------------------------------------------- #
+# Policy 3: range-statistic-driven switches
+# --------------------------------------------------------------------- #
+@register_precision_policy
+class RangeDrivenPolicy(PrecisionPolicy):
+    """Switches each layer once its observed range stops growing.
+
+    At every ``check_interval``-th timestep the policy records each
+    unswitched layer's observed span (``max - min``); a layer switches to
+    ``num_bits`` after its span has grown by at most ``tolerance``
+    (relative) for ``patience`` consecutive checks with at least
+    ``min_observations`` samples.  All inputs are the deterministic range
+    statistics of the seeded rollout streams, so switch timesteps are
+    reproducible — no wall clocks, no global RNG.
+    """
+
+    name = "range-driven"
+
+    def __init__(
+        self,
+        numerics: DynamicFixedPointNumerics,
+        *,
+        num_bits: Optional[int] = None,
+        check_interval: int = 1_000,
+        patience: int = 2,
+        tolerance: float = 0.05,
+        min_observations: int = 1,
+    ):
+        super().__init__(numerics)
+        if check_interval <= 0:
+            raise ValueError(f"check_interval must be positive, got {check_interval}")
+        if patience < 1:
+            raise ValueError(f"patience must be >= 1, got {patience}")
+        if tolerance < 0:
+            raise ValueError(f"tolerance must be non-negative, got {tolerance}")
+        if min_observations < 1:
+            raise ValueError(
+                f"min_observations must be >= 1, got {min_observations}"
+            )
+        self.num_bits = int(num_bits) if num_bits is not None else numerics.num_bits
+        if self.num_bits < 2:
+            raise ValueError(f"num_bits must be >= 2, got {self.num_bits}")
+        self.check_interval = int(check_interval)
+        self.patience = int(patience)
+        self.tolerance = float(tolerance)
+        self.min_observations = int(min_observations)
+        self._spans: Dict[str, float] = {}
+        self._stable_checks: Dict[str, int] = {}
+
+    def on_timestep(self, timestep: int) -> Optional[PrecisionEvent]:
+        if self._done:
+            return None
+        if timestep <= 0 or timestep % self.check_interval != 0:
+            return None
+        numerics = self.numerics
+        switches = []
+        for layer in sorted(numerics.layer_trackers):
+            if layer in numerics.layer_quantizers:
+                continue
+            tracker = numerics.layer_trackers[layer]
+            if not tracker.initialized or tracker.count < self.min_observations:
+                continue
+            span = float(tracker.max_value - tracker.min_value)
+            previous = self._spans.get(layer)
+            if previous is not None and previous > 0.0 and (
+                span - previous
+            ) <= self.tolerance * previous:
+                self._stable_checks[layer] = self._stable_checks.get(layer, 0) + 1
+            else:
+                self._stable_checks[layer] = 0
+            self._spans[layer] = span
+            if self._stable_checks[layer] >= self.patience:
+                quantizer = numerics.switch_layer_to_half(layer, self.num_bits)
+                switches.append(
+                    LayerSwitch(
+                        layer=layer,
+                        num_bits=self.num_bits,
+                        activation_min=quantizer.min_value,
+                        activation_max=quantizer.max_value,
+                        delta=quantizer.delta,
+                        zero_point=quantizer.zero_point,
+                    )
+                )
+        if numerics.layer_trackers and all(
+            layer in numerics.layer_quantizers for layer in numerics.layer_trackers
+        ):
+            self._done = True
+        if not switches:
+            return None
+        event = PrecisionEvent(timestep=timestep, switches=tuple(switches))
+        self._events.append(event)
+        return event
+
+    def describe(self) -> Dict[str, object]:
+        desc = super().describe()
+        desc.update(
+            {
+                "num_bits": self.num_bits,
+                "check_interval": self.check_interval,
+                "patience": self.patience,
+                "tolerance": self.tolerance,
+            }
+        )
+        return desc
+
+    @classmethod
+    def from_spec(
+        cls, numerics: DynamicFixedPointNumerics, spec: Optional[str] = None
+    ) -> "RangeDrivenPolicy":
+        """Spec grammar: ``key=value,...`` over ``bits``/``interval``/
+        ``patience``/``tolerance``/``min-observations``."""
+        kwargs: Dict[str, object] = {}
+        mapping = {
+            "bits": ("num_bits", int),
+            "interval": ("check_interval", int),
+            "patience": ("patience", int),
+            "tolerance": ("tolerance", float),
+            "min-observations": ("min_observations", int),
+        }
+        for raw in (spec or "").split(","):
+            entry = raw.strip()
+            if not entry:
+                continue
+            key, separator, value = entry.partition("=")
+            key = key.strip()
+            if not separator or key not in mapping:
+                raise ValueError(
+                    f"bad range-driven spec entry {entry!r}; known keys are "
+                    f"{sorted(mapping)}"
+                )
+            attribute, cast = mapping[key]
+            kwargs[attribute] = cast(value.strip())
+        return cls(numerics, **kwargs)

@@ -109,6 +109,24 @@ class QATController:
         )
         return self._event
 
+    def precision_state(self) -> dict:
+        """Normalized precision profile (``{"default": bits, "layers": {}}``).
+
+        The shape every precision driver — this controller and the
+        :class:`~repro.rl.precision.PrecisionPolicy` subclasses — exposes so
+        the scheduler can re-price throughput weights and the platform's
+        ``with_precision_state`` can price the active bit widths.
+        """
+        return self.numerics.precision_profile()
+
+    def broadcast_payload(self):
+        """The payload shipped to forked replicas when the switch fires.
+
+        For the global switch this is the frozen activation quantizer, which
+        :meth:`CollectorWorker.apply_precision_switch` adopts verbatim.
+        """
+        return self.numerics.quantizer
+
     def activation_bits_at(self, timestep: int) -> int:
         """Activation bit width actually in effect at a timestep.
 

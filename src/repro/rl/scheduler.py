@@ -122,8 +122,9 @@ class SchedulePolicy:
     ahead of the learner; 0 = strictly alternating).  :meth:`lock_steps`
     returns one positive integer per group — how many collector rounds that
     group runs per scheduler round; the weights are resolved once at
-    scheduler construction and stay fixed for the run, which is what keeps
-    weighted runs deterministic.
+    scheduler construction and change only if :meth:`relock` returns a new
+    allocation at a precision-epoch boundary — a deterministic point of the
+    schedule, which is what keeps weighted runs reproducible.
     """
 
     name = "sequential"
@@ -132,6 +133,25 @@ class SchedulePolicy:
     def lock_steps(self, groups: Sequence[ScheduledGroup], platform=None) -> List[int]:
         """Lock-step allocation per group (default: one each, spec order)."""
         return [1] * len(groups)
+
+    def relock(
+        self,
+        groups: Sequence[ScheduledGroup],
+        platform=None,
+        precision_state=None,
+    ) -> Optional[List[int]]:
+        """Re-priced weights after a precision event, or ``None`` to keep.
+
+        The scheduler calls this at the deterministic round boundary where
+        a precision event fired, handing it the driver's normalized
+        ``precision_state()`` profile; a policy that prices rounds through
+        the platform oracle can return a fresh allocation reflecting the
+        new per-layer bit widths (see
+        :class:`ThroughputWeightedPolicy(adaptive=True)
+        <ThroughputWeightedPolicy>`).  The default keeps the locked weights
+        for the whole run.
+        """
+        return None
 
     def describe(self) -> str:
         return self.name
@@ -198,6 +218,15 @@ class ThroughputWeightedPolicy(SchedulePolicy):
 
     ``weights`` overrides the oracle with an explicit per-benchmark mapping
     (lowercase keys), for tests and manual tuning.
+
+    ``adaptive=True`` (the ``--schedule adaptive`` spelling) additionally
+    re-prices the allocation at precision-epoch boundaries: when the run's
+    precision driver fires an event, the scheduler hands this policy the new
+    normalized precision state, the oracle is re-derived through
+    ``platform.with_precision_state`` (reduced activation widths shrink the
+    modelled PCIe payloads), and :meth:`relock` returns a fresh allocation.
+    Both the boundary (a scheduler round index) and the re-priced weights
+    are deterministic, so adaptive runs stay reproducible.
     """
 
     name = "weighted"
@@ -208,6 +237,7 @@ class ThroughputWeightedPolicy(SchedulePolicy):
         depth: int = 0,
         platform=None,
         weights: Optional[Dict[str, int]] = None,
+        adaptive: bool = False,
     ):
         if max_weight < 1:
             raise ValueError(f"max_weight must be >= 1, got {max_weight}")
@@ -217,6 +247,7 @@ class ThroughputWeightedPolicy(SchedulePolicy):
         self.depth = depth
         self.platform = platform
         self.weights = weights
+        self.adaptive = adaptive
 
     def _ratio_weights(self, chains: Sequence[float]) -> List[int]:
         """Integer lock-step weights approximating ``1 / chain`` proportions."""
@@ -303,8 +334,35 @@ class ThroughputWeightedPolicy(SchedulePolicy):
             return [1] * len(groups)
         return weights
 
+    def relock(
+        self,
+        groups: Sequence[ScheduledGroup],
+        platform=None,
+        precision_state=None,
+    ) -> Optional[List[int]]:
+        """Re-price the allocation against the post-switch oracle.
+
+        Only the adaptive variant re-locks, and only from the oracle —
+        explicit weights were a deliberate override and stay put.  The
+        oracle is re-derived via ``with_precision_state`` so the chains
+        reflect the bit widths actually in effect; everything downstream is
+        :meth:`lock_steps` unchanged, including the conservative
+        never-worse-than-uniform verification.
+        """
+        if not self.adaptive or self.weights is not None:
+            return None
+        oracle = platform if platform is not None else self.platform
+        if oracle is None or len(groups) <= 1:
+            return None
+        if precision_state is not None:
+            with_state = getattr(oracle, "with_precision_state", None)
+            if with_state is not None:
+                oracle = with_state(precision_state)
+        return self.lock_steps(groups, oracle)
+
     def describe(self) -> str:
-        return f"{self.name}(max_weight={self.max_weight}, depth={self.depth})"
+        suffix = ", adaptive" if self.adaptive else ""
+        return f"{self.name}(max_weight={self.max_weight}, depth={self.depth}{suffix})"
 
 
 def resolve_policy(config, platform=None) -> SchedulePolicy:
@@ -313,8 +371,9 @@ def resolve_policy(config, platform=None) -> SchedulePolicy:
     ``config.schedule`` of ``None`` resolves from ``pipeline_depth`` (the
     historical behavior: depth 0 is sequential, anything else pipelined);
     ``"weighted"`` combines throughput-weighted rounds with the configured
-    staleness depth.  ``platform`` is handed to the weighted policy as its
-    cost oracle.
+    staleness depth, and ``"adaptive"`` is the weighted policy that also
+    re-prices at precision-epoch boundaries.  ``platform`` is handed to the
+    weighted policy as its cost oracle.
     """
     name = getattr(config, "schedule", None)
     if name is None:
@@ -327,8 +386,13 @@ def resolve_policy(config, platform=None) -> SchedulePolicy:
         return ThroughputWeightedPolicy(
             depth=config.pipeline_depth, platform=platform
         )
+    if name == "adaptive":
+        return ThroughputWeightedPolicy(
+            depth=config.pipeline_depth, platform=platform, adaptive=True
+        )
     raise ValueError(
-        f"unknown schedule {name!r}; expected sequential, pipelined, or weighted"
+        f"unknown schedule {name!r}; expected sequential, pipelined, "
+        "weighted, or adaptive"
     )
 
 
@@ -585,19 +649,23 @@ class RoundScheduler:
         self.policy = policy
         self.config = config
         self.qat_controller = qat_controller
+        self.platform = platform
         self.on_evaluation = on_evaluation
         self.restart_shared_env = restart_shared_env
-        self.weights = list(policy.lock_steps(groups, platform))
-        if len(self.weights) != len(groups) or any(
-            int(weight) != weight or weight < 1 for weight in self.weights
-        ):
-            raise ValueError(
-                f"policy {policy.describe()} produced invalid lock-step "
-                f"weights {self.weights} for {len(groups)} groups"
-            )
-        self.weights = [int(weight) for weight in self.weights]
+        self.weights = self._validated_weights(policy.lock_steps(groups, platform))
         self._updates_by_key = {group.key: 0 for group in groups}
         self._qat_event: Optional[QATEvent] = None
+
+    def _validated_weights(self, weights) -> List[int]:
+        weights = list(weights)
+        if len(weights) != len(self.groups) or any(
+            int(weight) != weight or weight < 1 for weight in weights
+        ):
+            raise ValueError(
+                f"policy {self.policy.describe()} produced invalid lock-step "
+                f"weights {weights} for {len(self.groups)} groups"
+            )
+        return [int(weight) for weight in weights]
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -605,16 +673,20 @@ class RoundScheduler:
     @property
     def steps_per_round(self) -> int:
         """Environment steps of one scheduler round across all groups."""
+        return self._round_steps(self.weights)
+
+    def _round_steps(self, weights: Sequence[int]) -> int:
+        """Environment steps of one round under an explicit allocation."""
         return sum(
             weight * group.steps_per_lock_round
-            for group, weight in zip(self.groups, self.weights)
+            for group, weight in zip(self.groups, weights)
         )
 
-    def _group_offsets(self) -> List[int]:
+    def _group_offsets(self, weights: Sequence[int]) -> List[int]:
         """Each group's slice offset inside a round's global step range."""
         offsets = []
         accumulated = 0
-        for group, weight in zip(self.groups, self.weights):
+        for group, weight in zip(self.groups, weights):
             offsets.append(accumulated)
             accumulated += weight * group.steps_per_lock_round
         return offsets
@@ -624,34 +696,39 @@ class RoundScheduler:
     # ------------------------------------------------------------------ #
     def _learner_round(
         self,
-        round_index: int,
+        global_step: int,
+        weights: Sequence[int],
         deferred,
         episodes_snapshot: Optional[Dict[str, int]],
     ) -> None:
         """Drain one round, run its updates, record crossed evaluations.
 
-        ``deferred`` is ``None`` in the sequential schedule (the collectors
-        drained immediately) and the round's per-group queued transitions in
-        the pipelined one.  Either way the buffers hold exactly rounds
-        ``0..round_index`` when the updates sample them, so every policy
-        sees the same update-side data availability — policies differ only
-        in how stale the *collection* weights are and how lock-steps are
-        allocated.  ``episodes_snapshot`` carries the per-group episode
-        counts as of the round's collection (pipelined schedules pass it so
-        progress metrics do not count rounds the fleet has already run
-        ahead on).
+        ``global_step`` is the fleet-wide step count at the round's
+        collection start and ``weights`` the allocation the round was
+        collected under — passed explicitly (rather than derived from a
+        round index) because an adaptive policy may re-lock the live
+        weights while this round is still queued behind the staleness
+        window.  ``deferred`` is ``None`` in the sequential schedule (the
+        collectors drained immediately) and the round's per-group queued
+        transitions in the pipelined one.  Either way the buffers hold
+        exactly the rounds up to this one when the updates sample them, so
+        every policy sees the same update-side data availability — policies
+        differ only in how stale the *collection* weights are and how
+        lock-steps are allocated.  ``episodes_snapshot`` carries the
+        per-group episode counts as of the round's collection (pipelined
+        schedules pass it so progress metrics do not count rounds the fleet
+        has already run ahead on).
         """
         config = self.config
-        steps_per_round = self.steps_per_round
-        global_step = round_index * steps_per_round
+        steps_per_round = self._round_steps(weights)
         global_after = global_step + steps_per_round
         if deferred is not None:
             for group, rounds in zip(self.groups, deferred):
                 group.collector.drain(rounds)
 
         # ----- Agent updates: one per collected post-warmup step ---------- #
-        offsets = self._group_offsets()
-        for group, offset, weight in zip(self.groups, offsets, self.weights):
+        offsets = self._group_offsets(weights)
+        for group, offset, weight in zip(self.groups, offsets, weights):
             buffer = group.buffer
             if len(buffer) >= config.batch_size:
                 group_lo = global_step + offset
@@ -692,52 +769,79 @@ class RoundScheduler:
     # ------------------------------------------------------------------ #
     # The schedule
     # ------------------------------------------------------------------ #
+    def _maybe_relock(self) -> None:
+        """Offer the policy a re-pricing after a precision event.
+
+        Runs at the round boundary where the event fired — a deterministic
+        point of the schedule — handing the policy the precision driver's
+        normalized state so oracle-driven policies can reflect the new bit
+        widths in their lock-step allocation.  A ``None`` return keeps the
+        current weights; anything else is validated exactly like the
+        construction-time allocation and swapped in for subsequent rounds
+        (rounds already queued behind the staleness window keep the weights
+        they were collected under).
+        """
+        new_weights = self.policy.relock(
+            self.groups,
+            self.platform,
+            getattr(self.qat_controller, "precision_state", lambda: None)(),
+        )
+        if new_weights is not None:
+            self.weights = self._validated_weights(new_weights)
+
     def run(self) -> ScheduleOutcome:
         """Run the whole schedule and return the bookkeeping totals."""
         config = self.config
         depth = self.policy.depth
-        steps_per_round = self.steps_per_round
-        iterations = -(-config.total_timesteps // steps_per_round)
 
         # In-flight rounds the fleet has collected but the learner has not
-        # yet consumed (at most ``depth`` long): (round index, per-group
-        # transitions, per-group episode counts as of collection).
-        pending: Deque[Tuple[int, List, Dict[str, int]]] = deque()
-        for iteration in range(iterations):
-            global_step = iteration * steps_per_round
+        # yet consumed (at most ``depth`` long): (round start step, weights
+        # at collection, per-group transitions, per-group episode counts as
+        # of collection).
+        pending: Deque[Tuple[int, List[int], List, Dict[str, int]]] = deque()
+        collected = 0
+        iterations = 0
+        steps_by_key = {group.key: 0 for group in self.groups}
+        while collected < config.total_timesteps:
+            weights = list(self.weights)
+            steps_per_round = self._round_steps(weights)
+            global_step = collected
 
-            # QAT advances with the collection timeline: the controller
-            # counts environment steps, and in-process replicas share the
-            # learner's numerics object, so a precision switch applies to
-            # collection immediately — the (lagging) pipelined learner then
-            # runs its remaining updates at the new precision, exactly as a
-            # wall-clock switch would.
+            # QAT advances with the collection timeline: the precision
+            # driver counts environment steps, and in-process replicas share
+            # the learner's numerics object, so a precision switch applies
+            # to collection immediately — the (lagging) pipelined learner
+            # then runs its remaining updates at the new precision, exactly
+            # as a wall-clock switch would.
+            event_fired = False
             if self.qat_controller is not None:
                 for offset in range(steps_per_round):
                     event = self.qat_controller.on_timestep(global_step + offset)
                     if event is not None:
                         self._qat_event = event
+                        event_fired = True
 
             if depth == 0:
                 # Sequential schedule: collect a round, then consume it.
-                for group, weight in zip(self.groups, self.weights):
+                for group, weight in zip(self.groups, weights):
                     for _ in range(weight):
                         group.collector.step_sync()
-                self._learner_round(iteration, None, None)
+                self._learner_round(global_step, weights, None, None)
             else:
                 # Pipelined schedule: collect round k first — emulating
                 # "collection of round k runs while the learner is busy with
                 # round k - depth" — then let the learner catch up to within
                 # the staleness window.
                 deferred: List[List] = []
-                for group, weight in zip(self.groups, self.weights):
+                for group, weight in zip(self.groups, weights):
                     rounds: List = []
                     for _ in range(weight):
                         rounds.extend(group.collector.step_sync(drain=False))
                     deferred.append(rounds)
                 pending.append(
                     (
-                        iteration,
+                        global_step,
+                        weights,
                         deferred,
                         {
                             group.key: len(group.collector.episode_returns)
@@ -748,11 +852,20 @@ class RoundScheduler:
                 if len(pending) > depth:
                     self._learner_round(*pending.popleft())
 
+            collected += steps_per_round
+            iterations += 1
+            for group, weight in zip(self.groups, weights):
+                steps_by_key[group.key] += weight * group.steps_per_lock_round
+            if event_fired:
+                # Precision-epoch boundary: let the policy re-price the
+                # allocation for the rounds that follow.
+                self._maybe_relock()
+
         # Drain the pipeline: the learner consumes the last in-flight rounds.
         while pending:
             self._learner_round(*pending.popleft())
 
-        total_timesteps = iterations * steps_per_round
+        total_timesteps = collected
         # If the run ended between evaluation points, add a final evaluation
         # so short smoke-test runs still produce non-empty curves.
         for group in self.groups:
@@ -768,13 +881,10 @@ class RoundScheduler:
 
         return ScheduleOutcome(
             total_timesteps=total_timesteps,
-            steps_per_round=steps_per_round,
+            steps_per_round=self.steps_per_round,
             iterations=iterations,
             weights=list(self.weights),
             updates_by_key=dict(self._updates_by_key),
-            steps_by_key={
-                group.key: iterations * weight * group.steps_per_lock_round
-                for group, weight in zip(self.groups, self.weights)
-            },
+            steps_by_key=steps_by_key,
             qat_event=self._qat_event,
         )

@@ -39,9 +39,11 @@ import numpy as np
 from ..envs.base import Environment
 from ..envs.registry import make as make_registered_env
 from ..envs.vector import VectorEnv
+from ..nn import DynamicFixedPointNumerics
 from .ddpg import DDPGAgent
 from .evaluation import LearningCurve, evaluate_policy
 from .noise import GaussianNoise, NoiseProcess
+from .precision import PRECISION_POLICIES, resolve_precision
 from .qat import QATController, QATEvent
 from .replay_buffer import ReplayBuffer
 from .rollout import RolloutEngine
@@ -56,7 +58,7 @@ from .workers import AsyncCollector, CollectorWorker, HeteroFleet, parse_fleet_s
 
 #: Round-scheduling policies ``TrainingConfig.schedule`` accepts (``None``
 #: resolves from ``pipeline_depth``; see :func:`repro.rl.scheduler.resolve_policy`).
-SCHEDULES = ("sequential", "pipelined", "weighted")
+SCHEDULES = ("sequential", "pipelined", "weighted", "adaptive")
 
 #: Update-stream placements ``TrainingConfig.placement`` accepts (mirrors
 #: :data:`repro.platform.PLACEMENTS` without importing the platform layer).
@@ -129,12 +131,14 @@ class TrainingConfig:
     #: through :func:`train_fleet` (one learner agent and replay buffer per
     #: benchmark) instead of :func:`train`.
     fleet: Optional[Union[str, Sequence]] = None
-    #: Round-scheduling policy: ``"sequential"``, ``"pipelined"``, or
+    #: Round-scheduling policy: ``"sequential"``, ``"pipelined"``,
     #: ``"weighted"`` (throughput-weighted rounds — heterogeneous fleets
     #: with cheaper modelled host+inference chains collect extra lock-steps
-    #: per round).  ``None`` (the default) resolves from ``pipeline_depth``
-    #: — depth 0 is sequential, anything else pipelined — so every
-    #: pre-existing configuration keeps its exact behavior.
+    #: per round), or ``"adaptive"`` (weighted rounds that additionally
+    #: re-price at precision-epoch boundaries).  ``None`` (the default)
+    #: resolves from ``pipeline_depth`` — depth 0 is sequential, anything
+    #: else pipelined — so every pre-existing configuration keeps its exact
+    #: behavior.
     schedule: Optional[str] = None
     #: Accelerators in the device pool serving the run.  ``1`` (the
     #: default) is the single-platform path; ``> 1`` requires passing an
@@ -154,6 +158,19 @@ class TrainingConfig:
     #: ``{benchmark: device}`` mapping (unknown benchmarks raise).  See
     #: :func:`repro.rl.scheduler.resolve_assignment`.
     assignment: Optional[Union[str, Mapping[str, int]]] = None
+    #: Precision policy driving the run's quantization schedule:
+    #: ``"global-switch"`` (Algorithm 1's single switch), ``"per-layer"``
+    #: (a static per-layer bitwidth table), or ``"range-driven"``
+    #: (range-statistic-driven per-layer switches) — the names registered
+    #: in :data:`repro.rl.precision.PRECISION_POLICIES`.  ``None`` (the
+    #: default) leaves precision to an explicitly passed ``qat_controller``
+    #: (or runs un-switched).  Requires dynamic fixed-point numerics; the
+    #: resolved policy is shared fleet-wide like the QAT controller.
+    precision: Optional[str] = None
+    #: Policy-specific spec string for ``precision`` (grammar per policy:
+    #: ``[bits][@delay]`` for global-switch, ``pattern=bits[@delay],...``
+    #: for per-layer, ``key=value,...`` for range-driven).
+    precision_spec: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.total_timesteps <= 0:
@@ -205,6 +222,13 @@ class TrainingConfig:
                 f"assignment must be one of {ASSIGNMENTS} or a "
                 f"{{benchmark: device}} mapping, got {self.assignment!r}"
             )
+        if self.precision is not None and self.precision not in PRECISION_POLICIES:
+            raise ValueError(
+                f"precision must be one of {sorted(PRECISION_POLICIES)}, "
+                f"got {self.precision!r}"
+            )
+        if self.precision_spec is not None and self.precision is None:
+            raise ValueError("precision_spec requires precision to be set")
         if self.fleet is not None:
             if self.num_workers != 1:
                 raise ValueError(
@@ -393,6 +417,35 @@ def _resolve_evaluation_env(template: Environment, config: TrainingConfig):
         return template, True
 
 
+def _resolve_precision_controller(config: TrainingConfig, agent: DDPGAgent, qat_controller):
+    """The precision driver the round scheduler advances each timestep.
+
+    An explicitly passed ``qat_controller`` always wins (``config.precision``
+    set alongside it is a configuration conflict).  Otherwise
+    ``config.precision`` resolves a registered
+    :class:`~repro.rl.precision.PrecisionPolicy` over the agent's numerics,
+    which must be dynamic fixed-point — precision policies drive its
+    range trackers and quantizers.
+    """
+    if qat_controller is not None:
+        if config.precision is not None:
+            raise ValueError(
+                "config.precision and an explicit qat_controller are "
+                "alternative precision drivers; pass one or the other"
+            )
+        return qat_controller
+    if config.precision is None:
+        return None
+    numerics = agent.numerics
+    if not isinstance(numerics, DynamicFixedPointNumerics):
+        raise ValueError(
+            f"config.precision={config.precision!r} needs an agent built on "
+            "DynamicFixedPointNumerics; got numerics "
+            f"{type(numerics).__name__!r}"
+        )
+    return resolve_precision(config.precision, numerics, config.precision_spec)
+
+
 def train(
     env: Union[Environment, VectorEnv],
     agent: DDPGAgent,
@@ -423,7 +476,9 @@ def train(
         of the training benchmark is created; when that is impossible the
         first training environment is shared, exactly like the scalar loop.
     qat_controller:
-        Optional Algorithm 1 controller switching activation precision.
+        Optional Algorithm 1 controller (or any
+        :class:`~repro.rl.precision.PrecisionPolicy`) switching activation
+        precision; ``config.precision`` resolves one by name instead.
     noise:
         Exploration noise process (defaults to Gaussian with the configured
         standard deviation).
@@ -494,6 +549,7 @@ def train(
     # unchanged ``infer_batch`` joint (a 1-device pool is bit-exact with
     # the single platform).
     _resolve_device_pool(config, platform)
+    qat_controller = _resolve_precision_controller(config, agent, qat_controller)
     rng = np.random.default_rng(config.seed)
     num_workers = config.num_workers
 
@@ -688,9 +744,11 @@ def train_fleet(
         Optional per-benchmark evaluation environments; by default a fresh
         instance of each benchmark is created, exactly like :func:`train`.
     qat_controller:
-        Optional shared Algorithm 1 controller.  It counts fleet-wide
-        environment steps, so the precision switch lands on the same global
-        timestep as an equivalent homogeneous run.
+        Optional shared Algorithm 1 controller (or any
+        :class:`~repro.rl.precision.PrecisionPolicy`; ``config.precision``
+        resolves one by name).  It counts fleet-wide environment steps, so
+        precision switches land on the same global timestep as an
+        equivalent homogeneous run.
     label:
         Learning-curve label prefix; each benchmark's curve is labelled
         ``"<label>/<benchmark>"`` (default: the shared numerics name).
@@ -748,6 +806,8 @@ def train_fleet(
                 "qat_controller is bound to a different numerics object than "
                 "the fleet's agents; share one instance across both"
             )
+    first_agent = next(iter(dict(agents).values()))
+    qat_controller = _resolve_precision_controller(config, first_agent, qat_controller)
 
     total_workers = sum(count for _, count, _width in fleet_spec)
     per_worker_warmup = -(-config.warmup_timesteps // total_workers)

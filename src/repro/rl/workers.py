@@ -390,24 +390,32 @@ class CollectorWorker:
             return
         self.engine.agent.load_parameters(params)
 
-    def apply_precision_switch(self, quantizer=None) -> None:
-        """Apply the learner's QAT precision switch to this worker's replica.
+    def apply_precision_switch(self, payload=None) -> None:
+        """Apply the learner's precision switch to this worker's replica.
 
         In-process replicas *share* the learner's numerics object, so the
         switch reaches them implicitly; a **forked** replica owns a snapshot
         copy, and the coordinator propagates the switch through the command
-        pipe instead (see :meth:`AsyncCollector.collect`).  ``quantizer`` is
-        the learner's frozen activation quantizer — adopting it keeps the
-        whole fleet on one quantization grid; without one the replica
-        freezes its *own* observed range (a worker that has run policy
-        forwards has an initialized tracker).  Idempotent, and a no-op for
-        non-dynamic numerics.
+        pipe instead (see :meth:`AsyncCollector.collect`).  ``payload`` is
+        whatever the learner-side driver's ``broadcast_payload()`` produced:
+        a bare frozen :class:`~repro.fixedpoint.AffineQuantizer` (the global
+        QAT switch) or a per-layer plan (anything with a ``layer_quantizers``
+        mapping, e.g. :class:`~repro.rl.precision.PrecisionPlan`) — adopting
+        it keeps the whole fleet on one quantization grid.  Without a
+        payload the replica freezes its *own* observed range (a worker that
+        has run policy forwards has an initialized tracker).  Idempotent,
+        and a no-op for non-dynamic numerics.
         """
         numerics = getattr(self.engine.agent.actor, "numerics", None)
-        if not isinstance(numerics, DynamicFixedPointNumerics) or numerics.half_mode:
+        if not isinstance(numerics, DynamicFixedPointNumerics):
             return
-        if quantizer is not None:
-            numerics.adopt_quantizer(quantizer)
+        if payload is not None and hasattr(payload, "layer_quantizers"):
+            numerics.adopt_plan(payload)
+            return
+        if numerics.half_mode:
+            return
+        if payload is not None:
+            numerics.adopt_quantizer(payload)
         elif numerics.range_tracker.initialized:
             numerics.switch_to_half()
 
@@ -495,13 +503,17 @@ class AsyncCollector:
         Lock-steps per queue message in asynchronous mode (amortises the
         inter-process transfer cost).
     qat_controller:
-        Optional :class:`~repro.rl.qat.QATController` advanced on the
-        fleet-wide drained step count during **asynchronous** collection.
-        When its precision switch fires, the coordinator broadcasts a
-        ``("precision", quantizer)`` control message through every worker's
-        command pipe, so *forked* replicas — whose numerics are snapshot
-        copies, not the learner's shared object — pick up the switch
-        mid-flight (:meth:`CollectorWorker.apply_precision_switch`).  The
+        Optional precision driver — a :class:`~repro.rl.qat.QATController`
+        or any :class:`~repro.rl.precision.PrecisionPolicy` — advanced on
+        the fleet-wide drained step count during **asynchronous**
+        collection.  When a precision event fires, the coordinator
+        broadcasts a ``("precision", payload)`` control message (the
+        driver's ``broadcast_payload()``: a bare quantizer for the global
+        switch, a :class:`~repro.rl.precision.PrecisionPlan` for per-layer
+        policies) through every worker's command pipe, so *forked* replicas
+        — whose numerics are snapshot copies, not the learner's shared
+        object — pick up the switch mid-flight
+        (:meth:`CollectorWorker.apply_precision_switch`).  The
         in-process synchronous modes never need this: their replicas share
         the learner's numerics object, and the training loop drives the
         controller itself.
@@ -754,10 +766,19 @@ class AsyncCollector:
                         # learner's object is not shared across the fork).
                         event = self.qat_controller.on_timestep(self._qat_steps)
                         if event is not None:
-                            _send_to_all(
-                                pipes,
-                                ("precision", self.qat_controller.numerics.quantizer),
+                            # The payload is driver-shaped: a bare quantizer
+                            # for the global switch, a PrecisionPlan for
+                            # per-layer policies (duck-typed fallback keeps
+                            # minimal controller substitutes working).
+                            payload_fn = getattr(
+                                self.qat_controller, "broadcast_payload", None
                             )
+                            precision_payload = (
+                                payload_fn()
+                                if payload_fn is not None
+                                else self.qat_controller.numerics.quantizer
+                            )
+                            _send_to_all(pipes, ("precision", precision_payload))
                     if (
                         self.source_agent is not None
                         and not stop_sent

@@ -119,6 +119,92 @@ class TestQatState:
         assert event.activation_max == pytest.approx(2.5)
 
 
+class TestPerLayerPlanState:
+    def _partially_switched(self, rng):
+        """A fixar-dynamic agent mid-way through a per-layer schedule:
+        actor layers switched to 16 bits, critic layers still tracking."""
+        from repro.rl import PerLayerSchedulePolicy
+
+        agent = _ddpg(rng, regime="fixar-dynamic")
+        numerics = agent.numerics
+        for layer, bounds in (
+            ("actor_fc0", (-1.5, 2.5)),
+            ("actor_out", (-1.0, 1.0)),
+            ("critic_fc0", (-4.0, 6.0)),
+        ):
+            numerics.observe_activation(np.array(bounds), layer=layer)
+        policy = PerLayerSchedulePolicy(numerics, [("actor", 16, 0)])
+        event = policy.on_timestep(10)
+        assert event is not None and set(event.layers) == {"actor_fc0", "actor_out"}
+        return agent, policy
+
+    def test_partially_switched_plan_roundtrip_is_bit_exact(self, rng, tmp_path):
+        agent, policy = self._partially_switched(rng)
+        metadata = checkpoint_metadata(agent)
+        layers = metadata["qat"]["layers"]
+        assert layers["actor_fc0"]["switched"]
+        assert layers["actor_fc0"]["bits"] == 16
+        assert not layers["critic_fc0"]["switched"]
+        path = save_agent(agent, tmp_path / "plan.npz")
+
+        restored = _ddpg(np.random.default_rng(1), regime="fixar-dynamic")
+        load_agent_into(restored, path)
+        numerics = restored.numerics
+        assert not numerics.half_mode  # no global switch happened
+        assert set(numerics.layer_quantizers) == {"actor_fc0", "actor_out"}
+        assert numerics.layer_activation_bits("actor_fc0") == 16
+        assert numerics.layer_activation_bits("critic_fc0") == 32
+        for layer in ("actor_fc0", "actor_out"):
+            original = agent.numerics.layer_quantizers[layer]
+            roundtripped = numerics.layer_quantizers[layer]
+            assert roundtripped.num_bits == original.num_bits
+            assert roundtripped.delta == original.delta
+            assert roundtripped.zero_point == original.zero_point
+        # The unswitched critic tracker survives with its live statistics.
+        tracker = numerics.layer_trackers["critic_fc0"]
+        assert tracker.min_value == pytest.approx(-4.0)
+        assert tracker.max_value == pytest.approx(6.0)
+        assert tracker.count == agent.numerics.layer_trackers["critic_fc0"].count
+
+    def test_restored_plan_quantizes_activations_identically(self, rng, tmp_path):
+        agent, _policy = self._partially_switched(rng)
+        path = save_agent(agent, tmp_path / "plan.npz")
+        restored = _ddpg(np.random.default_rng(2), regime="fixar-dynamic")
+        load_agent_into(restored, path)
+        samples = np.linspace(-1.5, 2.5, 64)
+        np.testing.assert_array_equal(
+            restored.numerics.project_activation(samples, layer="actor_fc0"),
+            agent.numerics.project_activation(samples, layer="actor_fc0"),
+        )
+
+    def test_resumed_policy_continues_from_the_restored_plan(self, rng, tmp_path):
+        """Continuation: a policy resumed on the restored agent switches the
+        remaining critic layers with the checkpointed range statistics —
+        bit-exact with what the uninterrupted run would have frozen."""
+        from repro.rl import PerLayerSchedulePolicy
+
+        agent, _policy = self._partially_switched(rng)
+        path = save_agent(agent, tmp_path / "plan.npz")
+        restored = _ddpg(np.random.default_rng(3), regime="fixar-dynamic")
+        load_agent_into(restored, path)
+
+        resumed = PerLayerSchedulePolicy(
+            restored.numerics, [("actor", 16, 0), ("critic", 16, 20)]
+        )
+        event = resumed.on_timestep(20)
+        assert event is not None and event.layers == ("critic_fc0",)
+        switch = event.switches[0]
+        assert switch.activation_min == pytest.approx(-4.0)
+        assert switch.activation_max == pytest.approx(6.0)
+        # Already-switched actor layers are left alone (no double switch).
+        reference = PerLayerSchedulePolicy(
+            agent.numerics, [("actor", 16, 0), ("critic", 16, 20)]
+        )
+        expected = reference.on_timestep(20)
+        assert expected is not None
+        assert switch == expected.switches[0]
+
+
 class TestPipelinedTrainingRoundtrip:
     @pytest.mark.pipelined
     def test_pipelined_agent_save_restore_smoke(self, rng, tmp_path):

@@ -126,7 +126,8 @@ def test_readme_cli_flags_match_the_parser():
     text = README.read_text()
     for flag in ("--num-envs", "--num-workers", "--sync-interval",
                  "--pipeline-depth", "--fleet", "--schedule", "--devices",
-                 "--placement", "--assignment", "--cosim"):
+                 "--placement", "--assignment", "--cosim",
+                 "--precision-policy", "--precision-spec"):
         assert flag in text, f"README lost the {flag} row"
         assert flag in cli_flags, f"README documents {flag} but the CLI dropped it"
 
@@ -147,3 +148,16 @@ def test_architecture_documents_every_lint_rule():
     assert "repro-lint" in text, "ARCHITECTURE lost the suppression policy"
     for rule_id in RULES:
         assert rule_id in text, f"ARCHITECTURE's rule table lost {rule_id}"
+
+
+def test_architecture_documents_every_precision_policy():
+    """ARCHITECTURE's precision section lists every registered policy."""
+    from repro.rl import PRECISION_POLICIES
+
+    text = ARCHITECTURE.read_text()
+    assert "Precision policies" in text, "ARCHITECTURE lost the precision section"
+    for name in PRECISION_POLICIES:
+        assert name in text, f"ARCHITECTURE's precision section lost {name}"
+    assert "with_precision_state" in text, (
+        "ARCHITECTURE must document the platform re-pricing seam"
+    )
