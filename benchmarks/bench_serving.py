@@ -1,0 +1,184 @@
+"""Policy-serving front end — modelled QPS under a latency SLO.
+
+The serving path (``repro.serving``) coalesces queued inference requests
+into dynamic batches under a timeout-or-full policy, each flush priced by
+the platform's ``serving_round_seconds`` oracle (= ``infer_batch`` total
+latency).  This bench sweeps the batch cap over {1, 8, sweet spot}, where
+the sweet spot is the cap maximising modelled capacity ``cap /
+serving_round_seconds(cap)`` while a full flush still fits inside the SLO.
+
+Each cap is driven at the same utilisation fraction of *its own* modelled
+capacity — the apples-to-apples load for a latency-bounded server: an
+offered load that saturates the batched configs would overflow the
+batch-1 server's queue unboundedly (its capacity is ~1/service(1)), and a
+load the batch-1 server can hold leaves the batched ones idle.
+
+Three contracts are asserted:
+
+* **batching wins** — modelled QPS at cap 8 >= ``QPS_CONTRACT``x (3) the
+  batch-1 QPS.  Per-flush latency is PCIe-overhead-dominated at this
+  network scale, so service time barely grows with the batch and capacity
+  scales almost linearly with the cap;
+* **SLO** — the p99 *and max* modelled latency stay inside the SLO at
+  every cap (the derived timeout guarantees this whenever offered load
+  stays under capacity);
+* **precision payload** — a ``fixed16`` actor served through the same
+  front end moves <= ``PAYLOAD_CONTRACT``x (0.55) the per-request PCIe
+  payload of the ``float32`` actor (exactly 0.5 by construction).
+
+A measured wall-clock timing of one full serve (queue -> batcher ->
+actor -> report) rides along via pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import format_table
+from repro.envs import benchmark_dimensions
+from repro.nn import make_numerics
+from repro.platform import FixarPlatform, WorkloadSpec
+from repro.rl import DDPGAgent, DDPGConfig
+from repro.serving import PolicyServer, ServingConfig, SyntheticLoadGenerator
+
+BENCHMARK = "HalfCheetah"
+HIDDEN_SIZES = (64, 48)
+NUM_REQUESTS = 2048
+SLO_SECONDS = 0.02
+UTILIZATION = 0.6  # offered load as a fraction of each cap's modelled capacity
+SEED = 0
+
+QPS_CONTRACT = 3.0  # cap-8 QPS vs batch-1 QPS
+PAYLOAD_CONTRACT = 0.55  # fixed16 vs float32 per-request PCIe payload
+
+
+def _platform() -> FixarPlatform:
+    return FixarPlatform(
+        WorkloadSpec.from_benchmark(BENCHMARK, hidden_sizes=HIDDEN_SIZES)
+    )
+
+
+def _agent(regime: str) -> DDPGAgent:
+    dims = benchmark_dimensions(BENCHMARK)
+    return DDPGAgent(
+        dims["state_dim"],
+        dims["action_dim"],
+        DDPGConfig(hidden_sizes=HIDDEN_SIZES),
+        numerics=make_numerics(regime),
+        rng=np.random.default_rng(SEED),
+    )
+
+
+def _sweet_spot(platform: FixarPlatform, slo_seconds: float) -> int:
+    """The cap maximising ``cap / serving_round_seconds(cap)`` within SLO."""
+    best_cap, best_capacity = 1, 0.0
+    for cap in (1, 2, 4, 8, 16, 32, 64, 128, 256):
+        service = platform.serving_round_seconds(cap)
+        if service > slo_seconds:
+            break
+        capacity = cap / service
+        if capacity > best_capacity:
+            best_cap, best_capacity = cap, capacity
+    return best_cap
+
+
+def _serve_at_cap(agent: DDPGAgent, platform, cap: int):
+    """One full serve of NUM_REQUESTS at UTILIZATION of the cap's capacity."""
+    capacity = cap / platform.serving_round_seconds(cap)
+    offered_qps = UTILIZATION * capacity
+    config = ServingConfig(
+        num_requests=NUM_REQUESTS,
+        qps=offered_qps,
+        slo_seconds=SLO_SECONDS,
+        batch_cap=cap,
+        seed=SEED,
+    )
+    server = PolicyServer.from_agent(agent, platform, config)
+    dims = benchmark_dimensions(BENCHMARK)
+    load = SyntheticLoadGenerator(dims["state_dim"], qps=offered_qps, seed=SEED)
+    return server.serve_load(load).report, offered_qps
+
+
+def test_serving_qps_and_slo_contract(benchmark, save_report):
+    platform = _platform()
+    agent = _agent("float32")
+    sweet = _sweet_spot(platform, SLO_SECONDS)
+    caps = sorted({1, 8, sweet})
+
+    rows = []
+    by_cap = {}
+    for cap in caps:
+        report, offered_qps = _serve_at_cap(agent, platform, cap)
+        by_cap[cap] = report
+        label = f"{cap} (sweet spot)" if cap == sweet else str(cap)
+        rows.append(
+            {
+                "batch cap": label,
+                "offered QPS": round(offered_qps, 0),
+                "modelled QPS": round(report.qps, 0),
+                "mean batch": round(report.mean_batch_size, 2),
+                "p50 (ms)": round(report.p50_seconds * 1e3, 3),
+                "p99 (ms)": round(report.p99_seconds * 1e3, 3),
+                "max (ms)": round(report.max_latency_seconds * 1e3, 3),
+                "PCIe (B/req)": round(report.pcie_bytes_per_request, 1),
+                "SLO attainment": report.slo_attainment,
+            }
+        )
+
+    qps_gain = by_cap[8].qps / by_cap[1].qps
+
+    # ----- Precision payload: fixed16 through the same front end ----------- #
+    half_report, _ = _serve_at_cap(_agent("fixed16"), platform, sweet)
+    full_payload = by_cap[sweet].pcie_bytes_per_request
+    half_payload = half_report.pcie_bytes_per_request
+    payload_ratio = half_payload / full_payload
+    precision_section = "\n".join(
+        [
+            f"Per-request PCIe payload at cap {sweet} "
+            f"({NUM_REQUESTS} requests):",
+            f"  float32 actor: {full_payload:6.1f} B/request",
+            f"  fixed16 actor: {half_payload:6.1f} B/request "
+            f"({payload_ratio:.3f}x)",
+            f"  contract: fixed16 payload <= {PAYLOAD_CONTRACT}x float32",
+        ]
+    )
+
+    # ----- Measured: one full serve at the sweet spot ---------------------- #
+    benchmark(_serve_at_cap, agent, platform, sweet)
+
+    report_text = "\n\n".join(
+        [
+            format_table(
+                rows,
+                title=(
+                    f"Dynamic-batched serving on {BENCHMARK} "
+                    f"(hidden {HIDDEN_SIZES}, {NUM_REQUESTS} requests, "
+                    f"SLO {SLO_SECONDS * 1e3:.0f} ms, offered load = "
+                    f"{UTILIZATION:.0%} of each cap's modelled capacity)"
+                ),
+            ),
+            "\n".join(
+                [
+                    f"Batching contract (cap 8 vs batch-1): "
+                    f"{by_cap[1].qps:,.0f} -> {by_cap[8].qps:,.0f} QPS "
+                    f"({qps_gain:.2f}x)",
+                    f"  contract: >= {QPS_CONTRACT}x",
+                    f"  sweet spot: cap {sweet} at "
+                    f"{by_cap[sweet].qps:,.0f} QPS "
+                    f"(flush service {platform.serving_round_seconds(sweet) * 1e3:.3f} ms)",
+                ]
+            ),
+            precision_section,
+        ]
+    )
+    save_report("serving", report_text)
+
+    # Batching wins: cap 8 over batch-1 modelled QPS.
+    assert qps_gain >= QPS_CONTRACT, qps_gain
+    # SLO: every cap keeps p99 AND max modelled latency inside the SLO.
+    for cap, report in by_cap.items():
+        assert report.p99_seconds <= SLO_SECONDS, (cap, report.p99_seconds)
+        assert report.max_latency_seconds <= SLO_SECONDS, cap
+        assert report.slo_attainment == 1.0, cap
+    # Precision payload: fixed16 halves the per-request PCIe bytes.
+    assert payload_ratio <= PAYLOAD_CONTRACT, payload_ratio

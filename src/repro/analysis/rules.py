@@ -191,24 +191,28 @@ class BatchInvariantKernels(Rule):
 # --------------------------------------------------------------------- #
 @register_rule
 class DeterministicOracles(Rule):
-    """``platform``/``accelerator`` modules may not read wall clocks or
-    global randomness.
+    """``platform``/``accelerator``/``serving`` modules may not read wall
+    clocks or global randomness.
 
     The platform layer is the pricing *oracle* of the scheduler, the
     weighted policy, and every throughput contract: two calls with the same
     arguments must price identically, forever.  Wall-clock reads and
     module-level random draws (stdlib ``random``, unseeded ``np.random``)
     make the oracle's answers depend on when — not what — it was asked.
+    The serving front end is in scope too: its load traces, flush plans,
+    and QPS/latency reports are modelled quantities with exact-equality
+    determinism pins, so a wall-clock or global-RNG read there breaks the
+    same contract.
     """
 
     rule_id = "deterministic-oracles"
     severity = "error"
     description = (
-        "platform/accelerator modules may not call wall-clock or "
+        "platform/accelerator/serving modules may not call wall-clock or "
         "module-level/unseeded random APIs (pricing must be deterministic)"
     )
 
-    SCOPE = ("repro/platform/", "repro/accelerator/")
+    SCOPE = ("repro/platform/", "repro/accelerator/", "repro/serving/")
     WALL_CLOCK = frozenset(
         f"time.{function}"
         for function in (
@@ -301,36 +305,38 @@ class DeterministicOracles(Rule):
 # --------------------------------------------------------------------- #
 @register_rule
 class LockDiscipline(Rule):
-    """Methods of ``ReplayBuffer`` may mutate buffer state only under
-    ``self._lock``.
+    """Methods of the shared producer/consumer classes may mutate state
+    only under ``self._lock``.
 
-    The buffer is the single shared sink of the collection subsystem —
-    async workers ``add_batch`` while the learner ``sample``s — so any
-    private-attribute write outside a ``with self._lock`` block reintroduces
-    the torn-transition races PR 2 closed.  ``__init__`` is exempt (no
-    concurrent aliases exist before construction returns).
+    ``ReplayBuffer`` is the single shared sink of the collection subsystem
+    — async workers ``add_batch`` while the learner ``sample``s — and the
+    serving front end's ``RequestQueue`` has the same shape (producers
+    enqueue while the batcher flushes), so any private-attribute write
+    outside a ``with self._lock`` block reintroduces the torn-transition
+    races PR 2 closed.  ``__init__`` is exempt (no concurrent aliases
+    exist before construction returns).
     """
 
     rule_id = "lock-discipline"
     severity = "error"
     description = (
-        "ReplayBuffer methods must mutate buffer state inside "
-        "'with self._lock' (shared sink of the async collectors)"
+        "ReplayBuffer/RequestQueue methods must mutate shared state inside "
+        "'with self._lock' (producer/consumer classes of the async paths)"
     )
 
-    TARGET_CLASS = "ReplayBuffer"
+    TARGET_CLASSES = ("ReplayBuffer", "RequestQueue")
     EXEMPT_METHODS = frozenset({"__init__"})
 
     def check(self, module: SourceModule) -> List[Finding]:
         findings = []
         for node in ast.walk(module.tree):
-            if isinstance(node, ast.ClassDef) and node.name == self.TARGET_CLASS:
+            if isinstance(node, ast.ClassDef) and node.name in self.TARGET_CLASSES:
                 for item in node.body:
                     if (
                         isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
                         and item.name not in self.EXEMPT_METHODS
                     ):
-                        self._check_method(module, item, findings)
+                        self._check_method(module, node.name, item, findings)
         return findings
 
     @staticmethod
@@ -361,7 +367,7 @@ class LockDiscipline(Rule):
                 return target.attr
         return None
 
-    def _check_method(self, module, method, findings: List[Finding]) -> None:
+    def _check_method(self, module, class_name, method, findings: List[Finding]) -> None:
         def visit(statements, locked: bool) -> None:
             for statement in statements:
                 if isinstance(statement, (ast.With, ast.AsyncWith)):
@@ -382,10 +388,10 @@ class LockDiscipline(Rule):
                             self.finding(
                                 module.file,
                                 statement.lineno,
-                                f"{self.TARGET_CLASS}.{method.name} writes "
+                                f"{class_name}.{method.name} writes "
                                 f"self.{attr} outside 'with self._lock'; "
-                                "buffer state is shared with the async "
-                                "collectors",
+                                "the state is shared across the async "
+                                "producer/consumer threads",
                             )
                         )
                 # Recurse into compound statements (if/for/while/try),
@@ -552,37 +558,49 @@ class OracleSurfaceParity(Rule):
 # --------------------------------------------------------------------- #
 @register_rule
 class ConfigCliParity(Rule):
-    """Every ``TrainingConfig`` field has a CLI flag or a documented
-    exclusion.
+    """Every config field has a CLI flag or a documented exclusion.
 
-    ``cli.py`` declares ``CONFIG_FLAG_ALIASES`` (field → flag, for flags
-    whose spelling is not the mechanical ``--field-name``) and
-    ``CONFIG_FIELDS_WITHOUT_FLAGS`` (field → one-line reason).  A config
-    field covered by neither is a knob users cannot reach — the drift this
-    rule pins at diff time instead of issue-report time.  Stale alias or
-    exclusion entries (naming no current field) are flagged too.
+    For each covered config class (``TrainingConfig`` ↔ the ``train``
+    flags, ``ServingConfig`` ↔ the ``serve`` flags), ``cli.py`` declares a
+    flag-alias mapping (field → flag, for flags whose spelling is not the
+    mechanical ``--field-name``) and an exclusion list (field → one-line
+    reason).  A config field covered by neither is a knob users cannot
+    reach — the drift this rule pins at diff time instead of issue-report
+    time.  Stale alias or exclusion entries (naming no current field) are
+    flagged too.
     """
 
     rule_id = "config-cli-parity"
     severity = "error"
     description = (
-        "every TrainingConfig field needs a CLI flag in cli.py or an entry "
-        "in its CONFIG_FIELDS_WITHOUT_FLAGS exclusion list"
+        "every TrainingConfig/ServingConfig field needs a CLI flag in "
+        "cli.py or an entry in its documented exclusion list"
     )
     project_scope = True
 
-    CONFIG_CLASS = "TrainingConfig"
-    CONFIG_SCOPE = ("repro/rl/",)
+    #: (config class, config scope, aliases constant, exclusions constant).
+    SPECS = (
+        (
+            "TrainingConfig",
+            ("repro/rl/",),
+            "CONFIG_FLAG_ALIASES",
+            "CONFIG_FIELDS_WITHOUT_FLAGS",
+        ),
+        (
+            "ServingConfig",
+            ("repro/serving/",),
+            "SERVING_FLAG_ALIASES",
+            "SERVING_FIELDS_WITHOUT_FLAGS",
+        ),
+    )
     CLI_SCOPE = ("repro/cli.py",)
-    ALIASES_NAME = "CONFIG_FLAG_ALIASES"
-    EXCLUSIONS_NAME = "CONFIG_FIELDS_WITHOUT_FLAGS"
 
-    def _config_fields(self, modules):
+    def _config_fields(self, modules, config_class, config_scope):
         for module in modules:
-            if not module.in_scope(*self.CONFIG_SCOPE):
+            if not module.in_scope(*config_scope):
                 continue
             for node in ast.walk(module.tree):
-                if isinstance(node, ast.ClassDef) and node.name == self.CONFIG_CLASS:
+                if isinstance(node, ast.ClassDef) and node.name == config_class:
                     fields = {}
                     for item in node.body:
                         if isinstance(item, ast.AnnAssign) and isinstance(
@@ -629,51 +647,58 @@ class ConfigCliParity(Rule):
         return flags
 
     def check_project(self, modules: Sequence[SourceModule]) -> List[Finding]:
-        config_module, fields = self._config_fields(modules)
         cli = self._cli_module(modules)
-        if config_module is None or cli is None or not fields:
+        if cli is None:
             return []
         flags = self._declared_flags(cli)
-        aliases, aliases_line = self._module_constant(cli, self.ALIASES_NAME)
-        exclusions, exclusions_line = self._module_constant(
-            cli, self.EXCLUSIONS_NAME
-        )
-        aliases = dict(aliases or {})
-        exclusions = dict(exclusions or {})
-
         findings = []
-        for field_name, line in fields.items():
-            flag = aliases.get(field_name, "--" + field_name.replace("_", "-"))
-            if flag in flags or field_name in exclusions:
+        for config_class, config_scope, aliases_name, exclusions_name in self.SPECS:
+            config_module, fields = self._config_fields(
+                modules, config_class, config_scope
+            )
+            if config_module is None or not fields:
+                # A scan without this config class (e.g. the fixture trees
+                # in the rule tests) has nothing to check for this spec.
                 continue
-            findings.append(
-                self.finding(
-                    config_module.file,
-                    line,
-                    f"{self.CONFIG_CLASS}.{field_name} has no CLI flag "
-                    f"({flag} is not declared in cli.py) and no "
-                    f"{self.EXCLUSIONS_NAME} entry; add the flag or document "
-                    "the exclusion",
-                )
+            aliases, aliases_line = self._module_constant(cli, aliases_name)
+            exclusions, exclusions_line = self._module_constant(
+                cli, exclusions_name
             )
-        for stale in sorted(set(aliases) - set(fields)):
-            findings.append(
-                self.finding(
-                    cli.file,
-                    aliases_line or 1,
-                    f"{self.ALIASES_NAME} names {stale!r}, which is not a "
-                    f"{self.CONFIG_CLASS} field (stale alias)",
+            aliases = dict(aliases or {})
+            exclusions = dict(exclusions or {})
+
+            for field_name, line in fields.items():
+                flag = aliases.get(field_name, "--" + field_name.replace("_", "-"))
+                if flag in flags or field_name in exclusions:
+                    continue
+                findings.append(
+                    self.finding(
+                        config_module.file,
+                        line,
+                        f"{config_class}.{field_name} has no CLI flag "
+                        f"({flag} is not declared in cli.py) and no "
+                        f"{exclusions_name} entry; add the flag or document "
+                        "the exclusion",
+                    )
                 )
-            )
-        for stale in sorted(set(exclusions) - set(fields)):
-            findings.append(
-                self.finding(
-                    cli.file,
-                    exclusions_line or 1,
-                    f"{self.EXCLUSIONS_NAME} names {stale!r}, which is not a "
-                    f"{self.CONFIG_CLASS} field (stale exclusion)",
+            for stale in sorted(set(aliases) - set(fields)):
+                findings.append(
+                    self.finding(
+                        cli.file,
+                        aliases_line or 1,
+                        f"{aliases_name} names {stale!r}, which is not a "
+                        f"{config_class} field (stale alias)",
+                    )
                 )
-            )
+            for stale in sorted(set(exclusions) - set(fields)):
+                findings.append(
+                    self.finding(
+                        cli.file,
+                        exclusions_line or 1,
+                        f"{exclusions_name} names {stale!r}, which is not a "
+                        f"{config_class} field (stale exclusion)",
+                    )
+                )
         return findings
 
 

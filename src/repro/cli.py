@@ -1,9 +1,12 @@
 """Command-line interface for the FIXAR reproduction.
 
-Four sub-commands cover the common workflows:
+Five sub-commands cover the common workflows:
 
 * ``train``      — quantization-aware training on a benchmark (optionally
   saving a checkpoint), printing the learning curve;
+* ``serve``      — policy serving through the dynamic batcher: a seeded
+  synthetic load, an SLO-bounded flush plan priced on the platform model,
+  and the modelled QPS/p50/p99 report (optionally restoring a checkpoint);
 * ``throughput`` — the Fig. 8/9/10 throughput and efficiency report for a
   benchmark's workload;
 * ``resources``  — the Table I resource report (with optional design-space
@@ -62,6 +65,19 @@ CONFIG_FIELDS_WITHOUT_FLAGS = {
     "evaluation_interval": "derived from --timesteps by smoke_test_config (quarter-budget curve points)",
     "evaluation_episodes": "preset-owned: 3 episodes keep CI-scale runs fast, 10 is the paper preset",
     "exploration_noise": "paper constant (sigma 0.1); the presets own it across every regime",
+}
+
+#: ``ServingConfig`` fields whose ``serve`` flag is not the mechanical
+#: ``--field-name`` spelling (same ``config-cli-parity`` contract as the
+#: training pair above).
+SERVING_FLAG_ALIASES = {
+    "num_requests": "--requests",
+    "slo_seconds": "--slo-ms",
+}
+
+#: ``ServingConfig`` fields deliberately not exposed as ``serve`` flags.
+SERVING_FIELDS_WITHOUT_FLAGS = {
+    "timeout_seconds": "derived from --slo-ms minus the batch-cap flush's service time (timeout-or-full)",
 }
 
 
@@ -233,6 +249,47 @@ def build_parser() -> argparse.ArgumentParser:
                        help="path to save the trained agent (.npz)")
     train.add_argument("--cosim", action="store_true",
                        help="co-simulate platform time alongside training")
+
+    serve = subparsers.add_parser(
+        "serve", help="serve a policy through the dynamic batcher (modelled)"
+    )
+    serve.add_argument("--benchmark", choices=BENCHMARK_SUITE, default="HalfCheetah")
+    serve.add_argument("--checkpoint", type=str, default=None,
+                       help="trained-agent checkpoint (.npz) to restore into "
+                            "the server; omitted, a freshly initialised "
+                            "--regime actor serves instead")
+    serve.add_argument("--requests", type=_positive_int, default=512,
+                       help="requests in the seeded synthetic trace")
+    serve.add_argument("--qps", type=float, default=2000.0,
+                       help="offered load: mean arrival rate of the "
+                            "Poisson-like trace, in requests per modelled "
+                            "second")
+    serve.add_argument("--slo-ms", type=float, default=20.0,
+                       help="latency SLO in milliseconds; the batcher's "
+                            "flush timeout is derived as the SLO minus the "
+                            "batch-cap flush's modelled service time")
+    serve.add_argument("--batch-cap", type=_positive_int, default=8,
+                       help="largest flush the dynamic batcher coalesces "
+                            "(1 = sequential per-request serving)")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="seed of the load generator's trace (arrivals "
+                            "and state vectors)")
+    serve.add_argument("--devices", type=_positive_int, default=1,
+                       help="accelerators in the serving pool; flushes "
+                            "shard near-equally over the collection devices")
+    serve.add_argument("--placement", choices=("colocated", "disaggregated"),
+                       default="colocated",
+                       help="pool placement (disaggregated reserves the "
+                            "last device for update streams; needs "
+                            "--devices >= 2)")
+    serve.add_argument("--hidden", type=int, nargs=2, default=(64, 48),
+                       metavar=("H1", "H2"),
+                       help="actor hidden sizes when serving a fresh actor "
+                            "(checkpoints carry their own shapes)")
+    serve.add_argument("--regime", default="fixar-dynamic",
+                       choices=("float32", "fixed32", "fixed16", "fixar-dynamic"),
+                       help="numeric regime of a freshly initialised actor "
+                            "(ignored with --checkpoint)")
 
     throughput = subparsers.add_parser("throughput", help="Fig. 8/9/10 throughput report")
     throughput.add_argument("--benchmark", choices=BENCHMARK_SUITE, default="HalfCheetah")
@@ -526,6 +583,106 @@ def _command_train(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    """Serve a (checkpointed) policy through the dynamic batcher."""
+    import numpy as np
+
+    from .envs import benchmark_dimensions
+    from .nn import make_numerics
+    from .rl import DDPGAgent, DDPGConfig
+    from .serving import (
+        PolicyServer,
+        ServingConfig,
+        SyntheticLoadGenerator,
+        restore_serving_agent,
+    )
+
+    try:
+        config = ServingConfig(
+            num_requests=args.requests,
+            qps=args.qps,
+            slo_seconds=args.slo_ms / 1e3,
+            batch_cap=args.batch_cap,
+            seed=args.seed,
+            devices=args.devices,
+            placement=args.placement,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if config.placement == "disaggregated" and config.devices < 2:
+        print(
+            "error: --placement disaggregated needs --devices >= 2 "
+            "(the last device is reserved for update streams)",
+            file=sys.stderr,
+        )
+        return 2
+
+    dims = benchmark_dimensions(args.benchmark)
+    if args.checkpoint:
+        try:
+            agent, _metadata = restore_serving_agent(args.checkpoint)
+        except (OSError, KeyError, ValueError) as error:
+            print(f"error: cannot restore {args.checkpoint}: {error}", file=sys.stderr)
+            return 2
+        if (agent.state_dim, agent.action_dim) != (
+            dims["state_dim"],
+            dims["action_dim"],
+        ):
+            print(
+                f"error: checkpoint dimensions ({agent.state_dim}, "
+                f"{agent.action_dim}) do not match benchmark "
+                f"{args.benchmark} ({dims['state_dim']}, {dims['action_dim']})",
+                file=sys.stderr,
+            )
+            return 2
+        hidden_sizes = tuple(agent.config.hidden_sizes)
+        source = args.checkpoint
+    else:
+        hidden_sizes = tuple(args.hidden)
+        agent = DDPGAgent(
+            dims["state_dim"],
+            dims["action_dim"],
+            DDPGConfig(hidden_sizes=hidden_sizes),
+            numerics=make_numerics(args.regime),
+            rng=np.random.default_rng(args.seed),
+        )
+        source = f"fresh {args.regime} actor"
+
+    platform = FixarPlatform(
+        WorkloadSpec.from_benchmark(args.benchmark, hidden_sizes=hidden_sizes)
+    )
+    if config.devices > 1:
+        platform = AcceleratorPool(platform, config.devices, placement=config.placement)
+    server = PolicyServer.from_agent(agent, platform, config)
+    load = SyntheticLoadGenerator(
+        state_dim=dims["state_dim"], qps=config.qps, seed=config.seed
+    )
+    result = server.serve_load(load)
+    report = result.report
+
+    pool_text = (
+        f", {config.devices}-device pool ({config.placement})"
+        if config.devices > 1
+        else ""
+    )
+    print(
+        f"serving {args.benchmark} ({source}): {config.num_requests} requests "
+        f"at {config.qps:g} QPS offered, cap {config.batch_cap}, "
+        f"SLO {args.slo_ms:g} ms (flush timeout "
+        f"{report.timeout_seconds * 1e3:.2f} ms{pool_text})"
+    )
+    print(f"  modelled QPS        {report.qps:12.1f}")
+    print(f"  p50 / p99 latency   {report.p50_seconds * 1e3:7.3f} ms / "
+          f"{report.p99_seconds * 1e3:.3f} ms")
+    print(f"  max latency         {report.max_latency_seconds * 1e3:7.3f} ms")
+    print(f"  mean batch size     {report.mean_batch_size:12.2f}")
+    print(f"  PCIe per request    {report.pcie_bytes_per_request:12.1f} B")
+    print(f"  SLO attainment      {report.slo_attainment * 100:11.1f}% "
+          f"({report.slo_violations} violations)")
+    return 0
+
+
 def _command_throughput(args: argparse.Namespace) -> int:
     from .envs import make
 
@@ -585,6 +742,7 @@ def _command_compare(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "train": _command_train,
+    "serve": _command_serve,
     "throughput": _command_throughput,
     "resources": _command_resources,
     "compare": _command_compare,

@@ -515,6 +515,19 @@ class FixarPlatform:
             energy_joules=energy,
         )
 
+    def serving_round_seconds(self, num_requests: int) -> float:
+        """Modelled time to serve one dynamic-batcher flush of N requests.
+
+        A flush is exactly one :meth:`infer_batch` pass — the N coalesced
+        states ride a single PCIe round trip and one amortised forward
+        pass — so the serving oracle is that report's end-to-end latency.
+        Part of the ``*_round_seconds`` surface the ``oracle-surface-
+        parity`` lint rule pins onto :class:`~repro.platform.
+        AcceleratorPool`, whose version shards the flush over its
+        collection devices.
+        """
+        return self.infer_batch(num_requests).total_seconds
+
     def infer_collection(
         self, num_envs: int, num_workers: int = 1
     ) -> CollectionInferenceReport:

@@ -375,6 +375,17 @@ class AcceleratorPool:
             )
         )
 
+    def serving_round_seconds(self, num_requests: int) -> float:
+        """Modelled time to serve one dynamic-batcher flush on the pool.
+
+        The flush shards near-equally over the collection devices
+        (:meth:`shard_widths`, state-count conserving) and completes with
+        the slowest shard — :meth:`infer_batch`'s sharded latency.  A
+        1-device pool prices exactly like the single platform's serving
+        oracle.
+        """
+        return self.infer_batch(num_requests).total_seconds
+
     # ------------------------------------------------------------------ #
     # Homogeneous collection / training oracles (single-platform surface)
     #

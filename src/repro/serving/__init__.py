@@ -1,0 +1,38 @@
+"""Policy-serving front end: request queue, dynamic batcher, policy server.
+
+The "millions of users" story needs an inference *service*, not just
+training loops.  This package models one deterministically: a seeded
+synthetic load generator feeds a thread-safe :class:`RequestQueue`, a
+:class:`DynamicBatcher` coalesces requests up to the accelerator's batch
+sweet spot under a latency SLO (timeout-or-full flushes, each priced as
+one ``infer_batch`` pass on a :class:`~repro.platform.FixarPlatform` or a
+sharding :class:`~repro.platform.AcceleratorPool`), and a
+:class:`PolicyServer` restores a checkpointed — possibly partially
+precision-switched — actor and serves it through
+``with_precision_state``-priced oracles into a :class:`ServingReport`
+(modelled QPS, p50/p99, per-request PCIe payload, SLO attainment).
+"""
+
+from .batcher import BatchFlush, DynamicBatcher
+from .load import SyntheticLoadGenerator
+from .request_queue import InferenceRequest, RequestQueue
+from .server import (
+    PolicyServer,
+    ServingConfig,
+    ServingReport,
+    ServingResult,
+    restore_serving_agent,
+)
+
+__all__ = [
+    "InferenceRequest",
+    "RequestQueue",
+    "SyntheticLoadGenerator",
+    "BatchFlush",
+    "DynamicBatcher",
+    "ServingConfig",
+    "ServingReport",
+    "ServingResult",
+    "PolicyServer",
+    "restore_serving_agent",
+]

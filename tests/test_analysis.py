@@ -150,6 +150,21 @@ class TestDeterministicOracles:
         assert len(report.findings) == 1
         assert "monotonic" in report.findings[0].message
 
+    def test_fires_in_the_serving_layer_too(self, tmp_path):
+        _write(
+            tmp_path,
+            "src/repro/serving/batcher.py",
+            """\
+            import time
+
+            def flush_clock():
+                return time.perf_counter()
+            """,
+        )
+        report = _lint(tmp_path, DeterministicOracles())
+        assert len(report.findings) == 1
+        assert "perf_counter" in report.findings[0].message
+
     def test_quiet_on_seeded_generators(self, tmp_path):
         _write(
             tmp_path,
@@ -220,6 +235,47 @@ class TestLockDiscipline:
                 def size(self):
                     with self._lock:
                         return self._size
+            """,
+        )
+        assert _lint(tmp_path, LockDiscipline()).findings == []
+
+    def test_fires_on_unlocked_request_queue_mutations(self, tmp_path):
+        _write(
+            tmp_path,
+            "src/repro/serving/request_queue.py",
+            """\
+            import threading
+
+            class RequestQueue:
+                def __init__(self):
+                    self._lock = threading.RLock()
+                    self._requests = []
+
+                def enqueue(self, request):
+                    self._requests.append(request)
+                    self._enqueued = len(self._requests)
+            """,
+        )
+        report = _lint(tmp_path, LockDiscipline())
+        assert [f.rule for f in report.findings] == ["lock-discipline"]
+        assert "_enqueued" in report.findings[0].message
+        assert "RequestQueue" in report.findings[0].message
+
+    def test_quiet_when_request_queue_holds_the_lock(self, tmp_path):
+        _write(
+            tmp_path,
+            "src/repro/serving/request_queue.py",
+            """\
+            import threading
+
+            class RequestQueue:
+                def __init__(self):
+                    self._lock = threading.RLock()
+                    self._enqueued = 0
+
+                def enqueue(self, request):
+                    with self._lock:
+                        self._enqueued += 1
             """,
         )
         assert _lint(tmp_path, LockDiscipline()).findings == []
@@ -370,6 +426,21 @@ def build_parser():
     return parser
 """
 
+SERVING_CLI_FIXTURE = """\
+import argparse
+
+SERVING_FLAG_ALIASES = {"num_requests": "--requests", "slo_seconds": "--slo-ms"}
+SERVING_FIELDS_WITHOUT_FLAGS = {"timeout_seconds": "derived from --slo-ms"}
+
+def build_serve_parser():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--requests", type=int)
+    parser.add_argument("--qps", type=float)
+    parser.add_argument("--slo-ms", type=float)
+    parser.add_argument("--batch-cap", type=int)
+    return parser
+"""
+
 
 class TestConfigCliParity:
     def _config(self, extra_field: str = "") -> str:
@@ -410,6 +481,57 @@ class TestConfigCliParity:
         assert len(report.findings) == 1
         assert "stale exclusion" in report.findings[0].message
         assert report.findings[0].file.endswith("cli.py")
+
+    def _serving_config(self, extra_field: str = "") -> str:
+        return textwrap.dedent(
+            """\
+            from dataclasses import dataclass
+
+            @dataclass
+            class ServingConfig:
+                num_requests: int = 512
+                qps: float = 2000.0
+                slo_seconds: float = 0.02
+                timeout_seconds: float = None
+            """
+        ) + (f"    {extra_field}\n" if extra_field else "")
+
+    def test_quiet_when_every_serving_field_is_covered(self, tmp_path):
+        _write(tmp_path, "src/repro/serving/server.py", self._serving_config())
+        _write(tmp_path, "src/repro/cli.py", SERVING_CLI_FIXTURE)
+        assert _lint(tmp_path, ConfigCliParity()).findings == []
+
+    def test_fires_on_an_unreachable_serving_field(self, tmp_path):
+        _write(
+            tmp_path,
+            "src/repro/serving/server.py",
+            self._serving_config("placement: str = 'colocated'"),
+        )
+        _write(tmp_path, "src/repro/cli.py", SERVING_CLI_FIXTURE)
+        report = _lint(tmp_path, ConfigCliParity())
+        assert [f.rule for f in report.findings] == ["config-cli-parity"]
+        finding = report.findings[0]
+        assert finding.file.endswith("server.py")
+        assert "--placement" in finding.message
+
+    def test_both_specs_checked_in_one_scan(self, tmp_path):
+        _write(
+            tmp_path,
+            "src/repro/rl/training.py",
+            self._config("train_only: int = 1"),
+        )
+        _write(
+            tmp_path,
+            "src/repro/serving/server.py",
+            self._serving_config("serve_only: int = 2"),
+        )
+        combined = CLI_FIXTURE + SERVING_CLI_FIXTURE.split("import argparse\n")[1]
+        _write(tmp_path, "src/repro/cli.py", combined)
+        report = _lint(tmp_path, ConfigCliParity())
+        messages = sorted(f.message for f in report.findings)
+        assert len(messages) == 2
+        assert any("--train-only" in message for message in messages)
+        assert any("--serve-only" in message for message in messages)
 
 
 # --------------------------------------------------------------------- #

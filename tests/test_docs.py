@@ -49,7 +49,8 @@ def test_readme_exists_and_names_the_paper():
 
 def test_architecture_doc_exists_with_layer_map():
     text = ARCHITECTURE.read_text()
-    for layer in ("fixedpoint", "nn", "envs", "rl", "accelerator", "platform"):
+    for layer in ("fixedpoint", "nn", "envs", "rl", "accelerator", "platform",
+                  "serving"):
         assert f"src/repro/{layer}/" in text, f"layer map lost the {layer} layer"
         assert (REPO_ROOT / "src" / "repro" / layer).is_dir()
 
@@ -130,6 +131,39 @@ def test_readme_cli_flags_match_the_parser():
                  "--precision-policy", "--precision-spec"):
         assert flag in text, f"README lost the {flag} row"
         assert flag in cli_flags, f"README documents {flag} but the CLI dropped it"
+
+
+def test_readme_serve_flags_match_the_parser():
+    """The serving section documents exactly the flags `serve` accepts."""
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    serve_parser = next(
+        action
+        for action in parser._subparsers._group_actions
+        if hasattr(action, "choices")
+    ).choices["serve"]
+    cli_flags = {
+        option
+        for action in serve_parser._actions
+        for option in action.option_strings
+        if option.startswith("--")
+    }
+    text = README.read_text()
+    assert "python -m repro.cli serve" in text, "README lost the serve quickstart"
+    for flag in ("--requests", "--qps", "--slo-ms", "--batch-cap",
+                 "--checkpoint", "--devices", "--placement"):
+        assert flag in text, f"README lost the {flag} row"
+        assert flag in cli_flags, f"README documents {flag} but `serve` dropped it"
+
+
+def test_architecture_documents_the_serving_layer():
+    """ARCHITECTURE's serving section names the front end's moving parts."""
+    text = ARCHITECTURE.read_text()
+    assert "## Serving" in text, "ARCHITECTURE lost the serving section"
+    for name in ("RequestQueue", "DynamicBatcher", "PolicyServer",
+                 "serving_round_seconds"):
+        assert name in text, f"ARCHITECTURE's serving section lost {name}"
 
 
 def test_readme_documents_the_linter_command():
