@@ -31,6 +31,7 @@ from .rules import (
     BatchInvariantKernels,
     ConfigCliParity,
     DeterministicOracles,
+    HotPathDiscipline,
     LockDiscipline,
     OracleSurfaceParity,
     PrecisionPolicyParity,
@@ -64,4 +65,5 @@ __all__ = [
     "OracleSurfaceParity",
     "ConfigCliParity",
     "PrecisionPolicyParity",
+    "HotPathDiscipline",
 ]

@@ -35,6 +35,7 @@ __all__ = [
     "OracleSurfaceParity",
     "ConfigCliParity",
     "PrecisionPolicyParity",
+    "HotPathDiscipline",
 ]
 
 
@@ -793,4 +794,106 @@ class PrecisionPolicyParity(Rule):
                     "selected via --precision-policy or resolve_precision()",
                 )
             )
+        return findings
+
+
+# --------------------------------------------------------------------- #
+# Rule 8: hot-annotated functions stay allocation-disciplined
+# --------------------------------------------------------------------- #
+@register_rule
+class HotPathDiscipline(Rule):
+    """Functions marked ``# repro-lint: hot`` may not re-allocate per call.
+
+    The rollout hot path earns its measured-throughput contract
+    (``bench_hotpath``) by hoisting per-lock-step allocations and lookups:
+    index vectors are cached, info dicts are lazy, and ``self.a.b`` chains
+    are bound once.  The hot marker — placed on the ``def`` line or the
+    line directly above it — declares a function part of that path, and
+    this rule keeps the discipline from regressing: inside a hot function
+    it flags ``np.arange`` calls (per-call index allocation), dict
+    displays/comprehensions (per-call boxing), and loads of ``self.x.y``
+    attribute chains (re-resolved every call; bind them in ``__init__`` or
+    to a local).  Warnings, like ``seeding-scheme`` — but CI runs
+    ``--strict``, so shipped hot functions stay clean.
+    """
+
+    rule_id = "hot-path-discipline"
+    severity = "warning"
+    description = (
+        "functions annotated '# repro-lint" ": hot' may not call np.arange, "
+        "build dict literals, or load self.x.y attribute chains per call"
+    )
+
+    #: The marker, concatenated so this file's own source never matches.
+    HOT_MARKER = "# repro-lint" ": hot"
+    ARANGE_CALLS = frozenset({"np.arange", "numpy.arange"})
+
+    def _hot_functions(self, module: SourceModule):
+        lines = module.source.splitlines()
+        marked = {
+            lineno
+            for lineno, line in enumerate(lines, start=1)
+            if self.HOT_MARKER in line
+        }
+        if not marked:
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node.lineno in marked or node.lineno - 1 in marked:
+                    yield node
+
+    def check(self, module: SourceModule) -> List[Finding]:
+        findings = []
+        for function in self._hot_functions(module):
+            # Only the outermost attribute of a chain is reported (walking
+            # self.a.b.c also visits self.a.b, which would double-count).
+            inner_attributes = {
+                id(node.value)
+                for node in ast.walk(function)
+                if isinstance(node, ast.Attribute)
+            }
+            for node in ast.walk(function):
+                if isinstance(node, ast.Call):
+                    name = _dotted_name(node.func)
+                    if name in self.ARANGE_CALLS:
+                        findings.append(
+                            self.finding(
+                                module.file,
+                                node.lineno,
+                                f"{name}() inside hot {function.name}() "
+                                "allocates an index vector every call; cache "
+                                "it (e.g. in __init__) or use slice writes",
+                            )
+                        )
+                elif isinstance(node, (ast.Dict, ast.DictComp)):
+                    findings.append(
+                        self.finding(
+                            module.file,
+                            node.lineno,
+                            f"dict construction inside hot {function.name}() "
+                            "boxes values every call; build dicts lazily "
+                            "outside the hot path (see LazyInfos)",
+                        )
+                    )
+                elif (
+                    isinstance(node, ast.Attribute)
+                    and isinstance(node.ctx, ast.Load)
+                    and id(node) not in inner_attributes
+                ):
+                    name = _dotted_name(node)
+                    if (
+                        name is not None
+                        and name.startswith("self.")
+                        and name.count(".") >= 2
+                    ):
+                        findings.append(
+                            self.finding(
+                                module.file,
+                                node.lineno,
+                                f"attribute chain {name} inside hot "
+                                f"{function.name}() re-resolves every call; "
+                                "bind it to a local or cache the bound "
+                                "method in __init__",
+                            )
+                        )
         return findings

@@ -43,7 +43,7 @@ from .platform import (
     FixarPlatform,
     WorkloadSpec,
 )
-from .rl import PRECISION_POLICIES, save_agent
+from .rl import PRECISION_POLICIES, StageTimers, save_agent
 
 __all__ = ["build_parser", "main"]
 
@@ -249,6 +249,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="path to save the trained agent (.npz)")
     train.add_argument("--cosim", action="store_true",
                        help="co-simulate platform time alongside training")
+    train.add_argument("--profile", action="store_true",
+                       help="attach stage timers to the rollout hot path and "
+                            "print the per-stage wall-clock breakdown after "
+                            "training (trajectories stay bit-identical; see "
+                            "benchmarks/reports/hotpath.txt for the "
+                            "reference breakdown)")
 
     serve = subparsers.add_parser(
         "serve", help="serve a policy through the dynamic batcher (modelled)"
@@ -290,6 +296,11 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("float32", "fixed32", "fixed16", "fixar-dynamic"),
                        help="numeric regime of a freshly initialised actor "
                             "(ignored with --checkpoint)")
+    serve.add_argument("--profile", action="store_true",
+                       help="time the actor forward passes behind the "
+                            "batcher and print the wall-clock breakdown of "
+                            "the serving run (the modelled latency report "
+                            "is unchanged)")
 
     throughput = subparsers.add_parser("throughput", help="Fig. 8/9/10 throughput report")
     throughput.add_argument("--benchmark", choices=BENCHMARK_SUITE, default="HalfCheetah")
@@ -421,10 +432,14 @@ def _command_train_fleet(args: argparse.Namespace) -> int:
           f"{args.num_envs} env{'s' if args.num_envs != 1 else ''} per worker by "
           f"default, {schedule} schedule{pool_text})")
 
+    profiler = StageTimers() if args.profile else None
     result = train_fleet(
         agents, config, qat_controller=qat_controller, label=args.regime,
-        platform=platform,
+        platform=platform, profiler=profiler,
     )
+    if profiler is not None:
+        print("wall-clock stage breakdown (fleet collection hot path):")
+        print(profiler.table())
     if result.schedule == "weighted" and any(w != 1 for w in result.weights):
         allocation = ", ".join(
             f"{key}x{weight}" for (key, _c, _w), weight in zip(result.fleet, result.weights)
@@ -496,6 +511,13 @@ def _command_train(args: argparse.Namespace) -> int:
         print(
             "error: --cosim traces the built-in QAT controller and does not "
             "support --precision-policy",
+            file=sys.stderr,
+        )
+        return 2
+    if args.cosim and args.profile:
+        print(
+            "error: --cosim replays a modelled platform trace, not the "
+            "wall-clock hot path --profile instruments; drop one of the two",
             file=sys.stderr,
         )
         return 2
@@ -571,11 +593,15 @@ def _command_train(args: argparse.Namespace) -> int:
         if result.episode_returns:
             print(f"  final episode return     {result.episode_returns[-1]:12.1f}")
     else:
-        result = system.train()
+        profiler = StageTimers() if args.profile else None
+        result = system.train(profiler=profiler)
         print(format_curve(result.curve.timesteps, result.curve.returns, label="reward curve"))
         if result.qat_event is not None:
             print(f"precision switch at t={result.qat_event.timestep} "
                   f"(activations -> {result.qat_event.num_bits} bits)")
+        if profiler is not None:
+            print("wall-clock stage breakdown (rollout collection hot path):")
+            print(profiler.table())
 
     if args.checkpoint:
         path = save_agent(system.agent, args.checkpoint)
@@ -658,7 +684,25 @@ def _command_serve(args: argparse.Namespace) -> int:
     load = SyntheticLoadGenerator(
         state_dim=dims["state_dim"], qps=config.qps, seed=config.seed
     )
-    result = server.serve_load(load)
+    profiler = None
+    serve_wall_seconds = 0.0
+    if args.profile:
+        # The serving stack itself is barred from wall-clock reads (its
+        # latency numbers are *modelled*, and the deterministic-oracles
+        # lint keeps it that way), so instrumentation wraps the policy at
+        # the CLI seam instead: every batched flush through the actor is
+        # timed, the rest of the run is the batcher/bookkeeping remainder.
+        from time import perf_counter
+
+        profiler = StageTimers()
+        server.policy.act_batch = profiler.wrap(
+            server.policy.act_batch, "actor-forward"
+        )
+        serve_start = perf_counter()
+        result = server.serve_load(load)
+        serve_wall_seconds = perf_counter() - serve_start
+    else:
+        result = server.serve_load(load)
     report = result.report
 
     pool_text = (
@@ -680,6 +724,10 @@ def _command_serve(args: argparse.Namespace) -> int:
     print(f"  PCIe per request    {report.pcie_bytes_per_request:12.1f} B")
     print(f"  SLO attainment      {report.slo_attainment * 100:11.1f}% "
           f"({report.slo_violations} violations)")
+    if profiler is not None:
+        print("wall-clock breakdown of the serving run (actor forward vs "
+              "batcher remainder):")
+        print(profiler.table(wall_seconds=serve_wall_seconds))
     return 0
 
 

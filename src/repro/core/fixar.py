@@ -146,7 +146,9 @@ class FixarSystem:
     # ------------------------------------------------------------------ #
     # Training (Fig. 7)
     # ------------------------------------------------------------------ #
-    def train(self, label: Optional[str] = None) -> TrainingResult:
+    def train(
+        self, label: Optional[str] = None, profiler=None
+    ) -> TrainingResult:
         """Run quantization-aware DDPG training for this system's regime.
 
         When the QAT switch fires, the accelerator's PE datapaths are
@@ -158,6 +160,10 @@ class FixarSystem:
         platform: the rollout engine's batched inferences shard across the
         pool's collection devices (the training numerics are unchanged —
         only the modelled platform accounting differs).
+
+        ``profiler`` optionally attaches a
+        :class:`~repro.rl.StageTimers` accumulator to the collection hot
+        path (the CLI's ``--profile``); the trajectories are unaffected.
         """
         platform_hook = None
         if self.config.training.devices > 1:
@@ -174,6 +180,7 @@ class FixarSystem:
             qat_controller=self.qat_controller,
             label=label or self.config.numeric_regime,
             platform=platform_hook,
+            profiler=profiler,
         )
         if result.qat_event is not None:
             self.accelerator.set_precision(PrecisionMode.HALF)

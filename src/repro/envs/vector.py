@@ -35,7 +35,8 @@ can store the true transition.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Union
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -43,7 +44,86 @@ from .base import Environment, StepResult
 from .locomotion import LocomotionEnv
 from .registry import make as make_env
 
-__all__ = ["VectorStepResult", "VectorEnv"]
+__all__ = ["VectorStepResult", "LazyInfos", "VectorEnv"]
+
+
+class LazyInfos:
+    """On-demand per-environment info dicts for one vectorized lock-step.
+
+    The eager path boxed five floats/bools into N fresh dicts every
+    lock-step, and the only consumer on the hot path — the rollout engine —
+    reads nothing but ``final_observation`` on done rows.  This sequence
+    defers the boxing: it holds references to the step's output arrays and
+    materialises ``infos[i]`` only when indexed, producing exactly the dict
+    the eager path produced (``tests/test_profiling.py`` pins the
+    equivalence against the scalar oracle).
+
+    Each access builds a fresh dict, so mutations of a returned dict do not
+    persist across accesses; the engine and the test suites only read.
+    ``final_observations`` exposes the done rows' terminal observations
+    directly (``{row: observation}``) so the engine can patch ``next_states``
+    without materialising any dict.
+    """
+
+    __slots__ = (
+        "_velocity",
+        "_posture_norms",
+        "_control_costs",
+        "_fallen",
+        "_truncated",
+        "_final",
+    )
+
+    def __init__(
+        self,
+        velocity: np.ndarray,
+        posture_norms: np.ndarray,
+        control_costs: np.ndarray,
+        fallen: np.ndarray,
+        truncated: np.ndarray,
+        final: Optional[Dict[int, np.ndarray]],
+    ):
+        self._velocity = velocity
+        self._posture_norms = posture_norms
+        self._control_costs = control_costs
+        self._fallen = fallen
+        self._truncated = truncated
+        self._final = final
+
+    @property
+    def final_observations(self) -> Dict[int, np.ndarray]:
+        """Terminal observations of the rows that finished, ``{row: obs}``."""
+        final = self._final
+        return {} if final is None else final
+
+    def __len__(self) -> int:
+        return self._velocity.shape[0]
+
+    def __getitem__(self, index: int) -> dict:
+        n = self._velocity.shape[0]
+        i = int(index)
+        if i < 0:
+            i += n
+        if not 0 <= i < n:
+            raise IndexError(f"info index {index} out of range for {n} envs")
+        fallen = self._fallen[i]
+        info = {
+            "velocity": float(self._velocity[i]),
+            "posture_norm": float(self._posture_norms[i]),
+            "control_cost": float(self._control_costs[i]),
+            "terminated": bool(fallen),
+            "truncated": bool(self._truncated[i] and not fallen),
+        }
+        final = self._final
+        if final is not None:
+            observation = final.get(i)
+            if observation is not None:
+                info["final_observation"] = observation
+        return info
+
+    def __iter__(self):
+        for i in range(len(self)):
+            yield self[i]
 
 
 @dataclass(frozen=True)
@@ -52,13 +132,15 @@ class VectorStepResult:
 
     ``observations`` already reflect auto-resets (they are what the policy
     should act on next); the pre-reset terminal observation of a finished
-    episode lives in ``infos[i]["final_observation"]``.
+    episode lives in ``infos[i]["final_observation"]``.  On the vectorized
+    path ``infos`` is a :class:`LazyInfos` (dict-per-index on demand); the
+    loop path returns a plain list of dicts.
     """
 
     observations: np.ndarray
     rewards: np.ndarray
     dones: np.ndarray
-    infos: List[dict]
+    infos: Sequence[dict]
 
     def __iter__(self):
         """Allow ``obs, rewards, dones, infos = vec_env.step(actions)``."""
@@ -120,6 +202,25 @@ class VectorEnv:
             self._posture = np.zeros((n, cfg.posture_dim))
             self._previous_action = np.zeros((n, cfg.action_dim))
             self._elapsed = np.zeros(n, dtype=np.int64)
+            # Hot-path scratch and hoisted lookups: the per-step noise
+            # buffers are refilled in place, _previous_action double-buffers
+            # through _action_scratch (no per-step actions.copy()), and the
+            # config / bound-method lookups happen once here instead of
+            # every lock-step.
+            self._cfg = cfg
+            self._max_steps = first.max_episode_steps
+            self._rows = np.arange(n)
+            self._posture_noise = np.empty((n, cfg.posture_dim))
+            self._velocity_noise = np.empty(n)
+            self._obs_noise = np.empty((n, cfg.state_dim))
+            self._action_scratch = np.zeros((n, cfg.action_dim))
+            self._dynamics_step = self._dynamics.step
+            self._dynamics_observe = self._dynamics.observe
+        self._clip = self.action_space.clip
+        self._step_shape = (self.num_envs, self.action_space.dim)
+        #: Optional :class:`~repro.rl.profiling.StageTimers`; attached by
+        #: ``RolloutEngine.set_profiler``, never constructed here.
+        self.profiler = None
         self._needs_reset = True
 
     # ------------------------------------------------------------------ #
@@ -228,16 +329,15 @@ class VectorEnv:
         self._needs_reset = False
         if not self._vectorized:
             return np.stack([env.reset() for env in self.envs])
-        rows = np.arange(self.num_envs)
-        self._reset_rows(rows)
-        return self._observe_rows(rows)
+        self._reset_rows(self._rows)
+        return self._observe_rows(self._rows)
 
     def step(self, actions: np.ndarray) -> VectorStepResult:
         """Advance every environment by one timestep (with auto-reset)."""
         if self._needs_reset:
             raise RuntimeError(f"{self.name}: step() called before reset()")
         actions = np.asarray(actions, dtype=np.float64)
-        if actions.shape != (self.num_envs, self.action_dim):
+        if actions.shape != self._step_shape:
             raise ValueError(
                 f"actions must have shape ({self.num_envs}, {self.action_dim}), "
                 f"got {actions.shape}"
@@ -270,28 +370,36 @@ class VectorEnv:
     # ------------------------------------------------------------------ #
     # Vectorized locomotion path
     # ------------------------------------------------------------------ #
+    # repro-lint: hot
     def _step_vectorized(self, actions: np.ndarray) -> VectorStepResult:
-        cfg = self.envs[0].config
-        max_steps = self.envs[0].max_episode_steps
-        actions = self.action_space.clip(actions)
+        cfg = self._cfg
+        clip = self._clip
+        actions = clip(actions)
+        prof = self.profiler
 
         posture_dim = cfg.posture_dim
-        n = self.num_envs
-        posture_noise = np.empty((n, posture_dim))
-        velocity_noise = np.empty(n)
+        dynamics_noise = cfg.dynamics_noise
+        posture_noise = self._posture_noise
+        velocity_noise = self._velocity_noise
+        if prof is not None:
+            t0 = perf_counter()
         for i, rng in enumerate(self._rngs):
-            posture_noise[i] = rng.normal(scale=cfg.dynamics_noise, size=posture_dim)
-            velocity_noise[i] = rng.normal(scale=cfg.dynamics_noise)
+            posture_noise[i] = rng.normal(scale=dynamics_noise, size=posture_dim)
+            velocity_noise[i] = rng.normal(scale=dynamics_noise)
+        if prof is not None:
+            prof.add("noise-draw", perf_counter() - t0)
+            t0 = perf_counter()
 
+        dynamics_step = self._dynamics_step
         (
-            self._velocity,
-            self._phase,
-            self._posture,
+            velocity,
+            phase,
+            posture,
             rewards,
             fallen,
             posture_norms,
             control_costs,
-        ) = self._dynamics.step(
+        ) = dynamics_step(
             self._velocity,
             self._phase,
             self._posture,
@@ -300,37 +408,91 @@ class VectorEnv:
             posture_noise,
             velocity_noise,
         )
-        self._previous_action = actions.copy()
-        self._elapsed += 1
-        truncated = self._elapsed >= max_steps
+        self._velocity = velocity
+        self._phase = phase
+        self._posture = posture
+        # Double-buffer instead of actions.copy(): the clipped array is a
+        # fresh allocation (np.clip), so copying it into last step's retired
+        # buffer and swapping is equivalent and allocation-free.
+        scratch = self._action_scratch
+        np.copyto(scratch, actions)
+        self._action_scratch = self._previous_action
+        self._previous_action = scratch
+        elapsed = self._elapsed
+        elapsed += 1
+        truncated = elapsed >= self._max_steps
         dones = fallen | truncated
+        if prof is not None:
+            prof.add("dynamics-kernel", perf_counter() - t0)
+            t0 = perf_counter()
 
-        rows = np.arange(n)
-        observations = self._observe_rows(rows)
+        observations = self._observe_all()
+        if prof is not None:
+            prof.add("observe", perf_counter() - t0)
+            t0 = perf_counter()
 
-        infos: List[dict] = []
-        for i in range(n):
-            infos.append(
-                {
-                    "velocity": float(self._velocity[i]),
-                    "posture_norm": float(posture_norms[i]),
-                    "control_cost": float(control_costs[i]),
-                    "terminated": bool(fallen[i]),
-                    "truncated": bool(truncated[i] and not fallen[i]),
-                }
-            )
-
-        done_rows = rows[dones]
+        final = None
+        done_rows = np.flatnonzero(dones)
         if done_rows.size:
-            for i in done_rows:
-                infos[i]["final_observation"] = observations[i].copy()
-            self._reset_rows(done_rows)
-            observations[done_rows] = self._observe_rows(done_rows)
+            # _reset_rows zeroes the finished rows of the velocity array in
+            # place; the infos must keep the terminal values, so snapshot it
+            # (only on steps where an episode actually ended).
+            velocity = velocity.copy()
+            final = self._finish_done_rows(observations, done_rows)
+        infos = LazyInfos(
+            velocity, posture_norms, control_costs, fallen, truncated, final
+        )
+        if prof is not None:
+            prof.add("info-build", perf_counter() - t0)
         return VectorStepResult(observations, rewards, dones, infos)
+
+    def _finish_done_rows(
+        self, observations: np.ndarray, done_rows: np.ndarray
+    ) -> Dict[int, np.ndarray]:
+        """Capture terminal observations, then restart the finished rows.
+
+        Returns the ``{row: terminal observation}`` map the step's
+        :class:`LazyInfos` serves as ``final_observation``; the finished
+        rows of ``observations`` are overwritten in place with their fresh
+        post-reset observations.  Off the hot annotation on purpose —
+        episodes end once per hundreds of lock-steps.
+        """
+        final = {}
+        for i in done_rows:
+            final[int(i)] = observations[i].copy()
+        self._reset_rows(done_rows)
+        observations[done_rows] = self._observe_rows(done_rows)
+        return final
+
+    # repro-lint: hot
+    def _observe_all(self) -> np.ndarray:
+        """Observations for every environment — the full-batch fast path.
+
+        Equivalent to ``_observe_rows(arange(n))`` but hands the state
+        arrays to the kernel directly (no fancy-index copies) and refills a
+        preallocated noise buffer.  The RNG draws are identical: ``size=K``
+        consumes the same K normals as ``size=(1, K)``.
+        """
+        cfg = self._cfg
+        noise = None
+        observation_noise = cfg.observation_noise
+        if observation_noise > 0.0:
+            noise = self._obs_noise
+            state_dim = cfg.state_dim
+            for i, rng in enumerate(self._rngs):
+                noise[i] = rng.normal(scale=observation_noise, size=state_dim)
+        dynamics_observe = self._dynamics_observe
+        return dynamics_observe(
+            self._velocity,
+            self._phase,
+            self._posture,
+            self._previous_action,
+            noise,
+        )
 
     def _reset_rows(self, rows: np.ndarray) -> None:
         """Re-initialise the selected environments' physical state in place."""
-        cfg = self.envs[0].config
+        cfg = self._cfg
         self._velocity[rows] = 0.0
         self._previous_action[rows] = 0.0
         self._elapsed[rows] = 0
@@ -341,7 +503,7 @@ class VectorEnv:
 
     def _observe_rows(self, rows: np.ndarray) -> np.ndarray:
         """Observations for the selected environments (fresh noise draws)."""
-        cfg = self.envs[0].config
+        cfg = self._cfg
         noise = None
         if cfg.observation_noise > 0.0:
             noise = np.empty((rows.size, cfg.state_dim))

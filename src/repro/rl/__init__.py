@@ -65,6 +65,7 @@ from .precision import (
     register_precision_policy,
     resolve_precision,
 )
+from .profiling import ROLLOUT_STAGES, StageTimers
 from .qat import QATController, QATEvent, QATSchedule
 from .replay_buffer import ReplayBuffer, TransitionBatch
 from .rollout import RolloutEngine, RolloutStats, VectorTransitions
@@ -135,6 +136,8 @@ __all__ = [
     "RolloutEngine",
     "RolloutStats",
     "VectorTransitions",
+    "StageTimers",
+    "ROLLOUT_STAGES",
     "RoundScheduler",
     "ScheduledGroup",
     "ScheduleOutcome",

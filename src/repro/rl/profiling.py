@@ -1,0 +1,186 @@
+"""Stage-level perf counters for the rollout hot path.
+
+The rollout subsystem's throughput contracts are *measured* numbers
+(``benchmarks/bench_hotpath.py``), and measured numbers need attribution:
+when the in-process anchor moves, which stage moved it?  :class:`StageTimers`
+is the answer — a near-zero-overhead accumulator threaded through
+:meth:`~repro.rl.rollout.RolloutEngine.step` →
+:meth:`~repro.envs.vector.VectorEnv._step_vectorized` →
+:meth:`~repro.rl.replay_buffer.ReplayBuffer.add_batch`, attributing
+wall-clock seconds to the named stages of one lock-step.
+
+Profiling is **off by default**.  Every instrumented callsite keeps a
+``profiler`` attribute that is ``None`` unless explicitly attached (via
+:meth:`RolloutEngine.set_profiler` or ``--profile`` on the train/serve
+CLIs), so the disabled path costs one ``is None`` branch per stage — a few
+nanoseconds against a lock-step measured in hundreds of microseconds.  The
+instrumentation never touches the maths: enabling it must not change a
+single trajectory bit (``tests/test_profiling.py`` pins this).
+
+The canonical stages, in lock-step order:
+
+=================  ====================================================
+``noise-draw``      Exploration noise (engine) + per-env dynamics noise
+                    draws (vector env).
+``actor-forward``   The batched policy forward pass (``act_batch``).
+``platform-pricing``  The FIXAR timing-model query for the batched
+                    inference (cached per (platform, batch) pair).
+``dynamics-kernel``  The batch-invariant physics kernel plus episode
+                    bookkeeping.
+``observe``         Observation assembly (including observation noise).
+``info-build``      Per-step info construction (lazy after this PR —
+                    mostly terminal-observation capture on done rows).
+``buffer-write``    The replay-buffer insertion.
+=================  ====================================================
+"""
+
+from __future__ import annotations
+
+import functools
+from time import perf_counter
+from typing import Callable, Dict, Optional
+
+__all__ = ["ROLLOUT_STAGES", "StageTimers"]
+
+#: The stages the instrumented rollout hot path reports, in lock-step order.
+ROLLOUT_STAGES = (
+    "noise-draw",
+    "actor-forward",
+    "platform-pricing",
+    "dynamics-kernel",
+    "observe",
+    "info-build",
+    "buffer-write",
+)
+
+
+class StageTimers:
+    """Accumulates wall-clock seconds (and call counts) per named stage.
+
+    Instrumented code holds a local ``prof`` and brackets each stage with
+    ``perf_counter()`` reads only when ``prof is not None``::
+
+        prof = self.profiler
+        if prof is not None:
+            t0 = perf_counter()
+        ...stage work...
+        if prof is not None:
+            prof.add("dynamics-kernel", perf_counter() - t0)
+
+    Unknown stage names are accepted (the object is a generic accumulator);
+    :data:`ROLLOUT_STAGES` lists the ones the rollout path emits.
+    """
+
+    __slots__ = ("totals", "counts")
+
+    def __init__(self):
+        self.totals: Dict[str, float] = {}
+        self.counts: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Accumulation
+    # ------------------------------------------------------------------ #
+    def add(self, stage: str, seconds: float) -> None:
+        """Credit ``seconds`` of wall clock (one call) to ``stage``."""
+        totals = self.totals
+        if stage in totals:
+            totals[stage] += seconds
+            self.counts[stage] += 1
+        else:
+            totals[stage] = seconds
+            self.counts[stage] = 1
+
+    def merge(self, other: "StageTimers") -> None:
+        """Fold another accumulator's stages into this one."""
+        for stage, seconds in other.totals.items():
+            totals = self.totals
+            if stage in totals:
+                totals[stage] += seconds
+                self.counts[stage] += other.counts[stage]
+            else:
+                totals[stage] = seconds
+                self.counts[stage] = other.counts[stage]
+
+    def reset(self) -> None:
+        """Zero every stage."""
+        self.totals.clear()
+        self.counts.clear()
+
+    def wrap(self, fn: Callable, stage: str) -> Callable:
+        """A wrapper of ``fn`` that credits its wall clock to ``stage``.
+
+        Used where code cannot be instrumented inline — e.g. the serving CLI
+        times the policy's ``act_batch`` without touching the (deterministic,
+        wall-clock-free) serving layer.
+        """
+
+        @functools.wraps(fn)
+        def timed(*args, **kwargs):
+            t0 = perf_counter()
+            result = fn(*args, **kwargs)
+            self.add(stage, perf_counter() - t0)
+            return result
+
+        return timed
+
+    # ------------------------------------------------------------------ #
+    # Readout
+    # ------------------------------------------------------------------ #
+    @property
+    def total_seconds(self) -> float:
+        """Sum of every stage's accumulated seconds."""
+        return sum(self.totals.values())
+
+    def snapshot(self) -> Dict[str, float]:
+        """A point-in-time copy of the per-stage totals."""
+        return dict(self.totals)
+
+    def delta(self, snapshot: Dict[str, float]) -> Dict[str, float]:
+        """Per-stage seconds accumulated since ``snapshot`` (zeros dropped)."""
+        out = {}
+        for stage, seconds in self.totals.items():
+            gained = seconds - snapshot.get(stage, 0.0)
+            if gained > 0.0:
+                out[stage] = gained
+        return out
+
+    def as_dict(self) -> Dict[str, dict]:
+        """``{stage: {"seconds": ..., "calls": ...}}`` for every stage."""
+        return {
+            stage: {"seconds": seconds, "calls": self.counts[stage]}
+            for stage, seconds in self.totals.items()
+        }
+
+    def table(self, wall_seconds: Optional[float] = None) -> str:
+        """A fixed-width per-stage breakdown, largest stage first.
+
+        With ``wall_seconds`` the share column is computed against the full
+        measured wall clock and an ``(untimed)`` remainder row accounts for
+        the Python glue between stages; otherwise shares are of the timed
+        total.
+        """
+        rows = sorted(self.totals.items(), key=lambda item: -item[1])
+        timed = self.total_seconds
+        denominator = wall_seconds if wall_seconds else timed
+        lines = [
+            f"{'stage':<18} {'seconds':>10} {'calls':>9} {'us/call':>9} {'share':>7}"
+        ]
+        for stage, seconds in rows:
+            calls = self.counts[stage]
+            per_call = seconds / calls * 1e6 if calls else 0.0
+            share = seconds / denominator * 100.0 if denominator > 0 else 0.0
+            lines.append(
+                f"{stage:<18} {seconds:>10.4f} {calls:>9d} {per_call:>9.1f} "
+                f"{share:>6.1f}%"
+            )
+        if wall_seconds and wall_seconds > timed:
+            remainder = wall_seconds - timed
+            share = remainder / wall_seconds * 100.0
+            lines.append(
+                f"{'(untimed)':<18} {remainder:>10.4f} {'-':>9} {'-':>9} "
+                f"{share:>6.1f}%"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StageTimers({self.totals!r})"

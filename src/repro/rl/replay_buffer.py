@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Optional
 
 import numpy as np
@@ -75,6 +76,9 @@ class ReplayBuffer:
         self._next_index = 0
         self._size = 0
         self._lock = threading.RLock()
+        #: Optional :class:`~repro.rl.profiling.StageTimers` crediting the
+        #: ``buffer-write`` stage; attached by ``RolloutEngine.set_profiler``.
+        self.profiler = None
 
     def __len__(self) -> int:
         with self._lock:
@@ -160,6 +164,9 @@ class ReplayBuffer:
             rewards = rewards[offset:]
             next_states = next_states[offset:]
             dones = dones[offset:]
+        prof = self.profiler
+        if prof is not None:
+            start = perf_counter()
         with self._lock:
             indices = (self._next_index + offset + np.arange(n - offset)) % self.capacity
             self._states[indices] = states
@@ -169,6 +176,86 @@ class ReplayBuffer:
             self._dones[indices, 0] = (dones != 0.0).astype(np.float64)
             self._next_index = (self._next_index + n) % self.capacity
             self._size = min(self._size + n, self.capacity)
+        if prof is not None:
+            prof.add("buffer-write", perf_counter() - start)
+
+    # repro-lint: hot
+    def add_batch_trusted(
+        self,
+        states: np.ndarray,
+        actions: np.ndarray,
+        rewards: np.ndarray,
+        next_states: np.ndarray,
+        dones: np.ndarray,
+    ) -> None:
+        """:meth:`add_batch` minus re-validation, for engine-internal arrays.
+
+        The rollout engine hands this method arrays whose shapes and dtypes
+        it already guarantees every lock-step (float64 states/rewards, a
+        float actions batch, a bool dones mask); re-running ``asarray`` and
+        the shape checks on them is pure per-step overhead.  A cheap
+        invariant probe guards the fast path — anything unexpected (wrong
+        shape/dtype, ``n > capacity``) falls back to the validated
+        :meth:`add_batch`, so the two are interchangeable writes: same
+        slots, same overwrite order, bit-identical contents
+        (``tests/test_profiling.py`` pins the equivalence, including
+        wrap-around).  The circular write is two slice assignments instead
+        of a fancy-indexed scatter — no per-step index allocation.
+        """
+        capacity = self.capacity
+        if (
+            not isinstance(states, np.ndarray)
+            or states.ndim != 2
+            or not 0 < states.shape[0] <= capacity
+        ):
+            self.add_batch(states, actions, rewards, next_states, dones)
+            return
+        n = states.shape[0]
+        if (
+            states.shape[1] != self.state_dim
+            or getattr(actions, "shape", None) != (n, self.action_dim)
+            or getattr(next_states, "shape", None) != (n, self.state_dim)
+            or getattr(rewards, "shape", None) != (n,)
+            or getattr(dones, "shape", None) != (n,)
+            or states.dtype != np.float64
+            or next_states.dtype != np.float64
+            or rewards.dtype != np.float64
+            or actions.dtype.kind != "f"
+            or dones.dtype != np.bool_
+        ):
+            self.add_batch(states, actions, rewards, next_states, dones)
+            return
+        prof = self.profiler
+        if prof is not None:
+            start_time = perf_counter()
+        with self._lock:
+            start = self._next_index
+            end = start + n
+            if end <= capacity:
+                self._states[start:end] = states
+                self._actions[start:end] = actions
+                self._rewards[start:end, 0] = rewards
+                self._next_states[start:end] = next_states
+                self._dones[start:end, 0] = dones
+                self._next_index = 0 if end == capacity else end
+            else:
+                split = capacity - start
+                wrap = end - capacity
+                self._states[start:] = states[:split]
+                self._states[:wrap] = states[split:]
+                self._actions[start:] = actions[:split]
+                self._actions[:wrap] = actions[split:]
+                self._rewards[start:, 0] = rewards[:split]
+                self._rewards[:wrap, 0] = rewards[split:]
+                self._next_states[start:] = next_states[:split]
+                self._next_states[:wrap] = next_states[split:]
+                self._dones[start:, 0] = dones[:split]
+                self._dones[:wrap, 0] = dones[split:]
+                self._next_index = wrap
+            size = self._size + n
+            self._size = capacity if size > capacity else size
+        if prof is not None:
+            prof.add("buffer-write", perf_counter() - start_time)
 
     def sample(self, batch_size: int) -> TransitionBatch:
         """Sample a uniform random batch of transitions (with replacement)."""

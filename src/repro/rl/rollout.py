@@ -25,12 +25,14 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Union
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from ..envs.vector import VectorEnv, VectorStepResult
 from .noise import GaussianNoise, NoiseProcess
+from .profiling import StageTimers
 from .replay_buffer import ReplayBuffer
 
 __all__ = ["VectorTransitions", "RolloutStats", "RolloutEngine"]
@@ -52,7 +54,7 @@ class VectorTransitions:
     next_states: np.ndarray
     dones: np.ndarray
     observations: np.ndarray
-    infos: List[dict]
+    infos: Sequence[dict]
 
     def __len__(self) -> int:
         return self.states.shape[0]
@@ -68,6 +70,9 @@ class RolloutStats:
     episodes: int = 0
     wall_seconds: float = 0.0
     modelled_platform_seconds: float = 0.0
+    #: Per-stage wall-clock attribution of this collect, present only when
+    #: a profiler was attached (``RolloutEngine.set_profiler``).
+    stage_seconds: Optional[Dict[str, float]] = None
 
     @property
     def steps_per_second(self) -> float:
@@ -82,15 +87,19 @@ class RolloutStats:
         return self.total_steps / self.modelled_platform_seconds
 
     def as_dict(self) -> dict:
-        return {
+        data = {
             "num_envs": self.num_envs,
             "total_steps": self.total_steps,
             "iterations": self.iterations,
             "episodes": self.episodes,
             "wall_seconds": self.wall_seconds,
+            "modelled_platform_seconds": self.modelled_platform_seconds,
             "steps_per_second": self.steps_per_second,
             "modelled_steps_per_second": self.modelled_steps_per_second,
         }
+        if self.stage_seconds is not None:
+            data["stage_seconds"] = dict(self.stage_seconds)
+        return data
 
 
 class RolloutEngine:
@@ -166,6 +175,20 @@ class RolloutEngine:
         self._running_returns = np.zeros(env.num_envs)
         self._observations: Optional[np.ndarray] = None
 
+        #: Optional stage-level perf counters (off by default; attach via
+        #: :meth:`set_profiler` or the CLIs' ``--profile``).
+        self.profiler: Optional[StageTimers] = None
+        # Hot-path caches: the lock-step width and warmup draw shape never
+        # change, and the platform's batched-inference price is a pure
+        # function of (platform object, batch size) — FixarPlatform is
+        # immutable and precision switches arrive as *new* platform objects
+        # (with_precision_state), so object identity is a sound cache key.
+        self._n = env.num_envs
+        self._warmup_shape = (env.num_envs, agent.action_dim)
+        self._price_platform = None
+        self._price_batch = -1
+        self._price_seconds = 0.0
+
     # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #
@@ -177,6 +200,20 @@ class RolloutEngine:
     def observations(self) -> Optional[np.ndarray]:
         """The current ``(N, S)`` policy inputs (None before reset)."""
         return self._observations
+
+    def set_profiler(self, profiler: Optional[StageTimers]) -> Optional[StageTimers]:
+        """Attach (or detach, with ``None``) stage timers to the hot path.
+
+        One accumulator is wired through the engine, the vector environment,
+        and the replay buffer, so a single object collects the whole
+        lock-step breakdown.  Profiling changes no trajectory bit — it only
+        brackets the existing stages with ``perf_counter`` reads.
+        """
+        self.profiler = profiler
+        self.env.profiler = profiler
+        if self.buffer is not None:
+            self.buffer.profiler = profiler
+        return profiler
 
     def reset(self) -> np.ndarray:
         """Reset every environment and the running episode returns."""
@@ -200,39 +237,73 @@ class RolloutEngine:
     # ------------------------------------------------------------------ #
     # Stepping
     # ------------------------------------------------------------------ #
+    # repro-lint: hot
     def step(self) -> VectorTransitions:
         """One lock-step: batched action, env step, bulk replay insertion."""
         if self._observations is None:
             self.reset()
         states = self._observations
-        n = self.env.num_envs
+        n = self._n
+        prof = self.profiler
 
         if self.total_env_steps < self.warmup_timesteps:
-            actions = self._rng.uniform(-1.0, 1.0, size=(n, self.agent.action_dim))
+            rng = self._rng
+            actions = rng.uniform(-1.0, 1.0, size=self._warmup_shape)
         else:
-            actions = self.agent.act_batch(states, noise=self.noise.sample_batch(n))
-            if self.platform is not None:
-                self.modelled_platform_seconds += self.platform.infer_batch(
-                    n
-                ).total_seconds
+            noise = self.noise
+            agent = self.agent
+            if prof is not None:
+                t0 = perf_counter()
+                exploration = noise.sample_batch(n)
+                t1 = perf_counter()
+                prof.add("noise-draw", t1 - t0)
+                actions = agent.act_batch(states, noise=exploration)
+                prof.add("actor-forward", perf_counter() - t1)
+            else:
+                actions = agent.act_batch(states, noise=noise.sample_batch(n))
+            platform = self.platform
+            if platform is not None:
+                if prof is not None:
+                    t0 = perf_counter()
+                if platform is not self._price_platform or n != self._price_batch:
+                    report = platform.infer_batch(n)
+                    self._price_seconds = report.total_seconds
+                    self._price_platform = platform
+                    self._price_batch = n
+                self.modelled_platform_seconds += self._price_seconds
+                if prof is not None:
+                    prof.add("platform-pricing", perf_counter() - t0)
 
-        result: VectorStepResult = self.env.step(actions)
+        env = self.env
+        result: VectorStepResult = env.step(actions)
+        rewards = result.rewards
+        dones = result.dones
+        infos = result.infos
 
         next_states = result.observations
-        done_indices = np.flatnonzero(result.dones)
+        done_indices = np.flatnonzero(dones)
         if done_indices.size:
             next_states = next_states.copy()
-            for i in done_indices:
-                next_states[i] = result.infos[i]["final_observation"]
+            finals = getattr(infos, "final_observations", None)
+            if finals is None:
+                for i in done_indices:
+                    next_states[i] = infos[i]["final_observation"]
+            else:
+                for i, observation in finals.items():
+                    next_states[i] = observation
 
-        if self.buffer is not None:
-            self.buffer.add_batch(states, actions, result.rewards, next_states, result.dones)
+        buffer = self.buffer
+        if buffer is not None:
+            buffer.add_batch_trusted(states, actions, rewards, next_states, dones)
 
-        self._running_returns += result.rewards
-        for i in done_indices:
-            self.episode_returns.append(float(self._running_returns[i]))
-            self._running_returns[i] = 0.0
+        running_returns = self._running_returns
+        running_returns += rewards
         if done_indices.size:
+            episode_returns = self.episode_returns
+            for i in done_indices:
+                episode_returns.append(float(running_returns[i]))
+                running_returns[i] = 0.0
+            noise = self.noise
             if n > 1:
                 # Only the finished environments' noise state restarts; a
                 # process with per-environment state (batched OU) keeps the
@@ -240,22 +311,22 @@ class RolloutEngine:
                 # single reset() — never one reset per finished episode (K
                 # episodes ending together must not reset an annealing
                 # schedule K times).
-                self.noise.reset_envs(done_indices)
+                noise.reset_envs(done_indices)
             else:
                 # The scalar path resets exactly like the scalar loop (the
                 # bit-compatibility contract).
-                self.noise.reset()
+                noise.reset()
 
         self._observations = result.observations
         self.total_env_steps += n
         return VectorTransitions(
             states=states,
             actions=actions,
-            rewards=result.rewards,
+            rewards=rewards,
             next_states=next_states,
-            dones=result.dones,
+            dones=dones,
             observations=result.observations,
-            infos=result.infos,
+            infos=infos,
         )
 
     def collect(self, num_steps: int) -> RolloutStats:
@@ -272,9 +343,12 @@ class RolloutEngine:
         iterations = -(-num_steps // self.env.num_envs)
         episodes_before = len(self.episode_returns)
         modelled_before = self.modelled_platform_seconds
+        profiler = self.profiler
+        stages_before = profiler.snapshot() if profiler is not None else None
         start = time.perf_counter()
+        step = self.step
         for _ in range(iterations):
-            self.step()
+            step()
         wall = time.perf_counter() - start
         return RolloutStats(
             num_envs=self.env.num_envs,
@@ -283,4 +357,7 @@ class RolloutEngine:
             episodes=len(self.episode_returns) - episodes_before,
             wall_seconds=wall,
             modelled_platform_seconds=self.modelled_platform_seconds - modelled_before,
+            stage_seconds=(
+                profiler.delta(stages_before) if profiler is not None else None
+            ),
         )

@@ -458,6 +458,7 @@ def train(
     progress_callback: Optional[Callable[[int, dict], None]] = None,
     platform=None,
     policy=None,
+    profiler=None,
 ) -> TrainingResult:
     """Run the training loop through the vectorized rollout engine.
 
@@ -495,6 +496,12 @@ def train(
         Optional explicit :class:`~repro.rl.scheduler.SchedulePolicy`
         overriding the one ``config.schedule`` / ``config.pipeline_depth``
         resolve to.
+    profiler:
+        Optional :class:`~repro.rl.profiling.StageTimers` accumulator wired
+        through every collection engine and the shared replay buffer
+        (the CLIs' ``--profile``).  Profiling only brackets the existing
+        rollout stages with ``perf_counter`` reads — trajectories stay
+        bit-identical.
 
     With ``num_envs == 1`` (and one worker) this reproduces
     :func:`train_scalar_reference` bit for bit under a fixed seed.  With N
@@ -651,6 +658,12 @@ def train(
     collector = AsyncCollector(
         workers, buffer, source_agent=source_agent, sync_interval=config.sync_interval
     )
+    if profiler is not None:
+        # One accumulator across the whole fleet: engines attribute the
+        # rollout stages, the shared buffer attributes the drain writes.
+        buffer.profiler = profiler
+        for worker in workers:
+            worker.engine.set_profiler(profiler)
     for worker in workers:
         worker.engine.reset()
 
@@ -710,6 +723,7 @@ def train_fleet(
     progress_callback: Optional[Callable[[int, dict], None]] = None,
     platform=None,
     policy=None,
+    profiler=None,
 ) -> FleetTrainingResult:
     """Train per-benchmark learners over one heterogeneous collector fleet.
 
@@ -778,6 +792,10 @@ def train_fleet(
         overriding the one ``config.schedule`` / ``config.pipeline_depth``
         resolve to (e.g. a :class:`ThroughputWeightedPolicy` with explicit
         weights).
+    profiler:
+        Optional :class:`~repro.rl.profiling.StageTimers` accumulator wired
+        through every group's collection engines and replay buffer — one
+        fleet-wide wall-clock breakdown, exactly like :func:`train`.
 
     The training schedule is the deterministic round schedule of
     :func:`train`, generalized across benchmark groups: each round, groups
@@ -864,6 +882,11 @@ def train_fleet(
         env_templates=env_templates,
         platforms=platforms,
     )
+    if profiler is not None:
+        for fleet_group in fleet.groups:
+            fleet_group.buffer.profiler = profiler
+            for worker in fleet_group.collector.workers:
+                worker.engine.set_profiler(profiler)
     fleet.reset()
 
     eval_envs_by_key: Dict[str, Environment] = {}

@@ -30,6 +30,7 @@ from repro.analysis import (
     ConfigCliParity,
     DeterministicOracles,
     Finding,
+    HotPathDiscipline,
     LockDiscipline,
     OracleSurfaceParity,
     PrecisionPolicyParity,
@@ -48,6 +49,10 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: Pragma prefix, concatenated so the pragma regex never matches this file.
 ALLOW = "# repro-lint" + ": allow"
+
+#: Hot-path marker, concatenated so the rule's lexical scanner never
+#: mistakes this test file's own source for an annotated hot function.
+HOT = "# repro-lint" + ": hot"
 
 
 def _write(root: Path, rel: str, source: str) -> Path:
@@ -621,6 +626,107 @@ class TestPrecisionPolicyParity:
 
 
 # --------------------------------------------------------------------- #
+# Rule 8: hot-path-discipline
+# --------------------------------------------------------------------- #
+class TestHotPathDiscipline:
+    def test_fires_on_arange_dicts_and_attribute_chains(self, tmp_path):
+        _write(
+            tmp_path,
+            "src/repro/rl/hot.py",
+            """\
+            import numpy as np
+
+            class Engine:
+                MARKER
+                def step(self, n):
+                    rows = np.arange(n)
+                    info = {"rows": rows}
+                    dim = self.env.action_space.dim
+                    return rows, info, dim
+            """.replace("MARKER", HOT),
+        )
+        report = _lint(tmp_path, HotPathDiscipline())
+        assert [f.rule for f in report.findings] == ["hot-path-discipline"] * 3
+        assert all(f.severity == "warning" for f in report.findings)
+        messages = " | ".join(f.message for f in report.findings)
+        assert "np.arange" in messages
+        assert "dict construction" in messages
+        assert "self.env.action_space.dim" in messages
+        # Warnings gate CI only under --strict.
+        assert report.exit_code() == 0
+        assert report.exit_code(strict=True) == 1
+
+    def test_marker_on_the_def_line_also_counts(self, tmp_path):
+        _write(
+            tmp_path,
+            "src/repro/envs/hot.py",
+            """\
+            import numpy as np
+
+            def observe(n):  MARKER
+                return np.arange(n)
+            """.replace("MARKER", HOT),
+        )
+        report = _lint(tmp_path, HotPathDiscipline())
+        assert [f.rule for f in report.findings] == ["hot-path-discipline"]
+
+    def test_outermost_chain_reported_once_and_locals_are_fine(self, tmp_path):
+        _write(
+            tmp_path,
+            "src/repro/rl/hot.py",
+            """\
+            class Engine:
+                MARKER
+                def step(self):
+                    # A three-deep chain is one finding, not two, and
+                    # two-segment self.attr loads plus chains rooted at
+                    # locals are the blessed spellings.
+                    deep = self.env.space.dim
+                    env = self.env
+                    ok = env.space.dim
+                    return deep + ok + self.total
+            """.replace("MARKER", HOT),
+        )
+        report = _lint(tmp_path, HotPathDiscipline())
+        assert len(report.findings) == 1
+        assert "self.env.space.dim" in report.findings[0].message
+
+    def test_quiet_without_the_marker(self, tmp_path):
+        _write(
+            tmp_path,
+            "src/repro/rl/cold.py",
+            """\
+            import numpy as np
+
+            class Engine:
+                def finish(self, n):
+                    final = {"rows": np.arange(n)}
+                    return final, self.env.space.dim
+            """,
+        )
+        assert _lint(tmp_path, HotPathDiscipline()).findings == []
+
+    def test_quiet_on_a_disciplined_hot_function(self, tmp_path):
+        _write(
+            tmp_path,
+            "src/repro/rl/hot.py",
+            """\
+            class Engine:
+                def __init__(self, n):
+                    import numpy as np
+                    self._rows = np.arange(n)
+
+                MARKER
+                def step(self, dones):
+                    rows = self._rows
+                    prof = self.profiler
+                    return rows[dones], prof
+            """.replace("MARKER", HOT),
+        )
+        assert _lint(tmp_path, HotPathDiscipline()).findings == []
+
+
+# --------------------------------------------------------------------- #
 # Pragma suppression
 # --------------------------------------------------------------------- #
 class TestPragmas:
@@ -750,11 +856,12 @@ class TestFindingsAndJson:
 # Rule registry
 # --------------------------------------------------------------------- #
 class TestRegistry:
-    def test_all_seven_rules_are_registered(self):
+    def test_all_eight_rules_are_registered(self):
         assert sorted(RULES) == [
             "batch-invariant-kernels",
             "config-cli-parity",
             "deterministic-oracles",
+            "hot-path-discipline",
             "lock-discipline",
             "oracle-surface-parity",
             "precision-policy-parity",

@@ -128,7 +128,7 @@ def test_readme_cli_flags_match_the_parser():
     for flag in ("--num-envs", "--num-workers", "--sync-interval",
                  "--pipeline-depth", "--fleet", "--schedule", "--devices",
                  "--placement", "--assignment", "--cosim",
-                 "--precision-policy", "--precision-spec"):
+                 "--precision-policy", "--precision-spec", "--profile"):
         assert flag in text, f"README lost the {flag} row"
         assert flag in cli_flags, f"README documents {flag} but the CLI dropped it"
 
@@ -152,7 +152,7 @@ def test_readme_serve_flags_match_the_parser():
     text = README.read_text()
     assert "python -m repro.cli serve" in text, "README lost the serve quickstart"
     for flag in ("--requests", "--qps", "--slo-ms", "--batch-cap",
-                 "--checkpoint", "--devices", "--placement"):
+                 "--checkpoint", "--devices", "--placement", "--profile"):
         assert flag in text, f"README lost the {flag} row"
         assert flag in cli_flags, f"README documents {flag} but `serve` dropped it"
 

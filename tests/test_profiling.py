@@ -1,0 +1,399 @@
+"""Property tests for the rollout hot-path performance layer.
+
+This PR optimized the in-process rollout hot path under one non-negotiable
+constraint: **no trajectory bit may change**.  Every optimization therefore
+ships with a property test pinning it to the unoptimized reference:
+
+* :class:`~repro.envs.vector.LazyInfos` materialises exactly the dicts the
+  eager path built (checked against the scalar-environment oracle);
+* :meth:`~repro.rl.ReplayBuffer.add_batch_trusted` writes bit-identical
+  buffer contents to the validated :meth:`~repro.rl.ReplayBuffer.add_batch`
+  (including wrap-around), and falls back to it on anything unexpected;
+* the engine's per-(platform, batch) price cache re-prices whenever the
+  platform object changes (the precision-switch path);
+* attaching a profiler changes no trajectory bit — it only attributes
+  wall-clock seconds to the documented stages.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.envs import VectorEnv, make
+from repro.envs.vector import LazyInfos
+from repro.nn import make_numerics
+from repro.platform import FixarPlatform, WorkloadSpec
+from repro.rl import (
+    ROLLOUT_STAGES,
+    DDPGAgent,
+    DDPGConfig,
+    GaussianNoise,
+    ReplayBuffer,
+    RolloutEngine,
+    StageTimers,
+)
+
+pytestmark = [pytest.mark.smoke, pytest.mark.perf]
+
+
+def _agent(env, seed=42):
+    return DDPGAgent(
+        env.state_dim,
+        env.action_dim,
+        DDPGConfig(hidden_sizes=(24, 16)),
+        numerics=make_numerics("float32"),
+        rng=np.random.default_rng(seed),
+    )
+
+
+def _engine(num_envs, seed=0, **kwargs):
+    vec = VectorEnv.make("Hopper", num_envs, seed=seed, max_episode_steps=25)
+    agent = _agent(vec.envs[0])
+    kwargs.setdefault(
+        "buffer", ReplayBuffer(10_000, vec.state_dim, vec.action_dim, seed=0)
+    )
+    return RolloutEngine(
+        vec,
+        agent,
+        noise=GaussianNoise(vec.action_dim, 0.1, seed=0),
+        rng=1,
+        **kwargs,
+    )
+
+
+class TestStageTimers:
+    def test_add_accumulates_seconds_and_calls(self):
+        timers = StageTimers()
+        timers.add("observe", 0.25)
+        timers.add("observe", 0.5)
+        timers.add("noise-draw", 1.0)
+        assert timers.totals["observe"] == pytest.approx(0.75)
+        assert timers.counts["observe"] == 2
+        assert timers.counts["noise-draw"] == 1
+        assert timers.total_seconds == pytest.approx(1.75)
+
+    def test_merge_folds_disjoint_and_shared_stages(self):
+        left, right = StageTimers(), StageTimers()
+        left.add("observe", 1.0)
+        right.add("observe", 2.0)
+        right.add("buffer-write", 0.5)
+        left.merge(right)
+        assert left.totals == pytest.approx({"observe": 3.0, "buffer-write": 0.5})
+        assert left.counts == {"observe": 2, "buffer-write": 1}
+
+    def test_reset_zeroes_everything(self):
+        timers = StageTimers()
+        timers.add("observe", 1.0)
+        timers.reset()
+        assert timers.totals == {}
+        assert timers.counts == {}
+        assert timers.total_seconds == 0.0
+
+    def test_snapshot_delta_reports_only_gains(self):
+        timers = StageTimers()
+        timers.add("observe", 1.0)
+        before = timers.snapshot()
+        timers.add("observe", 0.5)
+        timers.add("info-build", 0.25)
+        delta = timers.delta(before)
+        assert delta == pytest.approx({"observe": 0.5, "info-build": 0.25})
+        # The snapshot is a copy, not a view.
+        assert before == pytest.approx({"observe": 1.0})
+
+    def test_wrap_times_the_wrapped_callable(self):
+        timers = StageTimers()
+
+        def work(x, y=1):
+            return x + y
+
+        timed = timers.wrap(work, "actor-forward")
+        assert timed(2, y=3) == 5
+        assert timed(1) == 2
+        assert timers.counts["actor-forward"] == 2
+        assert timers.totals["actor-forward"] >= 0.0
+
+    def test_as_dict_pairs_seconds_with_calls(self):
+        timers = StageTimers()
+        timers.add("observe", 0.5)
+        timers.add("observe", 0.5)
+        assert timers.as_dict() == {"observe": {"seconds": 1.0, "calls": 2}}
+
+    def test_table_sorts_and_accounts_untimed_remainder(self):
+        timers = StageTimers()
+        timers.add("observe", 1.0)
+        timers.add("noise-draw", 3.0)
+        table = timers.table(wall_seconds=5.0)
+        lines = table.splitlines()
+        assert lines[1].startswith("noise-draw")
+        assert lines[2].startswith("observe")
+        assert lines[3].startswith("(untimed)")
+        assert "20.0%" in lines[2]  # 1.0 of 5.0 wall seconds
+        # Without a wall clock, shares are of the timed total and no
+        # remainder row appears.
+        assert "(untimed)" not in timers.table()
+
+    def test_rollout_stage_names_are_the_documented_set(self):
+        assert ROLLOUT_STAGES == (
+            "noise-draw",
+            "actor-forward",
+            "platform-pricing",
+            "dynamics-kernel",
+            "observe",
+            "info-build",
+            "buffer-write",
+        )
+
+
+class TestLazyInfosOracle:
+    """LazyInfos materialises exactly what the scalar envs report."""
+
+    def _walk(self, name="Hopper", num_envs=3, steps=60, seed=13, horizon=20):
+        vec = VectorEnv.make(name, num_envs, seed=seed, max_episode_steps=horizon)
+        scalars = [
+            make(name, seed=s, max_episode_steps=horizon)
+            for s in VectorEnv.spawn_seeds(seed, num_envs)
+        ]
+        action_rng = np.random.default_rng(seed * 7919 + num_envs)
+        vec.reset()
+        for env in scalars:
+            env.reset()
+        for _ in range(steps):
+            actions = action_rng.uniform(-1.5, 1.5, size=(num_envs, vec.action_dim))
+            yield vec.step(actions), [env.step(actions[i]) for i, env in enumerate(scalars)], scalars
+
+    def test_info_dicts_match_scalar_oracle_bitwise(self):
+        saw_done = False
+        for result, scalar_results, scalars in self._walk():
+            assert isinstance(result.infos, LazyInfos)
+            for i, scalar_result in enumerate(scalar_results):
+                info = result.infos[i]
+                oracle = scalar_result.info
+                for key in ("velocity", "posture_norm", "control_cost", "terminated"):
+                    assert info[key] == oracle[key], key
+                # The scalar env does not report truncation; the vectorized
+                # infos derive it: done without a fall is a step-limit end.
+                assert info["truncated"] == (
+                    bool(scalar_result.done) and not oracle["terminated"]
+                )
+                if scalar_result.done:
+                    saw_done = True
+                    np.testing.assert_array_equal(
+                        info["final_observation"], scalar_result.observation
+                    )
+                    np.testing.assert_array_equal(
+                        result.observations[i], scalars[i].reset()
+                    )
+                else:
+                    assert "final_observation" not in info
+        assert saw_done  # the 20-step horizon guarantees boundaries crossed
+
+    def test_sequence_protocol(self):
+        vec = VectorEnv.make("Hopper", 4, seed=0, max_episode_steps=30)
+        vec.reset()
+        result = vec.step(np.zeros((4, vec.action_dim)))
+        infos = result.infos
+        assert len(infos) == 4
+        materialised = list(infos)
+        assert len(materialised) == 4 and all(isinstance(d, dict) for d in materialised)
+        # Negative indices normalise; out-of-range raises like a list.
+        assert infos[-1] == infos[3]
+        with pytest.raises(IndexError):
+            infos[4]
+        with pytest.raises(IndexError):
+            infos[-5]
+
+    def test_each_access_builds_a_fresh_dict(self):
+        vec = VectorEnv.make("Hopper", 2, seed=0, max_episode_steps=30)
+        vec.reset()
+        infos = vec.step(np.zeros((2, vec.action_dim))).infos
+        first = infos[0]
+        first["velocity"] = None  # mutations must not persist
+        assert infos[0]["velocity"] is not None
+
+
+class TestTrustedAddBatch:
+    """add_batch_trusted is a bit-identical, fallback-guarded add_batch."""
+
+    CAPACITY = 13
+    STATE_DIM = 4
+    ACTION_DIM = 2
+
+    def _pair(self):
+        return (
+            ReplayBuffer(self.CAPACITY, self.STATE_DIM, self.ACTION_DIM, seed=0),
+            ReplayBuffer(self.CAPACITY, self.STATE_DIM, self.ACTION_DIM, seed=0),
+        )
+
+    def _batch(self, rng, n, actions_dtype=np.float64, dones_dtype=np.bool_):
+        return (
+            rng.normal(size=(n, self.STATE_DIM)),
+            rng.normal(size=(n, self.ACTION_DIM)).astype(actions_dtype),
+            rng.normal(size=n),
+            rng.normal(size=(n, self.STATE_DIM)),
+            (rng.random(n) < 0.3).astype(dones_dtype),
+        )
+
+    def _assert_identical(self, reference, trusted):
+        for attr in ("_states", "_actions", "_rewards", "_next_states", "_dones"):
+            np.testing.assert_array_equal(
+                getattr(reference, attr), getattr(trusted, attr), err_msg=attr
+            )
+        assert reference._next_index == trusted._next_index
+        assert len(reference) == len(trusted)
+
+    def test_bit_identical_across_wraparound(self):
+        """Random batch sizes drive many wrap-arounds of a tiny buffer."""
+        rng = np.random.default_rng(7)
+        reference, trusted = self._pair()
+        for _ in range(40):
+            n = int(rng.integers(1, self.CAPACITY + 1))
+            batch = self._batch(rng, n)
+            reference.add_batch(*batch)
+            trusted.add_batch_trusted(*batch)
+            self._assert_identical(reference, trusted)
+
+    def test_float32_actions_stay_on_the_fast_path(self):
+        """The engine's actions batch can be float32; the cast is exact."""
+        rng = np.random.default_rng(11)
+        reference, trusted = self._pair()
+        for _ in range(10):
+            batch = self._batch(rng, 5, actions_dtype=np.float32)
+            reference.add_batch(*batch)
+            trusted.add_batch_trusted(*batch)
+        self._assert_identical(reference, trusted)
+
+    def test_oversized_batch_falls_back_to_validated_path(self):
+        rng = np.random.default_rng(3)
+        reference, trusted = self._pair()
+        batch = self._batch(rng, self.CAPACITY + 3)
+        reference.add_batch(*batch)
+        trusted.add_batch_trusted(*batch)
+        self._assert_identical(reference, trusted)
+        assert len(trusted) == self.CAPACITY
+
+    def test_nonconforming_inputs_fall_back_to_validated_path(self):
+        rng = np.random.default_rng(5)
+        reference, trusted = self._pair()
+        states, actions, rewards, next_states, dones = self._batch(rng, 4)
+        # Lists, float dones, and (n, 1) rewards are all add's legacy
+        # calling conventions — the probe must route them to validation.
+        reference.add_batch(
+            states.tolist(), actions, rewards.reshape(-1, 1), next_states, dones.astype(np.float64)
+        )
+        trusted.add_batch_trusted(
+            states.tolist(), actions, rewards.reshape(-1, 1), next_states, dones.astype(np.float64)
+        )
+        self._assert_identical(reference, trusted)
+
+    def test_invalid_shapes_still_raise_through_the_fallback(self):
+        _, trusted = self._pair()
+        with pytest.raises(ValueError, match="states"):
+            trusted.add_batch_trusted(
+                np.zeros((3, self.STATE_DIM + 1)),
+                np.zeros((3, self.ACTION_DIM)),
+                np.zeros(3),
+                np.zeros((3, self.STATE_DIM)),
+                np.zeros(3, dtype=np.bool_),
+            )
+
+
+class TestPriceCache:
+    """The cached infer_batch price tracks platform identity exactly."""
+
+    def _platform(self, vec):
+        return FixarPlatform(WorkloadSpec.from_environment(vec))
+
+    def test_cached_price_matches_fresh_queries(self):
+        engine = _engine(4, platform=None)
+        platform = self._platform(engine.env)
+        engine.platform = platform
+        engine.warmup_timesteps = 0
+        engine.reset()
+        for _ in range(5):
+            engine.step()
+        expected = 5 * platform.infer_batch(4).total_seconds
+        assert engine.modelled_platform_seconds == pytest.approx(expected)
+
+    def test_precision_switch_invalidates_the_cache(self):
+        engine = _engine(4, platform=None)
+        platform = self._platform(engine.env)
+        engine.platform = platform
+        engine.warmup_timesteps = 0
+        engine.reset()
+        engine.step()
+        # A precision switch arrives as a *new* platform object — the
+        # cache key is object identity, so the next step re-prices.
+        switched = platform.with_precision_state({"default": 16, "layers": {}})
+        assert switched is not platform
+        engine.platform = switched
+        before = engine.modelled_platform_seconds
+        engine.step()
+        gained = engine.modelled_platform_seconds - before
+        assert gained == pytest.approx(switched.infer_batch(4).total_seconds)
+        assert gained < platform.infer_batch(4).total_seconds  # 16-bit is faster
+
+    def test_unchanged_precision_state_keeps_the_platform_object(self):
+        vec = VectorEnv.make("Hopper", 2, seed=0, max_episode_steps=25)
+        platform = self._platform(vec)
+        # None means "nothing to re-price": same object, cache stays warm.
+        assert platform.with_precision_state(None) is platform
+
+
+class TestProfilingIsBitNeutral:
+    """Attaching StageTimers must not change a single trajectory bit."""
+
+    def test_profiled_run_is_bit_identical_to_unprofiled(self):
+        plain = _engine(4, seed=3)
+        profiled = _engine(4, seed=3)
+        profiler = profiled.set_profiler(StageTimers())
+        assert profiled.env.profiler is profiler
+        assert profiled.buffer.profiler is profiler
+        plain.reset()
+        profiled.reset()
+        for _ in range(30):
+            left = plain.step()
+            right = profiled.step()
+            np.testing.assert_array_equal(left.observations, right.observations)
+            np.testing.assert_array_equal(left.rewards, right.rewards)
+        assert plain.episode_returns == profiled.episode_returns
+        for attr in ("_states", "_actions", "_rewards", "_next_states", "_dones"):
+            np.testing.assert_array_equal(
+                getattr(plain.buffer, attr), getattr(profiled.buffer, attr)
+            )
+
+    def test_collect_reports_stage_seconds_only_when_profiling(self):
+        engine = _engine(2, warmup_timesteps=0)
+        stats = engine.collect(20)
+        assert stats.stage_seconds is None
+        assert "stage_seconds" not in stats.as_dict()
+        assert "modelled_platform_seconds" in stats.as_dict()
+
+        engine.set_profiler(StageTimers())
+        stats = engine.collect(20)
+        assert stats.stage_seconds is not None
+        for stage in ("noise-draw", "actor-forward", "dynamics-kernel",
+                      "observe", "buffer-write"):
+            assert stage in stats.stage_seconds, stage
+        assert set(stats.stage_seconds) <= set(ROLLOUT_STAGES)
+        data = stats.as_dict()
+        assert data["stage_seconds"] == pytest.approx(stats.stage_seconds)
+        assert data["modelled_platform_seconds"] == 0.0  # no platform attached
+
+    def test_pricing_stage_appears_with_a_platform(self):
+        engine = _engine(2, warmup_timesteps=0)
+        engine.platform = FixarPlatform(WorkloadSpec.from_environment(engine.env))
+        engine.set_profiler(StageTimers())
+        stats = engine.collect(10)
+        assert "platform-pricing" in stats.stage_seconds
+        assert stats.modelled_platform_seconds > 0.0
+
+    def test_set_profiler_detaches_with_none(self):
+        engine = _engine(2)
+        engine.set_profiler(StageTimers())
+        engine.set_profiler(None)
+        assert engine.profiler is None
+        assert engine.env.profiler is None
+        assert engine.buffer.profiler is None
+        stats = engine.collect(8)
+        assert stats.stage_seconds is None
